@@ -1,0 +1,87 @@
+// Shared helpers for the GOOFI benchmark/experiment harness.
+//
+// Each bench binary regenerates one experiment from DESIGN.md (E1..E10):
+// either a google-benchmark timing run or a printed results table in the
+// shape the paper's §3.4 analysis produces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/goofi.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi::bench {
+
+/// A ready-to-run GOOFI session: database + store + simulated target.
+struct Session {
+  db::Database db;
+  core::CampaignStore store;
+  testcard::SimTestCard card;
+  core::ThorRdTarget target;
+
+  explicit Session(const cpu::CpuConfig& config = cpu::CpuConfig())
+      : store(&db), card(config), target(&store, &card) {
+    (void)store.PutTargetSystem(core::ThorRdTarget::DescribeTarget(
+        card, core::ThorRdTarget::kTargetName));
+  }
+};
+
+/// A baseline campaign; benches override fields as needed.
+inline core::CampaignData BaseCampaign(const std::string& name,
+                                       const std::string& workload) {
+  core::CampaignData campaign;
+  campaign.name = name;
+  campaign.target_name = core::ThorRdTarget::kTargetName;
+  campaign.technique = core::Technique::kScifi;
+  campaign.fault_model = core::FaultModelKind::kTransientBitFlip;
+  campaign.num_experiments = 200;
+  campaign.workload = workload;
+  campaign.locations = {{"internal_regfile", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 1000;
+  campaign.timeout_cycles = 150000;
+  return campaign;
+}
+
+/// Runs a campaign and prints its §3.4 outcome row. Aborts on error (benches
+/// must fail loudly).
+inline core::AnalysisReport RunAndAnalyze(Session& session,
+                                          const core::CampaignData& campaign) {
+  if (auto st = session.store.PutCampaign(campaign); !st.ok()) {
+    std::fprintf(stderr, "PutCampaign(%s): %s\n", campaign.name.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  if (auto st = session.target.RunCampaign(campaign.name); !st.ok()) {
+    std::fprintf(stderr, "RunCampaign(%s): %s\n", campaign.name.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  auto report = core::AnalyzeCampaign(session.store, campaign.name);
+  if (!report.ok()) {
+    std::fprintf(stderr, "AnalyzeCampaign(%s): %s\n", campaign.name.c_str(),
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(report).value();
+}
+
+/// One row of an outcome-distribution table.
+inline void PrintOutcomeRow(const std::string& label,
+                            const core::AnalysisReport& report) {
+  const int detected = report.Count(core::Outcome::kDetected);
+  const int escaped = report.Count(core::Outcome::kEscaped);
+  const int latent = report.Count(core::Outcome::kLatent);
+  const int overwritten = report.Count(core::Outcome::kOverwritten);
+  std::printf("%-28s %5d %9d %8d %7d %12d %9.3f\n", label.c_str(), report.total,
+              detected, escaped, latent, overwritten, report.ErrorCoverage());
+}
+
+inline void PrintOutcomeHeader() {
+  std::printf("%-28s %5s %9s %8s %7s %12s %9s\n", "configuration", "n",
+              "detected", "escaped", "latent", "overwritten", "coverage");
+}
+
+}  // namespace goofi::bench

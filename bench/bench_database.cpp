@@ -1,0 +1,154 @@
+// E5 (paper Fig. 4): the GOOFI database.
+//
+// Throughput of the operations the tool performs constantly: inserting
+// LoggedSystemState rows (with the Fig. 4 foreign keys checked vs a plain
+// unconstrained table), point lookups by primary key, and the aggregate
+// analysis queries of §3.4.
+
+#include <benchmark/benchmark.h>
+
+#include "core/campaign_store.hpp"
+#include "db/sql_executor.hpp"
+
+namespace goofi::bench {
+namespace {
+
+using db::Database;
+using db::Value;
+
+core::LoggedState SampleState(int i) {
+  core::LoggedState state;
+  state.halted = true;
+  state.cycles = 10000 + static_cast<uint64_t>(i);
+  state.instret = 8000 + static_cast<uint64_t>(i);
+  state.outputs = {static_cast<uint32_t>(i * 2654435761u)};
+  state.scan_images["internal_core"] = std::string(230, i % 2 ? '1' : '0');
+  return state;
+}
+
+/// Insert with full Fig. 4 FK checking through CampaignStore.
+void BM_InsertLoggedStateWithFk(benchmark::State& state) {
+  Database database;
+  core::CampaignStore store(&database);
+  core::TargetSystemData target;
+  target.name = "t";
+  (void)store.PutTargetSystem(target);
+  core::CampaignData campaign;
+  campaign.name = "c";
+  campaign.target_name = "t";
+  campaign.workload = "w";
+  (void)store.PutCampaign(campaign);
+
+  int i = 0;
+  for (auto _ : state) {
+    const auto st = store.PutExperiment("e" + std::to_string(i), "", "c",
+                                        "faults=x", SampleState(i));
+    if (!st.ok()) std::abort();
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_InsertLoggedStateWithFk);
+
+/// The same row shape into an unconstrained table (FK-check cost baseline).
+void BM_InsertLoggedStateNoFk(benchmark::State& state) {
+  Database database;
+  if (!db::ExecuteSql(database,
+                      "CREATE TABLE plain (experimentName TEXT PRIMARY KEY, "
+                      "parentExperiment TEXT, campaignName TEXT, "
+                      "experimentData TEXT, stateVector TEXT)")
+           .ok()) {
+    std::abort();
+  }
+  db::Table* table = database.GetTable("plain");
+  int i = 0;
+  for (auto _ : state) {
+    const auto st = table->Insert({Value::Text("e" + std::to_string(i)),
+                                   Value::Null(), Value::Text("c"),
+                                   Value::Text("faults=x"),
+                                   Value::Text(SampleState(i).Serialize())});
+    if (!st.ok()) std::abort();
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_InsertLoggedStateNoFk);
+
+Database MakePopulatedDatabase(int rows) {
+  Database database;
+  core::CampaignStore store(&database);
+  core::TargetSystemData target;
+  target.name = "t";
+  (void)store.PutTargetSystem(target);
+  core::CampaignData campaign;
+  campaign.name = "c";
+  campaign.target_name = "t";
+  campaign.workload = "w";
+  (void)store.PutCampaign(campaign);
+  for (int i = 0; i < rows; ++i) {
+    (void)store.PutExperiment("e" + std::to_string(i), "", "c",
+                              i % 3 == 0 ? "faults=a" : "faults=b",
+                              SampleState(i));
+  }
+  return database;
+}
+
+void BM_PointLookupByPrimaryKey(benchmark::State& state) {
+  Database database = MakePopulatedDatabase(static_cast<int>(state.range(0)));
+  const db::Table* table = database.GetTable("LoggedSystemState");
+  int i = 0;
+  for (auto _ : state) {
+    const auto slot = table->FindByPrimaryKey(
+        {Value::Text("e" + std::to_string(i % state.range(0)))});
+    benchmark::DoNotOptimize(slot);
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_PointLookupByPrimaryKey)->Arg(1000)->Arg(10000);
+
+void BM_AnalysisAggregateQuery(benchmark::State& state) {
+  Database database = MakePopulatedDatabase(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = db::ExecuteSql(
+        database,
+        "SELECT experimentData, COUNT(*), AVG(LENGTH(stateVector)) "
+        "FROM LoggedSystemState GROUP BY experimentData");
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnalysisAggregateQuery)->Arg(1000)->Arg(10000);
+
+void BM_FilteredScanQuery(benchmark::State& state) {
+  Database database = MakePopulatedDatabase(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = db::ExecuteSql(
+        database,
+        "SELECT experimentName FROM LoggedSystemState "
+        "WHERE parentExperiment IS NULL AND experimentData = 'faults=a'");
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilteredScanQuery)->Arg(10000);
+
+void BM_SaveLoadRoundTrip(benchmark::State& state) {
+  Database database = MakePopulatedDatabase(2000);
+  const std::string path = "/tmp/goofi_bench_db.tmp";
+  for (auto _ : state) {
+    if (!database.Save(path).ok()) std::abort();
+    Database loaded;
+    if (!loaded.Load(path).ok()) std::abort();
+    benchmark::DoNotOptimize(loaded);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SaveLoadRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace goofi::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// E4 (paper §3.3): normal vs detail logging mode.
+//
+// "In normal mode, the system state is logged only when the termination
+// condition is fulfilled. In detail mode the system state is logged as
+// frequently as the target system allows, typically after the execution of
+// each machine instruction, which increases the time-overhead."
+//
+// Measures wall time and database rows per experiment in both modes and
+// prints the overhead ratio.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace goofi::bench {
+namespace {
+
+void RunMode(benchmark::State& state, core::LogMode mode) {
+  Session session;
+  core::CampaignData campaign = BaseCampaign("e4", "fibonacci");
+  campaign.num_experiments = 1;
+  campaign.log_mode = mode;
+  campaign.inject_max_instr = 60;
+  int counter = 0;
+  size_t rows_before = 0;
+  uint64_t campaigns = 0;
+  for (auto _ : state) {
+    campaign.name = "e4_" + std::to_string(counter++);
+    if (!session.store.PutCampaign(campaign).ok()) std::abort();
+    if (!session.target.RunCampaign(campaign.name).ok()) std::abort();
+    ++campaigns;
+  }
+  const db::Table* log = session.db.GetTable("LoggedSystemState");
+  state.counters["db_rows_per_experiment"] = benchmark::Counter(
+      static_cast<double>(log->size() - rows_before) /
+      (2.0 * static_cast<double>(campaigns)));  // ref + 1 experiment
+}
+
+void BM_NormalMode(benchmark::State& state) {
+  RunMode(state, core::LogMode::kNormal);
+}
+BENCHMARK(BM_NormalMode)->Unit(benchmark::kMillisecond);
+
+void BM_DetailMode(benchmark::State& state) {
+  RunMode(state, core::LogMode::kDetail);
+}
+BENCHMARK(BM_DetailMode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace goofi::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E11 (ablation): contribution of each error-detection mechanism.
+//
+// The §3.4 analysis classifies detections "into errors detected by each of
+// the various mechanisms"; this ablation quantifies each mechanism's
+// contribution to coverage by disabling them one at a time and re-running
+// the same campaign (same seed, same fault list). The coverage drop when a
+// mechanism is removed is its unique contribution — errors another
+// mechanism would not also have caught.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace goofi;
+using namespace goofi::bench;
+
+namespace {
+
+core::AnalysisReport RunWithConfig(const cpu::CpuConfig& config,
+                                   const std::string& name) {
+  Session session(config);
+  core::CampaignData campaign = BaseCampaign(name, "matmul");
+  campaign.num_experiments = 300;
+  campaign.locations = {{"internal_regfile", ""},
+                        {"internal_core", ""},
+                        {"internal_icache", ""},
+                        {"internal_dcache", ""}};
+  return RunAndAnalyze(session, campaign);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: EDM ablation (SCIFI over all chains, matmul, 300 "
+              "experiments per row; identical fault lists)\n\n");
+
+  const auto baseline = RunWithConfig(cpu::CpuConfig(), "e11_all");
+  std::printf("%-26s %9s %9s %10s %16s\n", "configuration", "detected",
+              "escaped", "coverage", "coverage delta");
+  std::printf("%-26s %9d %9d %10.3f %16s\n", "all EDMs on",
+              baseline.Count(core::Outcome::kDetected),
+              baseline.Count(core::Outcome::kEscaped), baseline.ErrorCoverage(),
+              "-");
+
+  struct Ablation {
+    const char* label;
+    void (*disable)(cpu::EdmConfig*);
+  };
+  const Ablation ablations[] = {
+      {"- cache parity", [](cpu::EdmConfig* edms) { edms->cache_parity = false; }},
+      {"- illegal opcode",
+       [](cpu::EdmConfig* edms) { edms->illegal_opcode = false; }},
+      {"- control flow", [](cpu::EdmConfig* edms) { edms->control_flow = false; }},
+      {"- memory checks",
+       [](cpu::EdmConfig* edms) {
+         edms->misaligned_access = false;
+         edms->out_of_range_access = false;
+         edms->memory_protection = false;
+       }},
+      {"- arithmetic overflow",
+       [](cpu::EdmConfig* edms) { edms->arithmetic_overflow = false; }},
+  };
+
+  int row = 0;
+  for (const Ablation& ablation : ablations) {
+    cpu::CpuConfig config;
+    ablation.disable(&config.edms);
+    const auto report =
+        RunWithConfig(config, "e11_" + std::to_string(row++));
+    std::printf("%-26s %9d %9d %10.3f %+16.3f\n", ablation.label,
+                report.Count(core::Outcome::kDetected),
+                report.Count(core::Outcome::kEscaped), report.ErrorCoverage(),
+                report.ErrorCoverage() - baseline.ErrorCoverage());
+  }
+
+  // Everything off: the floor.
+  cpu::CpuConfig off;
+  off.edms = cpu::EdmConfig{false, false, false, false, false,
+                            false, false, false, false, false};
+  const auto floor = RunWithConfig(off, "e11_none");
+  std::printf("%-26s %9d %9d %10.3f %+16.3f\n", "all EDMs off",
+              floor.Count(core::Outcome::kDetected),
+              floor.Count(core::Outcome::kEscaped), floor.ErrorCoverage(),
+              floor.ErrorCoverage() - baseline.ErrorCoverage());
+
+  std::printf(
+      "\nExpected shape: cache parity carries the largest unique\n"
+      "contribution for cache-chain faults (nothing else observes cache\n"
+      "bits); removing memory/illegal-opcode checks shifts detections to\n"
+      "escapes for core faults; with everything off coverage collapses to\n"
+      "the software-assertion floor (here: zero for this workload).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E3 (paper §3.4): the dependability-measure taxonomy across workloads and
+// fault-location classes.
+//
+// For every built-in batch workload and every fault-location class
+// (register file, core registers, instruction cache, data cache), runs a
+// SCIFI campaign and prints the Detected / Escaped / Latent / Overwritten
+// distribution, plus the per-mechanism detection breakdown — the "typical
+// results obtained" list of §3.4.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace goofi;
+using namespace goofi::bench;
+
+int main() {
+  std::printf("E3: error classification by workload x fault location class\n");
+  std::printf("(SCIFI, single transient bit flips, 150 experiments per row)\n\n");
+  PrintOutcomeHeader();
+
+  Session session;
+  std::map<std::string, int> mechanism_totals;
+
+  const char* workloads[] = {"bubblesort", "matmul", "checksum"};
+  const char* locations[] = {"internal_regfile", "internal_core",
+                             "internal_icache", "internal_dcache"};
+  for (const char* workload : workloads) {
+    for (const char* location : locations) {
+      core::CampaignData campaign = BaseCampaign(
+          std::string("e3_") + workload + "_" + location, workload);
+      campaign.num_experiments = 150;
+      campaign.locations = {{location, ""}};
+      const auto report = RunAndAnalyze(session, campaign);
+      PrintOutcomeRow(std::string(workload) + "/" + location, report);
+      for (const auto& [mechanism, count] : report.detected_by_mechanism) {
+        mechanism_totals[mechanism] += count;
+      }
+    }
+  }
+
+  std::printf("\ndetections by mechanism (all campaigns):\n");
+  for (const auto& [mechanism, count] : mechanism_totals) {
+    std::printf("  %-24s %5d\n", mechanism.c_str(), count);
+  }
+  std::printf(
+      "\nExpected shape: core (pc/ir) faults detect most often; cache faults\n"
+      "are caught by parity when the line is live, otherwise overwritten;\n"
+      "register-file faults show the largest latent/overwritten fraction,\n"
+      "matching the scan-chain study the paper builds on (ref [10]).\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E7 (paper §4): pre-injection analysis efficiency gain.
+//
+// "Injecting a fault into a location that does not hold live data serves no
+// purpose, since the fault will be overwritten." This experiment runs the
+// same register-file SCIFI campaign with and without the liveness filter and
+// reports (a) the fraction of candidate draws the filter rejected, and
+// (b) the yield of effective errors per experiment — the efficiency the
+// extension buys.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace goofi;
+using namespace goofi::bench;
+
+int main() {
+  std::printf("E7: pre-injection (liveness) analysis, SCIFI on the register "
+              "file\n\n");
+
+  const char* workloads[] = {"bubblesort", "matmul", "fibonacci", "checksum"};
+  std::printf("%-12s | %-34s | %-34s | %s\n", "", "without pre-injection",
+              "with pre-injection", "");
+  std::printf("%-12s | %9s %9s %12s | %9s %9s %12s | %s\n", "workload", "effective",
+              "overwrit.", "coverage", "effective", "overwrit.", "coverage",
+              "draws skipped");
+
+  for (const char* workload : workloads) {
+    Session session;
+
+    core::CampaignData baseline =
+        BaseCampaign(std::string("e7_base_") + workload, workload);
+    baseline.num_experiments = 250;
+    const auto base_report = RunAndAnalyze(session, baseline);
+
+    auto analyzer =
+        core::LivenessAnalyzer::Build(workload, cpu::CpuConfig()).ValueOrDie();
+    session.target.SetLivenessFilter(analyzer->MakeFilter());
+    core::CampaignData filtered =
+        BaseCampaign(std::string("e7_live_") + workload, workload);
+    filtered.num_experiments = 250;
+    const auto live_report = RunAndAnalyze(session, filtered);
+    session.target.SetLivenessFilter(nullptr);
+
+    auto effective = [](const core::AnalysisReport& report) {
+      return report.Count(core::Outcome::kDetected) +
+             report.Count(core::Outcome::kEscaped);
+    };
+    std::printf("%-12s | %9d %9d %12.3f | %9d %9d %12.3f | %d\n", workload,
+                effective(base_report),
+                base_report.Count(core::Outcome::kOverwritten),
+                base_report.ErrorCoverage(), effective(live_report),
+                live_report.Count(core::Outcome::kOverwritten),
+                live_report.ErrorCoverage(),
+                session.target.stats().injections_skipped_dead);
+  }
+
+  std::printf(
+      "\nExpected shape: with the liveness filter the overwritten fraction\n"
+      "collapses and the effective-error yield per experiment rises — the\n"
+      "campaign spends its experiments on faults that matter. Coverage\n"
+      "estimates shift because the sampled fault population changes (the\n"
+      "filter is an efficiency device, not an unbiased-coverage one).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E6 (paper §2/§3.1): scan-chain access cost.
+//
+// SCIFI pays for state access in TCK cycles proportional to chain length.
+// Measures read/modify/write cost per chain (the five Thor-RD-style chains
+// differ by an order of magnitude in length) and reports TCKs per access —
+// the quantity that dominates real SCIFI campaign duration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace goofi::bench {
+namespace {
+
+void BM_ChainReadRestore(benchmark::State& state, const char* chain) {
+  testcard::SimTestCard card;
+  (void)card.Init();
+  const uint64_t tck_before = card.tck_count();
+  uint64_t reads = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(card.ReadScanChain(chain, true));
+    ++reads;
+  }
+  state.counters["chain_bits"] = static_cast<double>(
+      card.chains().Find(chain)->length_bits());
+  state.counters["tck_per_read"] = benchmark::Counter(
+      static_cast<double>(card.tck_count() - tck_before) /
+      static_cast<double>(reads));
+}
+
+void BM_ChainWrite(benchmark::State& state, const char* chain) {
+  testcard::SimTestCard card;
+  (void)card.Init();
+  util::BitVec image(card.chains().Find(chain)->length_bits());
+  const uint64_t tck_before = card.tck_count();
+  uint64_t writes = 0;
+  for (auto _ : state) {
+    if (!card.WriteScanChain(chain, image).ok()) std::abort();
+    ++writes;
+  }
+  state.counters["tck_per_write"] = benchmark::Counter(
+      static_cast<double>(card.tck_count() - tck_before) /
+      static_cast<double>(writes));
+}
+
+BENCHMARK_CAPTURE(BM_ChainReadRestore, boundary, "boundary");
+BENCHMARK_CAPTURE(BM_ChainReadRestore, internal_core, "internal_core");
+BENCHMARK_CAPTURE(BM_ChainReadRestore, internal_regfile, "internal_regfile");
+BENCHMARK_CAPTURE(BM_ChainReadRestore, internal_icache, "internal_icache");
+BENCHMARK_CAPTURE(BM_ChainReadRestore, internal_dcache, "internal_dcache");
+BENCHMARK_CAPTURE(BM_ChainWrite, internal_regfile, "internal_regfile");
+BENCHMARK_CAPTURE(BM_ChainWrite, internal_dcache, "internal_dcache");
+
+// Direct (non-scan) state access as the comparison point: what a simulator
+// backend could do without the test logic. The gap is the cost of being
+// faithful to the SCIFI hardware path.
+void BM_DirectStateAccess(benchmark::State& state) {
+  cpu::Cpu cpu;
+  auto registry = cpu.BuildStateRegistry();
+  scan::ScanChainSet chains = scan::ScanChainSet::BuildDefault(registry);
+  const scan::ScanChain* chain = chains.Find("internal_regfile");
+  for (auto _ : state) {
+    util::BitVec image = chain->Capture();
+    image.Flip(42);
+    chain->Update(image);
+    benchmark::DoNotOptimize(image);
+  }
+}
+BENCHMARK(BM_DirectStateAccess);
+
+// TAP instruction-register traffic alone (fixed, chain-independent cost).
+void BM_TapInstructionLoad(benchmark::State& state) {
+  testcard::SimTestCard card;
+  (void)card.Init();
+  for (auto _ : state) {
+    // IDCODE read: IR load + 32-bit DR scan.
+    benchmark::DoNotOptimize(card.ReadScanChain("boundary", false));
+  }
+}
+BENCHMARK(BM_TapInstructionLoad);
+
+}  // namespace
+}  // namespace goofi::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E1 (paper Fig. 2): cost of the SCIFI campaign loop.
+//
+// Times the phases of one SCIFI experiment — target init + workload
+// download, run-to-breakpoint, the scan read/modify/write injection, and
+// run-to-termination — plus the whole experiment, reporting experiments/sec
+// and the simulated link time per experiment (dominated by scan traffic,
+// exactly as on the real Thor RD test card).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "isa/assembler.hpp"
+
+namespace goofi::bench {
+namespace {
+
+const isa::AssembledProgram& Workload() {
+  static const isa::AssembledProgram program = [] {
+    const auto spec = env::GetWorkload("bubblesort").ValueOrDie();
+    return isa::Assemble(spec.source).ValueOrDie();
+  }();
+  return program;
+}
+
+void BM_InitAndDownload(benchmark::State& state) {
+  testcard::SimTestCard card;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(card.Init());
+    benchmark::DoNotOptimize(card.LoadWorkload(Workload()));
+    benchmark::DoNotOptimize(card.ResetTarget());
+  }
+}
+BENCHMARK(BM_InitAndDownload);
+
+void BM_RunToBreakpoint(benchmark::State& state) {
+  testcard::SimTestCard card;
+  (void)card.Init();
+  const uint64_t breakpoint_instr = static_cast<uint64_t>(state.range(0));
+  uint64_t cycles = 0;
+  for (auto _ : state) {
+    // Fig. 2 downloads the workload every experiment; this also restores the
+    // data segment the previous run mutated.
+    (void)card.LoadWorkload(Workload());
+    (void)card.ResetTarget();
+    card.ClearTriggers();
+    scan::Trigger trigger;
+    trigger.kind = scan::TriggerKind::kInstrCount;
+    trigger.count = breakpoint_instr;
+    (void)card.AddTrigger(trigger);
+    benchmark::DoNotOptimize(card.Run(1'000'000));
+    cycles += card.cpu().cycles();
+  }
+  state.counters["target_cycles"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RunToBreakpoint)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_ScanReadModifyWrite(benchmark::State& state) {
+  testcard::SimTestCard card;
+  (void)card.Init();
+  const double link_before = card.link_time_us();
+  uint64_t passes = 0;
+  for (auto _ : state) {
+    auto image = card.ReadScanChain("internal_regfile", false).ValueOrDie();
+    image.Flip(42);
+    benchmark::DoNotOptimize(card.WriteScanChain("internal_regfile", image));
+    ++passes;
+  }
+  state.counters["link_us_per_injection"] = benchmark::Counter(
+      (card.link_time_us() - link_before) / static_cast<double>(passes));
+}
+BENCHMARK(BM_ScanReadModifyWrite);
+
+// The full SCIFI experiment sequence of Fig. 2, one experiment per iteration.
+void BM_FullScifiExperiment(benchmark::State& state) {
+  Session session;
+  core::CampaignData campaign = BaseCampaign("e1", "bubblesort");
+  campaign.num_experiments = 1;
+  int counter = 0;
+  const double link_before = session.card.link_time_us();
+  uint64_t experiments = 0;
+  for (auto _ : state) {
+    campaign.name = "e1_" + std::to_string(counter++);
+    campaign.seed = static_cast<uint64_t>(counter);
+    if (!session.store.PutCampaign(campaign).ok()) std::abort();
+    if (!session.target.FaultInjectorScifi(campaign.name).ok()) std::abort();
+    // Each campaign = reference run + 1 experiment.
+    experiments += 2;
+  }
+  state.counters["experiments_per_sec"] = benchmark::Counter(
+      static_cast<double>(experiments), benchmark::Counter::kIsRate);
+  state.counters["sim_link_us_per_experiment"] = benchmark::Counter(
+      (session.card.link_time_us() - link_before) / static_cast<double>(experiments));
+}
+BENCHMARK(BM_FullScifiExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace goofi::bench
+
+BENCHMARK_MAIN();

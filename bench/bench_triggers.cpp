@@ -1,0 +1,110 @@
+// E9 (paper §4): fault triggers.
+//
+// "Additional fault triggers such as access of certain data values,
+// execution of branch instructions or subprogram calls ... or at specific
+// times determined by a real-time clock." Measures the run-until-trigger
+// cost of every trigger kind on the same workload, plus the monitoring
+// overhead triggers impose on plain execution.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "isa/assembler.hpp"
+
+namespace goofi::bench {
+namespace {
+
+const isa::AssembledProgram& Workload() {
+  static const isa::AssembledProgram program = [] {
+    const auto spec = env::GetWorkload("bubblesort").ValueOrDie();
+    return isa::Assemble(spec.source).ValueOrDie();
+  }();
+  return program;
+}
+
+scan::Trigger MakeTrigger(scan::TriggerKind kind) {
+  scan::Trigger trigger;
+  trigger.kind = kind;
+  switch (kind) {
+    case scan::TriggerKind::kPcBreakpoint:
+      trigger.address = Workload().symbols.at("sumloop");
+      break;
+    case scan::TriggerKind::kInstrCount:
+      trigger.count = 500;
+      break;
+    case scan::TriggerKind::kCycleCount:
+      trigger.count = 800;
+      break;
+    case scan::TriggerKind::kDataAccess:
+      trigger.address = Workload().symbols.at("result");
+      break;
+    case scan::TriggerKind::kDataValue:
+      trigger.value = 802;  // the largest array element, loaded during sort
+      break;
+    case scan::TriggerKind::kBranch:
+    case scan::TriggerKind::kCall:
+      break;
+  }
+  return trigger;
+}
+
+void BM_RunUntilTrigger(benchmark::State& state, scan::TriggerKind kind) {
+  testcard::SimTestCard card;
+  (void)card.Init();
+  uint64_t instr = 0;
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    // Reload each run: the sort mutates its data segment in place.
+    (void)card.LoadWorkload(Workload());
+    (void)card.ResetTarget();
+    card.ClearTriggers();
+    (void)card.AddTrigger(MakeTrigger(kind));
+    const auto result = card.Run(100000);
+    instr += card.cpu().instructions_retired();
+    fired += result.fired_trigger >= 0 ? 1 : 0;
+  }
+  state.counters["instr_to_trigger"] = benchmark::Counter(
+      static_cast<double>(instr), benchmark::Counter::kAvgIterations);
+  state.counters["fired_fraction"] = benchmark::Counter(
+      static_cast<double>(fired) / static_cast<double>(state.iterations()));
+}
+
+BENCHMARK_CAPTURE(BM_RunUntilTrigger, pc_breakpoint,
+                  scan::TriggerKind::kPcBreakpoint);
+BENCHMARK_CAPTURE(BM_RunUntilTrigger, instr_count,
+                  scan::TriggerKind::kInstrCount);
+BENCHMARK_CAPTURE(BM_RunUntilTrigger, cycle_count_rtc,
+                  scan::TriggerKind::kCycleCount);
+BENCHMARK_CAPTURE(BM_RunUntilTrigger, data_access,
+                  scan::TriggerKind::kDataAccess);
+BENCHMARK_CAPTURE(BM_RunUntilTrigger, data_value, scan::TriggerKind::kDataValue);
+BENCHMARK_CAPTURE(BM_RunUntilTrigger, branch, scan::TriggerKind::kBranch);
+
+// Monitoring overhead: full workload run with 0 vs 8 armed (never-firing)
+// triggers.
+void BM_RunWithArmedTriggers(benchmark::State& state) {
+  testcard::SimTestCard card;
+  (void)card.Init();
+  (void)card.LoadWorkload(Workload());
+  const int num_triggers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    (void)card.LoadWorkload(Workload());
+    (void)card.ResetTarget();
+    card.ClearTriggers();
+    for (int i = 0; i < num_triggers; ++i) {
+      scan::Trigger trigger;
+      trigger.kind = scan::TriggerKind::kPcBreakpoint;
+      trigger.address = 0xFFFFFFF0;  // never matches
+      (void)card.AddTrigger(trigger);
+    }
+    benchmark::DoNotOptimize(card.Run(1'000'000));
+  }
+  state.counters["workload_instr"] =
+      static_cast<double>(card.cpu().instructions_retired());
+}
+BENCHMARK(BM_RunWithArmedTriggers)->Arg(0)->Arg(2)->Arg(8);
+
+}  // namespace
+}  // namespace goofi::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Detail-mode re-run: the E1/E2 scenario of paper §2.3.
+//
+// "assume that one fault injection experiment E1 shows an interesting result
+// such as a fail-silence violation, and we want to investigate the reason
+// for this violation by re-running the experiment logging the system state
+// after each machine instruction."
+//
+// This example runs a small SCIFI campaign, picks the first experiment whose
+// error escaped, re-runs it in detail mode (parentExperiment = E1), and
+// prints where the corrupted state first diverged from the reference trace.
+//
+// Usage: detail_trace
+
+#include <cstdio>
+
+#include "core/goofi.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+
+using namespace goofi;
+
+namespace {
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  db::Database database;
+  core::CampaignStore store(&database);
+  testcard::SimTestCard card;
+  if (auto st = store.PutTargetSystem(core::ThorRdTarget::DescribeTarget(
+          card, core::ThorRdTarget::kTargetName));
+      !st.ok()) {
+    return Fail(st);
+  }
+
+  core::CampaignData campaign;
+  campaign.name = "hunt";
+  campaign.target_name = core::ThorRdTarget::kTargetName;
+  campaign.technique = core::Technique::kScifi;
+  campaign.num_experiments = 150;
+  campaign.workload = "bubblesort";
+  campaign.locations = {{"internal_regfile", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 1000;
+  campaign.timeout_cycles = 100000;
+  if (auto st = store.PutCampaign(campaign); !st.ok()) return Fail(st);
+
+  core::ThorRdTarget target(&store, &card);
+  if (auto st = target.FaultInjectorScifi(campaign.name); !st.ok()) {
+    return Fail(st);
+  }
+
+  // Find an experiment whose error escaped (a fail-silence violation).
+  auto reference =
+      store.GetExperiment(core::CampaignStore::ReferenceName(campaign.name));
+  if (!reference.ok()) return Fail(reference.status());
+  auto rows = store.ExperimentsOf(campaign.name);
+  if (!rows.ok()) return Fail(rows.status());
+
+  std::string interesting;
+  for (const auto& row : rows.value()) {
+    if (!row.parent_experiment.empty() ||
+        row.experiment_name == reference.value().experiment_name) {
+      continue;
+    }
+    const auto cls = core::Classify(reference.value().state, row.state);
+    if (cls.outcome == core::Outcome::kEscaped) {
+      interesting = row.experiment_name;
+      std::printf("E1 = %s escaped: outputs differ from reference\n",
+                  interesting.c_str());
+      std::printf("   faults: %s\n", row.experiment_data.c_str());
+      break;
+    }
+  }
+  if (interesting.empty()) {
+    std::printf("no escaped experiment in this campaign; nothing to re-run\n");
+    return 0;
+  }
+
+  // Re-run E1 with per-instruction logging; rows carry parentExperiment=E1.
+  if (auto st = target.RerunDetailed(interesting); !st.ok()) return Fail(st);
+
+  auto rerun = store.GetExperiment(interesting + "/detail");
+  if (!rerun.ok()) return Fail(rerun.status());
+  std::printf("E2 = %s (parentExperiment = %s)\n",
+              rerun.value().experiment_name.c_str(),
+              rerun.value().parent_experiment.c_str());
+
+  // Count the detail rows and show the first few state snapshots.
+  auto all = store.ExperimentsOf(campaign.name);
+  if (!all.ok()) return Fail(all.status());
+  int detail_rows = 0;
+  uint64_t first_detected_instr = 0;
+  for (const auto& row : all.value()) {
+    if (row.parent_experiment != interesting + "/detail") continue;
+    ++detail_rows;
+    if (row.state.detected && first_detected_instr == 0) {
+      first_detected_instr = row.state.instret;
+    }
+  }
+  std::printf("detail rows logged under E2: %d (one per machine instruction "
+              "after injection)\n",
+              detail_rows);
+  return 0;
+}

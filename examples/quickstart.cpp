@@ -1,0 +1,85 @@
+// Quickstart: a complete GOOFI session in ~60 lines.
+//
+// Walks the paper's four phases (§3): configuration (describe the target),
+// set-up (define a campaign), fault injection (run it) and analysis
+// (classify the logged experiments).
+//
+// Usage: quickstart [num_experiments]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/goofi.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+
+using namespace goofi;
+
+int main(int argc, char** argv) {
+  const int num_experiments = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  // The database (lowest layer of Fig. 1) and its GOOFI tables (Fig. 4).
+  db::Database database;
+  core::CampaignStore store(&database);
+
+  // The target system: a simulated Thor RD behind a test card.
+  testcard::SimTestCard card;
+
+  // Configuration phase (Fig. 5): store the target's scan-chain layout.
+  const core::TargetSystemData target_desc = core::ThorRdTarget::DescribeTarget(
+      card, core::ThorRdTarget::kTargetName);
+  if (auto st = store.PutTargetSystem(target_desc); !st.ok()) {
+    std::fprintf(stderr, "target setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Set-up phase (Fig. 6): a SCIFI campaign injecting single transient
+  // bit flips into the register file and core registers while the
+  // bubble-sort workload runs.
+  core::CampaignData campaign;
+  campaign.name = "quickstart";
+  campaign.target_name = core::ThorRdTarget::kTargetName;
+  campaign.technique = core::Technique::kScifi;
+  campaign.fault_model = core::FaultModelKind::kTransientBitFlip;
+  campaign.num_experiments = num_experiments;
+  campaign.workload = "bubblesort";
+  campaign.locations = {{"internal_regfile", ""}, {"internal_core", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 1200;
+  campaign.timeout_cycles = 100000;
+  if (auto st = store.PutCampaign(campaign); !st.ok()) {
+    std::fprintf(stderr, "campaign setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Fault-injection phase (Fig. 2): run the SCIFI algorithm.
+  core::ThorRdTarget target(&store, &card);
+  core::ConsoleProgressMonitor progress(num_experiments / 4);
+  target.SetProgressMonitor(&progress);
+  if (auto st = target.FaultInjectorScifi(campaign.name); !st.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Analysis phase (§3.4): classify against the reference run.
+  auto report = core::AnalyzeCampaign(store, campaign.name);
+  if (!report.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report.value().ToString().c_str());
+
+  auto by_group = core::AnalyzeByLocationGroup(store, campaign.name);
+  if (by_group.ok()) {
+    std::printf("breakdown by fault-location group:\n");
+    for (const auto& [group, sub] : by_group.value()) {
+      std::printf(
+          "  %-10s detected %3d  escaped %3d  latent %3d  overwritten %3d\n",
+          group.c_str(), sub.Count(core::Outcome::kDetected),
+          sub.Count(core::Outcome::kEscaped), sub.Count(core::Outcome::kLatent),
+          sub.Count(core::Outcome::kOverwritten));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,283 @@
+#include "core/algorithms.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::core {
+
+namespace {
+std::string ExperimentName(const std::string& campaign, int index) {
+  return util::Format("%s/e%04d", campaign.c_str(), index);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-technique experiment bodies: the block sequences of paper Fig. 2.
+// ---------------------------------------------------------------------------
+
+util::Status FaultInjectionAlgorithms::ScifiExperiment() {
+  GOOFI_RETURN_IF_ERROR(InitTestCard());
+  GOOFI_RETURN_IF_ERROR(LoadWorkload());
+  GOOFI_RETURN_IF_ERROR(WriteMemory());
+  GOOFI_RETURN_IF_ERROR(RunWorkload());
+  if (!faults_.empty()) {
+    GOOFI_RETURN_IF_ERROR(WaitForBreakpoint());
+    GOOFI_RETURN_IF_ERROR(ReadScanChain());
+    GOOFI_RETURN_IF_ERROR(InjectFault());
+    GOOFI_RETURN_IF_ERROR(WriteScanChain());
+  }
+  GOOFI_RETURN_IF_ERROR(WaitForTermination());
+  GOOFI_RETURN_IF_ERROR(ReadMemory());
+  GOOFI_RETURN_IF_ERROR(ReadScanChain());
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectionAlgorithms::SwifiPreRuntimeExperiment() {
+  GOOFI_RETURN_IF_ERROR(InitTestCard());
+  GOOFI_RETURN_IF_ERROR(LoadWorkload());
+  if (!faults_.empty()) {
+    GOOFI_RETURN_IF_ERROR(MutateImage());
+  }
+  GOOFI_RETURN_IF_ERROR(WriteMemory());
+  GOOFI_RETURN_IF_ERROR(RunWorkload());
+  GOOFI_RETURN_IF_ERROR(WaitForTermination());
+  GOOFI_RETURN_IF_ERROR(ReadMemory());
+  GOOFI_RETURN_IF_ERROR(ReadScanChain());
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectionAlgorithms::SwifiRuntimeExperiment() {
+  GOOFI_RETURN_IF_ERROR(InitTestCard());
+  GOOFI_RETURN_IF_ERROR(LoadWorkload());
+  GOOFI_RETURN_IF_ERROR(WriteMemory());
+  GOOFI_RETURN_IF_ERROR(RunWorkload());
+  if (!faults_.empty()) {
+    GOOFI_RETURN_IF_ERROR(WaitForBreakpoint());
+    GOOFI_RETURN_IF_ERROR(InjectMemoryFault());
+  }
+  GOOFI_RETURN_IF_ERROR(WaitForTermination());
+  GOOFI_RETURN_IF_ERROR(ReadMemory());
+  GOOFI_RETURN_IF_ERROR(ReadScanChain());
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Campaign driver.
+// ---------------------------------------------------------------------------
+
+util::Status FaultInjectionAlgorithms::GenerateFaults(
+    const std::vector<FaultCandidate>& space, int index) {
+  faults_.clear();
+  if (space.empty()) {
+    return util::FailedPrecondition("campaign has an empty fault space");
+  }
+  // Derive a per-experiment stream so experiments are independent of each
+  // other and reproducible from (campaign seed, index).
+  util::Rng rng(campaign_.seed * 0x9E3779B97F4A7C15ULL +
+                static_cast<uint64_t>(index));
+
+  const int wanted = std::max(1, campaign_.faults_per_experiment);
+  // Retry sampling when the liveness filter rejects a draw; bounded so a
+  // filter that rejects everything cannot hang the campaign.
+  const int max_attempts = 200 * wanted;
+  int attempts = 0;
+  while (static_cast<int>(faults_.size()) < wanted && attempts < max_attempts) {
+    ++attempts;
+    const FaultCandidate& candidate =
+        space[rng.NextBelow(space.size())];
+    const uint64_t inject_instr = static_cast<uint64_t>(rng.NextInRange(
+        static_cast<int64_t>(campaign_.inject_min_instr),
+        static_cast<int64_t>(
+            std::max(campaign_.inject_min_instr, campaign_.inject_max_instr))));
+    if (liveness_filter_ && !liveness_filter_(candidate, inject_instr)) {
+      ++stats_.injections_skipped_dead;
+      continue;
+    }
+    // Distinct locations within one experiment.
+    bool duplicate = false;
+    for (const FaultInstance& have : faults_) {
+      if (have.chain == candidate.chain && have.chain_bit == candidate.chain_bit &&
+          have.address == candidate.address && have.bit == candidate.bit) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+
+    FaultInstance fault;
+    fault.kind = campaign_.fault_model;
+    fault.chain = candidate.scan ? candidate.chain : "";
+    fault.chain_bit = candidate.chain_bit;
+    fault.cell_name = candidate.cell_name;
+    fault.address = candidate.address;
+    fault.bit = candidate.bit;
+    fault.inject_instr = inject_instr;
+    fault.stuck_value = rng.NextBool();
+    faults_.push_back(std::move(fault));
+  }
+  if (static_cast<int>(faults_.size()) < wanted) {
+    return util::FailedPrecondition(
+        "liveness filter rejected the entire fault space");
+  }
+  // All faults of a multi-fault experiment are injected at one breakpoint
+  // (the paper's multiple-bit-flip model): align times to the earliest.
+  uint64_t t = faults_.front().inject_instr;
+  for (const FaultInstance& fault : faults_) t = std::min(t, fault.inject_instr);
+  for (FaultInstance& fault : faults_) fault.inject_instr = t;
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectionAlgorithms::LogExperiment(
+    const std::string& experiment_name, const std::string& parent) {
+  auto state = CollectState();
+  if (!state.ok()) return state.status();
+
+  std::vector<std::string> fault_texts;
+  fault_texts.reserve(faults_.size());
+  for (const FaultInstance& fault : faults_) {
+    fault_texts.push_back(fault.Serialize());
+  }
+  const std::string experiment_data =
+      "technique=" + std::string(TechniqueName(campaign_.technique)) +
+      ";faults=" + util::Join(fault_texts, "|");
+
+  GOOFI_RETURN_IF_ERROR(store_->PutExperiment(experiment_name, parent,
+                                              campaign_.name, experiment_data,
+                                              state.value()));
+  // Detail rows, one per instruction, each pointing at the main experiment.
+  for (size_t i = 0; i < detail_log_.size(); ++i) {
+    GOOFI_RETURN_IF_ERROR(store_->PutExperiment(
+        util::Format("%s/d%06zu", experiment_name.c_str(), i), experiment_name,
+        campaign_.name, "detail_step", detail_log_[i]));
+  }
+  detail_log_.clear();
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectionAlgorithms::MakeReferenceRun(ExperimentBody body) {
+  faults_.clear();
+  detail_log_.clear();
+  GOOFI_RETURN_IF_ERROR((this->*body)());
+  return LogExperiment(CampaignStore::ReferenceName(campaign_.name), "");
+}
+
+util::Status FaultInjectionAlgorithms::DriveCampaign(
+    const std::string& campaign_name, ExperimentBody body) {
+  // readCampaignData(campaignNr) — Fig. 2.
+  auto campaign = store_->GetCampaign(campaign_name);
+  if (!campaign.ok()) return campaign.status();
+  campaign_ = std::move(campaign).value();
+  stats_ = Stats{};
+
+  // Enumerate the fault space once per campaign.
+  fault_space_.clear();
+  for (const FaultLocationSelector& selector : campaign_.locations) {
+    auto part = EnumerateFaultSpace(selector);
+    if (!part.ok()) return part.status();
+    fault_space_.insert(fault_space_.end(), part.value().begin(),
+                        part.value().end());
+  }
+
+  // makeReferenceRun() — Fig. 2. A campaign that was paused or stopped can
+  // be restarted (the progress window of Fig. 7 offers exactly that): rows
+  // already in LoggedSystemState are kept and their experiments skipped.
+  if (!store_->GetExperiment(CampaignStore::ReferenceName(campaign_.name)).ok()) {
+    GOOFI_RETURN_IF_ERROR(MakeReferenceRun(body));
+  }
+
+  for (int i = 0; i < campaign_.num_experiments; ++i) {
+    if (store_->GetExperiment(ExperimentName(campaign_.name, i)).ok()) {
+      ++stats_.experiments_resumed;
+      continue;
+    }
+    GOOFI_RETURN_IF_ERROR(GenerateFaults(fault_space_, i));
+    detail_log_.clear();
+    GOOFI_RETURN_IF_ERROR((this->*body)());
+    GOOFI_RETURN_IF_ERROR(LogExperiment(ExperimentName(campaign_.name, i), ""));
+    ++stats_.experiments_run;
+    if (monitor_ != nullptr) {
+      auto last = store_->GetExperiment(ExperimentName(campaign_.name, i));
+      if (!monitor_->OnExperiment(i + 1, campaign_.num_experiments,
+                                  last.ok() ? last.value().state : LoggedState{})) {
+        util::Log::Info("campaign " + campaign_name + " ended by user after " +
+                        std::to_string(i + 1) + " experiments");
+        break;
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectionAlgorithms::FaultInjectorScifi(
+    const std::string& campaign_name) {
+  return DriveCampaign(campaign_name,
+                       &FaultInjectionAlgorithms::ScifiExperiment);
+}
+
+util::Status FaultInjectionAlgorithms::FaultInjectorSwifiPreRuntime(
+    const std::string& campaign_name) {
+  return DriveCampaign(campaign_name,
+                       &FaultInjectionAlgorithms::SwifiPreRuntimeExperiment);
+}
+
+util::Status FaultInjectionAlgorithms::FaultInjectorSwifiRuntime(
+    const std::string& campaign_name) {
+  return DriveCampaign(campaign_name,
+                       &FaultInjectionAlgorithms::SwifiRuntimeExperiment);
+}
+
+util::Status FaultInjectionAlgorithms::RunCampaign(
+    const std::string& campaign_name) {
+  auto campaign = store_->GetCampaign(campaign_name);
+  if (!campaign.ok()) return campaign.status();
+  switch (campaign.value().technique) {
+    case Technique::kScifi:
+      return FaultInjectorScifi(campaign_name);
+    case Technique::kSwifiPreRuntime:
+      return FaultInjectorSwifiPreRuntime(campaign_name);
+    case Technique::kSwifiRuntime:
+      return FaultInjectorSwifiRuntime(campaign_name);
+  }
+  return util::Internal("bad technique");
+}
+
+util::Status FaultInjectionAlgorithms::RerunDetailed(
+    const std::string& experiment_name) {
+  auto row = store_->GetExperiment(experiment_name);
+  if (!row.ok()) return row.status();
+  auto campaign = store_->GetCampaign(row.value().campaign_name);
+  if (!campaign.ok()) return campaign.status();
+  campaign_ = std::move(campaign).value();
+  campaign_.log_mode = LogMode::kDetail;
+
+  // Reconstruct the experiment's exact faults from experimentData.
+  faults_.clear();
+  for (const std::string& field : util::Split(row.value().experiment_data, ';')) {
+    if (!util::StartsWith(field, "faults=")) continue;
+    const std::string list = field.substr(7);
+    if (list.empty()) continue;
+    for (const std::string& text : util::Split(list, '|')) {
+      auto fault = FaultInstance::Parse(text);
+      if (!fault.ok()) return fault.status();
+      faults_.push_back(std::move(fault).value());
+    }
+  }
+
+  ExperimentBody body = &FaultInjectionAlgorithms::ScifiExperiment;
+  switch (campaign_.technique) {
+    case Technique::kScifi:
+      break;
+    case Technique::kSwifiPreRuntime:
+      body = &FaultInjectionAlgorithms::SwifiPreRuntimeExperiment;
+      break;
+    case Technique::kSwifiRuntime:
+      body = &FaultInjectionAlgorithms::SwifiRuntimeExperiment;
+      break;
+  }
+  detail_log_.clear();
+  GOOFI_RETURN_IF_ERROR((this->*body)());
+  // Log the re-run with parentExperiment = the original experiment (§2.3).
+  return LogExperiment(experiment_name + "/detail", experiment_name);
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,180 @@
+// FaultInjectionAlgorithms — the middle layer of the GOOFI architecture
+// (paper Fig. 1/2).
+//
+// The class defines the fault-injection algorithms as concrete campaign
+// drivers (FaultInjectorScifi, FaultInjectorSwifiPreRuntime,
+// FaultInjectorSwifiRuntime) composed from abstract building-block methods
+// that each TargetSystemInterface must implement. This is the paper's Fig. 2
+// verbatim, with C++ naming:
+//
+//   paper (Java)           here
+//   ---------------------  -------------------------
+//   initTestCard()         InitTestCard()
+//   loadWorkload()         LoadWorkload()
+//   writeMemory()          WriteMemory()
+//   runWorkload()          RunWorkload()
+//   waitForBreakpoint()    WaitForBreakpoint()
+//   readScanChain()        ReadScanChain()
+//   injectFault()          InjectFault()
+//   writeScanChain()       WriteScanChain()
+//   waitForTermination()   WaitForTermination()
+//   readMemory()           ReadMemory()
+//   faultInjectorSCIFI()   FaultInjectorScifi()
+//   faultInjectorSWIFI()   FaultInjectorSwifiPreRuntime()
+//
+// Runtime SWIFI (a §4 planned extension) adds two blocks — MutateImage()
+// and InjectMemoryFault() — following §2.1: "The previously undefined
+// abstract methods needed for defining the new fault injection technique are
+// added to the Framework class."
+#pragma once
+
+#include <functional>
+
+#include "core/campaign_store.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace goofi::core {
+
+/// One enumerable fault location on the target (before an injection time is
+/// chosen). Scan candidates carry chain/bit/cell; memory candidates carry
+/// address/bit.
+struct FaultCandidate {
+  bool scan = true;
+  std::string chain;
+  uint32_t chain_bit = 0;
+  std::string cell_name;
+  uint32_t address = 0;
+  uint32_t bit = 0;
+};
+
+/// Progress callback (the progress window of paper Fig. 7). Return false to
+/// end the campaign early; block inside the callback to pause it.
+class ProgressMonitor {
+ public:
+  virtual ~ProgressMonitor() = default;
+  virtual bool OnExperiment(int done, int total, const LoggedState& last) = 0;
+};
+
+class FaultInjectionAlgorithms {
+ public:
+  explicit FaultInjectionAlgorithms(CampaignStore* store) : store_(store) {}
+  virtual ~FaultInjectionAlgorithms() = default;
+
+  void SetProgressMonitor(ProgressMonitor* monitor) { monitor_ = monitor; }
+
+  /// Optional pre-injection optimizer (a §4 planned extension): given the
+  /// candidate and the chosen injection time, return false to skip the
+  /// combination because the location does not hold live data there. See
+  /// core/preinjection.
+  using LivenessFilter =
+      std::function<bool(const FaultCandidate&, uint64_t inject_instr)>;
+  void SetLivenessFilter(LivenessFilter filter) {
+    liveness_filter_ = std::move(filter);
+  }
+
+  // --- campaign drivers (concrete, Fig. 2) --------------------------------
+
+  /// Scan-chain implemented fault injection.
+  util::Status FaultInjectorScifi(const std::string& campaign_name);
+
+  /// Pre-runtime software-implemented fault injection: the program/data
+  /// image is mutated before execution starts (§1).
+  util::Status FaultInjectorSwifiPreRuntime(const std::string& campaign_name);
+
+  /// Runtime SWIFI: stop at a breakpoint and corrupt memory (extension).
+  util::Status FaultInjectorSwifiRuntime(const std::string& campaign_name);
+
+  /// Dispatches on the campaign's stored technique.
+  util::Status RunCampaign(const std::string& campaign_name);
+
+  /// Re-runs a logged experiment with the same faults in detail mode,
+  /// logging one row per instruction with parentExperiment set to
+  /// `experiment_name` (the E1/E2 scenario of §2.3).
+  util::Status RerunDetailed(const std::string& experiment_name);
+
+  /// Statistics for the current/last campaign.
+  struct Stats {
+    int experiments_run = 0;
+    int injections_skipped_dead = 0;  ///< skipped by the liveness filter
+    int experiments_resumed = 0;      ///< already in the database; skipped
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  // --- abstract building blocks (implemented per target system) ----------
+
+  virtual util::Status InitTestCard() = 0;
+  virtual util::Status LoadWorkload() = 0;
+  /// Downloads the workload's initial input data into target memory.
+  virtual util::Status WriteMemory() = 0;
+  /// Arms breakpoints/triggers and starts execution.
+  virtual util::Status RunWorkload() = 0;
+  /// Blocks until the injection breakpoint fires (servicing environment
+  /// exchanges on the way).
+  virtual util::Status WaitForBreakpoint() = 0;
+  /// Captures the chains that the current faults touch.
+  virtual util::Status ReadScanChain() = 0;
+  /// Applies the current faults to the captured images.
+  virtual util::Status InjectFault() = 0;
+  /// Writes the fault-injected images back.
+  virtual util::Status WriteScanChain() = 0;
+  /// Resumes until a termination condition (§3.2): detection, workload end,
+  /// timeout or the iteration budget.
+  virtual util::Status WaitForTermination() = 0;
+  /// Reads the workload's output locations from target memory.
+  virtual util::Status ReadMemory() = 0;
+
+  // SWIFI building blocks:
+  /// Pre-runtime: corrupts the downloaded image before RunWorkload.
+  virtual util::Status MutateImage() = 0;
+  /// Runtime: corrupts memory while stopped at the breakpoint.
+  virtual util::Status InjectMemoryFault() = 0;
+
+  /// Enumerates the fault space for one location selector.
+  virtual util::Result<std::vector<FaultCandidate>> EnumerateFaultSpace(
+      const FaultLocationSelector& selector) = 0;
+
+  /// Assembles the logged system state of the just-finished experiment.
+  virtual util::Result<LoggedState> CollectState() = 0;
+
+  // --- context shared between driver and blocks ---------------------------
+
+  CampaignStore* store_;
+  ProgressMonitor* monitor_ = nullptr;
+  LivenessFilter liveness_filter_;
+  CampaignData campaign_;
+  std::vector<FaultInstance> faults_;  ///< faults of the current experiment
+  util::Rng rng_;
+  Stats stats_;
+
+  /// Filled by WaitForTermination in detail mode: one entry per executed
+  /// instruction after injection.
+  std::vector<LoggedState> detail_log_;
+
+ private:
+  /// The per-experiment block sequence for one technique.
+  using ExperimentBody = util::Status (FaultInjectionAlgorithms::*)();
+
+  util::Status ScifiExperiment();
+  util::Status SwifiPreRuntimeExperiment();
+  util::Status SwifiRuntimeExperiment();
+
+  util::Status DriveCampaign(const std::string& campaign_name,
+                             ExperimentBody body);
+
+  /// Runs the fault-free reference execution and logs it.
+  util::Status MakeReferenceRun(ExperimentBody body);
+
+  /// Draws `faults_` for experiment `index` from the campaign's fault space.
+  util::Status GenerateFaults(const std::vector<FaultCandidate>& space,
+                              int index);
+
+  /// Logs the just-finished experiment (and detail rows, if any).
+  util::Status LogExperiment(const std::string& experiment_name,
+                             const std::string& parent);
+
+  std::vector<FaultCandidate> fault_space_;
+};
+
+}  // namespace goofi::core

@@ -1,0 +1,293 @@
+#include "core/campaign_store.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::core {
+
+namespace {
+
+using db::Column;
+using db::ForeignKey;
+using db::Row;
+using db::Schema;
+using db::Value;
+using db::ValueType;
+
+Schema TargetSystemSchema() {
+  return Schema("TargetSystemData",
+                {{"targetName", ValueType::kText, true},
+                 {"description", ValueType::kText, false},
+                 {"chainData", ValueType::kText, false}},
+                {"targetName"});
+}
+
+Schema CampaignSchema() {
+  return Schema(
+      "CampaignData",
+      {{"campaignName", ValueType::kText, true},
+       {"targetName", ValueType::kText, true},
+       {"technique", ValueType::kText, true},
+       {"faultModel", ValueType::kText, true},
+       {"faultsPerExperiment", ValueType::kInt, true},
+       {"numExperiments", ValueType::kInt, true},
+       {"injectMinInstr", ValueType::kInt, true},
+       {"injectMaxInstr", ValueType::kInt, true},
+       {"locations", ValueType::kText, true},
+       {"workload", ValueType::kText, true},
+       {"timeoutCycles", ValueType::kInt, true},
+       {"maxIterations", ValueType::kInt, true},
+       {"seed", ValueType::kInt, true},
+       {"logMode", ValueType::kText, true},
+       {"observeChains", ValueType::kText, true},
+       {"burstLength", ValueType::kInt, true},
+       {"burstSpacing", ValueType::kInt, true}},
+      {"campaignName"},
+      {{{"targetName"}, "TargetSystemData", {"targetName"}}});
+}
+
+Schema LoggedSystemStateSchema() {
+  return Schema("LoggedSystemState",
+                {{"experimentName", ValueType::kText, true},
+                 {"parentExperiment", ValueType::kText, false},
+                 {"campaignName", ValueType::kText, true},
+                 {"experimentData", ValueType::kText, false},
+                 {"stateVector", ValueType::kText, false}},
+                {"experimentName"},
+                {{{"campaignName"}, "CampaignData", {"campaignName"}},
+                 {{"parentExperiment"}, "LoggedSystemState", {"experimentName"}}});
+}
+
+}  // namespace
+
+CampaignStore::CampaignStore(db::Database* database) : database_(database) {
+  for (const Schema& schema :
+       {TargetSystemSchema(), CampaignSchema(), LoggedSystemStateSchema()}) {
+    if (!database_->HasTable(schema.table_name())) {
+      const util::Status st = database_->CreateTable(schema);
+      if (!st.ok()) {
+        util::Log::Error("CampaignStore: cannot create " + schema.table_name() +
+                         ": " + st.ToString());
+      }
+    }
+  }
+}
+
+// --- TargetSystemData --------------------------------------------------------
+
+util::Status CampaignStore::PutTargetSystem(const TargetSystemData& target) {
+  db::Table* table = database_->GetTable("TargetSystemData");
+  // Upsert: replace any existing row (never referenced rows are deleted here;
+  // campaigns reference by name so deletion of a referenced target fails).
+  const std::string name = target.name;
+  const auto existing = table->FindByPrimaryKey({Value::Text(name)});
+  if (existing) {
+    size_t updated = 0;
+    GOOFI_RETURN_IF_ERROR(table->UpdateWhere(
+        [&name](const Row& row) { return row[0].as_text() == name; },
+        [&target](Row& row) {
+          row[1] = Value::Text(target.description);
+          row[2] = Value::Text(target.chain_data);
+        },
+        &updated));
+    return util::Status::Ok();
+  }
+  return database_->Insert("TargetSystemData",
+                           {Value::Text(target.name),
+                            Value::Text(target.description),
+                            Value::Text(target.chain_data)});
+}
+
+util::Result<TargetSystemData> CampaignStore::GetTargetSystem(
+    const std::string& name) const {
+  const db::Table* table = database_->GetTable("TargetSystemData");
+  const auto slot = table->FindByPrimaryKey({Value::Text(name)});
+  if (!slot) return util::NotFound("no target system " + name);
+  const Row& row = table->slots()[*slot];
+  TargetSystemData out;
+  out.name = row[0].as_text();
+  out.description = row[1].is_null() ? "" : row[1].as_text();
+  out.chain_data = row[2].is_null() ? "" : row[2].as_text();
+  return out;
+}
+
+std::vector<std::string> CampaignStore::TargetSystemNames() const {
+  std::vector<std::string> names;
+  database_->GetTable("TargetSystemData")->ForEach([&names](const Row& row) {
+    names.push_back(row[0].as_text());
+  });
+  return names;
+}
+
+// --- CampaignData -------------------------------------------------------------
+
+util::Status CampaignStore::PutCampaign(const CampaignData& c) {
+  std::vector<std::string> locations;
+  locations.reserve(c.locations.size());
+  for (const FaultLocationSelector& sel : c.locations) {
+    locations.push_back(sel.ToString());
+  }
+  Row row = {Value::Text(c.name),
+             Value::Text(c.target_name),
+             Value::Text(TechniqueName(c.technique)),
+             Value::Text(FaultModelName(c.fault_model)),
+             Value::Int(c.faults_per_experiment),
+             Value::Int(c.num_experiments),
+             Value::Int(static_cast<int64_t>(c.inject_min_instr)),
+             Value::Int(static_cast<int64_t>(c.inject_max_instr)),
+             Value::Text(util::Join(locations, " ")),
+             Value::Text(c.workload),
+             Value::Int(static_cast<int64_t>(c.timeout_cycles)),
+             Value::Int(c.max_iterations),
+             Value::Int(static_cast<int64_t>(c.seed)),
+             Value::Text(LogModeName(c.log_mode)),
+             Value::Text(util::Join(c.observe_chains, " ")),
+             Value::Int(c.burst_length),
+             Value::Int(static_cast<int64_t>(c.burst_spacing))};
+  db::Table* table = database_->GetTable("CampaignData");
+  const auto existing = table->FindByPrimaryKey({Value::Text(c.name)});
+  if (existing) {
+    size_t updated = 0;
+    const std::string name = c.name;
+    return table->UpdateWhere(
+        [&name](const Row& r) { return r[0].as_text() == name; },
+        [&row](Row& r) { r = row; }, &updated);
+  }
+  return database_->Insert("CampaignData", std::move(row));
+}
+
+util::Result<CampaignData> CampaignStore::GetCampaign(
+    const std::string& name) const {
+  const db::Table* table = database_->GetTable("CampaignData");
+  const auto slot = table->FindByPrimaryKey({Value::Text(name)});
+  if (!slot) return util::NotFound("no campaign " + name);
+  const Row& row = table->slots()[*slot];
+  CampaignData c;
+  c.name = row[0].as_text();
+  c.target_name = row[1].as_text();
+  auto technique = TechniqueFromName(row[2].as_text());
+  if (!technique.ok()) return technique.status();
+  c.technique = technique.value();
+  auto model = FaultModelFromName(row[3].as_text());
+  if (!model.ok()) return model.status();
+  c.fault_model = model.value();
+  c.faults_per_experiment = static_cast<int>(row[4].as_int());
+  c.num_experiments = static_cast<int>(row[5].as_int());
+  c.inject_min_instr = static_cast<uint64_t>(row[6].as_int());
+  c.inject_max_instr = static_cast<uint64_t>(row[7].as_int());
+  c.locations.clear();
+  for (const std::string& token : util::SplitWhitespace(row[8].as_text())) {
+    auto sel = FaultLocationSelector::Parse(token);
+    if (!sel.ok()) return sel.status();
+    c.locations.push_back(std::move(sel).value());
+  }
+  c.workload = row[9].as_text();
+  c.timeout_cycles = static_cast<uint64_t>(row[10].as_int());
+  c.max_iterations = static_cast<int>(row[11].as_int());
+  c.seed = static_cast<uint64_t>(row[12].as_int());
+  c.log_mode = row[13].as_text() == "detail" ? LogMode::kDetail : LogMode::kNormal;
+  c.observe_chains = util::SplitWhitespace(row[14].as_text());
+  c.burst_length = static_cast<uint32_t>(row[15].as_int());
+  c.burst_spacing = static_cast<uint64_t>(row[16].as_int());
+  return c;
+}
+
+std::vector<std::string> CampaignStore::CampaignNames() const {
+  std::vector<std::string> names;
+  database_->GetTable("CampaignData")->ForEach([&names](const Row& row) {
+    names.push_back(row[0].as_text());
+  });
+  return names;
+}
+
+util::Status CampaignStore::MergeCampaigns(
+    const std::vector<std::string>& sources, const std::string& merged_name) {
+  if (sources.empty()) return util::InvalidArgument("no source campaigns");
+  auto first = GetCampaign(sources[0]);
+  if (!first.ok()) return first.status();
+  CampaignData merged = std::move(first).value();
+  merged.name = merged_name;
+  for (size_t i = 1; i < sources.size(); ++i) {
+    auto next = GetCampaign(sources[i]);
+    if (!next.ok()) return next.status();
+    const CampaignData& c = next.value();
+    if (c.target_name != merged.target_name ||
+        c.technique != merged.technique || c.workload != merged.workload) {
+      return util::FailedPrecondition(
+          "campaign " + sources[i] +
+          " differs in target/technique/workload; cannot merge");
+    }
+    merged.num_experiments += c.num_experiments;
+    for (const FaultLocationSelector& sel : c.locations) {
+      bool present = false;
+      for (const FaultLocationSelector& have : merged.locations) {
+        if (have.chain == sel.chain && have.cell_prefix == sel.cell_prefix) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) merged.locations.push_back(sel);
+    }
+    merged.inject_min_instr = std::min(merged.inject_min_instr, c.inject_min_instr);
+    merged.inject_max_instr = std::max(merged.inject_max_instr, c.inject_max_instr);
+  }
+  return PutCampaign(merged);
+}
+
+// --- LoggedSystemState ---------------------------------------------------------
+
+util::Status CampaignStore::PutExperiment(const std::string& experiment_name,
+                                          const std::string& parent_experiment,
+                                          const std::string& campaign_name,
+                                          const std::string& experiment_data,
+                                          const LoggedState& state) {
+  return database_->Insert(
+      "LoggedSystemState",
+      {Value::Text(experiment_name),
+       parent_experiment.empty() ? Value::Null() : Value::Text(parent_experiment),
+       Value::Text(campaign_name), Value::Text(experiment_data),
+       Value::Text(state.Serialize())});
+}
+
+util::Result<CampaignStore::ExperimentRow> CampaignStore::GetExperiment(
+    const std::string& name) const {
+  const db::Table* table = database_->GetTable("LoggedSystemState");
+  const auto slot = table->FindByPrimaryKey({Value::Text(name)});
+  if (!slot) return util::NotFound("no experiment " + name);
+  const Row& row = table->slots()[*slot];
+  ExperimentRow out;
+  out.experiment_name = row[0].as_text();
+  out.parent_experiment = row[1].is_null() ? "" : row[1].as_text();
+  out.campaign_name = row[2].as_text();
+  out.experiment_data = row[3].is_null() ? "" : row[3].as_text();
+  auto state = LoggedState::Deserialize(row[4].is_null() ? "" : row[4].as_text());
+  if (!state.ok()) return state.status();
+  out.state = std::move(state).value();
+  return out;
+}
+
+util::Result<std::vector<CampaignStore::ExperimentRow>>
+CampaignStore::ExperimentsOf(const std::string& campaign_name) const {
+  const db::Table* table = database_->GetTable("LoggedSystemState");
+  std::vector<ExperimentRow> rows;
+  util::Status error = util::Status::Ok();
+  table->ForEach([&](const Row& row) {
+    if (!error.ok() || row[2].as_text() != campaign_name) return;
+    ExperimentRow out;
+    out.experiment_name = row[0].as_text();
+    out.parent_experiment = row[1].is_null() ? "" : row[1].as_text();
+    out.campaign_name = row[2].as_text();
+    out.experiment_data = row[3].is_null() ? "" : row[3].as_text();
+    auto state = LoggedState::Deserialize(row[4].is_null() ? "" : row[4].as_text());
+    if (!state.ok()) {
+      error = state.status();
+      return;
+    }
+    out.state = std::move(state).value();
+    rows.push_back(std::move(out));
+  });
+  GOOFI_RETURN_IF_ERROR(error);
+  return rows;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,82 @@
+// Database bindings for the GOOFI tables (paper Fig. 4).
+//
+//   TargetSystemData(targetName PK, description, chainData)
+//   CampaignData(campaignName PK, targetName FK -> TargetSystemData, ...)
+//   LoggedSystemState(experimentName PK,
+//                     parentExperiment FK -> LoggedSystemState,
+//                     campaignName FK -> CampaignData,
+//                     experimentData, stateVector)
+//
+// "Through the foreign keys, we prevent inconsistencies in the database"
+// (§2.3) — the embedded engine enforces them on insert and delete.
+#pragma once
+
+#include <optional>
+
+#include "core/types.hpp"
+#include "db/database.hpp"
+
+namespace goofi::core {
+
+/// Description of a configured target system (the configuration phase,
+/// Fig. 5): the scan-chain layout with per-cell name/width/read-only flags.
+struct TargetSystemData {
+  std::string name;
+  std::string description;
+  /// One line per cell: "<chain> <cell> <bits> <ro>".
+  std::string chain_data;
+};
+
+class CampaignStore {
+ public:
+  /// Creates the three tables in `database` if missing.
+  explicit CampaignStore(db::Database* database);
+
+  db::Database& database() { return *database_; }
+
+  // --- TargetSystemData ----------------------------------------------------
+  util::Status PutTargetSystem(const TargetSystemData& target);
+  util::Result<TargetSystemData> GetTargetSystem(const std::string& name) const;
+  std::vector<std::string> TargetSystemNames() const;
+
+  // --- CampaignData --------------------------------------------------------
+  util::Status PutCampaign(const CampaignData& campaign);
+  util::Result<CampaignData> GetCampaign(const std::string& name) const;
+  std::vector<std::string> CampaignNames() const;
+
+  /// Merges the location selectors and experiment counts of `sources` into a
+  /// new campaign named `merged_name` (set-up phase: "merge campaign data
+  /// from several fault injection campaigns into a new ... campaign", §3.2).
+  /// All sources must share target, technique and workload.
+  util::Status MergeCampaigns(const std::vector<std::string>& sources,
+                              const std::string& merged_name);
+
+  // --- LoggedSystemState ---------------------------------------------------
+  util::Status PutExperiment(const std::string& experiment_name,
+                             const std::string& parent_experiment,
+                             const std::string& campaign_name,
+                             const std::string& experiment_data,
+                             const LoggedState& state);
+
+  struct ExperimentRow {
+    std::string experiment_name;
+    std::string parent_experiment;
+    std::string campaign_name;
+    std::string experiment_data;
+    LoggedState state;
+  };
+  util::Result<ExperimentRow> GetExperiment(const std::string& name) const;
+  /// All experiments of a campaign, in insertion order.
+  util::Result<std::vector<ExperimentRow>> ExperimentsOf(
+      const std::string& campaign_name) const;
+
+  /// Name used for a campaign's reference (fault-free) run.
+  static std::string ReferenceName(const std::string& campaign_name) {
+    return campaign_name + "/ref";
+  }
+
+ private:
+  db::Database* database_;
+};
+
+}  // namespace goofi::core

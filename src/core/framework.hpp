@@ -1,0 +1,64 @@
+// The Framework class (paper Fig. 3): the template a programmer copies when
+// adapting GOOFI to a new target system.
+//
+//   "The Framework class is used as a template by the programmer when
+//    creating a new TargetSystemInterface class. The TargetSystemInterface
+//    class inherits the FaultInjectionAlgorithms class and can therefore use
+//    the defined fault injection algorithms directly. Only the abstract
+//    methods used by the algorithm need to be implemented." (§2)
+//
+// Every method body below is a placeholder that fails loudly — exactly the
+// paper's "// Write your code here!" convention, made type-safe. Subclass
+// FrameworkTarget, override the blocks your chosen technique uses (see the
+// sequences in core/algorithms.cpp), and leave the rest as-is; an algorithm
+// that calls an unimplemented block reports which one.
+#pragma once
+
+#include "core/algorithms.hpp"
+
+namespace goofi::core {
+
+class FrameworkTarget : public FaultInjectionAlgorithms {
+ public:
+  explicit FrameworkTarget(CampaignStore* store)
+      : FaultInjectionAlgorithms(store) {}
+
+ protected:
+  util::Status InitTestCard() override { return Unimplemented("InitTestCard"); }
+  util::Status LoadWorkload() override { return Unimplemented("LoadWorkload"); }
+  util::Status WriteMemory() override { return Unimplemented("WriteMemory"); }
+  util::Status RunWorkload() override { return Unimplemented("RunWorkload"); }
+  util::Status WaitForBreakpoint() override {
+    return Unimplemented("WaitForBreakpoint");
+  }
+  util::Status ReadScanChain() override { return Unimplemented("ReadScanChain"); }
+  util::Status InjectFault() override { return Unimplemented("InjectFault"); }
+  util::Status WriteScanChain() override {
+    return Unimplemented("WriteScanChain");
+  }
+  util::Status WaitForTermination() override {
+    return Unimplemented("WaitForTermination");
+  }
+  util::Status ReadMemory() override { return Unimplemented("ReadMemory"); }
+  util::Status MutateImage() override { return Unimplemented("MutateImage"); }
+  util::Status InjectMemoryFault() override {
+    return Unimplemented("InjectMemoryFault");
+  }
+  util::Result<std::vector<FaultCandidate>> EnumerateFaultSpace(
+      const FaultLocationSelector&) override {
+    return Unimplemented("EnumerateFaultSpace");
+  }
+  util::Result<LoggedState> CollectState() override {
+    return Unimplemented("CollectState");
+  }
+
+ private:
+  static util::Status Unimplemented(const char* method) {
+    // "// Write your code here!" — Fig. 3.
+    return util::FailedPrecondition(
+        std::string(method) +
+        " is not implemented for this target system (see core/framework.hpp)");
+  }
+};
+
+}  // namespace goofi::core

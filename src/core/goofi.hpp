@@ -1,0 +1,26 @@
+// Umbrella header: the GOOFI public API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   db::Database database;
+//   core::CampaignStore store(&database);
+//   testcard::SimTestCard card;                       // the target system
+//   store.PutTargetSystem(core::ThorRdTarget::DescribeTarget(
+//       card, core::ThorRdTarget::kTargetName));      // configuration phase
+//   core::CampaignData campaign = ...;                // set-up phase
+//   store.PutCampaign(campaign);
+//   core::ThorRdTarget target(&store, &card);
+//   target.RunCampaign(campaign.name);                // fault-injection phase
+//   auto report = core::AnalyzeCampaign(store, campaign.name);  // analysis
+#pragma once
+
+#include "core/algorithms.hpp"     // IWYU pragma: export
+#include "core/analysis.hpp"       // IWYU pragma: export
+#include "core/campaign_store.hpp" // IWYU pragma: export
+#include "core/framework.hpp"      // IWYU pragma: export
+#include "core/preinjection.hpp"   // IWYU pragma: export
+#include "core/progress.hpp"       // IWYU pragma: export
+#include "core/propagation.hpp"    // IWYU pragma: export
+#include "core/swifi_target.hpp"   // IWYU pragma: export
+#include "core/thor_target.hpp"    // IWYU pragma: export
+#include "core/types.hpp"          // IWYU pragma: export

@@ -1,0 +1,220 @@
+#include "core/preinjection.hpp"
+
+#include <algorithm>
+
+#include "env/environment.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::core {
+
+namespace {
+
+/// Register/memory read-write sets of one instruction.
+struct AccessSet {
+  std::vector<int> reg_reads;
+  std::vector<int> reg_writes;
+  bool mem_read = false;
+  bool mem_write = false;
+  uint32_t mem_address = 0;
+};
+
+AccessSet AccessesOf(const isa::Instruction& ins, const cpu::Cpu& cpu) {
+  using isa::Opcode;
+  AccessSet out;
+  const isa::OpcodeInfo& info = isa::GetOpcodeInfo(ins.op);
+  switch (info.format) {
+    case isa::Format::kR:
+      if (ins.op == Opcode::kJr) {
+        out.reg_reads.push_back(ins.rs1);
+        break;
+      }
+      out.reg_reads.push_back(ins.rs1);
+      out.reg_reads.push_back(ins.rs2);
+      out.reg_writes.push_back(ins.rd);
+      break;
+    case isa::Format::kI:
+      if (ins.op == Opcode::kLdw) {
+        out.reg_reads.push_back(ins.rs1);
+        out.reg_writes.push_back(ins.rd);
+        out.mem_read = true;
+        out.mem_address = cpu.reg(ins.rs1) + static_cast<uint32_t>(ins.imm);
+      } else if (ins.op == Opcode::kStw) {
+        out.reg_reads.push_back(ins.rs1);
+        out.reg_reads.push_back(ins.rd);
+        out.mem_write = true;
+        out.mem_address = cpu.reg(ins.rs1) + static_cast<uint32_t>(ins.imm);
+      } else if (ins.op >= Opcode::kBeq && ins.op <= Opcode::kBgeu) {
+        out.reg_reads.push_back(ins.rd);
+        out.reg_reads.push_back(ins.rs1);
+      } else if (ins.op == Opcode::kLui) {
+        out.reg_writes.push_back(ins.rd);
+      } else if (ins.op == Opcode::kTrap) {
+        // no register traffic
+      } else {
+        out.reg_reads.push_back(ins.rs1);
+        out.reg_writes.push_back(ins.rd);
+      }
+      break;
+    case isa::Format::kJ:
+      if (ins.op == Opcode::kJal) out.reg_writes.push_back(isa::kLinkRegister);
+      break;
+    case isa::Format::kNone:
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool LivenessAnalyzer::LiveAt(const std::vector<Access>& accesses,
+                              uint64_t instret) {
+  // Accesses are appended in execution order, so they are sorted by instret
+  // (reads of an instruction precede its writes).
+  const auto it = std::upper_bound(
+      accesses.begin(), accesses.end(), instret,
+      [](uint64_t t, const Access& access) { return t < access.instret; });
+  if (it == accesses.end()) return false;
+  return it->is_read;
+}
+
+bool LivenessAnalyzer::RegisterLive(int reg, uint64_t instret) const {
+  if (reg < 0 || reg >= isa::kNumRegisters) return false;
+  return LiveAt(register_accesses_[static_cast<size_t>(reg)], instret);
+}
+
+bool LivenessAnalyzer::MemoryWordLive(uint32_t address, uint64_t instret) const {
+  const auto it = memory_accesses_.find(address & ~3u);
+  if (it == memory_accesses_.end()) return false;
+  return LiveAt(it->second, instret);
+}
+
+util::Result<std::unique_ptr<LivenessAnalyzer>> LivenessAnalyzer::Build(
+    const std::string& workload_name, const cpu::CpuConfig& config,
+    uint64_t max_instr, int max_iterations) {
+  auto spec = env::GetWorkload(workload_name);
+  if (!spec.ok()) return spec.status();
+  return BuildFromSpec(spec.value(), config, max_instr, max_iterations);
+}
+
+util::Result<std::unique_ptr<LivenessAnalyzer>> LivenessAnalyzer::BuildFromSpec(
+    const env::WorkloadSpec& workload, const cpu::CpuConfig& config,
+    uint64_t max_instr, int max_iterations) {
+  auto assembled = isa::Assemble(workload.source);
+  if (!assembled.ok()) return assembled.status();
+  const isa::AssembledProgram& program = assembled.value();
+
+  std::unique_ptr<env::EnvironmentSimulator> environment;
+  uint32_t input_addr = 0;
+  uint32_t output_addr = 0;
+  uint32_t loop_end = 0;
+  if (workload.infinite_loop) {
+    if (workload.environment == "inverted_pendulum") {
+      environment = std::make_unique<env::InvertedPendulum>();
+    } else if (workload.environment == "cruise_control") {
+      environment = std::make_unique<env::CruiseControl>();
+    }
+    auto io = program.Symbol(workload.input_symbol);
+    if (!io.ok()) return io.status();
+    input_addr = io.value();
+    output_addr = input_addr + workload.input_words * 4;
+    auto boundary = program.Symbol(workload.iteration_symbol);
+    if (!boundary.ok()) return boundary.status();
+    loop_end = boundary.value();
+  }
+
+  auto analyzer = std::make_unique<LivenessAnalyzer>();
+  analyzer->register_accesses_.resize(isa::kNumRegisters);
+
+  cpu::Cpu cpu(config);
+  uint32_t text_bytes = 0;
+  const auto etext = program.symbols.find("_etext");
+  if (etext != program.symbols.end() && etext->second > program.base_address) {
+    text_bytes = etext->second - program.base_address;
+  }
+  GOOFI_RETURN_IF_ERROR(cpu.LoadProgram(program.base_address, program.words,
+                                        text_bytes));
+  cpu.Reset(program.entry);
+  if (environment) {
+    const std::vector<uint32_t> inputs = environment->Sense();
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      GOOFI_RETURN_IF_ERROR(cpu.HostWriteWord(
+          input_addr + static_cast<uint32_t>(i) * 4, inputs[i]));
+    }
+  }
+
+  int iterations = 0;
+  while (cpu.instructions_retired() < max_instr) {
+    const uint32_t exec_pc = cpu.pc();
+    const uint32_t exec_ir = cpu.ir();
+    const auto decoded = isa::Decode(exec_ir);
+    AccessSet accesses;
+    if (decoded.ok()) accesses = AccessesOf(decoded.value(), cpu);
+
+    const cpu::StepOutcome outcome = cpu.Step();
+    const uint64_t t = cpu.instructions_retired();
+    for (int reg : accesses.reg_reads) {
+      analyzer->register_accesses_[static_cast<size_t>(reg)].push_back({t, true});
+    }
+    for (int reg : accesses.reg_writes) {
+      analyzer->register_accesses_[static_cast<size_t>(reg)].push_back({t, false});
+    }
+    if (accesses.mem_read) {
+      analyzer->memory_accesses_[accesses.mem_address & ~3u].push_back({t, true});
+    }
+    if (accesses.mem_write) {
+      analyzer->memory_accesses_[accesses.mem_address & ~3u].push_back({t, false});
+    }
+
+    if (environment && exec_pc == loop_end) {
+      // Host-side exchange: actuator words are read, sensor words written.
+      std::vector<uint32_t> outputs;
+      for (uint32_t i = 0; i < workload.output_words; ++i) {
+        auto word = cpu.memory().HostRead(output_addr + i * 4);
+        if (!word.ok()) return word.status();
+        outputs.push_back(word.value());
+        analyzer->memory_accesses_[(output_addr + i * 4) & ~3u].push_back({t, true});
+      }
+      const std::vector<uint32_t> inputs = environment->Exchange(outputs);
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        const uint32_t address = input_addr + static_cast<uint32_t>(i) * 4;
+        GOOFI_RETURN_IF_ERROR(cpu.HostWriteWord(address, inputs[i]));
+        analyzer->memory_accesses_[address & ~3u].push_back({t, false});
+      }
+      if (++iterations >= max_iterations) break;
+    }
+    if (outcome != cpu::StepOutcome::kOk) break;
+  }
+  analyzer->trace_length_ = cpu.instructions_retired();
+
+  // The workload's result words are read by the host at experiment end:
+  // model that as a final read so late writes to them stay live.
+  if (!workload.result_symbol.empty()) {
+    const auto result = program.Symbol(workload.result_symbol);
+    if (result.ok()) {
+      for (uint32_t i = 0; i < workload.result_words; ++i) {
+        analyzer->memory_accesses_[(result.value() + i * 4) & ~3u].push_back(
+            {UINT64_MAX, true});
+      }
+    }
+  }
+  return analyzer;
+}
+
+FaultInjectionAlgorithms::LivenessFilter LivenessAnalyzer::MakeFilter() const {
+  return [this](const FaultCandidate& candidate, uint64_t inject_instr) {
+    if (!candidate.scan) {
+      return MemoryWordLive(candidate.address, inject_instr);
+    }
+    if (util::StartsWith(candidate.cell_name, "regfile.")) {
+      const auto reg = isa::ParseRegister(candidate.cell_name.substr(8));
+      if (!reg) return true;
+      return RegisterLive(*reg, inject_instr);
+    }
+    if (util::StartsWith(candidate.cell_name, "pipeline.")) {
+      return false;  // refreshed every instruction -> always overwritten
+    }
+    return true;  // pc/ir/caches/watchdog: conservatively live
+  };
+}
+
+}  // namespace goofi::core

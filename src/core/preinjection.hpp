@@ -1,0 +1,73 @@
+// Pre-injection analysis (a §4 planned extension, implemented here).
+//
+// "The purpose of this analysis is to determine when registers and other
+// fault injection locations hold live data. Injecting a fault into a
+// location that does not hold live data serves no purpose, since the fault
+// will be overwritten."
+//
+// The analyzer executes the fault-free workload once, recording every
+// register and memory-word access with its time (retired-instruction count).
+// A location is *live* at time t when its next access after t is a read —
+// i.e. the corrupted value would actually be consumed. The resulting filter
+// plugs into FaultInjectionAlgorithms::SetLivenessFilter to skip dead
+// (location, time) draws during fault-list generation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "cpu/cpu.hpp"
+#include "env/workloads.hpp"
+#include "isa/assembler.hpp"
+
+namespace goofi::core {
+
+class LivenessAnalyzer {
+ public:
+  /// Runs the workload (fault-free) on a private simulator instance and
+  /// builds the access timeline. `max_instr` bounds the trace; control
+  /// workloads additionally stop after `max_iterations` loop iterations.
+  static util::Result<std::unique_ptr<LivenessAnalyzer>> Build(
+      const std::string& workload_name, const cpu::CpuConfig& config,
+      uint64_t max_instr = 200000, int max_iterations = 200);
+
+  /// Same, for a workload spec that is not in the built-in registry.
+  static util::Result<std::unique_ptr<LivenessAnalyzer>> BuildFromSpec(
+      const env::WorkloadSpec& workload, const cpu::CpuConfig& config,
+      uint64_t max_instr = 200000, int max_iterations = 200);
+
+  /// Register liveness at injection time `instret` (the injection happens
+  /// after `instret` instructions have retired).
+  bool RegisterLive(int reg, uint64_t instret) const;
+
+  /// Memory-word liveness at injection time `instret`.
+  bool MemoryWordLive(uint32_t address, uint64_t instret) const;
+
+  /// The filter for FaultInjectionAlgorithms::SetLivenessFilter. The
+  /// analyzer must outlive the returned callable. Classification:
+  ///   regfile.*  -> register liveness
+  ///   pipeline.* -> dead (refreshed every instruction)
+  ///   memory     -> memory-word liveness
+  ///   all else (pc, ir, caches, watchdog) -> conservatively live
+  FaultInjectionAlgorithms::LivenessFilter MakeFilter() const;
+
+  /// Total instructions in the recorded trace.
+  uint64_t trace_length() const { return trace_length_; }
+
+ private:
+  struct Access {
+    uint64_t instret;
+    bool is_read;
+  };
+  /// True when the first access in `accesses` strictly after `instret` is a
+  /// read. Absent further accesses, the location is dead.
+  static bool LiveAt(const std::vector<Access>& accesses, uint64_t instret);
+
+  std::vector<std::vector<Access>> register_accesses_;  // [16]
+  std::map<uint32_t, std::vector<Access>> memory_accesses_;
+  uint64_t trace_length_ = 0;
+};
+
+}  // namespace goofi::core

@@ -1,0 +1,105 @@
+#include "core/propagation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace goofi::core {
+
+std::string PropagationReport::ToString() const {
+  std::string out;
+  out += util::Format("steps compared:        %d\n", steps_compared);
+  if (first_divergence_step == 0) {
+    out += "no visible divergence from the reference trace\n";
+  } else {
+    out += util::Format("first divergence:      step %d (instr %llu)\n",
+                        first_divergence_step,
+                        static_cast<unsigned long long>(first_divergence_instr));
+    out += util::Format("diverged steps:        %d (%.1f%% of trace)\n",
+                        diverged_steps,
+                        steps_compared == 0
+                            ? 0.0
+                            : 100.0 * diverged_steps / steps_compared);
+  }
+  if (detection_step != 0) {
+    out += util::Format("detected at:           step %d\n", detection_step);
+    out += util::Format("detection latency:     %d steps\n",
+                        detection_latency_steps);
+  } else {
+    out += "not detected within the trace\n";
+  }
+  if (length_mismatch) {
+    out += "traces have different lengths (control-flow divergence)\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Loads the detail rows logged under `<rerun_name>` keyed by instret.
+util::Result<std::map<uint64_t, LoggedState>> LoadTrace(
+    const CampaignStore& store, const std::string& campaign,
+    const std::string& rerun_name) {
+  auto rows = store.ExperimentsOf(campaign);
+  if (!rows.ok()) return rows.status();
+  std::map<uint64_t, LoggedState> trace;
+  for (auto& row : rows.value()) {
+    if (row.parent_experiment != rerun_name) continue;
+    trace.emplace(row.state.instret, std::move(row.state));
+  }
+  if (trace.empty()) {
+    return util::FailedPrecondition(
+        "no detail trace under " + rerun_name +
+        "; run RerunDetailed first (for the experiment and for the campaign "
+        "reference)");
+  }
+  return trace;
+}
+
+}  // namespace
+
+util::Result<PropagationReport> AnalyzeErrorPropagation(
+    const CampaignStore& store, const std::string& experiment_name) {
+  auto experiment = store.GetExperiment(experiment_name);
+  if (!experiment.ok()) return experiment.status();
+  const std::string campaign = experiment.value().campaign_name;
+  const std::string reference_name = CampaignStore::ReferenceName(campaign);
+
+  auto faulty = LoadTrace(store, campaign, experiment_name + "/detail");
+  if (!faulty.ok()) return faulty.status();
+  auto golden = LoadTrace(store, campaign, reference_name + "/detail");
+  if (!golden.ok()) return golden.status();
+
+  PropagationReport report;
+  int step = 0;
+  for (const auto& [instret, state] : faulty.value()) {
+    const auto ref = golden.value().find(instret);
+    if (ref == golden.value().end()) {
+      // The faulty run outlived (or fell outside) the reference trace.
+      report.length_mismatch = true;
+      break;
+    }
+    ++step;
+    ++report.steps_compared;
+    if (state.scan_images != ref->second.scan_images) {
+      ++report.diverged_steps;
+      if (report.first_divergence_step == 0) {
+        report.first_divergence_step = step;
+        report.first_divergence_instr = instret;
+      }
+    }
+    if (state.detected && report.detection_step == 0) {
+      report.detection_step = step;
+      if (report.first_divergence_step != 0) {
+        report.detection_latency_steps = step - report.first_divergence_step;
+      }
+    }
+  }
+  if (faulty.value().size() != golden.value().size()) {
+    report.length_mismatch = true;
+  }
+  return report;
+}
+
+}  // namespace goofi::core

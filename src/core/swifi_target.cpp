@@ -1,0 +1,261 @@
+#include "core/swifi_target.hpp"
+
+#include "util/strings.hpp"
+
+namespace goofi::core {
+
+SwifiSimTarget::SwifiSimTarget(CampaignStore* store,
+                               const cpu::CpuConfig& config)
+    : FrameworkTarget(store), cpu_(std::make_unique<cpu::Cpu>(config)) {}
+
+TargetSystemData SwifiSimTarget::Describe(const std::string& name) {
+  TargetSystemData data;
+  data.name = name;
+  data.description =
+      "TRD32 simulator without scan logic (pre-runtime and runtime SWIFI only)";
+  data.chain_data = "memory.text - - -\nmemory.data - - -\n";
+  return data;
+}
+
+util::Status SwifiSimTarget::EnsureWorkload() {
+  if (workload_ready_ && workload_.name == campaign_.workload) {
+    return util::Status::Ok();
+  }
+  auto spec = env::GetWorkload(campaign_.workload);
+  if (!spec.ok()) return spec.status();
+  workload_ = std::move(spec).value();
+  auto program = isa::Assemble(workload_.source);
+  if (!program.ok()) return program.status();
+  program_ = std::move(program).value();
+
+  environment_.reset();
+  input_addr_ = output_addr_ = loop_end_addr_ = result_addr_ = 0;
+  if (workload_.infinite_loop) {
+    if (workload_.environment == "inverted_pendulum") {
+      environment_ = std::make_unique<env::InvertedPendulum>();
+    } else if (workload_.environment == "cruise_control") {
+      environment_ = std::make_unique<env::CruiseControl>();
+    } else if (!workload_.environment.empty()) {
+      return util::InvalidArgument("unknown environment " + workload_.environment);
+    }
+    auto io = program_.Symbol(workload_.input_symbol);
+    if (!io.ok()) return io.status();
+    input_addr_ = io.value();
+    output_addr_ = input_addr_ + workload_.input_words * 4;
+    auto boundary = program_.Symbol(workload_.iteration_symbol);
+    if (!boundary.ok()) return boundary.status();
+    loop_end_addr_ = boundary.value();
+  } else if (!workload_.result_symbol.empty()) {
+    auto result = program_.Symbol(workload_.result_symbol);
+    if (!result.ok()) return result.status();
+    result_addr_ = result.value();
+  }
+  workload_ready_ = true;
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::InitTestCard() {
+  // No physical card: "init" means power-cycling the simulator instance.
+  cpu_->PowerCycle();
+  iterations_ = 0;
+  timed_out_ = false;
+  actuator_crc_.Reset();
+  outputs_.clear();
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::LoadWorkload() {
+  GOOFI_RETURN_IF_ERROR(EnsureWorkload());
+  uint32_t text_bytes = 0;
+  const auto etext = program_.symbols.find("_etext");
+  if (etext != program_.symbols.end() && etext->second > program_.base_address) {
+    text_bytes = etext->second - program_.base_address;
+  }
+  GOOFI_RETURN_IF_ERROR(
+      cpu_->LoadProgram(program_.base_address, program_.words, text_bytes));
+  if (environment_) environment_->Reset();
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::WriteMemory() {
+  if (environment_ == nullptr) return util::Status::Ok();
+  const std::vector<uint32_t> inputs = environment_->Sense();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    GOOFI_RETURN_IF_ERROR(
+        cpu_->HostWriteWord(input_addr_ + static_cast<uint32_t>(i) * 4, inputs[i]));
+  }
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::RunWorkload() {
+  cpu_->Reset(program_.entry);
+  return util::Status::Ok();
+}
+
+bool SwifiSimTarget::Terminated() const {
+  return cpu_->halted() || cpu_->detected() || timed_out_ ||
+         (environment_ != nullptr && iterations_ >= campaign_.max_iterations);
+}
+
+util::Status SwifiSimTarget::ServiceIteration() {
+  std::vector<uint32_t> outputs;
+  for (uint32_t i = 0; i < workload_.output_words; ++i) {
+    auto word = cpu_->memory().HostRead(output_addr_ + i * 4);
+    if (!word.ok()) return word.status();
+    outputs.push_back(word.value());
+    actuator_crc_.UpdateWord(word.value());
+  }
+  const std::vector<uint32_t> inputs = environment_->Exchange(outputs);
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    GOOFI_RETURN_IF_ERROR(
+        cpu_->HostWriteWord(input_addr_ + static_cast<uint32_t>(i) * 4, inputs[i]));
+  }
+  ++iterations_;
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::RunUntil(uint64_t stop_instr) {
+  while (!Terminated()) {
+    if (stop_instr != 0 && cpu_->instructions_retired() >= stop_instr) {
+      return util::Status::Ok();
+    }
+    const uint32_t exec_pc = cpu_->pc();
+    const cpu::StepOutcome outcome = cpu_->Step();
+    if (environment_ != nullptr && exec_pc == loop_end_addr_) {
+      GOOFI_RETURN_IF_ERROR(ServiceIteration());
+    }
+    if (cpu_->cycles() >= campaign_.timeout_cycles) {
+      timed_out_ = true;
+      return util::Status::Ok();
+    }
+    if (outcome != cpu::StepOutcome::kOk) return util::Status::Ok();
+  }
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::WaitForBreakpoint() {
+  return RunUntil(faults_.empty() ? 0 : faults_.front().inject_instr);
+}
+
+util::Status SwifiSimTarget::WaitForTermination() { return RunUntil(0); }
+
+util::Status SwifiSimTarget::ReadMemory() {
+  if (environment_ != nullptr) {
+    outputs_ = {actuator_crc_.Value()};
+    return util::Status::Ok();
+  }
+  outputs_.clear();
+  for (uint32_t i = 0; i < workload_.result_words; ++i) {
+    auto word = cpu_->memory().HostRead(result_addr_ + i * 4);
+    if (!word.ok()) return word.status();
+    outputs_.push_back(word.value());
+  }
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::ApplyMemoryFaults() {
+  for (const FaultInstance& fault : faults_) {
+    if (fault.IsScanFault()) {
+      return util::InvalidArgument(
+          "target " + std::string(kTargetName) +
+          " has no scan chains; use memory.text / memory.data selectors");
+    }
+    auto word = cpu_->memory().HostRead(fault.address);
+    if (!word.ok()) return word.status();
+    uint32_t value = word.value();
+    if (fault.kind == FaultModelKind::kPermanentStuckAt) {
+      if (fault.stuck_value) {
+        value |= (1u << fault.bit);
+      } else {
+        value &= ~(1u << fault.bit);
+      }
+    } else {
+      value ^= (1u << fault.bit);
+    }
+    GOOFI_RETURN_IF_ERROR(cpu_->HostWriteWord(fault.address, value));
+  }
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::MutateImage() { return ApplyMemoryFaults(); }
+
+util::Status SwifiSimTarget::InjectMemoryFault() {
+  if (Terminated()) return util::Status::Ok();
+  return ApplyMemoryFaults();
+}
+
+util::Result<std::vector<FaultCandidate>> SwifiSimTarget::EnumerateFaultSpace(
+    const FaultLocationSelector& selector) {
+  GOOFI_RETURN_IF_ERROR(EnsureWorkload());
+  if (selector.chain != "memory.text" && selector.chain != "memory.data") {
+    return util::InvalidArgument("target " + std::string(kTargetName) +
+                                 " only supports memory.text / memory.data, got " +
+                                 selector.chain);
+  }
+  uint32_t begin = program_.base_address;
+  uint32_t end = program_.base_address + program_.size_bytes();
+  const auto etext = program_.symbols.find("_etext");
+  if (etext != program_.symbols.end()) {
+    if (selector.chain == "memory.text") {
+      end = etext->second;
+    } else {
+      begin = etext->second;
+    }
+  } else if (selector.chain == "memory.data") {
+    return util::InvalidArgument("workload has no _etext marker");
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  if (end > begin) ranges.emplace_back(begin, end);
+  // Control workloads keep their working data in the environment I/O buffer
+  // (see ThorRdTarget::EnumerateFaultSpace).
+  if (selector.chain == "memory.data" && workload_.infinite_loop) {
+    const uint32_t io_end =
+        input_addr_ + (workload_.input_words + workload_.output_words) * 4;
+    ranges.emplace_back(input_addr_, io_end);
+  }
+  if (ranges.empty()) {
+    return util::InvalidArgument("selector matches no words: " +
+                                 selector.ToString());
+  }
+  std::vector<FaultCandidate> out;
+  for (const auto& [range_begin, range_end] : ranges) {
+    for (uint32_t address = range_begin; address < range_end; address += 4) {
+      for (uint32_t bit = 0; bit < 32; ++bit) {
+        FaultCandidate candidate;
+        candidate.scan = false;
+        candidate.address = address;
+        candidate.bit = bit;
+        candidate.cell_name =
+            util::Format("%s@0x%08x", selector.chain.c_str(), address);
+        out.push_back(std::move(candidate));
+      }
+    }
+  }
+  return out;
+}
+
+util::Result<LoggedState> SwifiSimTarget::CollectState() {
+  LoggedState state;
+  state.detected = cpu_->detected();
+  state.halted = cpu_->halted() && !cpu_->detected();
+  if (state.detected) {
+    state.edm = cpu::EdmTypeName(cpu_->edm_event().type);
+    state.edm_code = cpu_->edm_event().code;
+  }
+  state.timed_out = timed_out_;
+  state.env_failed = environment_ != nullptr && environment_->Failed();
+  state.cycles = cpu_->cycles();
+  state.instret = cpu_->instructions_retired();
+  state.iterations = iterations_;
+  state.outputs = outputs_;
+  // The simulator host observes the architectural state directly.
+  util::BitVec image;
+  for (int reg = 0; reg < isa::kNumRegisters; ++reg) {
+    image.AppendWord(cpu_->reg(reg), 32);
+  }
+  image.AppendWord(cpu_->pc(), 32);
+  state.scan_images["sim.regfile"] = image.ToString();
+  return state;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,95 @@
+// SwifiSimTarget: a second target system, built from the Framework template.
+//
+// The paper's central genericity claim (§2.2) is that adapting GOOFI to a
+// new target system means copying the Framework class and implementing
+// "only the abstract methods used by the fault injection algorithms". This
+// class demonstrates exactly that: a simulator-only target that supports the
+// two SWIFI techniques but has *no scan-chain test logic*. It therefore:
+//
+//   - inherits FrameworkTarget (paper Fig. 3), not ThorRdTarget;
+//   - implements the blocks the SWIFI algorithms use (InitTestCard,
+//     LoadWorkload, WriteMemory, RunWorkload, WaitForBreakpoint,
+//     WaitForTermination, ReadMemory, MutateImage, InjectMemoryFault,
+//     EnumerateFaultSpace, CollectState);
+//   - leaves the SCIFI-only injection blocks (InjectFault / WriteScanChain)
+//     as Framework placeholders, so running a SCIFI campaign against it
+//     fails with a precise "not implemented" diagnosis instead of undefined
+//     behaviour.
+//
+// Because the simulator host can observe everything, the logged state vector
+// is the full register file plus pc, serialized under the pseudo-chain name
+// "sim.regfile".
+#pragma once
+
+#include <memory>
+
+#include "core/framework.hpp"
+#include "cpu/cpu.hpp"
+#include "env/environment.hpp"
+#include "env/workloads.hpp"
+#include "isa/assembler.hpp"
+#include "util/crc32.hpp"
+
+namespace goofi::core {
+
+class SwifiSimTarget : public FrameworkTarget {
+ public:
+  SwifiSimTarget(CampaignStore* store,
+                 const cpu::CpuConfig& config = cpu::CpuConfig());
+
+  static constexpr const char* kTargetName = "trd32-sim-swifi";
+
+  /// Configuration-phase record: no scan chains, only memory fault spaces.
+  static TargetSystemData Describe(const std::string& name = kTargetName);
+
+  const cpu::Cpu& cpu() const { return *cpu_; }
+
+ protected:
+  util::Status InitTestCard() override;
+  util::Status LoadWorkload() override;
+  util::Status WriteMemory() override;
+  util::Status RunWorkload() override;
+  util::Status WaitForBreakpoint() override;
+  util::Status WaitForTermination() override;
+  util::Status ReadMemory() override;
+  /// The SWIFI algorithm bodies end with an observation ReadScanChain; this
+  /// target has no chains — the simulator host snapshots state directly in
+  /// CollectState — so the observation step is a no-op here.
+  util::Status ReadScanChain() override { return util::Status::Ok(); }
+  util::Status MutateImage() override;
+  util::Status InjectMemoryFault() override;
+  util::Result<std::vector<FaultCandidate>> EnumerateFaultSpace(
+      const FaultLocationSelector& selector) override;
+  util::Result<LoggedState> CollectState() override;
+
+  // Note: InjectFault / WriteScanChain intentionally NOT overridden — this
+  // target has no scan logic, so SCIFI campaigns fail at InjectFault with
+  // the Framework's diagnostic (see class comment).
+
+ private:
+  util::Status EnsureWorkload();
+  util::Status ServiceIteration();
+  /// Steps until `stop_instr` retired instructions (0 = no breakpoint),
+  /// servicing environment exchanges; sets bookkeeping on termination.
+  util::Status RunUntil(uint64_t stop_instr);
+  bool Terminated() const;
+  util::Status ApplyMemoryFaults();
+
+  std::unique_ptr<cpu::Cpu> cpu_;
+
+  env::WorkloadSpec workload_;
+  isa::AssembledProgram program_;
+  bool workload_ready_ = false;
+  std::unique_ptr<env::EnvironmentSimulator> environment_;
+  uint32_t input_addr_ = 0;
+  uint32_t output_addr_ = 0;
+  uint32_t loop_end_addr_ = 0;
+  uint32_t result_addr_ = 0;
+
+  int iterations_ = 0;
+  bool timed_out_ = false;
+  util::Crc32 actuator_crc_;
+  std::vector<uint32_t> outputs_;
+};
+
+}  // namespace goofi::core

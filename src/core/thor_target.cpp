@@ -1,0 +1,479 @@
+#include "core/thor_target.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::core {
+
+ThorRdTarget::ThorRdTarget(CampaignStore* store, testcard::TestCard* card)
+    : FaultInjectionAlgorithms(store), card_(card) {}
+
+TargetSystemData ThorRdTarget::DescribeTarget(const testcard::TestCard& card,
+                                              const std::string& name) {
+  TargetSystemData data;
+  data.name = name;
+  data.description = "Simulated Thor RD (TRD32) with IEEE 1149.1 scan logic";
+  std::string lines;
+  for (const scan::ScanChain& chain : card.chains().chains()) {
+    for (const scan::ScanCell& cell : chain.cells()) {
+      lines += util::Format("%s %s %u %d\n", chain.name().c_str(),
+                            cell.name.c_str(), cell.bits, cell.read_only ? 1 : 0);
+    }
+  }
+  data.chain_data = std::move(lines);
+  return data;
+}
+
+util::Status ThorRdTarget::EnsureWorkload() {
+  if (workload_ready_ && workload_.name == campaign_.workload) {
+    return util::Status::Ok();
+  }
+  auto spec = env::GetWorkload(campaign_.workload);
+  if (!spec.ok()) return spec.status();
+  workload_ = std::move(spec).value();
+  auto program = isa::Assemble(workload_.source);
+  if (!program.ok()) return program.status();
+  program_ = std::move(program).value();
+
+  environment_.reset();
+  input_addr_ = output_addr_ = loop_end_addr_ = result_addr_ = 0;
+  if (workload_.infinite_loop) {
+    if (workload_.environment == "inverted_pendulum") {
+      environment_ = std::make_unique<env::InvertedPendulum>();
+    } else if (workload_.environment == "cruise_control") {
+      environment_ = std::make_unique<env::CruiseControl>();
+    } else if (!workload_.environment.empty()) {
+      return util::InvalidArgument("unknown environment simulator " +
+                                   workload_.environment);
+    }
+    auto io = program_.Symbol(workload_.input_symbol);
+    if (!io.ok()) return io.status();
+    input_addr_ = io.value();
+    output_addr_ = input_addr_ + workload_.input_words * 4;
+    auto loop_end = program_.Symbol(workload_.iteration_symbol);
+    if (!loop_end.ok()) return loop_end.status();
+    loop_end_addr_ = loop_end.value();
+  } else if (!workload_.result_symbol.empty()) {
+    auto result = program_.Symbol(workload_.result_symbol);
+    if (!result.ok()) return result.status();
+    result_addr_ = result.value();
+  }
+  workload_ready_ = true;
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::InitTestCard() {
+  GOOFI_RETURN_IF_ERROR(card_->Init());
+  iterations_ = 0;
+  timed_out_ = false;
+  injection_done_ = false;
+  terminated_before_injection_ = false;
+  activations_done_ = 0;
+  next_activation_ = 0;
+  actuator_crc_.Reset();
+  outputs_.clear();
+  inject_images_.clear();
+  observe_images_.clear();
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::LoadWorkload() {
+  GOOFI_RETURN_IF_ERROR(EnsureWorkload());
+  GOOFI_RETURN_IF_ERROR(card_->LoadWorkload(program_));
+  if (environment_) environment_->Reset();
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::WriteMemory() {
+  if (environment_ == nullptr) return util::Status::Ok();
+  // "the workload and initial input data is downloaded to the system" (§3.3).
+  return card_->WriteMemory(input_addr_, environment_->Sense());
+}
+
+void ThorRdTarget::ArmTriggers(bool with_injection_breakpoint,
+                               bool with_reactivation) {
+  card_->ClearTriggers();
+  iteration_trigger_ = breakpoint_trigger_ = reactivation_trigger_ = -1;
+  if (environment_ != nullptr) {
+    scan::Trigger trigger;
+    trigger.kind = scan::TriggerKind::kPcBreakpoint;
+    trigger.address = loop_end_addr_;
+    trigger.occurrence = 1;
+    iteration_trigger_ = card_->AddTrigger(trigger);
+  }
+  if (with_injection_breakpoint && !faults_.empty()) {
+    scan::Trigger trigger;
+    trigger.kind = scan::TriggerKind::kInstrCount;
+    trigger.count = faults_.front().inject_instr;
+    breakpoint_trigger_ = card_->AddTrigger(trigger);
+  }
+  if (with_reactivation) {
+    scan::Trigger trigger;
+    trigger.kind = scan::TriggerKind::kInstrCount;
+    trigger.count = next_activation_;
+    reactivation_trigger_ = card_->AddTrigger(trigger);
+  }
+}
+
+util::Status ThorRdTarget::RunWorkload() {
+  GOOFI_RETURN_IF_ERROR(card_->ResetTarget());
+  const bool needs_breakpoint =
+      campaign_.technique != Technique::kSwifiPreRuntime && !faults_.empty();
+  ArmTriggers(needs_breakpoint, false);
+  return util::Status::Ok();
+}
+
+bool ThorRdTarget::Terminated() const {
+  return card_->cpu().halted() || card_->cpu().detected() || timed_out_ ||
+         (environment_ != nullptr && iterations_ >= campaign_.max_iterations);
+}
+
+util::Status ThorRdTarget::ServiceIteration() {
+  auto outputs = card_->ReadMemory(output_addr_, workload_.output_words);
+  if (!outputs.ok()) return outputs.status();
+  for (uint32_t word : outputs.value()) actuator_crc_.UpdateWord(word);
+  const std::vector<uint32_t> inputs = environment_->Exchange(outputs.value());
+  GOOFI_RETURN_IF_ERROR(card_->WriteMemory(input_addr_, inputs));
+  ++iterations_;
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::ReactivateFaults() {
+  // Group scan faults per chain: one read-modify-write per chain.
+  std::map<std::string, util::BitVec> images;
+  for (const FaultInstance& fault : faults_) {
+    if (!fault.IsScanFault()) continue;
+    if (!images.contains(fault.chain)) {
+      auto image = card_->ReadScanChain(fault.chain, /*restore=*/false);
+      if (!image.ok()) return image.status();
+      images.emplace(fault.chain, std::move(image).value());
+    }
+    util::BitVec& image = images.at(fault.chain);
+    if (fault.kind == FaultModelKind::kPermanentStuckAt) {
+      image.Set(fault.chain_bit, fault.stuck_value);
+    } else {
+      image.Flip(fault.chain_bit);
+    }
+  }
+  for (const auto& [chain, image] : images) {
+    GOOFI_RETURN_IF_ERROR(card_->WriteScanChain(chain, image));
+  }
+  // Memory-space faults (runtime SWIFI with non-transient models).
+  for (const FaultInstance& fault : faults_) {
+    if (fault.IsScanFault()) continue;
+    auto word = card_->ReadMemory(fault.address, 1);
+    if (!word.ok()) return word.status();
+    uint32_t value = word.value()[0];
+    if (fault.kind == FaultModelKind::kPermanentStuckAt) {
+      if (fault.stuck_value) {
+        value |= (1u << fault.bit);
+      } else {
+        value &= ~(1u << fault.bit);
+      }
+    } else {
+      value ^= (1u << fault.bit);
+    }
+    GOOFI_RETURN_IF_ERROR(card_->WriteMemory(fault.address, {value}));
+  }
+  ++activations_done_;
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::RunLoop(bool stop_at_breakpoint) {
+  for (;;) {
+    if (Terminated()) return util::Status::Ok();
+    const scan::DebugRunResult result = card_->Run(campaign_.timeout_cycles);
+    if (result.outcome != cpu::StepOutcome::kOk) {
+      return util::Status::Ok();  // halted or detected
+    }
+    if (result.timed_out) {
+      timed_out_ = true;
+      return util::Status::Ok();
+    }
+    if (result.fired_trigger == iteration_trigger_ && iteration_trigger_ >= 0) {
+      GOOFI_RETURN_IF_ERROR(ServiceIteration());
+      if (iterations_ >= campaign_.max_iterations) return util::Status::Ok();
+      continue;
+    }
+    if (stop_at_breakpoint && result.fired_trigger == breakpoint_trigger_ &&
+        breakpoint_trigger_ >= 0) {
+      return util::Status::Ok();
+    }
+    if (result.fired_trigger == reactivation_trigger_ &&
+        reactivation_trigger_ >= 0) {
+      const bool more =
+          campaign_.fault_model == FaultModelKind::kPermanentStuckAt ||
+          activations_done_ < campaign_.burst_length;
+      if (more) {
+        GOOFI_RETURN_IF_ERROR(ReactivateFaults());
+      }
+      next_activation_ = card_->cpu().instructions_retired() +
+                         std::max<uint64_t>(1, campaign_.burst_spacing);
+      const bool keep_reactivating =
+          campaign_.fault_model == FaultModelKind::kPermanentStuckAt ||
+          activations_done_ < campaign_.burst_length;
+      ArmTriggers(false, keep_reactivating);
+      continue;
+    }
+    // A trigger fired that this phase does not care about (e.g. the
+    // breakpoint trigger after injection); ignore and resume.
+  }
+}
+
+util::Status ThorRdTarget::RunLoopDetail() {
+  // Detail mode (§3.3): "the system state is logged as frequently as the
+  // target system allows, typically after the execution of each machine
+  // instruction".
+  while (!Terminated() && detail_log_.size() < kMaxDetailRows) {
+    const uint32_t exec_pc = card_->cpu().pc();
+    const cpu::StepOutcome outcome = card_->SingleStep();
+    if (environment_ != nullptr && exec_pc == loop_end_addr_) {
+      GOOFI_RETURN_IF_ERROR(ServiceIteration());
+    }
+    if (card_->cpu().cycles() >= campaign_.timeout_cycles) timed_out_ = true;
+
+    LoggedState snapshot;
+    snapshot.cycles = card_->cpu().cycles();
+    snapshot.instret = card_->cpu().instructions_retired();
+    snapshot.iterations = iterations_;
+    snapshot.halted = outcome == cpu::StepOutcome::kHalted;
+    snapshot.detected = outcome == cpu::StepOutcome::kDetected;
+    if (snapshot.detected) {
+      snapshot.edm = cpu::EdmTypeName(card_->cpu().edm_event().type);
+      snapshot.edm_code = card_->cpu().edm_event().code;
+    }
+    // Log the same chains the campaign observes at termination, so detail
+    // traces expose fault propagation in every selected location class.
+    for (const std::string& chain : campaign_.observe_chains) {
+      auto image = card_->ReadScanChain(chain, /*restore=*/true);
+      if (!image.ok()) return image.status();
+      snapshot.scan_images[chain] = image.value().ToString();
+    }
+    detail_log_.push_back(std::move(snapshot));
+
+    if (outcome != cpu::StepOutcome::kOk) break;
+  }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::WaitForBreakpoint() {
+  GOOFI_RETURN_IF_ERROR(RunLoop(/*stop_at_breakpoint=*/true));
+  if (Terminated()) terminated_before_injection_ = true;
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::ReadScanChain() {
+  const bool injection_read = !faults_.empty() && !injection_done_ &&
+                              !terminated_before_injection_ &&
+                              campaign_.technique == Technique::kScifi;
+  if (injection_read) {
+    inject_images_.clear();
+    for (const FaultInstance& fault : faults_) {
+      if (!fault.IsScanFault() || inject_images_.contains(fault.chain)) continue;
+      auto image = card_->ReadScanChain(fault.chain, /*restore=*/false);
+      if (!image.ok()) return image.status();
+      inject_images_.emplace(fault.chain, std::move(image).value());
+    }
+    return util::Status::Ok();
+  }
+  // Observation read at experiment end (§3.3: the logged system state
+  // includes all observable locations selected in the set-up phase).
+  observe_images_.clear();
+  for (const std::string& chain : campaign_.observe_chains) {
+    auto image = card_->ReadScanChain(chain, /*restore=*/true);
+    if (!image.ok()) return image.status();
+    observe_images_[chain] = image.value().ToString();
+  }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::InjectFault() {
+  if (terminated_before_injection_) return util::Status::Ok();
+  for (const FaultInstance& fault : faults_) {
+    if (!fault.IsScanFault()) continue;
+    auto it = inject_images_.find(fault.chain);
+    if (it == inject_images_.end()) {
+      return util::Internal("InjectFault before ReadScanChain for chain " +
+                            fault.chain);
+    }
+    if (fault.kind == FaultModelKind::kPermanentStuckAt) {
+      it->second.Set(fault.chain_bit, fault.stuck_value);
+    } else {
+      it->second.Flip(fault.chain_bit);
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::WriteScanChain() {
+  if (terminated_before_injection_) return util::Status::Ok();
+  for (const auto& [chain, image] : inject_images_) {
+    GOOFI_RETURN_IF_ERROR(card_->WriteScanChain(chain, image));
+  }
+  if (!faults_.empty()) {
+    injection_done_ = true;
+    ++activations_done_;
+  }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::WaitForTermination() {
+  const bool reactivate =
+      injection_done_ &&
+      campaign_.fault_model != FaultModelKind::kTransientBitFlip;
+  if (reactivate) {
+    next_activation_ = card_->cpu().instructions_retired() +
+                       std::max<uint64_t>(1, campaign_.burst_spacing);
+  }
+  ArmTriggers(false, reactivate);
+  if (campaign_.log_mode == LogMode::kDetail) {
+    return RunLoopDetail();
+  }
+  return RunLoop(/*stop_at_breakpoint=*/false);
+}
+
+util::Status ThorRdTarget::ReadMemory() {
+  if (environment_ != nullptr) {
+    // Control workloads: the trace of actuator commands is the output.
+    outputs_ = {actuator_crc_.Value()};
+    return util::Status::Ok();
+  }
+  if (workload_.result_words == 0) {
+    outputs_.clear();
+    return util::Status::Ok();
+  }
+  auto words = card_->ReadMemory(result_addr_, workload_.result_words);
+  if (!words.ok()) return words.status();
+  outputs_ = std::move(words).value();
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::MutateImage() {
+  // Pre-runtime SWIFI: corrupt the downloaded program/data image before the
+  // workload starts executing (§1).
+  for (const FaultInstance& fault : faults_) {
+    if (fault.IsScanFault()) {
+      return util::InvalidArgument(
+          "pre-runtime SWIFI campaign selected a scan-chain location; use "
+          "memory.text / memory.data selectors");
+    }
+    auto word = card_->ReadMemory(fault.address, 1);
+    if (!word.ok()) return word.status();
+    uint32_t value = word.value()[0];
+    if (fault.kind == FaultModelKind::kPermanentStuckAt) {
+      if (fault.stuck_value) {
+        value |= (1u << fault.bit);
+      } else {
+        value &= ~(1u << fault.bit);
+      }
+    } else {
+      value ^= (1u << fault.bit);
+    }
+    GOOFI_RETURN_IF_ERROR(card_->WriteMemory(fault.address, {value}));
+  }
+  injection_done_ = true;
+  ++activations_done_;
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::InjectMemoryFault() {
+  if (terminated_before_injection_) return util::Status::Ok();
+  return MutateImage();
+}
+
+util::Result<std::vector<FaultCandidate>> ThorRdTarget::EnumerateFaultSpace(
+    const FaultLocationSelector& selector) {
+  GOOFI_RETURN_IF_ERROR(EnsureWorkload());
+  std::vector<FaultCandidate> out;
+
+  if (selector.chain == "memory.text" || selector.chain == "memory.data") {
+    uint32_t begin = program_.base_address;
+    uint32_t end = program_.base_address + program_.size_bytes();
+    const auto etext = program_.symbols.find("_etext");
+    if (etext != program_.symbols.end()) {
+      if (selector.chain == "memory.text") {
+        end = etext->second;
+      } else {
+        begin = etext->second;
+      }
+    } else if (selector.chain == "memory.data") {
+      return util::InvalidArgument(
+          "workload has no _etext marker; memory.data is empty");
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> ranges;
+    if (end > begin) ranges.emplace_back(begin, end);
+    // Control workloads keep their working data in the environment I/O
+    // buffer rather than the image; that buffer is part of the "data area"
+    // the paper's pre-runtime SWIFI targets.
+    if (selector.chain == "memory.data" && workload_.infinite_loop) {
+      const uint32_t io_end =
+          input_addr_ + (workload_.input_words + workload_.output_words) * 4;
+      ranges.emplace_back(input_addr_, io_end);
+    }
+    if (ranges.empty()) {
+      return util::InvalidArgument("selector matches no words: " +
+                                   selector.ToString());
+    }
+    for (const auto& [range_begin, range_end] : ranges) {
+      for (uint32_t address = range_begin; address < range_end; address += 4) {
+        for (uint32_t bit = 0; bit < 32; ++bit) {
+          FaultCandidate candidate;
+          candidate.scan = false;
+          candidate.address = address;
+          candidate.bit = bit;
+          candidate.cell_name =
+              util::Format("%s@0x%08x", selector.chain.c_str(), address);
+          out.push_back(std::move(candidate));
+        }
+      }
+    }
+    return out;
+  }
+
+  const scan::ScanChain* chain = card_->chains().Find(selector.chain);
+  if (chain == nullptr) {
+    return util::NotFound("no scan chain or memory space named " +
+                          selector.chain);
+  }
+  for (const scan::ScanCell& cell : chain->cells()) {
+    if (cell.read_only) continue;
+    if (!selector.cell_prefix.empty() &&
+        !util::StartsWith(cell.name, selector.cell_prefix)) {
+      continue;
+    }
+    for (uint32_t bit = 0; bit < cell.bits; ++bit) {
+      FaultCandidate candidate;
+      candidate.scan = true;
+      candidate.chain = selector.chain;
+      candidate.chain_bit = cell.offset + bit;
+      candidate.cell_name = cell.name;
+      out.push_back(std::move(candidate));
+    }
+  }
+  if (out.empty()) {
+    return util::InvalidArgument("selector " + selector.ToString() +
+                                 " matches no injectable bits");
+  }
+  return out;
+}
+
+util::Result<LoggedState> ThorRdTarget::CollectState() {
+  LoggedState state;
+  const cpu::Cpu& cpu = card_->cpu();
+  state.detected = cpu.detected();
+  state.halted = cpu.halted() && !cpu.detected();
+  if (state.detected) {
+    state.edm = cpu::EdmTypeName(cpu.edm_event().type);
+    state.edm_code = cpu.edm_event().code;
+  }
+  state.timed_out = timed_out_;
+  state.env_failed = environment_ != nullptr && environment_->Failed();
+  state.cycles = cpu.cycles();
+  state.instret = cpu.instructions_retired();
+  state.iterations = iterations_;
+  state.outputs = outputs_;
+  state.scan_images = observe_images_;
+  return state;
+}
+
+}  // namespace goofi::core

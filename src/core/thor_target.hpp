@@ -1,0 +1,114 @@
+// ThorRdTarget: the TargetSystemInterface for the (simulated) Thor RD
+// target system.
+//
+// In the paper's architecture, each supported target system contributes one
+// TargetSystemInterface class that inherits FaultInjectionAlgorithms and
+// implements its abstract methods (Fig. 1-3). This class binds them to the
+// simulated test card: scan access goes through the IEEE 1149.1 TAP, debug
+// events through the scan-logic breakpoint unit, memory access through the
+// host port, and loop-iteration boundaries exchange data with the workload's
+// environment simulator (Fig. 1).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "env/environment.hpp"
+#include "env/workloads.hpp"
+#include "isa/assembler.hpp"
+#include "testcard/testcard.hpp"
+#include "util/crc32.hpp"
+
+namespace goofi::core {
+
+class ThorRdTarget : public FaultInjectionAlgorithms {
+ public:
+  /// `card` must outlive the target.
+  ThorRdTarget(CampaignStore* store, testcard::TestCard* card);
+
+  /// Configuration-phase output (paper Fig. 5): the target description that
+  /// is stored in the TargetSystemData table, listing every scan chain cell
+  /// with its width and read-only flag.
+  static TargetSystemData DescribeTarget(const testcard::TestCard& card,
+                                         const std::string& name);
+
+  /// The default name this target registers under.
+  static constexpr const char* kTargetName = "thor-rd-sim";
+
+ protected:
+  util::Status InitTestCard() override;
+  util::Status LoadWorkload() override;
+  util::Status WriteMemory() override;
+  util::Status RunWorkload() override;
+  util::Status WaitForBreakpoint() override;
+  util::Status ReadScanChain() override;
+  util::Status InjectFault() override;
+  util::Status WriteScanChain() override;
+  util::Status WaitForTermination() override;
+  util::Status ReadMemory() override;
+  util::Status MutateImage() override;
+  util::Status InjectMemoryFault() override;
+  util::Result<std::vector<FaultCandidate>> EnumerateFaultSpace(
+      const FaultLocationSelector& selector) override;
+  util::Result<LoggedState> CollectState() override;
+
+ private:
+  /// Assembles the campaign's workload if not already cached and resolves
+  /// its I/O layout (environment words, loop boundary, result location).
+  util::Status EnsureWorkload();
+
+  /// Reads actuator words, advances the environment, writes sensor words.
+  util::Status ServiceIteration();
+
+  /// Arms the debug triggers appropriate for the current phase.
+  void ArmTriggers(bool with_injection_breakpoint, bool with_reactivation);
+
+  /// Re-applies non-transient faults during WaitForTermination.
+  util::Status ReactivateFaults();
+
+  /// Runs the target until an event, servicing iteration boundaries.
+  /// Returns when the injection breakpoint fires (`stop_at_breakpoint`) or a
+  /// termination condition is reached.
+  util::Status RunLoop(bool stop_at_breakpoint);
+
+  /// Detail-mode variant: single-steps, logging state per instruction.
+  util::Status RunLoopDetail();
+
+  /// True when a termination condition has been reached.
+  bool Terminated() const;
+
+  testcard::TestCard* card_;
+
+  // Cached workload.
+  env::WorkloadSpec workload_;
+  isa::AssembledProgram program_;
+  bool workload_ready_ = false;
+
+  std::unique_ptr<env::EnvironmentSimulator> environment_;
+  uint32_t input_addr_ = 0;
+  uint32_t output_addr_ = 0;
+  uint32_t loop_end_addr_ = 0;
+  uint32_t result_addr_ = 0;
+
+  // Per-experiment bookkeeping.
+  int iterations_ = 0;
+  bool timed_out_ = false;
+  bool injection_done_ = false;
+  bool terminated_before_injection_ = false;
+  uint32_t activations_done_ = 0;
+  uint64_t next_activation_ = 0;
+  util::Crc32 actuator_crc_;
+  std::vector<uint32_t> outputs_;
+  std::map<std::string, util::BitVec> inject_images_;  ///< read-modify-write
+  std::map<std::string, std::string> observe_images_;  ///< logged at the end
+
+  int iteration_trigger_ = -1;
+  int breakpoint_trigger_ = -1;
+  int reactivation_trigger_ = -1;
+
+  /// Cap on detail-mode rows per experiment, to bound database growth.
+  static constexpr size_t kMaxDetailRows = 20000;
+};
+
+}  // namespace goofi::core

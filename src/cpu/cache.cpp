@@ -1,0 +1,59 @@
+#include "cpu/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace goofi::cpu {
+
+ParityCache::ParityCache(uint32_t num_lines, uint32_t address_bits,
+                         EdmType parity_edm)
+    : lines_(num_lines), parity_edm_(parity_edm) {
+  assert(num_lines > 0 && (num_lines & (num_lines - 1)) == 0);
+  index_bits_ = static_cast<uint32_t>(std::countr_zero(num_lines));
+  // Word-address space is address_bits-2 bits wide.
+  const uint32_t word_bits = address_bits > 2 ? address_bits - 2 : 1;
+  tag_bits_ = word_bits > index_bits_ ? word_bits - index_bits_ : 1;
+}
+
+bool ParityCache::ComputeParity(const Line& line) {
+  uint32_t acc = line.data ^ line.tag ^ (line.valid ? 1u : 0u);
+  return (std::popcount(acc) & 1) != 0;
+}
+
+ParityCache::LookupResult ParityCache::Lookup(uint32_t word_address) {
+  LookupResult out;
+  Line& line = lines_[IndexOf(word_address)];
+  if (!line.valid || line.tag != TagOf(word_address)) {
+    ++misses_;
+    return out;
+  }
+  ++hits_;
+  out.hit = true;
+  out.value = line.data;
+  if (ComputeParity(line) != line.parity) {
+    out.parity_error = true;
+  }
+  return out;
+}
+
+void ParityCache::Fill(uint32_t word_address, uint32_t value) {
+  Line& line = lines_[IndexOf(word_address)];
+  line.valid = true;
+  line.tag = TagOf(word_address);
+  line.data = value;
+  line.parity = ComputeParity(line);
+}
+
+void ParityCache::WriteThrough(uint32_t word_address, uint32_t value) {
+  Line& line = lines_[IndexOf(word_address)];
+  if (line.valid && line.tag == TagOf(word_address)) {
+    line.data = value;
+    line.parity = ComputeParity(line);
+  }
+}
+
+void ParityCache::Flush() {
+  for (Line& line : lines_) line = Line{};
+}
+
+}  // namespace goofi::cpu

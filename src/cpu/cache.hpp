@@ -1,0 +1,89 @@
+// Parity-protected direct-mapped cache.
+//
+// The Thor RD "featur[es] parity protected instruction and data caches"
+// (paper §1) — its headline error-detection upgrade over the original Thor.
+// Each line stores a valid bit, tag, one data word and an even-parity bit
+// covering all of them. Parity is computed on fill and checked on every hit;
+// a scan-chain bit flip in any line bit therefore surfaces as a parity
+// detection on the next access to that line. Write policy is write-through /
+// no-write-allocate, which keeps main memory authoritative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/edm.hpp"
+
+namespace goofi::cpu {
+
+class ParityCache {
+ public:
+  /// `num_lines` must be a power of two. `address_bits` bounds the tag width.
+  ParityCache(uint32_t num_lines, uint32_t address_bits, EdmType parity_edm);
+
+  uint32_t num_lines() const { return static_cast<uint32_t>(lines_.size()); }
+  uint32_t tag_bits() const { return tag_bits_; }
+  EdmType parity_edm() const { return parity_edm_; }
+
+  struct LookupResult {
+    bool hit = false;
+    bool parity_error = false;
+    uint32_t value = 0;
+  };
+
+  /// Looks up a word address (byte address / 4). On a hit, verifies parity.
+  LookupResult Lookup(uint32_t word_address);
+
+  /// Installs a word (read miss fill). Recomputes parity.
+  void Fill(uint32_t word_address, uint32_t value);
+
+  /// Write-through update: if the line holds this address, update the data
+  /// and recompute parity; otherwise no allocation happens.
+  void WriteThrough(uint32_t word_address, uint32_t value);
+
+  /// Invalidates all lines.
+  void Flush();
+
+  // Scan-chain access to individual line fields. Index < num_lines().
+  bool line_valid(uint32_t index) const { return lines_[index].valid; }
+  uint32_t line_tag(uint32_t index) const { return lines_[index].tag; }
+  uint32_t line_data(uint32_t index) const { return lines_[index].data; }
+  bool line_parity(uint32_t index) const { return lines_[index].parity; }
+  void set_line_valid(uint32_t index, bool v) { lines_[index].valid = v; }
+  void set_line_tag(uint32_t index, uint32_t v) { lines_[index].tag = v & TagMask(); }
+  void set_line_data(uint32_t index, uint32_t v) { lines_[index].data = v; }
+  void set_line_parity(uint32_t index, bool v) { lines_[index].parity = v; }
+
+  /// Statistics for the cycle model and benches.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    uint32_t tag = 0;
+    uint32_t data = 0;
+    bool parity = false;
+  };
+
+  uint32_t IndexOf(uint32_t word_address) const {
+    return word_address & (num_lines() - 1);
+  }
+  uint32_t TagOf(uint32_t word_address) const {
+    return (word_address >> index_bits_) & TagMask();
+  }
+  uint32_t TagMask() const { return (tag_bits_ >= 32) ? ~0u : ((1u << tag_bits_) - 1); }
+
+  /// Even parity over valid + tag + data.
+  static bool ComputeParity(const Line& line);
+
+  std::vector<Line> lines_;
+  uint32_t index_bits_ = 0;
+  uint32_t tag_bits_ = 0;
+  EdmType parity_edm_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace goofi::cpu

@@ -1,0 +1,549 @@
+#include "cpu/cpu.hpp"
+
+#include "util/strings.hpp"
+
+namespace goofi::cpu {
+
+namespace {
+constexpr uint32_t kAddressBits = 20;  // matches the 1 MiB default memory
+}
+
+Cpu::Cpu(const CpuConfig& config)
+    : config_(config),
+      memory_(config.memory_bytes),
+      icache_(config.icache_lines, kAddressBits, EdmType::kCacheParityInstr),
+      dcache_(config.dcache_lines, kAddressBits, EdmType::kCacheParityData) {}
+
+util::Status Cpu::LoadProgram(uint32_t base, const std::vector<uint32_t>& words,
+                              uint32_t text_bytes) {
+  const uint32_t image_bytes = static_cast<uint32_t>(words.size()) * 4;
+  if (text_bytes == 0 || text_bytes > image_bytes) text_bytes = image_bytes;
+  for (size_t i = 0; i < words.size(); ++i) {
+    GOOFI_RETURN_IF_ERROR(
+        memory_.HostWrite(base + static_cast<uint32_t>(i) * 4, words[i]));
+  }
+  memory_.ClearProtection();
+  text_start_ = base;
+  text_end_ = base + text_bytes;
+  memory_.Protect(text_start_, text_bytes);
+  return util::Status::Ok();
+}
+
+void Cpu::Reset(uint32_t entry) {
+  regs_.fill(0);
+  // Stack starts at the top of memory, empty-descending.
+  regs_[isa::kStackPointer] = memory_.size_bytes();
+  pc_ = entry;
+  ir_ = 0;
+  next_pc_ = entry;
+  latch_operand_a_ = latch_operand_b_ = latch_alu_result_ = 0;
+  latch_mem_addr_ = latch_mem_data_ = 0;
+  watchdog_counter_ = 0;
+  cycles_ = 0;
+  instret_ = 0;
+  halted_ = false;
+  edm_event_ = EdmEvent{};
+  icache_.Flush();
+  dcache_.Flush();
+  Fetch(entry);
+  // The initial prefetch is part of reset, not of the measured execution:
+  // cycle/instruction counters start at zero when the first Step() runs.
+  cycles_ = 0;
+  instret_ = 0;
+  icache_.ResetStats();
+  dcache_.ResetStats();
+}
+
+void Cpu::PowerCycle() {
+  memory_.Reset();
+  text_start_ = text_end_ = 0;
+  Reset(0);
+}
+
+util::Status Cpu::HostWriteWord(uint32_t address, uint32_t value) {
+  GOOFI_RETURN_IF_ERROR(memory_.HostWrite(address, value));
+  dcache_.WriteThrough(address / 4, value);
+  icache_.WriteThrough(address / 4, value);
+  return util::Status::Ok();
+}
+
+void Cpu::RaiseEdm(EdmType type, int32_t code, const std::string& detail) {
+  if (!config_.edms.Enabled(type)) return;
+  if (edm_event_.Detected()) return;  // first detection wins
+  edm_event_.type = type;
+  edm_event_.cycle = cycles_;
+  edm_event_.pc = pc_;
+  edm_event_.code = code;
+  edm_event_.detail = detail;
+  halted_ = true;
+}
+
+void Cpu::Fetch(uint32_t address) {
+  if (address % 4 != 0) {
+    RaiseEdm(EdmType::kMisalignedAccess, 0,
+             util::Format("fetch from 0x%08x", address));
+    // Even with the EDM disabled a misaligned fetch cannot proceed; force-align.
+    address &= ~3u;
+  }
+  const uint32_t word_address = address / 4;
+  ParityCache::LookupResult hit = icache_.Lookup(word_address);
+  if (hit.hit) {
+    if (hit.parity_error) {
+      RaiseEdm(icache_.parity_edm(), 0,
+               util::Format("icache parity at 0x%08x", address));
+      if (halted_) return;
+      // Parity EDM disabled: the corrupted word is consumed as-is.
+    }
+    ir_ = hit.value;
+    return;
+  }
+  cycles_ += config_.cache_miss_penalty;
+  const MemAccess access = memory_.Read(address);
+  if (!access.ok()) {
+    RaiseEdm(access.violation, 0, util::Format("fetch from 0x%08x", address));
+    ir_ = 0;
+    return;
+  }
+  icache_.Fill(word_address, access.value);
+  ir_ = access.value;
+}
+
+bool Cpu::LoadWord(uint32_t address, uint32_t* value) {
+  latch_mem_addr_ = address;
+  if (address % 4 != 0) {
+    RaiseEdm(EdmType::kMisalignedAccess, 0, util::Format("load 0x%08x", address));
+    if (halted_) return false;
+    address &= ~3u;
+  }
+  const uint32_t word_address = address / 4;
+  ParityCache::LookupResult hit = dcache_.Lookup(word_address);
+  if (hit.hit) {
+    if (hit.parity_error) {
+      RaiseEdm(dcache_.parity_edm(), 0,
+               util::Format("dcache parity at 0x%08x", address));
+      if (halted_) return false;
+    }
+    *value = hit.value;
+    latch_mem_data_ = hit.value;
+    return true;
+  }
+  cycles_ += config_.cache_miss_penalty;
+  const MemAccess access = memory_.Read(address);
+  if (!access.ok()) {
+    RaiseEdm(access.violation, 0, util::Format("load 0x%08x", address));
+    return false;
+  }
+  dcache_.Fill(word_address, access.value);
+  *value = access.value;
+  latch_mem_data_ = access.value;
+  return true;
+}
+
+bool Cpu::StoreWord(uint32_t address, uint32_t value) {
+  latch_mem_addr_ = address;
+  latch_mem_data_ = value;
+  if (address % 4 != 0) {
+    RaiseEdm(EdmType::kMisalignedAccess, 0, util::Format("store 0x%08x", address));
+    if (halted_) return false;
+    address &= ~3u;
+  }
+  const MemAccess access = memory_.Write(address, value);
+  if (!access.ok()) {
+    RaiseEdm(access.violation, 0, util::Format("store 0x%08x", address));
+    return false;
+  }
+  dcache_.WriteThrough(address / 4, value);
+  return true;
+}
+
+bool Cpu::CheckControlFlow(uint32_t target) {
+  if (text_end_ == text_start_) return true;  // no text segment registered
+  if (target < text_start_ || target >= text_end_ || target % 4 != 0) {
+    RaiseEdm(EdmType::kControlFlowError, 0,
+             util::Format("control transfer to 0x%08x", target));
+    return !halted_;
+  }
+  return true;
+}
+
+StepOutcome Cpu::Step() {
+  if (halted_) {
+    return edm_event_.Detected() ? StepOutcome::kDetected : StepOutcome::kHalted;
+  }
+  ExecuteInstruction();
+  if (edm_event_.Detected()) return StepOutcome::kDetected;
+  if (halted_) return StepOutcome::kHalted;
+
+  // Watchdog: counts cycles since reset (kicked by TRAP 0 below).
+  if (config_.watchdog_limit != 0) {
+    watchdog_counter_ = static_cast<uint32_t>(
+        std::min<uint64_t>(watchdog_counter_ + 1, UINT32_MAX));
+    if (watchdog_counter_ >= config_.watchdog_limit) {
+      RaiseEdm(EdmType::kWatchdogTimeout, 0, "watchdog expired");
+      return StepOutcome::kDetected;
+    }
+  }
+
+  // Stack-limit check (stack grows downwards from the top of memory).
+  if (config_.stack_limit != 0 &&
+      regs_[isa::kStackPointer] < config_.stack_limit) {
+    RaiseEdm(EdmType::kStackOverflow, 0,
+             util::Format("sp=0x%08x below limit", regs_[isa::kStackPointer]));
+    return StepOutcome::kDetected;
+  }
+
+  Fetch(next_pc_);
+  if (edm_event_.Detected()) return StepOutcome::kDetected;
+  pc_ = next_pc_;
+  return StepOutcome::kOk;
+}
+
+StepOutcome Cpu::Run(uint64_t max_cycles) {
+  for (;;) {
+    const StepOutcome outcome = Step();
+    if (outcome != StepOutcome::kOk) return outcome;
+    if (max_cycles != 0 && cycles_ >= max_cycles) return StepOutcome::kOk;
+  }
+}
+
+void Cpu::ExecuteInstruction() {
+  using isa::Opcode;
+
+  auto decoded = isa::Decode(ir_);
+  if (!decoded.ok()) {
+    RaiseEdm(EdmType::kIllegalOpcode, 0, decoded.status().message());
+    if (halted_) return;
+    // EDM disabled: undefined instructions execute as NOP.
+    next_pc_ = pc_ + 4;
+    cycles_ += 1;
+    ++instret_;
+    return;
+  }
+  const isa::Instruction ins = decoded.value();
+  const isa::OpcodeInfo& info = isa::GetOpcodeInfo(ins.op);
+  cycles_ += static_cast<uint64_t>(info.base_cycles);
+  ++instret_;
+  next_pc_ = pc_ + 4;
+
+  const uint32_t a = regs_[ins.rs1];
+  const uint32_t b = regs_[ins.rs2];
+  latch_operand_a_ = a;
+  latch_operand_b_ = b;
+
+  auto set_rd = [&](uint32_t value) {
+    latch_alu_result_ = value;
+    // r0 is hardwired to zero (writes are discarded); its scan cell is
+    // read-only accordingly.
+    if (ins.rd != 0) regs_[ins.rd] = value;
+  };
+  auto signed_overflow_add = [&](int32_t x, int32_t y) {
+    int32_t result;
+    return __builtin_add_overflow(x, y, &result);
+  };
+  auto signed_overflow_sub = [&](int32_t x, int32_t y) {
+    int32_t result;
+    return __builtin_sub_overflow(x, y, &result);
+  };
+
+  switch (ins.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kAdd:
+      if (signed_overflow_add(static_cast<int32_t>(a), static_cast<int32_t>(b))) {
+        RaiseEdm(EdmType::kArithmeticOverflow, 0, "add overflow");
+        if (halted_) return;
+      }
+      set_rd(a + b);
+      break;
+    case Opcode::kSub:
+      if (signed_overflow_sub(static_cast<int32_t>(a), static_cast<int32_t>(b))) {
+        RaiseEdm(EdmType::kArithmeticOverflow, 0, "sub overflow");
+        if (halted_) return;
+      }
+      set_rd(a - b);
+      break;
+    case Opcode::kMul: {
+      const int64_t wide = static_cast<int64_t>(static_cast<int32_t>(a)) *
+                           static_cast<int64_t>(static_cast<int32_t>(b));
+      if (wide != static_cast<int64_t>(static_cast<int32_t>(wide))) {
+        RaiseEdm(EdmType::kArithmeticOverflow, 0, "mul overflow");
+        if (halted_) return;
+      }
+      set_rd(static_cast<uint32_t>(wide));
+      break;
+    }
+    case Opcode::kDiv:
+      if (b == 0) {
+        RaiseEdm(EdmType::kArithmeticOverflow, 0, "divide by zero");
+        if (halted_) return;
+        set_rd(0);
+      } else {
+        set_rd(static_cast<uint32_t>(static_cast<int32_t>(a) /
+                                     static_cast<int32_t>(b)));
+      }
+      break;
+    case Opcode::kAnd:
+      set_rd(a & b);
+      break;
+    case Opcode::kOr:
+      set_rd(a | b);
+      break;
+    case Opcode::kXor:
+      set_rd(a ^ b);
+      break;
+    case Opcode::kSll:
+      set_rd(a << (b & 31));
+      break;
+    case Opcode::kSrl:
+      set_rd(a >> (b & 31));
+      break;
+    case Opcode::kSra:
+      set_rd(static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31)));
+      break;
+    case Opcode::kSlt:
+      set_rd(static_cast<int32_t>(a) < static_cast<int32_t>(b) ? 1 : 0);
+      break;
+    case Opcode::kSltu:
+      set_rd(a < b ? 1 : 0);
+      break;
+
+    case Opcode::kAddi: {
+      const int32_t imm = ins.imm;
+      latch_operand_b_ = static_cast<uint32_t>(imm);
+      if (signed_overflow_add(static_cast<int32_t>(a), imm)) {
+        RaiseEdm(EdmType::kArithmeticOverflow, 0, "addi overflow");
+        if (halted_) return;
+      }
+      set_rd(a + static_cast<uint32_t>(imm));
+      break;
+    }
+    case Opcode::kAndi:
+      set_rd(a & static_cast<uint32_t>(ins.imm));
+      break;
+    case Opcode::kOri:
+      set_rd(a | static_cast<uint32_t>(ins.imm));
+      break;
+    case Opcode::kXori:
+      set_rd(a ^ static_cast<uint32_t>(ins.imm));
+      break;
+    case Opcode::kSlli:
+      set_rd(a << (static_cast<uint32_t>(ins.imm) & 31));
+      break;
+    case Opcode::kSrli:
+      set_rd(a >> (static_cast<uint32_t>(ins.imm) & 31));
+      break;
+    case Opcode::kLui:
+      set_rd(static_cast<uint32_t>(ins.imm) << 14);
+      break;
+    case Opcode::kSlti:
+      set_rd(static_cast<int32_t>(a) < ins.imm ? 1 : 0);
+      break;
+
+    case Opcode::kLdw: {
+      uint32_t value = 0;
+      if (!LoadWord(a + static_cast<uint32_t>(ins.imm), &value)) return;
+      set_rd(value);
+      break;
+    }
+    case Opcode::kStw:
+      if (!StoreWord(a + static_cast<uint32_t>(ins.imm), regs_[ins.rd])) return;
+      break;
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      const uint32_t lhs = regs_[ins.rd];
+      const uint32_t rhs = a;  // rs1
+      bool taken = false;
+      switch (ins.op) {
+        case Opcode::kBeq:
+          taken = lhs == rhs;
+          break;
+        case Opcode::kBne:
+          taken = lhs != rhs;
+          break;
+        case Opcode::kBlt:
+          taken = static_cast<int32_t>(lhs) < static_cast<int32_t>(rhs);
+          break;
+        case Opcode::kBge:
+          taken = static_cast<int32_t>(lhs) >= static_cast<int32_t>(rhs);
+          break;
+        case Opcode::kBltu:
+          taken = lhs < rhs;
+          break;
+        default:
+          taken = lhs >= rhs;
+          break;
+      }
+      if (taken) {
+        const uint32_t target =
+            pc_ + 4 + static_cast<uint32_t>(ins.imm) * 4;
+        if (!CheckControlFlow(target)) return;
+        next_pc_ = target;
+      }
+      break;
+    }
+
+    case Opcode::kJmp: {
+      const uint32_t target = static_cast<uint32_t>(ins.imm) * 4;
+      if (!CheckControlFlow(target)) return;
+      next_pc_ = target;
+      break;
+    }
+    case Opcode::kJal: {
+      const uint32_t target = static_cast<uint32_t>(ins.imm) * 4;
+      if (!CheckControlFlow(target)) return;
+      regs_[isa::kLinkRegister] = pc_ + 4;
+      next_pc_ = target;
+      break;
+    }
+    case Opcode::kJr: {
+      const uint32_t target = regs_[ins.rs1];
+      if (!CheckControlFlow(target)) return;
+      next_pc_ = target;
+      break;
+    }
+
+    case Opcode::kHalt:
+      halted_ = true;
+      break;
+    case Opcode::kTrap:
+      if (ins.imm == 0) {
+        // TRAP 0 kicks the watchdog (the workload's "I am alive" signal).
+        watchdog_counter_ = 0;
+      } else {
+        RaiseEdm(EdmType::kSoftwareAssertion, ins.imm,
+                 util::Format("assertion %d failed", ins.imm));
+        if (halted_) return;
+      }
+      break;
+  }
+}
+
+StateRegistry Cpu::BuildStateRegistry() {
+  StateRegistry registry;
+
+  auto add_u32 = [&](std::string name, std::string group, uint32_t* storage,
+                     bool read_only = false) {
+    StateElement element;
+    element.name = std::move(name);
+    element.group = std::move(group);
+    element.bits = 32;
+    element.read_only = read_only;
+    element.get = [storage]() { return static_cast<uint64_t>(*storage); };
+    if (!read_only) {
+      element.set = [storage](uint64_t v) { *storage = static_cast<uint32_t>(v); };
+    }
+    registry.Add(std::move(element));
+  };
+
+  for (int r = 0; r < isa::kNumRegisters; ++r) {
+    // r0 is hardwired zero: observable on the chain but not injectable.
+    add_u32("regfile." + *isa::RegisterName(r), "regfile",
+            &regs_[static_cast<size_t>(r)], /*read_only=*/r == 0);
+  }
+  add_u32("core.pc", "core", &pc_);
+  add_u32("core.ir", "core", &ir_);
+  add_u32("pipeline.operand_a", "pipeline", &latch_operand_a_);
+  add_u32("pipeline.operand_b", "pipeline", &latch_operand_b_);
+  add_u32("pipeline.alu_result", "pipeline", &latch_alu_result_);
+  add_u32("pipeline.mem_addr", "pipeline", &latch_mem_addr_);
+  add_u32("pipeline.mem_data", "pipeline", &latch_mem_data_);
+  add_u32("core.watchdog", "core", &watchdog_counter_);
+
+  // Observation-only counters (read-only scan cells, paper §3.1).
+  {
+    StateElement element;
+    element.name = "core.cycles";
+    element.group = "core";
+    element.bits = 64;
+    element.read_only = true;
+    element.get = [this]() { return cycles_; };
+    registry.Add(std::move(element));
+  }
+  {
+    StateElement element;
+    element.name = "core.instret";
+    element.group = "core";
+    element.bits = 64;
+    element.read_only = true;
+    element.get = [this]() { return instret_; };
+    registry.Add(std::move(element));
+  }
+  {
+    StateElement element;
+    element.name = "core.halted";
+    element.group = "core";
+    element.bits = 1;
+    element.read_only = true;
+    element.get = [this]() { return halted_ ? 1u : 0u; };
+    registry.Add(std::move(element));
+  }
+
+  auto add_cache = [&](const char* prefix, ParityCache* cache) {
+    for (uint32_t line = 0; line < cache->num_lines(); ++line) {
+      const std::string base = util::Format("%s.line%u", prefix, line);
+      {
+        StateElement element;
+        element.name = base + ".valid";
+        element.group = prefix;
+        element.bits = 1;
+        element.get = [cache, line]() {
+          return cache->line_valid(line) ? 1u : 0u;
+        };
+        element.set = [cache, line](uint64_t v) {
+          cache->set_line_valid(line, v & 1u);
+        };
+        registry.Add(std::move(element));
+      }
+      {
+        StateElement element;
+        element.name = base + ".tag";
+        element.group = prefix;
+        element.bits = cache->tag_bits();
+        element.get = [cache, line]() {
+          return static_cast<uint64_t>(cache->line_tag(line));
+        };
+        element.set = [cache, line](uint64_t v) {
+          cache->set_line_tag(line, static_cast<uint32_t>(v));
+        };
+        registry.Add(std::move(element));
+      }
+      {
+        StateElement element;
+        element.name = base + ".data";
+        element.group = prefix;
+        element.bits = 32;
+        element.get = [cache, line]() {
+          return static_cast<uint64_t>(cache->line_data(line));
+        };
+        element.set = [cache, line](uint64_t v) {
+          cache->set_line_data(line, static_cast<uint32_t>(v));
+        };
+        registry.Add(std::move(element));
+      }
+      {
+        StateElement element;
+        element.name = base + ".parity";
+        element.group = prefix;
+        element.bits = 1;
+        element.get = [cache, line]() {
+          return cache->line_parity(line) ? 1u : 0u;
+        };
+        element.set = [cache, line](uint64_t v) {
+          cache->set_line_parity(line, v & 1u);
+        };
+        registry.Add(std::move(element));
+      }
+    }
+  };
+  add_cache("icache", &icache_);
+  add_cache("dcache", &dcache_);
+
+  return registry;
+}
+
+}  // namespace goofi::cpu

@@ -1,0 +1,162 @@
+// TRD32 microprocessor simulator — the fault-injection target.
+//
+// The core uses a prefetch model: `ir` always holds the next instruction to
+// execute (already fetched through the instruction cache) and `pc` its
+// address. Step() executes `ir`, then fetches the following instruction.
+// This matters for fault injection: SCIFI stops the target at a breakpoint,
+// flips bits via the scan chains, and resumes — a flip in `ir` therefore
+// corrupts a real in-flight instruction, exactly like a flip in a hardware
+// pipeline register would.
+//
+// All architectural and micro-architectural state is exported through
+// BuildStateRegistry() for the scan-chain logic (src/scan).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/cache.hpp"
+#include "cpu/edm.hpp"
+#include "cpu/memory.hpp"
+#include "cpu/state.hpp"
+#include "isa/isa.hpp"
+
+namespace goofi::cpu {
+
+struct CpuConfig {
+  uint32_t memory_bytes = 1u << 20;  ///< 1 MiB
+  uint32_t icache_lines = 64;        ///< power of two
+  uint32_t dcache_lines = 64;        ///< power of two
+  uint32_t cache_miss_penalty = 4;   ///< extra cycles per miss
+  uint64_t watchdog_limit = 0;       ///< cycles between watchdog kicks; 0 = off
+  uint32_t stack_limit = 0;          ///< sp below this trips kStackOverflow; 0 = off
+  EdmConfig edms;
+};
+
+/// Outcome of one Step().
+enum class StepOutcome {
+  kOk,        ///< executed one instruction, still running
+  kHalted,    ///< executed HALT (normal workload termination)
+  kDetected,  ///< an EDM fired; see edm_event()
+};
+
+class Cpu {
+ public:
+  explicit Cpu(const CpuConfig& config = CpuConfig());
+
+  // Not copyable (state registry closures bind to `this`).
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  const CpuConfig& config() const { return config_; }
+
+  // --- program setup (host side, via test card) ---------------------------
+
+  /// Writes `words` at `base` (byte address). The first `text_bytes` of the
+  /// image are the text segment: marked read-only for CPU stores and used as
+  /// the legal range for control-flow checking. `text_bytes == 0` treats the
+  /// whole image as text (code-only workloads).
+  util::Status LoadProgram(uint32_t base, const std::vector<uint32_t>& words,
+                           uint32_t text_bytes = 0);
+
+  /// Resets architectural state and prefetches from `entry`. Memory contents
+  /// are preserved (workload download happens separately).
+  void Reset(uint32_t entry);
+
+  /// Full power-cycle: also zeroes memory, caches and statistics.
+  void PowerCycle();
+
+  /// Host-side word write that keeps the caches coherent: the test logic
+  /// bypasses the cache hierarchy, so a bare Memory::HostWrite would leave
+  /// stale lines behind. All host writes to a live target go through here.
+  util::Status HostWriteWord(uint32_t address, uint32_t value);
+
+  // --- execution -----------------------------------------------------------
+
+  /// Executes exactly one instruction. Once halted or detected, further
+  /// calls return the same outcome without advancing state.
+  StepOutcome Step();
+
+  /// Runs until halt/detection or until `max_cycles` elapse (0 = unbounded).
+  /// Returns the final outcome; if the budget expires while running, returns
+  /// StepOutcome::kOk (the GOOFI layer treats that as a timeout).
+  StepOutcome Run(uint64_t max_cycles);
+
+  bool halted() const { return halted_; }
+  bool detected() const { return edm_event_.Detected(); }
+  const EdmEvent& edm_event() const { return edm_event_; }
+
+  // --- architectural state -------------------------------------------------
+
+  uint32_t reg(int index) const { return regs_[static_cast<size_t>(index)]; }
+  void set_reg(int index, uint32_t value) { regs_[static_cast<size_t>(index)] = value; }
+  uint32_t pc() const { return pc_; }
+  uint32_t ir() const { return ir_; }
+  uint64_t cycles() const { return cycles_; }
+  uint64_t instructions_retired() const { return instret_; }
+
+  Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
+  ParityCache& icache() { return icache_; }
+  ParityCache& dcache() { return dcache_; }
+
+  uint32_t text_start() const { return text_start_; }
+  uint32_t text_end() const { return text_end_; }
+
+  /// Data-path latches after the last executed instruction; the debug unit's
+  /// data-access/data-value comparators observe these.
+  uint32_t latch_mem_addr() const { return latch_mem_addr_; }
+  uint32_t latch_mem_data() const { return latch_mem_data_; }
+
+  /// Builds the scan-visible state-element list. The returned registry holds
+  /// accessors bound to this Cpu instance and must not outlive it.
+  StateRegistry BuildStateRegistry();
+
+ private:
+  /// Fetches the instruction at `address` into ir_ through the icache;
+  /// raises EDMs on bad addresses / parity errors.
+  void Fetch(uint32_t address);
+
+  /// Raises `type` if enabled; halts the core on detection.
+  void RaiseEdm(EdmType type, int32_t code, const std::string& detail);
+
+  /// Data-path load/store through the dcache.
+  bool LoadWord(uint32_t address, uint32_t* value);
+  bool StoreWord(uint32_t address, uint32_t value);
+
+  /// Control-flow check for a jump/branch/return target.
+  bool CheckControlFlow(uint32_t target);
+
+  void ExecuteInstruction();
+
+  CpuConfig config_;
+  Memory memory_;
+  ParityCache icache_;
+  ParityCache dcache_;
+
+  std::array<uint32_t, isa::kNumRegisters> regs_{};
+  uint32_t pc_ = 0;
+  uint32_t ir_ = 0;          ///< prefetched instruction word (scannable)
+  uint32_t next_pc_ = 0;     ///< computed during execute
+
+  // Pipeline latches: refreshed every instruction, scannable. Flips in these
+  // are usually overwritten before use — deliberately so; scan-chain studies
+  // (paper ref [10]) report a large non-effective fraction from such latches.
+  uint32_t latch_operand_a_ = 0;
+  uint32_t latch_operand_b_ = 0;
+  uint32_t latch_alu_result_ = 0;
+  uint32_t latch_mem_addr_ = 0;
+  uint32_t latch_mem_data_ = 0;
+
+  uint32_t watchdog_counter_ = 0;
+
+  uint64_t cycles_ = 0;
+  uint64_t instret_ = 0;
+  bool halted_ = false;
+  EdmEvent edm_event_;
+
+  uint32_t text_start_ = 0;
+  uint32_t text_end_ = 0;
+};
+
+}  // namespace goofi::cpu

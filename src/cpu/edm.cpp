@@ -1,0 +1,85 @@
+#include "cpu/edm.hpp"
+
+namespace goofi::cpu {
+
+const char* EdmTypeName(EdmType type) {
+  switch (type) {
+    case EdmType::kNone:
+      return "none";
+    case EdmType::kIllegalOpcode:
+      return "illegal_opcode";
+    case EdmType::kMisalignedAccess:
+      return "misaligned_access";
+    case EdmType::kOutOfRangeAccess:
+      return "out_of_range_access";
+    case EdmType::kMemoryProtection:
+      return "memory_protection";
+    case EdmType::kCacheParityInstr:
+      return "cache_parity_instr";
+    case EdmType::kCacheParityData:
+      return "cache_parity_data";
+    case EdmType::kArithmeticOverflow:
+      return "arithmetic_overflow";
+    case EdmType::kWatchdogTimeout:
+      return "watchdog_timeout";
+    case EdmType::kControlFlowError:
+      return "control_flow_error";
+    case EdmType::kStackOverflow:
+      return "stack_overflow";
+    case EdmType::kSoftwareAssertion:
+      return "software_assertion";
+  }
+  return "?";
+}
+
+EdmType EdmTypeFromName(const std::string& name) {
+  static constexpr EdmType kAll[] = {
+      EdmType::kNone,
+      EdmType::kIllegalOpcode,
+      EdmType::kMisalignedAccess,
+      EdmType::kOutOfRangeAccess,
+      EdmType::kMemoryProtection,
+      EdmType::kCacheParityInstr,
+      EdmType::kCacheParityData,
+      EdmType::kArithmeticOverflow,
+      EdmType::kWatchdogTimeout,
+      EdmType::kControlFlowError,
+      EdmType::kStackOverflow,
+      EdmType::kSoftwareAssertion,
+  };
+  for (EdmType type : kAll) {
+    if (name == EdmTypeName(type)) return type;
+  }
+  return EdmType::kNone;
+}
+
+bool EdmConfig::Enabled(EdmType type) const {
+  switch (type) {
+    case EdmType::kNone:
+      return false;
+    case EdmType::kIllegalOpcode:
+      return illegal_opcode;
+    case EdmType::kMisalignedAccess:
+      return misaligned_access;
+    case EdmType::kOutOfRangeAccess:
+      return out_of_range_access;
+    case EdmType::kMemoryProtection:
+      return memory_protection;
+    case EdmType::kCacheParityInstr:
+    case EdmType::kCacheParityData:
+      return cache_parity;
+    case EdmType::kArithmeticOverflow:
+      return arithmetic_overflow;
+    case EdmType::kWatchdogTimeout:
+      return watchdog;
+    case EdmType::kControlFlowError:
+      return control_flow;
+    case EdmType::kStackOverflow:
+      return stack_overflow;
+    case EdmType::kSoftwareAssertion:
+      return software_assertion;
+  }
+  return false;
+}
+
+}  // namespace goofi::cpu

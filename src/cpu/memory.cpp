@@ -1,0 +1,70 @@
+#include "cpu/memory.hpp"
+
+namespace goofi::cpu {
+
+Memory::Memory(uint32_t size_bytes) : words_((size_bytes + 3) / 4, 0) {}
+
+MemAccess Memory::Read(uint32_t address) const {
+  MemAccess out;
+  if (address % 4 != 0) {
+    out.violation = EdmType::kMisalignedAccess;
+    return out;
+  }
+  if (address >= size_bytes()) {
+    out.violation = EdmType::kOutOfRangeAccess;
+    return out;
+  }
+  out.value = words_[address / 4];
+  return out;
+}
+
+MemAccess Memory::Write(uint32_t address, uint32_t value) {
+  MemAccess out;
+  if (address % 4 != 0) {
+    out.violation = EdmType::kMisalignedAccess;
+    return out;
+  }
+  if (address >= size_bytes()) {
+    out.violation = EdmType::kOutOfRangeAccess;
+    return out;
+  }
+  if (IsProtected(address)) {
+    out.violation = EdmType::kMemoryProtection;
+    return out;
+  }
+  words_[address / 4] = value;
+  return out;
+}
+
+util::Status Memory::HostWrite(uint32_t address, uint32_t value) {
+  if (address % 4 != 0) return util::InvalidArgument("misaligned host write");
+  if (address >= size_bytes()) return util::OutOfRange("host write out of range");
+  words_[address / 4] = value;
+  return util::Status::Ok();
+}
+
+util::Result<uint32_t> Memory::HostRead(uint32_t address) const {
+  if (address % 4 != 0) return util::InvalidArgument("misaligned host read");
+  if (address >= size_bytes()) return util::OutOfRange("host read out of range");
+  return words_[address / 4];
+}
+
+void Memory::Protect(uint32_t start, uint32_t length) {
+  protected_ranges_.push_back({start, start + length});
+}
+
+void Memory::ClearProtection() { protected_ranges_.clear(); }
+
+bool Memory::IsProtected(uint32_t address) const {
+  for (const Range& range : protected_ranges_) {
+    if (address >= range.start && address < range.end) return true;
+  }
+  return false;
+}
+
+void Memory::Reset() {
+  std::fill(words_.begin(), words_.end(), 0u);
+  protected_ranges_.clear();
+}
+
+}  // namespace goofi::cpu

@@ -1,0 +1,62 @@
+// Target main memory with protection ranges.
+//
+// Word-addressable backing store. The text segment is marked read-only once
+// the workload is downloaded (pre-runtime SWIFI writes it *before* marking),
+// so stray stores caused by injected faults trip the memory-protection EDM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/edm.hpp"
+#include "util/status.hpp"
+
+namespace goofi::cpu {
+
+/// Outcome of a memory access: either success or the EDM that should fire.
+struct MemAccess {
+  EdmType violation = EdmType::kNone;  ///< kNone == access succeeded
+  uint32_t value = 0;                  ///< loaded word (reads)
+
+  bool ok() const { return violation == EdmType::kNone; }
+};
+
+class Memory {
+ public:
+  /// `size_bytes` is rounded up to a whole word count.
+  explicit Memory(uint32_t size_bytes);
+
+  uint32_t size_bytes() const { return static_cast<uint32_t>(words_.size()) * 4; }
+
+  /// Checked word read at a byte address (alignment + range).
+  MemAccess Read(uint32_t address) const;
+
+  /// Checked word write (alignment + range + protection).
+  MemAccess Write(uint32_t address, uint32_t value);
+
+  /// Unchecked accessors for the host side (workload download, test-card
+  /// readMemory/writeMemory, pre-runtime SWIFI mutation). These bypass
+  /// protection — the host talks to memory through the test logic, not
+  /// through the CPU's load/store path. Out-of-range still fails.
+  util::Status HostWrite(uint32_t address, uint32_t value);
+  util::Result<uint32_t> HostRead(uint32_t address) const;
+
+  /// Marks [start, start+length) read-only for CPU stores.
+  void Protect(uint32_t start, uint32_t length);
+  void ClearProtection();
+  bool IsProtected(uint32_t address) const;
+
+  /// Zeroes all contents, keeps protection ranges cleared.
+  void Reset();
+
+ private:
+  struct Range {
+    uint32_t start;
+    uint32_t end;  // exclusive
+  };
+
+  std::vector<uint32_t> words_;
+  std::vector<Range> protected_ranges_;
+};
+
+}  // namespace goofi::cpu

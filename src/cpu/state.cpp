@@ -1,0 +1,30 @@
+#include "cpu/state.hpp"
+
+#include <algorithm>
+
+namespace goofi::cpu {
+
+uint32_t StateRegistry::TotalBits() const {
+  uint32_t total = 0;
+  for (const StateElement& element : elements_) total += element.bits;
+  return total;
+}
+
+int StateRegistry::Find(const std::string& name) const {
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (elements_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> StateRegistry::Groups() const {
+  std::vector<std::string> groups;
+  for (const StateElement& element : elements_) {
+    if (std::find(groups.begin(), groups.end(), element.group) == groups.end()) {
+      groups.push_back(element.group);
+    }
+  }
+  return groups;
+}
+
+}  // namespace goofi::cpu

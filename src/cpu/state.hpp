@@ -1,0 +1,49 @@
+// State-element registry: the bridge between the CPU core and the scan-chain
+// test logic.
+//
+// "The scan-chain logic ... allows access to almost all of the state elements
+// of Thor RD" (paper §3.1). A StateElement is one named, bit-addressable
+// storage element (a register, a latch, a cache line field). The scan module
+// serializes a list of these into chains; the GUI-equivalent configuration
+// layer lets users pick fault locations from this hierarchy by name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace goofi::cpu {
+
+struct StateElement {
+  std::string name;   ///< hierarchical, e.g. "regfile.r3", "icache.line12.tag"
+  std::string group;  ///< top-level group, e.g. "regfile", "icache"
+  uint32_t bits = 0;  ///< width in bits (<= 64)
+  bool read_only = false;  ///< "Some locations in the scan-chain are read-only
+                           ///  and can therefore only be used to observe" (§3.1)
+  std::function<uint64_t()> get;
+  std::function<void(uint64_t)> set;  ///< null when read_only
+};
+
+/// A list of state elements with convenience lookups.
+class StateRegistry {
+ public:
+  void Add(StateElement element) { elements_.push_back(std::move(element)); }
+
+  const std::vector<StateElement>& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+
+  /// Total bit count across all elements.
+  uint32_t TotalBits() const;
+
+  /// Index of element by exact name, or -1.
+  int Find(const std::string& name) const;
+
+  /// All distinct groups in declaration order.
+  std::vector<std::string> Groups() const;
+
+ private:
+  std::vector<StateElement> elements_;
+};
+
+}  // namespace goofi::cpu

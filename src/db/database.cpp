@@ -1,0 +1,376 @@
+#include "db/database.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::db {
+
+namespace {
+std::string LowerName(const std::string& name) { return util::ToLower(name); }
+}  // namespace
+
+util::Status Database::CreateTable(Schema schema) {
+  GOOFI_RETURN_IF_ERROR(schema.Validate());
+  const std::string key = LowerName(schema.table_name());
+  if (tables_.contains(key)) {
+    return util::AlreadyExists("table " + schema.table_name() + " already exists");
+  }
+  // Validate foreign keys against existing tables (self-references allowed).
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    const Table* ref = GetTable(fk.ref_table);
+    const Schema* ref_schema = nullptr;
+    if (util::EqualsIgnoreCase(fk.ref_table, schema.table_name())) {
+      ref_schema = &schema;
+    } else if (ref != nullptr) {
+      ref_schema = &ref->schema();
+    } else {
+      return util::InvalidArgument("foreign key references unknown table " +
+                                   fk.ref_table);
+    }
+    for (const auto& col : fk.ref_columns) {
+      if (!ref_schema->ColumnIndex(col)) {
+        return util::InvalidArgument("foreign key references unknown column " +
+                                     fk.ref_table + "." + col);
+      }
+    }
+  }
+  tables_.emplace(key, std::make_unique<Table>(std::move(schema)));
+  return util::Status::Ok();
+}
+
+util::Status Database::DropTable(const std::string& name) {
+  const auto it = tables_.find(LowerName(name));
+  if (it == tables_.end()) return util::NotFound("no table " + name);
+  // RESTRICT: refuse to drop while another table declares an FK to it.
+  for (const auto& [key, table] : tables_) {
+    if (key == it->first) continue;
+    for (const ForeignKey& fk : table->schema().foreign_keys()) {
+      if (util::EqualsIgnoreCase(fk.ref_table, name)) {
+        return util::ConstraintViolation("table " + name + " is referenced by " +
+                                         table->schema().table_name());
+      }
+    }
+  }
+  tables_.erase(it);
+  return util::Status::Ok();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.contains(LowerName(name));
+}
+
+Table* Database::GetTable(const std::string& name) {
+  const auto it = tables_.find(LowerName(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  const auto it = tables_.find(LowerName(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->schema().table_name());
+  return names;
+}
+
+util::Status Database::CheckForeignKeysOnInsert(const Table& table,
+                                                const Row& row) const {
+  for (const ForeignKey& fk : table.schema().foreign_keys()) {
+    Row values;
+    values.reserve(fk.local_columns.size());
+    bool any_null = false;
+    for (const auto& col : fk.local_columns) {
+      const Value& v = row[*table.schema().ColumnIndex(col)];
+      if (v.is_null()) any_null = true;
+      values.push_back(v);
+    }
+    if (any_null) continue;  // SQL: NULL FK values are not checked
+    const Table* ref = GetTable(fk.ref_table);
+    if (ref == nullptr) {
+      return util::Internal("foreign key references dropped table " + fk.ref_table);
+    }
+    std::vector<size_t> ref_indices;
+    ref_indices.reserve(fk.ref_columns.size());
+    for (const auto& col : fk.ref_columns) {
+      ref_indices.push_back(*ref->schema().ColumnIndex(col));
+    }
+    if (!ref->ExistsWhere(ref_indices, values)) {
+      return util::ConstraintViolation(
+          "foreign key violation: " + table.schema().table_name() + " -> " +
+          fk.ref_table + " (no matching referenced row)");
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Database::Insert(const std::string& table_name, Row row) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return util::NotFound("no table " + table_name);
+  GOOFI_RETURN_IF_ERROR(table->schema().CheckRow(row));
+  GOOFI_RETURN_IF_ERROR(CheckForeignKeysOnInsert(*table, row));
+  return table->Insert(std::move(row));
+}
+
+bool Database::IsReferenced(const std::string& table_name, const Table& table,
+                            const Row& row) const {
+  for (const auto& [key, other] : tables_) {
+    for (const ForeignKey& fk : other->schema().foreign_keys()) {
+      if (!util::EqualsIgnoreCase(fk.ref_table, table_name)) continue;
+      Row referenced_values;
+      referenced_values.reserve(fk.ref_columns.size());
+      for (const auto& col : fk.ref_columns) {
+        referenced_values.push_back(row[*table.schema().ColumnIndex(col)]);
+      }
+      std::vector<size_t> local_indices;
+      local_indices.reserve(fk.local_columns.size());
+      for (const auto& col : fk.local_columns) {
+        local_indices.push_back(*other->schema().ColumnIndex(col));
+      }
+      if (other->ExistsWhere(local_indices, referenced_values)) return true;
+    }
+  }
+  return false;
+}
+
+util::Status Database::Delete(const std::string& table_name,
+                              const std::function<bool(const Row&)>& predicate,
+                              size_t* deleted) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return util::NotFound("no table " + table_name);
+  // First pass: verify none of the doomed rows are referenced (RESTRICT).
+  util::Status st = util::Status::Ok();
+  table->ForEach([&](const Row& row) {
+    if (!st.ok() || !predicate(row)) return;
+    if (IsReferenced(table_name, *table, row)) {
+      st = util::ConstraintViolation("delete from " + table_name +
+                                     " blocked: row is referenced");
+    }
+  });
+  GOOFI_RETURN_IF_ERROR(st);
+  const size_t n = table->DeleteWhere(predicate);
+  if (deleted != nullptr) *deleted = n;
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Persistence. Line-oriented text with tab-separated escaped fields and a
+// CRC32 trailer so a truncated or corrupted file is rejected on load.
+// ---------------------------------------------------------------------------
+
+util::Status Database::Save(const std::string& path) const {
+  std::ostringstream body;
+  body << "GOOFIDB 1\n";
+  for (const auto& [key, table] : tables_) {
+    const Schema& schema = table->schema();
+    body << "TABLE " << util::EscapeField(schema.table_name()) << " "
+         << schema.num_columns() << "\n";
+    for (const Column& col : schema.columns()) {
+      body << "COL " << util::EscapeField(col.name) << "\t"
+           << ValueTypeName(col.type) << "\t" << (col.not_null ? 1 : 0) << "\n";
+    }
+    if (!schema.primary_key().empty()) {
+      body << "PK";
+      for (const auto& col : schema.primary_key()) body << "\t" << util::EscapeField(col);
+      body << "\n";
+    }
+    for (const ForeignKey& fk : schema.foreign_keys()) {
+      body << "FK\t" << util::EscapeField(fk.ref_table) << "\t"
+           << fk.local_columns.size();
+      for (const auto& col : fk.local_columns) body << "\t" << util::EscapeField(col);
+      for (const auto& col : fk.ref_columns) body << "\t" << util::EscapeField(col);
+      body << "\n";
+    }
+    body << "ROWS " << table->size() << "\n";
+    table->ForEach([&body](const Row& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) body << "\t";
+        body << util::EscapeField(row[i].Serialize());
+      }
+      body << "\n";
+    });
+    body << "END\n";
+  }
+  const std::string content = body.str();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::IoError("cannot open " + path + " for writing");
+  out << content;
+  out << "CRC " << util::Format("%08x", util::Crc32Of(content)) << "\n";
+  out.flush();
+  if (!out) return util::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+util::Status Database::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+
+  // Split off and verify the CRC trailer.
+  const size_t crc_pos = content.rfind("CRC ");
+  if (crc_pos == std::string::npos) return util::ParseError("missing CRC trailer");
+  const std::string crc_text(util::Trim(content.substr(crc_pos + 4)));
+  const std::string body = content.substr(0, crc_pos);
+  const auto stored = util::ParseInt("0x" + crc_text);
+  if (!stored) return util::ParseError("bad CRC trailer");
+  if (static_cast<uint32_t>(*stored) != util::Crc32Of(body)) {
+    return util::IoError("CRC mismatch: database file " + path + " is corrupt");
+  }
+
+  std::vector<std::string> lines = util::Split(body, '\n');
+  size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string> {
+    while (pos < lines.size()) {
+      const std::string& line = lines[pos++];
+      if (!line.empty()) return line;
+    }
+    return std::nullopt;
+  };
+
+  auto header = next_line();
+  if (!header || *header != "GOOFIDB 1") {
+    return util::ParseError("bad database header");
+  }
+
+  // Two-phase load: create all tables first without FK validation against
+  // load order, then insert rows (FK checks need referenced tables present;
+  // our file writes tables alphabetically so a forward reference is possible).
+  struct PendingTable {
+    Schema schema;
+    std::vector<Row> rows;
+  };
+  std::vector<PendingTable> pending;
+
+  for (auto line = next_line(); line.has_value(); line = next_line()) {
+    auto head = util::SplitWhitespace(*line);
+    if (head.size() != 3 || head[0] != "TABLE") {
+      return util::ParseError("expected TABLE, got: " + *line);
+    }
+    const std::string table_name = util::UnescapeField(head[1]);
+    const auto ncols = util::ParseInt(head[2]);
+    if (!ncols || *ncols <= 0) return util::ParseError("bad column count");
+
+    std::vector<Column> columns;
+    std::vector<std::string> primary_key;
+    std::vector<ForeignKey> fks;
+    for (int64_t i = 0; i < *ncols; ++i) {
+      auto col_line = next_line();
+      if (!col_line || !util::StartsWith(*col_line, "COL ")) {
+        return util::ParseError("expected COL line");
+      }
+      auto fields = util::Split(col_line->substr(4), '\t');
+      if (fields.size() != 3) return util::ParseError("bad COL line");
+      Column col;
+      col.name = util::UnescapeField(fields[0]);
+      if (fields[1] == "INTEGER") {
+        col.type = ValueType::kInt;
+      } else if (fields[1] == "REAL") {
+        col.type = ValueType::kReal;
+      } else if (fields[1] == "TEXT") {
+        col.type = ValueType::kText;
+      } else {
+        return util::ParseError("bad column type " + fields[1]);
+      }
+      col.not_null = fields[2] == "1";
+      columns.push_back(std::move(col));
+    }
+
+    // Optional PK / FK lines, then mandatory ROWS.
+    std::optional<std::string> line2 = next_line();
+    while (line2 && (util::StartsWith(*line2, "PK") || util::StartsWith(*line2, "FK"))) {
+      auto fields = util::Split(*line2, '\t');
+      if (fields[0] == "PK") {
+        for (size_t i = 1; i < fields.size(); ++i) {
+          primary_key.push_back(util::UnescapeField(fields[i]));
+        }
+      } else {
+        if (fields.size() < 3) return util::ParseError("bad FK line");
+        ForeignKey fk;
+        fk.ref_table = util::UnescapeField(fields[1]);
+        const auto n = util::ParseInt(fields[2]);
+        if (!n || fields.size() != 3 + 2 * static_cast<size_t>(*n)) {
+          return util::ParseError("bad FK arity");
+        }
+        for (int64_t i = 0; i < *n; ++i) {
+          fk.local_columns.push_back(util::UnescapeField(fields[3 + static_cast<size_t>(i)]));
+        }
+        for (int64_t i = 0; i < *n; ++i) {
+          fk.ref_columns.push_back(
+              util::UnescapeField(fields[3 + static_cast<size_t>(*n + i)]));
+        }
+        fks.push_back(std::move(fk));
+      }
+      line2 = next_line();
+    }
+    if (!line2 || !util::StartsWith(*line2, "ROWS ")) {
+      return util::ParseError("expected ROWS line");
+    }
+    const auto nrows = util::ParseInt(line2->substr(5));
+    if (!nrows || *nrows < 0) return util::ParseError("bad row count");
+
+    PendingTable pt;
+    pt.schema = Schema(table_name, std::move(columns), std::move(primary_key),
+                       std::move(fks));
+    for (int64_t r = 0; r < *nrows; ++r) {
+      auto row_line = next_line();
+      if (!row_line) return util::ParseError("unexpected EOF in rows");
+      auto fields = util::Split(*row_line, '\t');
+      if (fields.size() != static_cast<size_t>(*ncols)) {
+        return util::ParseError("row arity mismatch in table " + table_name);
+      }
+      Row row;
+      row.reserve(fields.size());
+      for (const auto& field : fields) {
+        auto v = Value::Deserialize(util::UnescapeField(field));
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v).value());
+      }
+      pt.rows.push_back(std::move(row));
+    }
+    auto end_line = next_line();
+    if (!end_line || *end_line != "END") return util::ParseError("expected END");
+    pending.push_back(std::move(pt));
+  }
+
+  // Commit: build a fresh database, then swap.
+  Database fresh;
+  // Create tables ignoring FK-target ordering by creating all schemas with
+  // FKs deferred, then re-attaching. Simpler: create in an order where
+  // references resolve; fall back to direct table creation bypassing the FK
+  // target check by creating referenced tables first via fixed-point loop.
+  std::vector<bool> created(pending.size(), false);
+  size_t remaining = pending.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (created[i]) continue;
+      if (fresh.CreateTable(pending[i].schema).ok()) {
+        created[i] = true;
+        --remaining;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      return util::ParseError("could not resolve foreign-key table order on load");
+    }
+  }
+  // Insert rows with plain table inserts (data already passed FK checks when
+  // first written; re-checking would require reference-order row sorting).
+  for (auto& pt : pending) {
+    Table* table = fresh.GetTable(pt.schema.table_name());
+    for (auto& row : pt.rows) {
+      GOOFI_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+  }
+  *this = std::move(fresh);
+  return util::Status::Ok();
+}
+
+}  // namespace goofi::db

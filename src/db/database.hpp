@@ -1,0 +1,70 @@
+// The database: a set of tables with cross-table foreign-key enforcement and
+// file persistence.
+//
+// Mirrors the role of the SQL database in the paper's lowest layer (Fig. 1):
+// it stores TargetSystemData, CampaignData and LoggedSystemState and prevents
+// inconsistencies through foreign keys (Fig. 4). The schema bindings for
+// those specific tables live in core/campaign_store.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/table.hpp"
+
+namespace goofi::db {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable (tables can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table. Validates the schema and that every foreign key
+  /// references an existing table/columns.
+  util::Status CreateTable(Schema schema);
+
+  util::Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+
+  /// nullptr if missing. Names are case-insensitive.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Inserts with FK checking: every non-NULL foreign key of `row` must match
+  /// an existing row in the referenced table.
+  util::Status Insert(const std::string& table, Row row);
+
+  /// Deletes rows matching `predicate` with FK checking: fails (RESTRICT)
+  /// if any row to delete is still referenced by another table.
+  util::Status Delete(const std::string& table,
+                      const std::function<bool(const Row&)>& predicate,
+                      size_t* deleted = nullptr);
+
+  /// Saves every table to `<path>`: a single text file with a CRC32 trailer.
+  util::Status Save(const std::string& path) const;
+
+  /// Loads a database previously written by Save. Replaces current contents.
+  util::Status Load(const std::string& path);
+
+ private:
+  /// Checks the FK constraints of `row` about to enter `table`.
+  util::Status CheckForeignKeysOnInsert(const Table& table, const Row& row) const;
+
+  /// Whether `row` of `table_name` is referenced by any row elsewhere.
+  bool IsReferenced(const std::string& table_name, const Table& table,
+                    const Row& row) const;
+
+  // Keyed by lowercase name; Table keeps the declared-case name.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace goofi::db

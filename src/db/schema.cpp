@@ -1,0 +1,96 @@
+#include "db/schema.hpp"
+
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace goofi::db {
+
+Schema::Schema(std::string table_name, std::vector<Column> columns,
+               std::vector<std::string> primary_key,
+               std::vector<ForeignKey> foreign_keys)
+    : table_name_(std::move(table_name)),
+      columns_(std::move(columns)),
+      primary_key_(std::move(primary_key)),
+      foreign_keys_(std::move(foreign_keys)) {
+  primary_key_indices_.reserve(primary_key_.size());
+  for (const auto& name : primary_key_) {
+    if (auto idx = ColumnIndex(name)) primary_key_indices_.push_back(*idx);
+  }
+}
+
+std::optional<size_t> Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (util::EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+util::Status Schema::Validate() const {
+  if (table_name_.empty()) return util::InvalidArgument("empty table name");
+  if (columns_.empty()) {
+    return util::InvalidArgument("table " + table_name_ + " has no columns");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& col : columns_) {
+    if (col.name.empty()) {
+      return util::InvalidArgument("table " + table_name_ + ": empty column name");
+    }
+    if (!seen.insert(util::ToLower(col.name)).second) {
+      return util::InvalidArgument("table " + table_name_ +
+                                   ": duplicate column " + col.name);
+    }
+    if (col.type == ValueType::kNull) {
+      return util::InvalidArgument("table " + table_name_ + ": column " +
+                                   col.name + " declared NULL type");
+    }
+  }
+  if (primary_key_indices_.size() != primary_key_.size()) {
+    return util::InvalidArgument("table " + table_name_ +
+                                 ": primary key names unknown column");
+  }
+  for (const auto& fk : foreign_keys_) {
+    if (fk.local_columns.empty() ||
+        fk.local_columns.size() != fk.ref_columns.size()) {
+      return util::InvalidArgument("table " + table_name_ +
+                                   ": malformed foreign key");
+    }
+    for (const auto& col : fk.local_columns) {
+      if (!ColumnIndex(col)) {
+        return util::InvalidArgument("table " + table_name_ +
+                                     ": foreign key names unknown column " + col);
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Schema::CheckRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return util::InvalidArgument(
+        "table " + table_name_ + ": row has " + std::to_string(row.size()) +
+        " values, schema has " + std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (col.not_null) {
+        return util::ConstraintViolation("table " + table_name_ + ": column " +
+                                         col.name + " is NOT NULL");
+      }
+      continue;
+    }
+    const bool type_ok =
+        v.type() == col.type ||
+        (col.type == ValueType::kReal && v.type() == ValueType::kInt);
+    if (!type_ok) {
+      return util::InvalidArgument(
+          "table " + table_name_ + ": column " + col.name + " expects " +
+          ValueTypeName(col.type) + ", got " + ValueTypeName(v.type()));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace goofi::db

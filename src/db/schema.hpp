@@ -1,0 +1,76 @@
+// Table schemas: typed columns, primary keys and foreign keys.
+//
+// The paper (Fig. 4) stresses that "the relations between the tables in the
+// database are designed to use foreign keys ... Through the foreign keys, we
+// prevent inconsistencies in the database". This module carries those
+// declarations; enforcement lives in Database.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+#include "util/status.hpp"
+
+namespace goofi::db {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kText;
+  bool not_null = false;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// FOREIGN KEY (local_columns) REFERENCES ref_table (ref_columns).
+/// Deletes from the referenced table are RESTRICTed while referencing rows
+/// exist (the paper's campaigns must never lose their target-system rows).
+struct ForeignKey {
+  std::vector<std::string> local_columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+
+  bool operator==(const ForeignKey&) const = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string table_name, std::vector<Column> columns,
+         std::vector<std::string> primary_key = {},
+         std::vector<ForeignKey> foreign_keys = {});
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of a column by (case-insensitive) name, or nullopt.
+  std::optional<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Indices of primary-key columns, in declaration order of the PK.
+  const std::vector<size_t>& primary_key_indices() const {
+    return primary_key_indices_;
+  }
+
+  /// Verifies internal consistency: known PK/FK column names, no duplicate
+  /// column names, value arity. Called by Database::CreateTable.
+  util::Status Validate() const;
+
+  /// Checks a row against column count, types and NOT NULL constraints.
+  /// NULL is accepted for nullable columns regardless of declared type;
+  /// INT is accepted where REAL is declared (widening).
+  util::Status CheckRow(const std::vector<Value>& row) const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> primary_key_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<size_t> primary_key_indices_;
+};
+
+}  // namespace goofi::db

@@ -1,0 +1,642 @@
+#include "db/sql_executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "db/sql_parser.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::db {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Column resolution over one or more joined tables. A "combined row" is the
+// concatenation of one row from each bound table.
+// ---------------------------------------------------------------------------
+
+struct TableBinding {
+  std::string alias;  // table name or user alias
+  const Schema* schema = nullptr;
+  size_t base_offset = 0;  // index of this table's first column in the row
+};
+
+class Resolver {
+ public:
+  void Bind(std::string alias, const Schema& schema) {
+    TableBinding b;
+    b.alias = std::move(alias);
+    b.schema = &schema;
+    b.base_offset = total_columns_;
+    total_columns_ += schema.num_columns();
+    bindings_.push_back(std::move(b));
+  }
+
+  size_t total_columns() const { return total_columns_; }
+  const std::vector<TableBinding>& bindings() const { return bindings_; }
+
+  util::Result<size_t> Resolve(const std::string& qualifier,
+                               const std::string& column) const {
+    std::optional<size_t> found;
+    for (const TableBinding& b : bindings_) {
+      if (!qualifier.empty() && !util::EqualsIgnoreCase(b.alias, qualifier)) {
+        continue;
+      }
+      if (auto idx = b.schema->ColumnIndex(column)) {
+        if (found) {
+          return util::InvalidArgument("ambiguous column " + column);
+        }
+        found = b.base_offset + *idx;
+      }
+    }
+    if (!found) {
+      return util::NotFound("unknown column " +
+                            (qualifier.empty() ? column : qualifier + "." + column));
+    }
+    return *found;
+  }
+
+ private:
+  std::vector<TableBinding> bindings_;
+  size_t total_columns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expression evaluation. `group` is non-null when evaluating in aggregate
+// context; aggregate calls then fold over the group's member rows.
+// ---------------------------------------------------------------------------
+
+struct GroupContext {
+  const std::vector<const Row*>* members = nullptr;
+};
+
+util::Result<Value> Eval(const Expr& expr, const Resolver& resolver,
+                         const Row& row, const GroupContext* group);
+
+util::Result<Value> EvalAggregate(const Expr& expr, const Resolver& resolver,
+                                  const GroupContext& group) {
+  const auto& members = *group.members;
+  if (expr.func == "COUNT") {
+    if (expr.star) return Value::Int(static_cast<int64_t>(members.size()));
+    if (expr.args.size() != 1) return util::InvalidArgument("COUNT takes 1 arg");
+    int64_t count = 0;
+    for (const Row* member : members) {
+      auto v = Eval(*expr.args[0], resolver, *member, nullptr);
+      if (!v.ok()) return v;
+      if (!v.value().is_null()) ++count;
+    }
+    return Value::Int(count);
+  }
+  if (expr.args.size() != 1) {
+    return util::InvalidArgument(expr.func + " takes 1 arg");
+  }
+  bool any = false;
+  bool all_int = true;
+  double sum = 0.0;
+  int64_t isum = 0;
+  Value best;
+  for (const Row* member : members) {
+    auto v = Eval(*expr.args[0], resolver, *member, nullptr);
+    if (!v.ok()) return v;
+    const Value& value = v.value();
+    if (value.is_null()) continue;
+    if (value.type() == ValueType::kText &&
+        (expr.func == "SUM" || expr.func == "AVG")) {
+      return util::InvalidArgument(expr.func + " over TEXT column");
+    }
+    if (!any) {
+      best = value;
+    } else if (expr.func == "MIN") {
+      if (value.Compare(best) < 0) best = value;
+    } else if (expr.func == "MAX") {
+      if (value.Compare(best) > 0) best = value;
+    }
+    if (value.type() != ValueType::kInt) all_int = false;
+    if (value.type() == ValueType::kInt) {
+      isum += value.as_int();
+      sum += static_cast<double>(value.as_int());
+    } else if (value.type() == ValueType::kReal) {
+      sum += value.as_real();
+    }
+    any = true;
+  }
+  if (!any) return Value::Null();  // SQL: aggregates over empty input are NULL
+  if (expr.func == "MIN" || expr.func == "MAX") return best;
+  if (expr.func == "SUM") {
+    return all_int ? Value::Int(isum) : Value::Real(sum);
+  }
+  // AVG
+  return Value::Real(sum / static_cast<double>(members.size()));
+}
+
+util::Result<Value> EvalBinary(const Expr& expr, const Resolver& resolver,
+                               const Row& row, const GroupContext* group) {
+  // IS NULL / IS NOT NULL never propagate NULL.
+  if (expr.op == "ISNULL" || expr.op == "ISNOTNULL") {
+    auto v = Eval(*expr.args[0], resolver, row, group);
+    if (!v.ok()) return v;
+    const bool is_null = v.value().is_null();
+    return Value::Bool(expr.op == "ISNULL" ? is_null : !is_null);
+  }
+  // AND/OR with SQL-ish short-circuit (NULL treated as false).
+  if (expr.op == "AND" || expr.op == "OR") {
+    auto lhs = Eval(*expr.args[0], resolver, row, group);
+    if (!lhs.ok()) return lhs;
+    const bool l = lhs.value().Truthy();
+    if (expr.op == "AND" && !l) return Value::Bool(false);
+    if (expr.op == "OR" && l) return Value::Bool(true);
+    auto rhs = Eval(*expr.args[1], resolver, row, group);
+    if (!rhs.ok()) return rhs;
+    return Value::Bool(rhs.value().Truthy());
+  }
+
+  auto lhs = Eval(*expr.args[0], resolver, row, group);
+  if (!lhs.ok()) return lhs;
+  auto rhs = Eval(*expr.args[1], resolver, row, group);
+  if (!rhs.ok()) return rhs;
+  const Value& a = lhs.value();
+  const Value& b = rhs.value();
+
+  // Comparisons: NULL compared to anything is NULL (false in WHERE).
+  static const char* const kCmps[] = {"=", "!=", "<", "<=", ">", ">="};
+  for (const char* op : kCmps) {
+    if (expr.op != op) continue;
+    if (a.is_null() || b.is_null()) return Value::Null();
+    const int c = a.Compare(b);
+    bool result = false;
+    if (expr.op == "=") result = c == 0;
+    if (expr.op == "!=") result = c != 0;
+    if (expr.op == "<") result = c < 0;
+    if (expr.op == "<=") result = c <= 0;
+    if (expr.op == ">") result = c > 0;
+    if (expr.op == ">=") result = c >= 0;
+    return Value::Bool(result);
+  }
+
+  // Arithmetic. NULL propagates. '+' on two TEXT values concatenates.
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (expr.op == "+" && a.type() == ValueType::kText &&
+      b.type() == ValueType::kText) {
+    return Value::Text(a.as_text() + b.as_text());
+  }
+  if (a.type() == ValueType::kText || b.type() == ValueType::kText) {
+    return util::InvalidArgument("arithmetic on TEXT value");
+  }
+  const bool both_int =
+      a.type() == ValueType::kInt && b.type() == ValueType::kInt;
+  if (expr.op == "%") {
+    if (!both_int) return util::InvalidArgument("% requires integers");
+    if (b.as_int() == 0) return Value::Null();
+    return Value::Int(a.as_int() % b.as_int());
+  }
+  if (both_int) {
+    const int64_t x = a.as_int();
+    const int64_t y = b.as_int();
+    if (expr.op == "+") return Value::Int(x + y);
+    if (expr.op == "-") return Value::Int(x - y);
+    if (expr.op == "*") return Value::Int(x * y);
+    if (expr.op == "/") return y == 0 ? Value::Null() : Value::Int(x / y);
+  } else {
+    const double x = a.as_real();
+    const double y = b.as_real();
+    if (expr.op == "+") return Value::Real(x + y);
+    if (expr.op == "-") return Value::Real(x - y);
+    if (expr.op == "*") return Value::Real(x * y);
+    if (expr.op == "/") return y == 0.0 ? Value::Null() : Value::Real(x / y);
+  }
+  return util::Internal("unknown binary operator " + expr.op);
+}
+
+util::Result<Value> Eval(const Expr& expr, const Resolver& resolver,
+                         const Row& row, const GroupContext* group) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kColumn: {
+      auto idx = resolver.Resolve(expr.qualifier, expr.column);
+      if (!idx.ok()) return idx.status();
+      return row[idx.value()];
+    }
+    case Expr::Kind::kUnary: {
+      auto v = Eval(*expr.args[0], resolver, row, group);
+      if (!v.ok()) return v;
+      const Value& a = v.value();
+      if (expr.op == "NOT") {
+        if (a.is_null()) return Value::Null();
+        return Value::Bool(!a.Truthy());
+      }
+      // NEG
+      if (a.is_null()) return Value::Null();
+      if (a.type() == ValueType::kInt) return Value::Int(-a.as_int());
+      if (a.type() == ValueType::kReal) return Value::Real(-a.as_real());
+      return util::InvalidArgument("unary minus on TEXT");
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, resolver, row, group);
+    case Expr::Kind::kCall: {
+      if (expr.func == "ABS" || expr.func == "LENGTH") {
+        if (expr.args.size() != 1) {
+          return util::InvalidArgument(expr.func + " takes 1 arg");
+        }
+        auto v = Eval(*expr.args[0], resolver, row, group);
+        if (!v.ok()) return v;
+        const Value& a = v.value();
+        if (a.is_null()) return Value::Null();
+        if (expr.func == "ABS") {
+          if (a.type() == ValueType::kInt) return Value::Int(std::abs(a.as_int()));
+          if (a.type() == ValueType::kReal) return Value::Real(std::fabs(a.as_real()));
+          return util::InvalidArgument("ABS on TEXT");
+        }
+        if (a.type() != ValueType::kText) {
+          return util::InvalidArgument("LENGTH on non-TEXT");
+        }
+        return Value::Int(static_cast<int64_t>(a.as_text().size()));
+      }
+      // Aggregate.
+      if (group == nullptr || group->members == nullptr) {
+        return util::InvalidArgument("aggregate " + expr.func +
+                                     " outside aggregate context");
+      }
+      return EvalAggregate(expr, resolver, *group);
+    }
+  }
+  return util::Internal("bad expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution.
+// ---------------------------------------------------------------------------
+
+std::string DeriveItemName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  const Expr& e = *item.expr;
+  if (e.kind == Expr::Kind::kColumn) return e.column;
+  if (e.kind == Expr::Kind::kCall) {
+    return e.func + "(" + (e.star ? "*" : (e.args.empty() ? "" : "...")) + ")";
+  }
+  return "expr" + std::to_string(index);
+}
+
+util::Result<QueryResult> ExecuteSelect(Database& database,
+                                        const SelectStmt& stmt) {
+  const Table* from = database.GetTable(stmt.from_table);
+  if (from == nullptr) return util::NotFound("no table " + stmt.from_table);
+
+  Resolver resolver;
+  resolver.Bind(stmt.from_alias.empty() ? stmt.from_table : stmt.from_alias,
+                from->schema());
+
+  // Materialize combined rows: start with the FROM table, then nested-loop
+  // join each JOIN clause (adequate for GOOFI's table sizes; joins are over
+  // campaign metadata, not the big log table).
+  std::vector<Row> combined = from->Rows();
+  for (const JoinClause& join : stmt.joins) {
+    const Table* right = database.GetTable(join.table);
+    if (right == nullptr) return util::NotFound("no table " + join.table);
+    resolver.Bind(join.alias.empty() ? join.table : join.alias, right->schema());
+    const std::vector<Row> right_rows = right->Rows();
+    std::vector<Row> next;
+    for (const Row& left_row : combined) {
+      for (const Row& right_row : right_rows) {
+        Row merged = left_row;
+        merged.insert(merged.end(), right_row.begin(), right_row.end());
+        auto on = Eval(*join.on, resolver, merged, nullptr);
+        if (!on.ok()) return on.status();
+        if (on.value().Truthy()) next.push_back(std::move(merged));
+      }
+    }
+    combined = std::move(next);
+  }
+
+  // WHERE.
+  if (stmt.where) {
+    std::vector<Row> filtered;
+    filtered.reserve(combined.size());
+    for (Row& row : combined) {
+      auto keep = Eval(*stmt.where, resolver, row, nullptr);
+      if (!keep.ok()) return keep.status();
+      if (keep.value().Truthy()) filtered.push_back(std::move(row));
+    }
+    combined = std::move(filtered);
+  }
+
+  const bool has_aggregate =
+      !stmt.group_by.empty() ||
+      std::any_of(stmt.items.begin(), stmt.items.end(), [](const SelectItem& i) {
+        return i.expr && i.expr->ContainsAggregate();
+      });
+
+  QueryResult result;
+
+  // Output column names.
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    if (item.star) {
+      if (has_aggregate) {
+        return util::InvalidArgument("* not allowed in aggregate SELECT");
+      }
+      for (const TableBinding& b : resolver.bindings()) {
+        for (const Column& col : b.schema->columns()) {
+          result.columns.push_back(col.name);
+        }
+      }
+    } else {
+      result.columns.push_back(DeriveItemName(item, i));
+    }
+  }
+
+  // Rows to sort and project: (sort keys, output row).
+  struct OutRow {
+    Row keys;
+    Row values;
+  };
+  std::vector<OutRow> out_rows;
+
+  if (!has_aggregate) {
+    for (const Row& row : combined) {
+      OutRow out;
+      for (const SelectItem& item : stmt.items) {
+        if (item.star) {
+          out.values.insert(out.values.end(), row.begin(), row.end());
+          continue;
+        }
+        auto v = Eval(*item.expr, resolver, row, nullptr);
+        if (!v.ok()) return v.status();
+        out.values.push_back(std::move(v).value());
+      }
+      for (const OrderItem& ord : stmt.order_by) {
+        auto v = Eval(*ord.expr, resolver, row, nullptr);
+        if (!v.ok()) return v.status();
+        out.keys.push_back(std::move(v).value());
+      }
+      out_rows.push_back(std::move(out));
+    }
+  } else {
+    // Group combined rows by the GROUP BY key (whole input is one group when
+    // GROUP BY is absent).
+    std::map<std::vector<std::string>, std::vector<const Row*>> groups;
+    if (stmt.group_by.empty()) {
+      auto& members = groups[{}];
+      for (const Row& row : combined) members.push_back(&row);
+    } else {
+      for (const Row& row : combined) {
+        std::vector<std::string> key;
+        key.reserve(stmt.group_by.size());
+        for (const ExprPtr& expr : stmt.group_by) {
+          auto v = Eval(*expr, resolver, row, nullptr);
+          if (!v.ok()) return v.status();
+          key.push_back(v.value().Serialize());
+        }
+        groups[std::move(key)].push_back(&row);
+      }
+    }
+    const Row empty_row;
+    for (const auto& [key, members] : groups) {
+      // A grouped query emits no row for an empty group, but an ungrouped
+      // aggregate over zero input rows emits exactly one row (SUM -> NULL,
+      // COUNT -> 0), matching standard SQL.
+      if (members.empty() && !stmt.group_by.empty()) continue;
+      GroupContext group;
+      group.members = &members;
+      // Non-aggregate expressions are evaluated on the group's first row
+      // (valid when they are functionally dependent on the GROUP BY key,
+      // which is how GOOFI's analysis queries use them).
+      const Row& representative = members.empty() ? empty_row : *members.front();
+      OutRow out;
+      for (const SelectItem& item : stmt.items) {
+        auto v = Eval(*item.expr, resolver, representative, &group);
+        if (!v.ok()) return v.status();
+        out.values.push_back(std::move(v).value());
+      }
+      for (const OrderItem& ord : stmt.order_by) {
+        auto v = Eval(*ord.expr, resolver, representative, &group);
+        if (!v.ok()) return v.status();
+        out.keys.push_back(std::move(v).value());
+      }
+      out_rows.push_back(std::move(out));
+    }
+  }
+
+  // ORDER BY.
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(out_rows.begin(), out_rows.end(),
+                     [&stmt](const OutRow& a, const OutRow& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         const int c = a.keys[i].Compare(b.keys[i]);
+                         if (c != 0) {
+                           return stmt.order_by[i].descending ? c > 0 : c < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  // LIMIT + projection.
+  size_t limit = out_rows.size();
+  if (stmt.limit && static_cast<size_t>(*stmt.limit) < limit) {
+    limit = static_cast<size_t>(*stmt.limit);
+  }
+  result.rows.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    result.rows.push_back(std::move(out_rows[i].values));
+  }
+  result.affected = result.rows.size();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// INSERT / UPDATE / DELETE / DDL.
+// ---------------------------------------------------------------------------
+
+util::Result<QueryResult> ExecuteInsert(Database& database,
+                                        const InsertStmt& stmt) {
+  Table* table = database.GetTable(stmt.table);
+  if (table == nullptr) return util::NotFound("no table " + stmt.table);
+  const Schema& schema = table->schema();
+
+  // Map the statement's column order to schema positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    positions.resize(schema.num_columns());
+    for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  } else {
+    for (const std::string& name : stmt.columns) {
+      auto idx = schema.ColumnIndex(name);
+      if (!idx) return util::NotFound("no column " + name + " in " + stmt.table);
+      positions.push_back(*idx);
+    }
+  }
+
+  Resolver empty_resolver;
+  const Row no_row;
+  QueryResult result;
+  for (const auto& value_exprs : stmt.rows) {
+    if (value_exprs.size() != positions.size()) {
+      return util::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.num_columns(), Value::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      auto v = Eval(*value_exprs[i], empty_resolver, no_row, nullptr);
+      if (!v.ok()) return v.status();
+      row[positions[i]] = std::move(v).value();
+    }
+    GOOFI_RETURN_IF_ERROR(database.Insert(stmt.table, std::move(row)));
+    ++result.affected;
+  }
+  return result;
+}
+
+util::Result<QueryResult> ExecuteUpdate(Database& database,
+                                        const UpdateStmt& stmt) {
+  Table* table = database.GetTable(stmt.table);
+  if (table == nullptr) return util::NotFound("no table " + stmt.table);
+  const Schema& schema = table->schema();
+
+  Resolver resolver;
+  resolver.Bind(stmt.table, schema);
+
+  std::vector<std::pair<size_t, const Expr*>> sets;
+  for (const auto& [name, expr] : stmt.assignments) {
+    auto idx = schema.ColumnIndex(name);
+    if (!idx) return util::NotFound("no column " + name + " in " + stmt.table);
+    sets.emplace_back(*idx, expr.get());
+  }
+
+  util::Status eval_error = util::Status::Ok();
+  auto predicate = [&](const Row& row) {
+    if (!eval_error.ok()) return false;
+    if (!stmt.where) return true;
+    auto v = Eval(*stmt.where, resolver, row, nullptr);
+    if (!v.ok()) {
+      eval_error = v.status();
+      return false;
+    }
+    return v.value().Truthy();
+  };
+  auto mutate = [&](Row& row) {
+    if (!eval_error.ok()) return;
+    const Row original = row;
+    for (const auto& [idx, expr] : sets) {
+      auto v = Eval(*expr, resolver, original, nullptr);
+      if (!v.ok()) {
+        eval_error = v.status();
+        return;
+      }
+      row[idx] = std::move(v).value();
+    }
+  };
+  size_t updated = 0;
+  const util::Status st = table->UpdateWhere(predicate, mutate, &updated);
+  GOOFI_RETURN_IF_ERROR(eval_error);
+  GOOFI_RETURN_IF_ERROR(st);
+  QueryResult result;
+  result.affected = updated;
+  return result;
+}
+
+util::Result<QueryResult> ExecuteDelete(Database& database,
+                                        const DeleteStmt& stmt) {
+  const Table* table = database.GetTable(stmt.table);
+  if (table == nullptr) return util::NotFound("no table " + stmt.table);
+
+  Resolver resolver;
+  resolver.Bind(stmt.table, table->schema());
+
+  util::Status eval_error = util::Status::Ok();
+  auto predicate = [&](const Row& row) {
+    if (!eval_error.ok()) return false;
+    if (!stmt.where) return true;
+    auto v = Eval(*stmt.where, resolver, row, nullptr);
+    if (!v.ok()) {
+      eval_error = v.status();
+      return false;
+    }
+    return v.value().Truthy();
+  };
+  size_t deleted = 0;
+  const util::Status st = database.Delete(stmt.table, predicate, &deleted);
+  GOOFI_RETURN_IF_ERROR(eval_error);
+  GOOFI_RETURN_IF_ERROR(st);
+  QueryResult result;
+  result.affected = deleted;
+  return result;
+}
+
+}  // namespace
+
+std::optional<size_t> QueryResult::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (util::EqualsIgnoreCase(columns[i], name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string QueryResult::ToString() const {
+  // Column widths.
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      if (i < widths.size()) widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& line) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      out << (i == 0 ? "| " : " | ");
+      out << line[i];
+      const size_t w = i < widths.size() ? widths[i] : line[i].size();
+      out << std::string(w - std::min(w, line[i].size()), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(columns);
+  out << "|";
+  for (size_t w : widths) out << std::string(w + 2, '-') << "|";
+  out << "\n";
+  for (const auto& line : cells) emit_row(line);
+  return out.str();
+}
+
+util::Result<QueryResult> ExecuteStatement(Database& database,
+                                           const Statement& statement) {
+  return std::visit(
+      [&database](const auto& stmt) -> util::Result<QueryResult> {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) {
+          return ExecuteSelect(database, stmt);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return ExecuteInsert(database, stmt);
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return ExecuteUpdate(database, stmt);
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return ExecuteDelete(database, stmt);
+        } else if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          QueryResult result;
+          GOOFI_RETURN_IF_ERROR(database.CreateTable(stmt.schema));
+          return result;
+        } else {
+          static_assert(std::is_same_v<T, DropTableStmt>);
+          QueryResult result;
+          GOOFI_RETURN_IF_ERROR(database.DropTable(stmt.table));
+          return result;
+        }
+      },
+      statement);
+}
+
+util::Result<QueryResult> ExecuteSql(Database& database, const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ExecuteStatement(database, stmt.value());
+}
+
+}  // namespace goofi::db

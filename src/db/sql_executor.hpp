@@ -1,0 +1,38 @@
+// Executes parsed SQL statements against a Database.
+//
+// This is the layer the paper's analysis phase uses: "The user must write
+// tailor made scripts or programs that query the database for the required
+// information" (§3.4). Examples and the analysis module issue SELECTs with
+// WHERE/GROUP BY/aggregates through this executor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/sql_ast.hpp"
+
+namespace goofi::db {
+
+/// Result set of a statement. Non-SELECT statements return an empty rowset
+/// and report the number of affected rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  size_t affected = 0;
+
+  /// Column index by (case-insensitive) name, or nullopt.
+  std::optional<size_t> ColumnIndex(std::string_view name) const;
+
+  /// ASCII table rendering, for examples and debugging.
+  std::string ToString() const;
+};
+
+/// Parses and executes one SQL statement.
+util::Result<QueryResult> ExecuteSql(Database& database, const std::string& sql);
+
+/// Executes an already-parsed statement.
+util::Result<QueryResult> ExecuteStatement(Database& database,
+                                           const Statement& statement);
+
+}  // namespace goofi::db

@@ -1,0 +1,14 @@
+// Recursive-descent parser: token stream -> Statement AST.
+#pragma once
+
+#include <string>
+
+#include "db/sql_ast.hpp"
+#include "util/status.hpp"
+
+namespace goofi::db {
+
+/// Parses one SQL statement (a trailing ';' is allowed).
+util::Result<Statement> ParseSql(const std::string& sql);
+
+}  // namespace goofi::db

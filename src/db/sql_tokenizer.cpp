@@ -1,0 +1,132 @@
+#include "db/sql_tokenizer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace goofi::db {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  return type == TokenType::kIdent && util::EqualsIgnoreCase(text, keyword);
+}
+
+util::Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (is_ident_start(c)) {
+      size_t start = i;
+      while (i < n && is_ident_char(sql[i])) ++i;
+      tok.type = TokenType::kIdent;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_real = false;
+      // 0x hex integers
+      if (c == '0' && i + 1 < n && (sql[i + 1] == 'x' || sql[i + 1] == 'X')) {
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        if (i < n && sql[i] == '.') {
+          is_real = true;
+          ++i;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+        if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+          is_real = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      const std::string text = sql.substr(start, i - start);
+      if (is_real) {
+        const auto v = util::ParseDouble(text);
+        if (!v) return util::ParseError("bad numeric literal: " + text);
+        tok.type = TokenType::kReal;
+        tok.real_value = *v;
+      } else {
+        const auto v = util::ParseInt(text);
+        if (!v) return util::ParseError("bad integer literal: " + text);
+        tok.type = TokenType::kInt;
+        tok.int_value = *v;
+      }
+      tok.text = text;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            body.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return util::ParseError("unterminated string literal at offset " +
+                                std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(body);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string();
+    tok.type = TokenType::kSymbol;
+    if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+      tok.text = (two == "<>") ? "!=" : two;
+      i += 2;
+    } else if (std::string("()*,=<>+-/%.;").find(c) != std::string::npos) {
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return util::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace goofi::db

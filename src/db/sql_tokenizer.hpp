@@ -1,0 +1,37 @@
+// Tokenizer for the SQL dialect understood by the embedded database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace goofi::db {
+
+enum class TokenType {
+  kIdent,   ///< identifiers and keywords (case-insensitive)
+  kInt,     ///< integer literal
+  kReal,    ///< floating literal
+  kString,  ///< 'single quoted', '' escapes a quote
+  kSymbol,  ///< punctuation / operators, canonical text in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< identifier (original case), symbol, or string body
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  size_t offset = 0;    ///< byte offset in the source, for error messages
+
+  bool IsKeyword(std::string_view keyword) const;
+  bool IsSymbol(std::string_view symbol) const {
+    return type == TokenType::kSymbol && text == symbol;
+  }
+};
+
+/// Tokenizes `sql`. The result always ends with a kEnd token.
+util::Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace goofi::db

@@ -1,0 +1,128 @@
+#include "db/table.hpp"
+
+#include <cassert>
+
+namespace goofi::db {
+
+Row Table::ExtractKey(const Row& row) const {
+  Row key;
+  key.reserve(schema_.primary_key_indices().size());
+  for (size_t idx : schema_.primary_key_indices()) key.push_back(row[idx]);
+  return key;
+}
+
+util::Status Table::Insert(Row row) {
+  GOOFI_RETURN_IF_ERROR(schema_.CheckRow(row));
+  if (!schema_.primary_key_indices().empty()) {
+    Row key = ExtractKey(row);
+    for (const Value& v : key) {
+      if (v.is_null()) {
+        return util::ConstraintViolation("table " + schema_.table_name() +
+                                         ": NULL in primary key");
+      }
+    }
+    if (pk_index_.contains(key)) {
+      return util::ConstraintViolation("table " + schema_.table_name() +
+                                       ": duplicate primary key");
+    }
+    pk_index_.emplace(std::move(key), rows_.size());
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return util::Status::Ok();
+}
+
+std::optional<size_t> Table::FindByPrimaryKey(const Row& key) const {
+  assert(!schema_.primary_key_indices().empty());
+  const auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Table::ExistsWhere(const std::vector<size_t>& column_indices,
+                        const Row& values) const {
+  assert(column_indices.size() == values.size());
+  // Fast path: the queried columns are exactly the primary key.
+  if (column_indices == schema_.primary_key_indices() &&
+      !column_indices.empty()) {
+    return pk_index_.contains(values);
+  }
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    bool match = true;
+    for (size_t i = 0; i < column_indices.size(); ++i) {
+      if (rows_[slot][column_indices[i]].Compare(values[i]) != 0) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+size_t Table::DeleteWhere(const std::function<bool(const Row&)>& predicate) {
+  size_t deleted = 0;
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot] || !predicate(rows_[slot])) continue;
+    if (!schema_.primary_key_indices().empty()) {
+      pk_index_.erase(ExtractKey(rows_[slot]));
+    }
+    live_[slot] = false;
+    rows_[slot].clear();
+    ++deleted;
+  }
+  live_count_ -= deleted;
+  return deleted;
+}
+
+util::Status Table::UpdateWhere(
+    const std::function<bool(const Row&)>& predicate,
+    const std::function<void(Row&)>& mutate, size_t* updated) {
+  size_t count = 0;
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot] || !predicate(rows_[slot])) continue;
+    Row candidate = rows_[slot];
+    mutate(candidate);
+    const util::Status st = schema_.CheckRow(candidate);
+    if (!st.ok()) {
+      if (updated != nullptr) *updated = count;
+      return st;
+    }
+    if (!schema_.primary_key_indices().empty()) {
+      Row old_key = ExtractKey(rows_[slot]);
+      Row new_key = ExtractKey(candidate);
+      if (!KeyEq{}(old_key, new_key)) {
+        const auto it = pk_index_.find(new_key);
+        if (it != pk_index_.end() && it->second != slot) {
+          if (updated != nullptr) *updated = count;
+          return util::ConstraintViolation(
+              "table " + schema_.table_name() +
+              ": update would duplicate primary key");
+        }
+        pk_index_.erase(old_key);
+        pk_index_.emplace(std::move(new_key), slot);
+      }
+    }
+    rows_[slot] = std::move(candidate);
+    ++count;
+  }
+  if (updated != nullptr) *updated = count;
+  return util::Status::Ok();
+}
+
+void Table::ForEach(const std::function<void(const Row&)>& fn) const {
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (live_[slot]) fn(rows_[slot]);
+  }
+}
+
+std::vector<Row> Table::Rows() const {
+  std::vector<Row> out;
+  out.reserve(live_count_);
+  ForEach([&out](const Row& row) { out.push_back(row); });
+  return out;
+}
+
+}  // namespace goofi::db

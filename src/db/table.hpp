@@ -1,0 +1,88 @@
+// A single table: rows plus a hash index on the primary key.
+//
+// Tables are append-mostly in GOOFI (LoggedSystemState grows by one row per
+// experiment, or per instruction in detail mode), so rows live in a stable
+// vector with tombstones and the PK index maps key -> slot.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/schema.hpp"
+
+namespace goofi::db {
+
+using Row = std::vector<Value>;
+
+/// Hash/equality over a vector of key values.
+struct KeyHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 0x811C9DC5u;
+    for (const Value& v : key) h = h * 16777619u ^ v.Hash();
+    return h;
+  }
+};
+struct KeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+class Table {
+ public:
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t size() const { return live_count_; }
+
+  /// Inserts a row. Fails on type/NOT NULL mismatch or duplicate primary key.
+  /// (Foreign keys are enforced one level up, by Database.)
+  util::Status Insert(Row row);
+
+  /// Finds a live row by primary key; returns its slot or nullopt.
+  /// Precondition: the schema declares a primary key.
+  std::optional<size_t> FindByPrimaryKey(const Row& key) const;
+
+  /// Whether any live row has the given values in the given columns.
+  bool ExistsWhere(const std::vector<size_t>& column_indices,
+                   const Row& values) const;
+
+  /// Deletes all live rows matching `predicate`; returns the count deleted.
+  size_t DeleteWhere(const std::function<bool(const Row&)>& predicate);
+
+  /// Applies `mutate` to all live rows matching `predicate`. The mutated row
+  /// is re-validated; on constraint failure the row is left unchanged and the
+  /// first error is returned (already-updated rows stay updated, as in SQL
+  /// without transactions). Returns number updated via `updated`.
+  util::Status UpdateWhere(const std::function<bool(const Row&)>& predicate,
+                           const std::function<void(Row&)>& mutate,
+                           size_t* updated);
+
+  /// Calls `fn` for every live row. `fn` must not mutate the table.
+  void ForEach(const std::function<void(const Row&)>& fn) const;
+
+  /// Snapshot of all live rows (used by SELECT).
+  std::vector<Row> Rows() const;
+
+  /// Raw access for persistence: live rows only.
+  const std::vector<Row>& slots() const { return rows_; }
+  const std::vector<bool>& live() const { return live_; }
+
+ private:
+  Row ExtractKey(const Row& row) const;
+
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> pk_index_;
+};
+
+}  // namespace goofi::db

@@ -1,0 +1,586 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace goofi::isa {
+
+namespace {
+
+// One source line reduced to its parts.
+struct SourceLine {
+  int number = 0;
+  std::vector<std::string> labels;
+  std::string mnemonic;  // lowercase; empty for label-only / directive lines
+  std::vector<std::string> operands;
+};
+
+util::Status LineError(int line, const std::string& message) {
+  return util::ParseError("line " + std::to_string(line) + ": " + message);
+}
+
+std::string StripComment(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == ';' || c == '#') break;
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Splits an operand list on top-level commas.
+std::vector<std::string> SplitOperands(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.emplace_back(util::Trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const auto last = util::Trim(current);
+  if (!last.empty() || !out.empty()) out.emplace_back(last);
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+class Assembler {
+ public:
+  util::Result<AssembledProgram> Run(const std::string& source) {
+    GOOFI_RETURN_IF_ERROR(Scan(source));
+    GOOFI_RETURN_IF_ERROR(PassOne());
+    GOOFI_RETURN_IF_ERROR(PassTwo());
+    return std::move(program_);
+  }
+
+ private:
+  // --- scanning ----------------------------------------------------------
+
+  util::Status Scan(const std::string& source) {
+    int number = 0;
+    for (const std::string& raw : util::Split(source, '\n')) {
+      ++number;
+      std::string text = StripComment(raw);
+      std::string_view rest = util::Trim(text);
+      if (rest.empty()) continue;
+      SourceLine line;
+      line.number = number;
+      // Leading labels: IDENT ':'
+      for (;;) {
+        const size_t colon = rest.find(':');
+        if (colon == std::string_view::npos) break;
+        const std::string_view head = util::Trim(rest.substr(0, colon));
+        if (head.empty() || head.find(' ') != std::string_view::npos ||
+            head.find('\t') != std::string_view::npos) {
+          break;  // ':' belongs to something else (we have no such syntax, but be safe)
+        }
+        line.labels.emplace_back(head);
+        rest = util::Trim(rest.substr(colon + 1));
+      }
+      if (!rest.empty()) {
+        const size_t space = rest.find_first_of(" \t");
+        if (space == std::string_view::npos) {
+          line.mnemonic = util::ToLower(rest);
+        } else {
+          line.mnemonic = util::ToLower(rest.substr(0, space));
+          line.operands = SplitOperands(rest.substr(space + 1));
+        }
+      }
+      lines_.push_back(std::move(line));
+    }
+    return util::Status::Ok();
+  }
+
+  // --- expression evaluation ----------------------------------------------
+  // Supports: numbers, symbols, unary -, and left-to-right + / -.
+
+  util::Result<int64_t> EvalExpr(std::string_view text, int line) const {
+    text = util::Trim(text);
+    if (text.empty()) return LineError(line, "empty expression");
+    int64_t total = 0;
+    int sign = 1;
+    size_t i = 0;
+    bool expect_term = true;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (expect_term && (c == '-' || c == '+')) {
+        if (c == '-') sign = -sign;
+        ++i;
+        continue;
+      }
+      if (!expect_term && (c == '+' || c == '-')) {
+        sign = (c == '-') ? -1 : 1;
+        expect_term = true;
+        ++i;
+        continue;
+      }
+      if (!expect_term) {
+        return LineError(line, "unexpected character in expression: " +
+                                   std::string(1, c));
+      }
+      // A term: number or symbol.
+      size_t start = i;
+      while (i < text.size() && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                                 text[i] == '_' || text[i] == '.')) {
+        ++i;
+      }
+      if (i == start) {
+        return LineError(line, "bad expression term at '" +
+                                   std::string(text.substr(i)) + "'");
+      }
+      const std::string term(text.substr(start, i - start));
+      int64_t value = 0;
+      if (std::isdigit(static_cast<unsigned char>(term[0]))) {
+        const auto parsed = util::ParseInt(term);
+        if (!parsed) return LineError(line, "bad number: " + term);
+        value = *parsed;
+      } else {
+        const auto it = symbols_.find(term);
+        if (it == symbols_.end()) {
+          return LineError(line, "undefined symbol: " + term);
+        }
+        value = it->second;
+      }
+      total += sign * value;
+      sign = 1;
+      expect_term = false;
+    }
+    if (expect_term) return LineError(line, "dangling operator in expression");
+    return total;
+  }
+
+  util::Result<int> EvalRegister(const std::string& text, int line) const {
+    const auto reg = ParseRegister(util::Trim(text));
+    if (!reg) return LineError(line, "bad register: " + text);
+    return *reg;
+  }
+
+  // Memory operand: "offset(reg)" or "[reg+offset]" or "[reg]".
+  struct MemOperand {
+    int reg = 0;
+    int64_t offset = 0;
+  };
+  util::Result<MemOperand> EvalMemOperand(const std::string& text, int line) const {
+    std::string_view body = util::Trim(text);
+    MemOperand out;
+    if (!body.empty() && body.front() == '[') {
+      if (body.back() != ']') return LineError(line, "unterminated [..]: " + text);
+      body = body.substr(1, body.size() - 2);
+      // reg or reg+expr or reg-expr
+      size_t split = body.find_first_of("+-");
+      std::string_view reg_text = split == std::string_view::npos
+                                      ? body
+                                      : body.substr(0, split);
+      auto reg = ParseRegister(util::Trim(reg_text));
+      if (!reg) return LineError(line, "bad register in memory operand: " + text);
+      out.reg = *reg;
+      if (split != std::string_view::npos) {
+        auto offset = EvalExpr(body.substr(split), line);
+        if (!offset.ok()) return offset.status();
+        out.offset = offset.value();
+      }
+      return out;
+    }
+    const size_t paren = body.find('(');
+    if (paren == std::string_view::npos || body.back() != ')') {
+      return LineError(line, "bad memory operand: " + text);
+    }
+    if (paren > 0) {
+      auto offset = EvalExpr(body.substr(0, paren), line);
+      if (!offset.ok()) return offset.status();
+      out.offset = offset.value();
+    }
+    auto reg = ParseRegister(util::Trim(body.substr(paren + 1, body.size() - paren - 2)));
+    if (!reg) return LineError(line, "bad register in memory operand: " + text);
+    out.reg = *reg;
+    return out;
+  }
+
+  // --- sizing ---------------------------------------------------------------
+
+  /// Number of machine words a statement line emits.
+  util::Result<int> StatementWords(const SourceLine& line) const {
+    const std::string& m = line.mnemonic;
+    if (m == ".word") return static_cast<int>(line.operands.size());
+    if (m == ".space") {
+      auto n = EvalExpr(line.operands.empty() ? "" : line.operands[0], line.number);
+      if (!n.ok()) return n.status();
+      if (n.value() < 0) return LineError(line.number, ".space with negative size");
+      return static_cast<int>((n.value() + 3) / 4);
+    }
+    if (m == "li") return 2;
+    if (m == "push" || m == "pop") return 2;
+    if (m == "mov" || m == "call" || m == "ret") return 1;
+    if (FindOpcodeByMnemonic(m) != nullptr) return 1;
+    return LineError(line.number, "unknown mnemonic: " + m);
+  }
+
+  // --- pass 1: symbol table ---------------------------------------------
+
+  util::Status PassOne() {
+    int64_t pc = 0;
+    bool org_seen = false;
+    for (const SourceLine& line : lines_) {
+      for (const std::string& label : line.labels) {
+        if (symbols_.contains(label)) {
+          return LineError(line.number, "duplicate label: " + label);
+        }
+        symbols_[label] = pc;
+      }
+      if (line.mnemonic.empty()) continue;
+      if (line.mnemonic == ".equ") {
+        if (line.operands.size() != 2) {
+          return LineError(line.number, ".equ needs NAME, EXPR");
+        }
+        auto value = EvalExpr(line.operands[1], line.number);
+        if (!value.ok()) return value.status();
+        if (symbols_.contains(line.operands[0])) {
+          return LineError(line.number, "duplicate symbol: " + line.operands[0]);
+        }
+        symbols_[line.operands[0]] = value.value();
+        continue;
+      }
+      if (line.mnemonic == ".org") {
+        if (line.operands.size() != 1) return LineError(line.number, ".org needs ADDR");
+        auto addr = EvalExpr(line.operands[0], line.number);
+        if (!addr.ok()) return addr.status();
+        if (addr.value() < 0 || addr.value() % 4 != 0) {
+          return LineError(line.number, ".org address must be non-negative and word-aligned");
+        }
+        if (!org_seen && pc == 0) {
+          base_ = addr.value();
+        } else if (addr.value() < pc) {
+          return LineError(line.number, ".org may not move backwards");
+        }
+        pc = addr.value();
+        org_seen = true;
+        continue;
+      }
+      if (!org_seen && pc == 0 && base_ == 0) {
+        // First emitted word defines the start of the image at address 0.
+      }
+      auto words = StatementWords(line);
+      if (!words.ok()) return words.status();
+      pc += 4 * words.value();
+    }
+    end_ = pc;
+    return util::Status::Ok();
+  }
+
+  // --- pass 2: emission ----------------------------------------------------
+
+  void Emit(int64_t pc, uint32_t word) {
+    const size_t index = static_cast<size_t>((pc - base_) / 4);
+    program_.words[index] = word;
+  }
+
+  util::Result<uint8_t> Reg(const std::string& text, int line) const {
+    auto r = EvalRegister(text, line);
+    if (!r.ok()) return r.status();
+    return static_cast<uint8_t>(r.value());
+  }
+
+  util::Status CheckOperands(const SourceLine& line, size_t expected) const {
+    if (line.operands.size() != expected) {
+      return LineError(line.number,
+                       line.mnemonic + " expects " + std::to_string(expected) +
+                           " operands, got " + std::to_string(line.operands.size()));
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status EmitInstruction(int64_t pc, const SourceLine& line) {
+    const std::string& m = line.mnemonic;
+    const OpcodeInfo* info = FindOpcodeByMnemonic(m);
+    Instruction ins;
+    ins.op = info->op;
+    switch (info->format) {
+      case Format::kNone:
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 0));
+        break;
+      case Format::kR: {
+        if (ins.op == Opcode::kJr) {
+          GOOFI_RETURN_IF_ERROR(CheckOperands(line, 1));
+          auto rs1 = Reg(line.operands[0], line.number);
+          if (!rs1.ok()) return rs1.status();
+          ins.rs1 = rs1.value();
+          break;
+        }
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 3));
+        auto rd = Reg(line.operands[0], line.number);
+        auto rs1 = Reg(line.operands[1], line.number);
+        auto rs2 = Reg(line.operands[2], line.number);
+        if (!rd.ok()) return rd.status();
+        if (!rs1.ok()) return rs1.status();
+        if (!rs2.ok()) return rs2.status();
+        ins.rd = rd.value();
+        ins.rs1 = rs1.value();
+        ins.rs2 = rs2.value();
+        break;
+      }
+      case Format::kI: {
+        if (ins.op == Opcode::kLdw || ins.op == Opcode::kStw) {
+          GOOFI_RETURN_IF_ERROR(CheckOperands(line, 2));
+          auto rd = Reg(line.operands[0], line.number);
+          if (!rd.ok()) return rd.status();
+          auto mem = EvalMemOperand(line.operands[1], line.number);
+          if (!mem.ok()) return mem.status();
+          ins.rd = rd.value();
+          ins.rs1 = static_cast<uint8_t>(mem.value().reg);
+          ins.imm = static_cast<int32_t>(mem.value().offset);
+        } else if (ins.op >= Opcode::kBeq && ins.op <= Opcode::kBgeu) {
+          GOOFI_RETURN_IF_ERROR(CheckOperands(line, 3));
+          auto rd = Reg(line.operands[0], line.number);
+          auto rs1 = Reg(line.operands[1], line.number);
+          if (!rd.ok()) return rd.status();
+          if (!rs1.ok()) return rs1.status();
+          auto target = EvalExpr(line.operands[2], line.number);
+          if (!target.ok()) return target.status();
+          const int64_t offset = target.value() - (pc + 4);
+          if (offset % 4 != 0) {
+            return LineError(line.number, "branch target not word-aligned");
+          }
+          ins.rd = rd.value();
+          ins.rs1 = rs1.value();
+          ins.imm = static_cast<int32_t>(offset / 4);
+        } else if (ins.op == Opcode::kTrap) {
+          GOOFI_RETURN_IF_ERROR(CheckOperands(line, 1));
+          auto code = EvalExpr(line.operands[0], line.number);
+          if (!code.ok()) return code.status();
+          ins.imm = static_cast<int32_t>(code.value());
+        } else if (ins.op == Opcode::kLui) {
+          GOOFI_RETURN_IF_ERROR(CheckOperands(line, 2));
+          auto rd = Reg(line.operands[0], line.number);
+          if (!rd.ok()) return rd.status();
+          auto imm = EvalExpr(line.operands[1], line.number);
+          if (!imm.ok()) return imm.status();
+          ins.rd = rd.value();
+          // Mask to the 18-bit field and sign-extend (see `li` expansion).
+          ins.imm = (static_cast<int32_t>(imm.value() & 0x3FFFF) ^ 0x20000) -
+                    0x20000;
+        } else {
+          GOOFI_RETURN_IF_ERROR(CheckOperands(line, 3));
+          auto rd = Reg(line.operands[0], line.number);
+          auto rs1 = Reg(line.operands[1], line.number);
+          if (!rd.ok()) return rd.status();
+          if (!rs1.ok()) return rs1.status();
+          auto imm = EvalExpr(line.operands[2], line.number);
+          if (!imm.ok()) return imm.status();
+          ins.rd = rd.value();
+          ins.rs1 = rs1.value();
+          ins.imm = static_cast<int32_t>(imm.value());
+        }
+        if (ins.imm < kImm18Min || ins.imm > kImm18Max) {
+          return LineError(line.number, "immediate out of 18-bit range");
+        }
+        break;
+      }
+      case Format::kJ: {
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 1));
+        auto target = EvalExpr(line.operands[0], line.number);
+        if (!target.ok()) return target.status();
+        if (target.value() % 4 != 0) {
+          return LineError(line.number, "jump target not word-aligned");
+        }
+        ins.imm = static_cast<int32_t>(target.value() / 4);
+        if (ins.imm < kImm26Min || ins.imm > kImm26Max) {
+          return LineError(line.number, "jump target out of range");
+        }
+        break;
+      }
+    }
+    Emit(pc, Encode(ins));
+    return util::Status::Ok();
+  }
+
+  util::Status PassTwo() {
+    program_.base_address = static_cast<uint32_t>(base_);
+    program_.words.assign(static_cast<size_t>((end_ - base_) / 4), 0);
+
+    int64_t pc = base_;
+    for (const SourceLine& line : lines_) {
+      if (line.mnemonic.empty() || line.mnemonic == ".equ") continue;
+      if (line.mnemonic == ".org") {
+        pc = EvalExpr(line.operands[0], line.number).value();
+        continue;
+      }
+      const std::string& m = line.mnemonic;
+      if (m == ".word") {
+        for (const std::string& operand : line.operands) {
+          auto value = EvalExpr(operand, line.number);
+          if (!value.ok()) return value.status();
+          Emit(pc, static_cast<uint32_t>(value.value()));
+          pc += 4;
+        }
+        continue;
+      }
+      if (m == ".space") {
+        auto n = EvalExpr(line.operands[0], line.number);
+        pc += 4 * ((n.value() + 3) / 4);
+        continue;
+      }
+      // Pseudo-instructions expand here.
+      if (m == "li") {
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 2));
+        auto rd = Reg(line.operands[0], line.number);
+        if (!rd.ok()) return rd.status();
+        auto value = EvalExpr(line.operands[1], line.number);
+        if (!value.ok()) return value.status();
+        const uint32_t v = static_cast<uint32_t>(value.value());
+        // The 18-bit lui field is stored sign-extended; mask and re-extend so
+        // values with high bits set round-trip through Encode's range check.
+        const int32_t hi =
+            (static_cast<int32_t>((v >> 14) & 0x3FFFFu) ^ 0x20000) - 0x20000;
+        Instruction lui{Opcode::kLui, rd.value(), 0, 0, hi};
+        Instruction ori{Opcode::kOri, rd.value(), rd.value(), 0,
+                        static_cast<int32_t>(v & 0x3FFFu)};
+        Emit(pc, Encode(lui));
+        pc += 4;
+        Emit(pc, Encode(ori));
+        pc += 4;
+        continue;
+      }
+      if (m == "mov") {
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 2));
+        auto rd = Reg(line.operands[0], line.number);
+        auto rs = Reg(line.operands[1], line.number);
+        if (!rd.ok()) return rd.status();
+        if (!rs.ok()) return rs.status();
+        Emit(pc, Encode(Instruction{Opcode::kAddi, rd.value(), rs.value(), 0, 0}));
+        pc += 4;
+        continue;
+      }
+      if (m == "call") {
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 1));
+        auto target = EvalExpr(line.operands[0], line.number);
+        if (!target.ok()) return target.status();
+        Emit(pc, Encode(Instruction{Opcode::kJal, 0, 0, 0,
+                                    static_cast<int32_t>(target.value() / 4)}));
+        pc += 4;
+        continue;
+      }
+      if (m == "ret") {
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 0));
+        Emit(pc, Encode(Instruction{Opcode::kJr, 0, kLinkRegister, 0, 0}));
+        pc += 4;
+        continue;
+      }
+      if (m == "push") {
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 1));
+        auto rd = Reg(line.operands[0], line.number);
+        if (!rd.ok()) return rd.status();
+        Emit(pc, Encode(Instruction{Opcode::kAddi, kStackPointer, kStackPointer, 0, -4}));
+        pc += 4;
+        Emit(pc, Encode(Instruction{Opcode::kStw, rd.value(), kStackPointer, 0, 0}));
+        pc += 4;
+        continue;
+      }
+      if (m == "pop") {
+        GOOFI_RETURN_IF_ERROR(CheckOperands(line, 1));
+        auto rd = Reg(line.operands[0], line.number);
+        if (!rd.ok()) return rd.status();
+        Emit(pc, Encode(Instruction{Opcode::kLdw, rd.value(), kStackPointer, 0, 0}));
+        pc += 4;
+        Emit(pc, Encode(Instruction{Opcode::kAddi, kStackPointer, kStackPointer, 0, 4}));
+        pc += 4;
+        continue;
+      }
+      GOOFI_RETURN_IF_ERROR(EmitInstruction(pc, line));
+      pc += 4;
+    }
+
+    for (const auto& [name, value] : symbols_) {
+      program_.symbols[name] = static_cast<uint32_t>(value);
+    }
+    const auto start = symbols_.find("_start");
+    program_.entry = start != symbols_.end()
+                         ? static_cast<uint32_t>(start->second)
+                         : program_.base_address;
+    return util::Status::Ok();
+  }
+
+  std::vector<SourceLine> lines_;
+  std::map<std::string, int64_t> symbols_;
+  int64_t base_ = 0;
+  int64_t end_ = 0;
+  AssembledProgram program_;
+};
+
+}  // namespace
+
+util::Result<uint32_t> AssembledProgram::Symbol(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) return util::NotFound("undefined symbol: " + name);
+  return it->second;
+}
+
+util::Result<AssembledProgram> Assemble(const std::string& source) {
+  Assembler assembler;
+  return assembler.Run(source);
+}
+
+std::string Disassemble(uint32_t word) {
+  auto decoded = Decode(word);
+  if (!decoded.ok()) {
+    return util::Format(".word 0x%08x ; illegal", word);
+  }
+  const Instruction& ins = decoded.value();
+  const OpcodeInfo& info = GetOpcodeInfo(ins.op);
+  auto reg = [](uint8_t r) { return *RegisterName(r); };
+  switch (info.format) {
+    case Format::kNone:
+      return info.mnemonic;
+    case Format::kR:
+      if (ins.op == Opcode::kJr) {
+        return util::Format("jr %s", reg(ins.rs1).c_str());
+      }
+      return util::Format("%s %s, %s, %s", info.mnemonic, reg(ins.rd).c_str(),
+                          reg(ins.rs1).c_str(), reg(ins.rs2).c_str());
+    case Format::kI:
+      if (ins.op == Opcode::kLdw || ins.op == Opcode::kStw) {
+        return util::Format("%s %s, %d(%s)", info.mnemonic, reg(ins.rd).c_str(),
+                            ins.imm, reg(ins.rs1).c_str());
+      }
+      if (ins.op == Opcode::kTrap) {
+        return util::Format("trap %d", ins.imm);
+      }
+      if (ins.op == Opcode::kLui) {
+        return util::Format("lui %s, %d", reg(ins.rd).c_str(), ins.imm);
+      }
+      if (ins.op >= Opcode::kBeq && ins.op <= Opcode::kBgeu) {
+        return util::Format("%s %s, %s, pc%+d", info.mnemonic, reg(ins.rd).c_str(),
+                            reg(ins.rs1).c_str(), (ins.imm + 1) * 4);
+      }
+      return util::Format("%s %s, %s, %d", info.mnemonic, reg(ins.rd).c_str(),
+                          reg(ins.rs1).c_str(), ins.imm);
+    case Format::kJ:
+      return util::Format("%s 0x%x", info.mnemonic,
+                          static_cast<uint32_t>(ins.imm) * 4);
+  }
+  return "?";
+}
+
+std::string DisassembleProgram(const AssembledProgram& program) {
+  std::string out;
+  for (size_t i = 0; i < program.words.size(); ++i) {
+    const uint32_t address = program.base_address + static_cast<uint32_t>(i) * 4;
+    out += util::Format("%08x:  %08x  %s\n", address, program.words[i],
+                        Disassemble(program.words[i]).c_str());
+  }
+  return out;
+}
+
+}  // namespace goofi::isa

@@ -1,0 +1,168 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace goofi::isa {
+
+namespace {
+
+constexpr OpcodeInfo kOpcodeTable[] = {
+    {Opcode::kNop, "nop", Format::kNone, 1},
+    {Opcode::kAdd, "add", Format::kR, 1},
+    {Opcode::kSub, "sub", Format::kR, 1},
+    {Opcode::kMul, "mul", Format::kR, 3},
+    {Opcode::kDiv, "div", Format::kR, 12},
+    {Opcode::kAnd, "and", Format::kR, 1},
+    {Opcode::kOr, "or", Format::kR, 1},
+    {Opcode::kXor, "xor", Format::kR, 1},
+    {Opcode::kSll, "sll", Format::kR, 1},
+    {Opcode::kSrl, "srl", Format::kR, 1},
+    {Opcode::kSra, "sra", Format::kR, 1},
+    {Opcode::kSlt, "slt", Format::kR, 1},
+    {Opcode::kSltu, "sltu", Format::kR, 1},
+    {Opcode::kAddi, "addi", Format::kI, 1},
+    {Opcode::kAndi, "andi", Format::kI, 1},
+    {Opcode::kOri, "ori", Format::kI, 1},
+    {Opcode::kXori, "xori", Format::kI, 1},
+    {Opcode::kSlli, "slli", Format::kI, 1},
+    {Opcode::kSrli, "srli", Format::kI, 1},
+    {Opcode::kLui, "lui", Format::kI, 1},
+    {Opcode::kSlti, "slti", Format::kI, 1},
+    {Opcode::kLdw, "ldw", Format::kI, 2},
+    {Opcode::kStw, "stw", Format::kI, 2},
+    {Opcode::kBeq, "beq", Format::kI, 2},
+    {Opcode::kBne, "bne", Format::kI, 2},
+    {Opcode::kBlt, "blt", Format::kI, 2},
+    {Opcode::kBge, "bge", Format::kI, 2},
+    {Opcode::kBltu, "bltu", Format::kI, 2},
+    {Opcode::kBgeu, "bgeu", Format::kI, 2},
+    {Opcode::kJmp, "jmp", Format::kJ, 2},
+    {Opcode::kJal, "jal", Format::kJ, 2},
+    {Opcode::kJr, "jr", Format::kR, 2},
+    {Opcode::kHalt, "halt", Format::kNone, 1},
+    {Opcode::kTrap, "trap", Format::kI, 2},
+};
+
+// Opcode byte -> table slot, or -1.
+std::array<int, 64> MakeOpcodeIndex() {
+  std::array<int, 64> index;
+  index.fill(-1);
+  for (size_t i = 0; i < std::size(kOpcodeTable); ++i) {
+    index[static_cast<uint8_t>(kOpcodeTable[i].op)] = static_cast<int>(i);
+  }
+  return index;
+}
+
+const std::array<int, 64>& OpcodeIndex() {
+  static const std::array<int, 64> index = MakeOpcodeIndex();
+  return index;
+}
+
+int32_t SignExtend(uint32_t value, int bits) {
+  const uint32_t sign = 1u << (bits - 1);
+  return static_cast<int32_t>((value ^ sign) - sign);
+}
+
+}  // namespace
+
+bool IsValidOpcode(uint8_t op) { return op < 64 && OpcodeIndex()[op] >= 0; }
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  const int slot = OpcodeIndex()[static_cast<uint8_t>(op)];
+  assert(slot >= 0);
+  return kOpcodeTable[slot];
+}
+
+const OpcodeInfo* FindOpcodeByMnemonic(std::string_view mnemonic) {
+  for (const OpcodeInfo& info : kOpcodeTable) {
+    if (util::EqualsIgnoreCase(info.mnemonic, mnemonic)) return &info;
+  }
+  return nullptr;
+}
+
+uint32_t Encode(const Instruction& instruction) {
+  const OpcodeInfo& info = GetOpcodeInfo(instruction.op);
+  uint32_t word = static_cast<uint32_t>(instruction.op) << 26;
+  assert(instruction.rd < kNumRegisters);
+  assert(instruction.rs1 < kNumRegisters);
+  assert(instruction.rs2 < kNumRegisters);
+  switch (info.format) {
+    case Format::kR:
+      word |= static_cast<uint32_t>(instruction.rd) << 22;
+      word |= static_cast<uint32_t>(instruction.rs1) << 18;
+      word |= static_cast<uint32_t>(instruction.rs2) << 14;
+      break;
+    case Format::kI:
+      assert(instruction.imm >= kImm18Min && instruction.imm <= kImm18Max);
+      word |= static_cast<uint32_t>(instruction.rd) << 22;
+      word |= static_cast<uint32_t>(instruction.rs1) << 18;
+      word |= static_cast<uint32_t>(instruction.imm) & 0x3FFFFu;
+      break;
+    case Format::kJ:
+      assert(instruction.imm >= kImm26Min && instruction.imm <= kImm26Max);
+      word |= static_cast<uint32_t>(instruction.imm) & 0x3FFFFFFu;
+      break;
+    case Format::kNone:
+      break;
+  }
+  return word;
+}
+
+util::Result<Instruction> Decode(uint32_t word) {
+  const uint8_t op = static_cast<uint8_t>(word >> 26);
+  if (!IsValidOpcode(op)) {
+    return util::ParseError(
+        util::Format("illegal opcode 0x%02x in word 0x%08x", op, word));
+  }
+  Instruction out;
+  out.op = static_cast<Opcode>(op);
+  const OpcodeInfo& info = GetOpcodeInfo(out.op);
+  switch (info.format) {
+    case Format::kR:
+      out.rd = (word >> 22) & 0xF;
+      out.rs1 = (word >> 18) & 0xF;
+      out.rs2 = (word >> 14) & 0xF;
+      if ((word & 0x3FFF) != 0) {
+        return util::ParseError(
+            util::Format("illegal encoding (nonzero reserved bits) 0x%08x", word));
+      }
+      break;
+    case Format::kI:
+      out.rd = (word >> 22) & 0xF;
+      out.rs1 = (word >> 18) & 0xF;
+      out.imm = SignExtend(word & 0x3FFFFu, 18);
+      break;
+    case Format::kJ:
+      out.imm = SignExtend(word & 0x3FFFFFFu, 26);
+      break;
+    case Format::kNone:
+      if ((word & 0x3FFFFFFu) != 0) {
+        return util::ParseError(
+            util::Format("illegal encoding (nonzero reserved bits) 0x%08x", word));
+      }
+      break;
+  }
+  return out;
+}
+
+std::optional<std::string> RegisterName(int reg) {
+  if (reg < 0 || reg >= kNumRegisters) return std::nullopt;
+  if (reg == kLinkRegister) return "lr";
+  if (reg == kStackPointer) return "sp";
+  return "r" + std::to_string(reg);
+}
+
+std::optional<int> ParseRegister(std::string_view name) {
+  if (util::EqualsIgnoreCase(name, "lr")) return kLinkRegister;
+  if (util::EqualsIgnoreCase(name, "sp")) return kStackPointer;
+  if (name.size() >= 2 && (name[0] == 'r' || name[0] == 'R')) {
+    const auto n = util::ParseInt(name.substr(1));
+    if (n && *n >= 0 && *n < kNumRegisters) return static_cast<int>(*n);
+  }
+  return std::nullopt;
+}
+
+}  // namespace goofi::isa

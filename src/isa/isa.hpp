@@ -1,0 +1,139 @@
+// TRD32: the instruction-set architecture of the simulated Thor-RD-like
+// target microprocessor.
+//
+// The real Thor RD is a stack-oriented rad-hard CPU; GOOFI only relies on the
+// target having (a) a program the user can assemble and download, (b) state
+// elements reachable via scan chains and (c) error-detection mechanisms.
+// TRD32 is a compact 32-bit load/store ISA chosen so that workloads are easy
+// to write and the fault-injection-relevant properties are preserved:
+//   - a sparse opcode space, so instruction-memory bit flips can produce
+//     *illegal opcode* detections,
+//   - condition-bearing ALU ops with an overflow trap,
+//   - word-aligned memory accesses, so address bit flips can produce
+//     *misaligned / out-of-range* detections.
+//
+// Encoding (32 bits):
+//   [31:26] opcode
+//   R-type:  [25:22] rd   [21:18] rs1  [17:14] rs2   [13:0] must-be-zero
+//   I-type:  [25:22] rd   [21:18] rs1  [17:0]  imm18 (sign-extended)
+//   J-type:  [25:0] imm26 (sign-extended, word offset or word address)
+//
+// Registers: r0..r15 (r14 = lr link register, r15 = sp stack pointer); the
+// program counter is separate. All registers are 32-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace goofi::isa {
+
+inline constexpr int kNumRegisters = 16;
+inline constexpr int kLinkRegister = 14;
+inline constexpr int kStackPointer = 15;
+
+/// Opcode values are deliberately non-contiguous in spots (sparse space) so
+/// random bit flips can yield undefined opcodes -> illegal-instruction EDM.
+enum class Opcode : uint8_t {
+  kNop = 0x00,
+
+  // R-type ALU.
+  kAdd = 0x04,
+  kSub = 0x05,
+  kMul = 0x06,
+  kDiv = 0x07,
+  kAnd = 0x08,
+  kOr = 0x09,
+  kXor = 0x0A,
+  kSll = 0x0B,
+  kSrl = 0x0C,
+  kSra = 0x0D,
+  kSlt = 0x0E,
+  kSltu = 0x0F,
+
+  // I-type ALU.
+  kAddi = 0x14,
+  kAndi = 0x15,
+  kOri = 0x16,
+  kXori = 0x17,
+  kSlli = 0x18,
+  kSrli = 0x19,
+  kLui = 0x1A,
+  kSlti = 0x1B,
+
+  // Memory (I-type): LDW rd, [rs1+imm] / STW rd, [rs1+imm] (rd is source).
+  kLdw = 0x20,
+  kStw = 0x21,
+
+  // Branches (I-type, PC-relative word offset in imm; rd/rs1 compared).
+  kBeq = 0x28,
+  kBne = 0x29,
+  kBlt = 0x2A,
+  kBge = 0x2B,
+  kBltu = 0x2C,
+  kBgeu = 0x2D,
+
+  // Jumps.
+  kJmp = 0x30,  ///< J-type, absolute word address
+  kJal = 0x31,  ///< J-type, absolute word address, link into lr
+  kJr = 0x32,   ///< R-type, jump to rs1 (RET == JR lr)
+
+  // System.
+  kHalt = 0x3C,
+  kTrap = 0x3D,  ///< I-type: software trap with code imm (used by assertions)
+};
+
+/// True if `op` is a defined TRD32 opcode.
+bool IsValidOpcode(uint8_t op);
+
+enum class Format { kR, kI, kJ, kNone };
+
+/// Static properties of an opcode.
+struct OpcodeInfo {
+  Opcode op;
+  const char* mnemonic;
+  Format format;
+  int base_cycles;  ///< execution cycles excluding cache-miss penalties
+};
+
+/// Info for a valid opcode. Precondition: IsValidOpcode.
+const OpcodeInfo& GetOpcodeInfo(Opcode op);
+
+/// Info by mnemonic (case-insensitive), or nullptr.
+const OpcodeInfo* FindOpcodeByMnemonic(std::string_view mnemonic);
+
+/// A decoded instruction.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Encodes to the 32-bit machine word. Precondition: fields in range
+/// (registers < 16, imm fits the format's field).
+uint32_t Encode(const Instruction& instruction);
+
+/// Decodes a machine word. Fails on undefined opcodes and on nonzero
+/// must-be-zero fields — both are detected as illegal instructions by the
+/// CPU's EDM (that is what makes instruction-bit flips observable).
+util::Result<Instruction> Decode(uint32_t word);
+
+/// Immediate field limits.
+inline constexpr int32_t kImm18Min = -(1 << 17);
+inline constexpr int32_t kImm18Max = (1 << 17) - 1;
+inline constexpr int32_t kImm26Min = -(1 << 25);
+inline constexpr int32_t kImm26Max = (1 << 25) - 1;
+
+/// Register name ("r3", with aliases "lr"/"sp"), or nullopt if out of range.
+std::optional<std::string> RegisterName(int reg);
+
+/// Parses "r0".."r15", "lr", "sp" (case-insensitive).
+std::optional<int> ParseRegister(std::string_view name);
+
+}  // namespace goofi::isa

@@ -1,0 +1,111 @@
+#include "scan/chain.hpp"
+
+#include <cassert>
+
+namespace goofi::scan {
+
+ScanChain::ScanChain(std::string name, const cpu::StateRegistry* registry,
+                     std::vector<size_t> element_indices)
+    : name_(std::move(name)), registry_(registry) {
+  cells_.reserve(element_indices.size());
+  for (size_t index : element_indices) {
+    const cpu::StateElement& element = registry_->elements()[index];
+    ScanCell cell;
+    cell.name = element.name;
+    cell.bits = element.bits;
+    cell.read_only = element.read_only;
+    cell.offset = length_bits_;
+    cell.element_index = index;
+    length_bits_ += element.bits;
+    cells_.push_back(std::move(cell));
+  }
+}
+
+util::BitVec ScanChain::Capture() const {
+  util::BitVec image(length_bits_);
+  for (const ScanCell& cell : cells_) {
+    const cpu::StateElement& element = registry_->elements()[cell.element_index];
+    uint64_t value = element.get();
+    // Elements wider than 64 bits do not occur; widths up to 64 are split
+    // into the cell's bit range directly.
+    image.DepositWord(cell.offset, value, cell.bits);
+  }
+  return image;
+}
+
+void ScanChain::Update(const util::BitVec& image) const {
+  assert(image.size() == length_bits_);
+  for (const ScanCell& cell : cells_) {
+    if (cell.read_only) continue;
+    const cpu::StateElement& element = registry_->elements()[cell.element_index];
+    element.set(image.ExtractWord(cell.offset, cell.bits));
+  }
+}
+
+ScanChain::BitLocation ScanChain::Locate(uint32_t bit) const {
+  assert(bit < length_bits_);
+  // Cells are ordered by offset; binary search would work, linear is fine
+  // for the cell counts involved.
+  for (const ScanCell& cell : cells_) {
+    if (bit >= cell.offset && bit < cell.offset + cell.bits) {
+      return {&cell, bit - cell.offset};
+    }
+  }
+  return {nullptr, 0};
+}
+
+util::Result<ScanCell> ScanChain::FindCell(const std::string& name) const {
+  for (const ScanCell& cell : cells_) {
+    if (cell.name == name) return cell;
+  }
+  return util::NotFound("no cell " + name + " on chain " + name_);
+}
+
+ScanChainSet ScanChainSet::BuildDefault(const cpu::StateRegistry& registry) {
+  ScanChainSet set;
+  // Group -> chain mapping. The pipeline latches double as the boundary
+  // chain (they hold the values that appear on the external buses).
+  struct GroupChain {
+    const char* chain_name;
+    const char* group;
+  };
+  static constexpr GroupChain kLayout[] = {
+      {"boundary", "pipeline"},
+      {"internal_core", "core"},
+      {"internal_regfile", "regfile"},
+      {"internal_icache", "icache"},
+      {"internal_dcache", "dcache"},
+  };
+  for (const GroupChain& layout : kLayout) {
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < registry.elements().size(); ++i) {
+      if (registry.elements()[i].group == layout.group) indices.push_back(i);
+    }
+    if (!indices.empty()) {
+      set.AddChain(ScanChain(layout.chain_name, &registry, std::move(indices)));
+    }
+  }
+  return set;
+}
+
+const ScanChain* ScanChainSet::Find(const std::string& name) const {
+  for (const ScanChain& chain : chains_) {
+    if (chain.name() == name) return &chain;
+  }
+  return nullptr;
+}
+
+int ScanChainSet::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    if (chains_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint32_t ScanChainSet::TotalBits() const {
+  uint32_t total = 0;
+  for (const ScanChain& chain : chains_) total += chain.length_bits();
+  return total;
+}
+
+}  // namespace goofi::scan

@@ -1,0 +1,92 @@
+// Scan chains: ordered serializations of CPU state elements.
+//
+// A chain is what SHIFT-DR addresses: a fixed sequence of cells, each backed
+// by one StateElement. Capture() snapshots the elements into a bit image;
+// Update() writes a (possibly fault-injected) image back, skipping read-only
+// cells — matching "Some locations in the scan-chain are read-only and can
+// therefore only be used to observe the state" (paper §3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpu/state.hpp"
+#include "util/bitvec.hpp"
+#include "util/status.hpp"
+
+namespace goofi::scan {
+
+/// One cell of a chain (a contiguous bit field).
+struct ScanCell {
+  std::string name;       ///< the backing state element's name
+  uint32_t bits = 0;
+  bool read_only = false;
+  uint32_t offset = 0;    ///< first bit position within the chain
+  size_t element_index = 0;  ///< index into the registry
+};
+
+class ScanChain {
+ public:
+  ScanChain(std::string name, const cpu::StateRegistry* registry,
+            std::vector<size_t> element_indices);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ScanCell>& cells() const { return cells_; }
+  uint32_t length_bits() const { return length_bits_; }
+
+  /// Snapshot all cells into a chain image.
+  util::BitVec Capture() const;
+
+  /// Write an image back into the writable cells. Precondition: image size
+  /// equals length_bits().
+  void Update(const util::BitVec& image) const;
+
+  /// The cell containing chain bit `bit` plus the bit's offset inside the
+  /// cell. Precondition: bit < length_bits().
+  struct BitLocation {
+    const ScanCell* cell;
+    uint32_t bit_in_cell;
+  };
+  BitLocation Locate(uint32_t bit) const;
+
+  /// Chain-bit range of the cell backed by the element named `name`, or
+  /// error if that element is not on this chain.
+  util::Result<ScanCell> FindCell(const std::string& name) const;
+
+ private:
+  std::string name_;
+  const cpu::StateRegistry* registry_;
+  std::vector<ScanCell> cells_;
+  uint32_t length_bits_ = 0;
+};
+
+/// The target's full set of chains, keyed by name. The default layout groups
+/// elements the way the Thor RD documentation groups its chains: a boundary
+/// chain (bus/pin latches) plus internal chains for the core, the register
+/// file, and each cache.
+class ScanChainSet {
+ public:
+  /// Builds the default chain layout over `registry` (which must outlive
+  /// this object).
+  static ScanChainSet BuildDefault(const cpu::StateRegistry& registry);
+
+  /// An empty set to be populated manually (for custom layouts in tests).
+  ScanChainSet() = default;
+
+  void AddChain(ScanChain chain) { chains_.push_back(std::move(chain)); }
+
+  const std::vector<ScanChain>& chains() const { return chains_; }
+
+  const ScanChain* Find(const std::string& name) const;
+
+  /// Chain index by name, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Total bits across all chains.
+  uint32_t TotalBits() const;
+
+ private:
+  std::vector<ScanChain> chains_;
+};
+
+}  // namespace goofi::scan

@@ -1,0 +1,127 @@
+#include "scan/debug.hpp"
+
+#include "util/strings.hpp"
+
+namespace goofi::scan {
+
+const char* TriggerKindName(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kPcBreakpoint:
+      return "pc_breakpoint";
+    case TriggerKind::kInstrCount:
+      return "instr_count";
+    case TriggerKind::kCycleCount:
+      return "cycle_count";
+    case TriggerKind::kDataAccess:
+      return "data_access";
+    case TriggerKind::kDataValue:
+      return "data_value";
+    case TriggerKind::kBranch:
+      return "branch";
+    case TriggerKind::kCall:
+      return "call";
+  }
+  return "?";
+}
+
+std::string Trigger::Describe() const {
+  switch (kind) {
+    case TriggerKind::kPcBreakpoint:
+      return util::Format("pc==0x%08x (occurrence %llu)", address,
+                          static_cast<unsigned long long>(occurrence));
+    case TriggerKind::kInstrCount:
+      return util::Format("instret>=%llu", static_cast<unsigned long long>(count));
+    case TriggerKind::kCycleCount:
+      return util::Format("cycles>=%llu", static_cast<unsigned long long>(count));
+    case TriggerKind::kDataAccess:
+      return util::Format("mem access @0x%08x", address);
+    case TriggerKind::kDataValue:
+      return util::Format("mem data ==0x%08x", value);
+    case TriggerKind::kBranch:
+      return "any branch";
+    case TriggerKind::kCall:
+      return "any call";
+  }
+  return "?";
+}
+
+int DebugUnit::AddTrigger(Trigger trigger) {
+  triggers_.push_back(trigger);
+  hit_counts_.push_back(0);
+  return static_cast<int>(triggers_.size()) - 1;
+}
+
+void DebugUnit::ClearTriggers() {
+  triggers_.clear();
+  hit_counts_.clear();
+}
+
+void DebugUnit::ResetCounters() {
+  for (uint64_t& count : hit_counts_) count = 0;
+}
+
+int DebugUnit::StepAndCheck(cpu::StepOutcome* outcome) {
+  // Observe the instruction about to execute (the prefetched ir at pc).
+  const uint32_t exec_pc = cpu_->pc();
+  const uint32_t exec_ir = cpu_->ir();
+  *outcome = cpu_->Step();
+
+  auto decoded = isa::Decode(exec_ir);
+  const bool is_branch =
+      decoded.ok() && decoded.value().op >= isa::Opcode::kBeq &&
+      decoded.value().op <= isa::Opcode::kBgeu;
+  const bool is_call = decoded.ok() && decoded.value().op == isa::Opcode::kJal;
+  const bool is_mem = decoded.ok() && (decoded.value().op == isa::Opcode::kLdw ||
+                                       decoded.value().op == isa::Opcode::kStw);
+  // The data-path latches hold the executed access's address and data.
+  const uint32_t mem_addr = cpu_->latch_mem_addr();
+  const uint32_t mem_data = cpu_->latch_mem_data();
+
+  for (size_t i = 0; i < triggers_.size(); ++i) {
+    const Trigger& trigger = triggers_[i];
+    bool fired = false;
+    switch (trigger.kind) {
+      case TriggerKind::kPcBreakpoint:
+        if (exec_pc == trigger.address) {
+          ++hit_counts_[i];
+          fired = hit_counts_[i] >= trigger.occurrence;
+        }
+        break;
+      case TriggerKind::kInstrCount:
+        fired = cpu_->instructions_retired() >= trigger.count;
+        break;
+      case TriggerKind::kCycleCount:
+        fired = cpu_->cycles() >= trigger.count;
+        break;
+      case TriggerKind::kDataAccess:
+        fired = is_mem && mem_addr == trigger.address;
+        break;
+      case TriggerKind::kDataValue:
+        fired = is_mem && mem_data == trigger.value;
+        break;
+      case TriggerKind::kBranch:
+        fired = is_branch;
+        break;
+      case TriggerKind::kCall:
+        fired = is_call;
+        break;
+    }
+    if (fired) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+DebugRunResult DebugUnit::RunUntilEvent(uint64_t max_cycles) {
+  DebugRunResult result;
+  for (;;) {
+    result.fired_trigger = StepAndCheck(&result.outcome);
+    if (result.fired_trigger >= 0) return result;
+    if (result.outcome != cpu::StepOutcome::kOk) return result;
+    if (max_cycles != 0 && cpu_->cycles() >= max_cycles) {
+      result.timed_out = true;
+      return result;
+    }
+  }
+}
+
+}  // namespace goofi::scan

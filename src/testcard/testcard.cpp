@@ -1,0 +1,233 @@
+#include "testcard/testcard.hpp"
+
+#include <bit>
+
+namespace goofi::testcard {
+
+namespace {
+uint32_t SelectBits(size_t num_chains) {
+  uint32_t bits = 1;
+  while ((1u << bits) < num_chains) ++bits;
+  return bits;
+}
+}  // namespace
+
+SimTestCard::SimTestCard(const cpu::CpuConfig& cpu_config,
+                         const LinkConfig& link_config)
+    : cpu_(std::make_unique<cpu::Cpu>(cpu_config)),
+      registry_(cpu_->BuildStateRegistry()),
+      chains_(scan::ScanChainSet::BuildDefault(registry_)),
+      tap_(this),
+      debug_(cpu_.get()),
+      link_(link_config),
+      noise_(link_config.noise_seed) {}
+
+util::Status SimTestCard::Init() {
+  extra_us_ += link_.op_overhead_us;
+  cpu_->PowerCycle();
+  debug_.ClearTriggers();
+  tap_.Reset();
+  chain_select_ = 0;
+  entry_ = 0;
+  return util::Status::Ok();
+}
+
+util::Status SimTestCard::LoadWorkload(const isa::AssembledProgram& program) {
+  extra_us_ += link_.op_overhead_us;
+  // By convention a workload marks the end of its code with an `_etext`
+  // label; everything after it is writable data. Without the label the whole
+  // image is protected text.
+  uint32_t text_bytes = 0;
+  const auto etext = program.symbols.find("_etext");
+  if (etext != program.symbols.end() && etext->second > program.base_address) {
+    text_bytes = etext->second - program.base_address;
+  }
+  GOOFI_RETURN_IF_ERROR(
+      cpu_->LoadProgram(program.base_address, program.words, text_bytes));
+  entry_ = program.entry;
+  return util::Status::Ok();
+}
+
+util::Status SimTestCard::ResetTarget() {
+  extra_us_ += link_.op_overhead_us;
+  cpu_->Reset(entry_);
+  debug_.ResetCounters();
+  return util::Status::Ok();
+}
+
+util::Status SimTestCard::WriteMemory(uint32_t address,
+                                      const std::vector<uint32_t>& words) {
+  extra_us_ += link_.op_overhead_us;
+  for (size_t i = 0; i < words.size(); ++i) {
+    GOOFI_RETURN_IF_ERROR(
+        cpu_->HostWriteWord(address + static_cast<uint32_t>(i) * 4, words[i]));
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<uint32_t>> SimTestCard::ReadMemory(uint32_t address,
+                                                            uint32_t num_words) {
+  extra_us_ += link_.op_overhead_us;
+  std::vector<uint32_t> out;
+  out.reserve(num_words);
+  for (uint32_t i = 0; i < num_words; ++i) {
+    auto word = cpu_->memory().HostRead(address + i * 4);
+    if (!word.ok()) return word.status();
+    out.push_back(word.value());
+  }
+  return out;
+}
+
+int SimTestCard::AddTrigger(const scan::Trigger& trigger) {
+  return debug_.AddTrigger(trigger);
+}
+
+void SimTestCard::ClearTriggers() { debug_.ClearTriggers(); }
+
+scan::DebugRunResult SimTestCard::Run(uint64_t max_cycles) {
+  return debug_.RunUntilEvent(max_cycles);
+}
+
+cpu::StepOutcome SimTestCard::SingleStep() { return cpu_->Step(); }
+
+const scan::ScanChain* SimTestCard::SelectedChain() const {
+  if (chain_select_ < chains_.chains().size()) {
+    return &chains_.chains()[chain_select_];
+  }
+  return nullptr;
+}
+
+uint32_t SimTestCard::DrLength(scan::TapInstruction instruction) {
+  switch (instruction) {
+    case scan::TapInstruction::kBypass:
+      return 1;
+    case scan::TapInstruction::kIdcode:
+      return 32;
+    case scan::TapInstruction::kScanN:
+      return SelectBits(chains_.chains().size());
+    case scan::TapInstruction::kSample:
+    case scan::TapInstruction::kExtest: {
+      const scan::ScanChain* boundary = chains_.Find("boundary");
+      return boundary != nullptr ? boundary->length_bits() : 1;
+    }
+    case scan::TapInstruction::kIntest: {
+      const scan::ScanChain* chain = SelectedChain();
+      return chain != nullptr ? chain->length_bits() : 1;
+    }
+  }
+  return 1;
+}
+
+util::BitVec SimTestCard::CaptureDr(scan::TapInstruction instruction) {
+  switch (instruction) {
+    case scan::TapInstruction::kBypass:
+      return util::BitVec(1);
+    case scan::TapInstruction::kIdcode: {
+      util::BitVec id(32);
+      id.DepositWord(0, scan::kIdcodeValue, 32);
+      return id;
+    }
+    case scan::TapInstruction::kScanN: {
+      util::BitVec sel(SelectBits(chains_.chains().size()));
+      sel.DepositWord(0, chain_select_, sel.size());
+      return sel;
+    }
+    case scan::TapInstruction::kSample:
+    case scan::TapInstruction::kExtest: {
+      const scan::ScanChain* boundary = chains_.Find("boundary");
+      return boundary != nullptr ? boundary->Capture() : util::BitVec(1);
+    }
+    case scan::TapInstruction::kIntest: {
+      const scan::ScanChain* chain = SelectedChain();
+      return chain != nullptr ? chain->Capture() : util::BitVec(1);
+    }
+  }
+  return util::BitVec(1);
+}
+
+void SimTestCard::UpdateDr(scan::TapInstruction instruction,
+                           const util::BitVec& value) {
+  switch (instruction) {
+    case scan::TapInstruction::kScanN:
+      chain_select_ = static_cast<uint32_t>(value.ExtractWord(0, value.size()));
+      break;
+    case scan::TapInstruction::kExtest: {
+      const scan::ScanChain* boundary = chains_.Find("boundary");
+      if (boundary != nullptr) boundary->Update(value);
+      break;
+    }
+    case scan::TapInstruction::kIntest: {
+      const scan::ScanChain* chain = SelectedChain();
+      if (chain != nullptr) chain->Update(value);
+      break;
+    }
+    case scan::TapInstruction::kSample:   // observe-only
+    case scan::TapInstruction::kIdcode:
+    case scan::TapInstruction::kBypass:
+      break;
+  }
+}
+
+util::BitVec SimTestCard::ShiftWithNoise(const util::BitVec& out) {
+  if (link_.bit_error_rate <= 0.0) return tap_.ShiftData(out);
+  util::BitVec noisy = out;
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    if (noise_.NextBool(link_.bit_error_rate)) noisy.Flip(i);
+  }
+  util::BitVec captured = tap_.ShiftData(noisy);
+  // TDO path is equally noisy.
+  for (size_t i = 0; i < captured.size(); ++i) {
+    if (noise_.NextBool(link_.bit_error_rate)) captured.Flip(i);
+  }
+  return captured;
+}
+
+util::Result<util::BitVec> SimTestCard::ReadScanChain(const std::string& chain,
+                                                      bool restore) {
+  const int index = chains_.IndexOf(chain);
+  if (index < 0) return util::NotFound("no scan chain " + chain);
+  extra_us_ += link_.op_overhead_us;
+
+  // Select the chain via SCAN_N, then INTEST.
+  tap_.LoadInstruction(scan::TapInstruction::kScanN);
+  util::BitVec select(SelectBits(chains_.chains().size()));
+  select.DepositWord(0, static_cast<uint32_t>(index), select.size());
+  ShiftWithNoise(select);
+
+  tap_.LoadInstruction(scan::TapInstruction::kIntest);
+  util::BitVec zeros(chains_.chains()[static_cast<size_t>(index)].length_bits());
+  util::BitVec captured = ShiftWithNoise(zeros);
+  if (restore) {
+    // Second pass: write the captured image back so the (destructive) read
+    // leaves target state unchanged.
+    ShiftWithNoise(captured);
+  }
+  return captured;
+}
+
+util::Status SimTestCard::WriteScanChain(const std::string& chain,
+                                         const util::BitVec& image) {
+  const int index = chains_.IndexOf(chain);
+  if (index < 0) return util::NotFound("no scan chain " + chain);
+  const scan::ScanChain& target = chains_.chains()[static_cast<size_t>(index)];
+  if (image.size() != target.length_bits()) {
+    return util::InvalidArgument("image size mismatch for chain " + chain);
+  }
+  extra_us_ += link_.op_overhead_us;
+
+  tap_.LoadInstruction(scan::TapInstruction::kScanN);
+  util::BitVec select(SelectBits(chains_.chains().size()));
+  select.DepositWord(0, static_cast<uint32_t>(index), select.size());
+  ShiftWithNoise(select);
+
+  tap_.LoadInstruction(scan::TapInstruction::kIntest);
+  ShiftWithNoise(image);
+  return util::Status::Ok();
+}
+
+double SimTestCard::link_time_us() const {
+  return extra_us_ +
+         static_cast<double>(tap_.tck_count()) / link_.tck_mhz;  // us at MHz
+}
+
+}  // namespace goofi::testcard

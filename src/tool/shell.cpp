@@ -1,0 +1,416 @@
+#include "tool/shell.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/analysis.hpp"
+#include "core/propagation.hpp"
+#include "core/thor_target.hpp"
+#include "db/sql_executor.hpp"
+#include "env/workloads.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::tool {
+
+namespace {
+
+const char* const kHelpText =
+    "GOOFI shell commands:\n"
+    "  help                                   this text\n"
+    "  list targets|campaigns|workloads       enumerate known objects\n"
+    "  list experiments <campaign>            logged experiment rows\n"
+    "  list chains <target>                   scan-chain layout of a target\n"
+    "  target describe <target>               store TargetSystemData (Fig. 5)\n"
+    "  campaign set <name> key=value...       create/update a campaign (Fig. 6)\n"
+    "    keys: target workload technique model experiments faults\n"
+    "          window=min:max locations=a,b timeout iterations seed\n"
+    "          logmode=normal|detail observe=a,b burst=len:spacing\n"
+    "  campaign show <name>                   print stored campaign data\n"
+    "  campaign merge <new> <src>...          merge campaigns (3.2)\n"
+    "  run <campaign>                         fault-injection phase (Fig. 2)\n"
+    "  analyze <campaign>                     classification report (3.4)\n"
+    "  report <campaign> <path>               write the report to a file\n"
+    "  rerun-detail <experiment>              detail-mode re-run (2.3)\n"
+    "  propagation <experiment>               error-propagation analysis (3.3)\n"
+    "  sql <statement>                        raw SQL against the database\n"
+    "  save <path> | load <path>              database persistence\n"
+    "  echo <text>                            print text (for scripts)\n";
+
+}  // namespace
+
+Shell::Shell(db::Database* db, core::CampaignStore* store)
+    : db_(db), store_(store) {}
+
+void Shell::AddTarget(const std::string& name,
+                      core::FaultInjectionAlgorithms* algorithms,
+                      const testcard::TestCard* card) {
+  targets_[name] = Target{algorithms, card};
+}
+
+util::Result<std::string> Shell::CmdHelp() const { return std::string(kHelpText); }
+
+util::Result<std::string> Shell::CmdList(
+    const std::vector<std::string>& args) const {
+  if (args.empty()) return util::InvalidArgument("list what? (see help)");
+  std::ostringstream out;
+  if (args[0] == "targets") {
+    for (const auto& [name, target] : targets_) {
+      out << name << (target.card != nullptr ? " (scan-capable)" : "") << "\n";
+    }
+    return out.str();
+  }
+  if (args[0] == "campaigns") {
+    for (const std::string& name : store_->CampaignNames()) out << name << "\n";
+    return out.str();
+  }
+  if (args[0] == "workloads") {
+    for (const std::string& name : env::WorkloadNames()) {
+      const auto spec = env::GetWorkload(name);
+      out << util::Format("%-22s %s\n", name.c_str(),
+                          spec.ok() ? spec.value().description.c_str() : "");
+    }
+    return out.str();
+  }
+  if (args[0] == "experiments") {
+    if (args.size() < 2) return util::InvalidArgument("list experiments <campaign>");
+    auto rows = store_->ExperimentsOf(args[1]);
+    if (!rows.ok()) return rows.status();
+    int detail = 0;
+    for (const auto& row : rows.value()) {
+      if (!row.parent_experiment.empty()) {
+        ++detail;
+        continue;
+      }
+      out << util::Format("%-24s %s%s%s\n", row.experiment_name.c_str(),
+                          row.state.detected ? "detected:" : "",
+                          row.state.detected ? row.state.edm.c_str() : "",
+                          row.state.halted ? "completed" : "");
+    }
+    if (detail > 0) out << util::Format("(+ %d detail rows)\n", detail);
+    return out.str();
+  }
+  if (args[0] == "chains") {
+    if (args.size() < 2) return util::InvalidArgument("list chains <target>");
+    const auto it = targets_.find(args[1]);
+    if (it == targets_.end()) return util::NotFound("no target " + args[1]);
+    if (it->second.card == nullptr) {
+      return util::FailedPrecondition("target " + args[1] + " has no scan logic");
+    }
+    for (const auto& chain : it->second.card->chains().chains()) {
+      out << util::Format("%-18s %5u bits, %3zu cells\n", chain.name().c_str(),
+                          chain.length_bits(), chain.cells().size());
+    }
+    return out.str();
+  }
+  return util::InvalidArgument("unknown list kind: " + args[0]);
+}
+
+util::Result<std::string> Shell::CmdTarget(const std::vector<std::string>& args) {
+  if (args.size() != 2 || args[0] != "describe") {
+    return util::InvalidArgument("usage: target describe <target>");
+  }
+  const auto it = targets_.find(args[1]);
+  if (it == targets_.end()) return util::NotFound("no target " + args[1]);
+  if (it->second.card == nullptr) {
+    core::TargetSystemData data;
+    data.name = args[1];
+    data.description = "target without scan logic";
+    GOOFI_RETURN_IF_ERROR(store_->PutTargetSystem(data));
+  } else {
+    GOOFI_RETURN_IF_ERROR(store_->PutTargetSystem(
+        core::ThorRdTarget::DescribeTarget(*it->second.card, args[1])));
+  }
+  return "stored TargetSystemData for " + args[1] + "\n";
+}
+
+util::Status Shell::ApplyCampaignField(core::CampaignData* campaign,
+                                       const std::string& key,
+                                       const std::string& value) const {
+  auto as_int = [&]() -> util::Result<int64_t> {
+    const auto v = util::ParseInt(value);
+    if (!v) return util::ParseError(key + " expects a number, got " + value);
+    return *v;
+  };
+  if (key == "target") {
+    campaign->target_name = value;
+  } else if (key == "workload") {
+    campaign->workload = value;
+  } else if (key == "technique") {
+    auto technique = core::TechniqueFromName(value);
+    if (!technique.ok()) return technique.status();
+    campaign->technique = technique.value();
+  } else if (key == "model") {
+    auto model = core::FaultModelFromName(value);
+    if (!model.ok()) return model.status();
+    campaign->fault_model = model.value();
+  } else if (key == "experiments") {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    campaign->num_experiments = static_cast<int>(v.value());
+  } else if (key == "faults") {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    campaign->faults_per_experiment = static_cast<int>(v.value());
+  } else if (key == "window") {
+    const auto parts = util::Split(value, ':');
+    const auto lo = util::ParseInt(parts[0]);
+    const auto hi = parts.size() > 1 ? util::ParseInt(parts[1]) : lo;
+    if (parts.size() != 2 || !lo || !hi) {
+      return util::ParseError("window expects min:max");
+    }
+    campaign->inject_min_instr = static_cast<uint64_t>(*lo);
+    campaign->inject_max_instr = static_cast<uint64_t>(*hi);
+  } else if (key == "locations") {
+    campaign->locations.clear();
+    for (const std::string& token : util::Split(value, ',')) {
+      auto selector = core::FaultLocationSelector::Parse(token);
+      if (!selector.ok()) return selector.status();
+      campaign->locations.push_back(std::move(selector).value());
+    }
+  } else if (key == "timeout") {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    campaign->timeout_cycles = static_cast<uint64_t>(v.value());
+  } else if (key == "iterations") {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    campaign->max_iterations = static_cast<int>(v.value());
+  } else if (key == "seed") {
+    auto v = as_int();
+    if (!v.ok()) return v.status();
+    campaign->seed = static_cast<uint64_t>(v.value());
+  } else if (key == "logmode") {
+    if (value == "normal") {
+      campaign->log_mode = core::LogMode::kNormal;
+    } else if (value == "detail") {
+      campaign->log_mode = core::LogMode::kDetail;
+    } else {
+      return util::ParseError("logmode expects normal|detail");
+    }
+  } else if (key == "observe") {
+    campaign->observe_chains = util::Split(value, ',');
+  } else if (key == "burst") {
+    const auto parts = util::Split(value, ':');
+    const auto len = util::ParseInt(parts[0]);
+    const auto spacing = parts.size() > 1 ? util::ParseInt(parts[1])
+                                          : std::optional<int64_t>();
+    if (parts.size() != 2 || !len || !spacing) {
+      return util::ParseError("burst expects len:spacing");
+    }
+    campaign->burst_length = static_cast<uint32_t>(*len);
+    campaign->burst_spacing = static_cast<uint64_t>(*spacing);
+  } else {
+    return util::InvalidArgument("unknown campaign key: " + key);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::string> Shell::CmdCampaign(
+    const std::vector<std::string>& args) {
+  if (args.empty()) return util::InvalidArgument("campaign set|show|merge ...");
+  if (args[0] == "set") {
+    if (args.size() < 2) return util::InvalidArgument("campaign set <name> k=v...");
+    const std::string& name = args[1];
+    core::CampaignData campaign;
+    auto existing = store_->GetCampaign(name);
+    if (existing.ok()) {
+      campaign = std::move(existing).value();
+    } else {
+      campaign.name = name;
+      if (targets_.size() == 1) campaign.target_name = targets_.begin()->first;
+    }
+    for (size_t i = 2; i < args.size(); ++i) {
+      const size_t eq = args[i].find('=');
+      if (eq == std::string::npos) {
+        return util::InvalidArgument("expected key=value, got " + args[i]);
+      }
+      GOOFI_RETURN_IF_ERROR(ApplyCampaignField(&campaign, args[i].substr(0, eq),
+                                               args[i].substr(eq + 1)));
+    }
+    GOOFI_RETURN_IF_ERROR(store_->PutCampaign(campaign));
+    return "stored campaign " + name + "\n";
+  }
+  if (args[0] == "show") {
+    if (args.size() != 2) return util::InvalidArgument("campaign show <name>");
+    auto campaign = store_->GetCampaign(args[1]);
+    if (!campaign.ok()) return campaign.status();
+    const core::CampaignData& c = campaign.value();
+    std::ostringstream out;
+    out << "campaign " << c.name << "\n";
+    out << "  target:      " << c.target_name << "\n";
+    out << "  technique:   " << core::TechniqueName(c.technique) << "\n";
+    out << "  fault model: " << core::FaultModelName(c.fault_model) << " x"
+        << c.faults_per_experiment << "\n";
+    out << "  workload:    " << c.workload << "\n";
+    out << "  experiments: " << c.num_experiments << "\n";
+    out << "  window:      [" << c.inject_min_instr << ", " << c.inject_max_instr
+        << "] instructions\n";
+    out << "  locations:   ";
+    for (size_t i = 0; i < c.locations.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << c.locations[i].ToString();
+    }
+    out << "\n";
+    out << "  timeout:     " << c.timeout_cycles << " cycles, max "
+        << c.max_iterations << " iterations\n";
+    out << "  log mode:    " << core::LogModeName(c.log_mode) << "\n";
+    out << "  seed:        " << c.seed << "\n";
+    return out.str();
+  }
+  if (args[0] == "merge") {
+    if (args.size() < 3) {
+      return util::InvalidArgument("campaign merge <new> <src>...");
+    }
+    const std::vector<std::string> sources(args.begin() + 2, args.end());
+    GOOFI_RETURN_IF_ERROR(store_->MergeCampaigns(sources, args[1]));
+    return "merged " + std::to_string(sources.size()) + " campaigns into " +
+           args[1] + "\n";
+  }
+  return util::InvalidArgument("unknown campaign subcommand: " + args[0]);
+}
+
+util::Result<Shell::Target> Shell::FindTargetFor(
+    const std::string& campaign_name) const {
+  auto campaign = store_->GetCampaign(campaign_name);
+  if (!campaign.ok()) return campaign.status();
+  const auto it = targets_.find(campaign.value().target_name);
+  if (it == targets_.end()) {
+    return util::NotFound("campaign references unregistered target " +
+                          campaign.value().target_name);
+  }
+  return it->second;
+}
+
+util::Result<std::string> Shell::CmdRun(const std::vector<std::string>& args) {
+  if (args.size() != 1) return util::InvalidArgument("run <campaign>");
+  auto target = FindTargetFor(args[0]);
+  if (!target.ok()) return target.status();
+  GOOFI_RETURN_IF_ERROR(target.value().algorithms->RunCampaign(args[0]));
+  const auto& stats = target.value().algorithms->stats();
+  return util::Format("campaign %s: %d experiments run, %d resumed\n",
+                      args[0].c_str(), stats.experiments_run,
+                      stats.experiments_resumed);
+}
+
+util::Result<std::string> Shell::CmdAnalyze(
+    const std::vector<std::string>& args) const {
+  if (args.size() != 1) return util::InvalidArgument("analyze <campaign>");
+  auto report = core::AnalyzeCampaign(*store_, args[0]);
+  if (!report.ok()) return report.status();
+  std::string out = report.value().ToString();
+  auto by_group = core::AnalyzeByLocationGroup(*store_, args[0]);
+  if (by_group.ok() && by_group.value().size() > 1) {
+    out += "by fault-location group:\n";
+    for (const auto& [group, sub] : by_group.value()) {
+      out += util::Format(
+          "  %-14s detected %3d  escaped %3d  latent %3d  overwritten %3d\n",
+          group.c_str(), sub.Count(core::Outcome::kDetected),
+          sub.Count(core::Outcome::kEscaped), sub.Count(core::Outcome::kLatent),
+          sub.Count(core::Outcome::kOverwritten));
+    }
+  }
+  return out;
+}
+
+util::Result<std::string> Shell::CmdReport(
+    const std::vector<std::string>& args) const {
+  if (args.size() != 2) return util::InvalidArgument("report <campaign> <path>");
+  auto text = CmdAnalyze({args[0]});
+  if (!text.ok()) return text.status();
+  std::FILE* file = std::fopen(args[1].c_str(), "w");
+  if (file == nullptr) return util::IoError("cannot open " + args[1]);
+  std::fputs(text.value().c_str(), file);
+  std::fclose(file);
+  return "wrote analysis of " + args[0] + " to " + args[1] + "\n";
+}
+
+util::Result<std::string> Shell::CmdRerunDetail(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) return util::InvalidArgument("rerun-detail <experiment>");
+  auto row = store_->GetExperiment(args[0]);
+  if (!row.ok()) return row.status();
+  auto target = FindTargetFor(row.value().campaign_name);
+  if (!target.ok()) return target.status();
+  GOOFI_RETURN_IF_ERROR(target.value().algorithms->RerunDetailed(args[0]));
+  return "detail re-run logged as " + args[0] + "/detail\n";
+}
+
+util::Result<std::string> Shell::CmdPropagation(
+    const std::vector<std::string>& args) const {
+  if (args.size() != 1) return util::InvalidArgument("propagation <experiment>");
+  auto report = core::AnalyzeErrorPropagation(*store_, args[0]);
+  if (!report.ok()) return report.status();
+  return report.value().ToString();
+}
+
+util::Result<std::string> Shell::CmdSql(const std::string& rest) {
+  auto result = db::ExecuteSql(*db_, rest);
+  if (!result.ok()) return result.status();
+  if (result.value().columns.empty()) {
+    return util::Format("ok, %zu rows affected\n", result.value().affected);
+  }
+  return result.value().ToString();
+}
+
+util::Result<std::string> Shell::CmdSave(
+    const std::vector<std::string>& args) const {
+  if (args.size() != 1) return util::InvalidArgument("save <path>");
+  GOOFI_RETURN_IF_ERROR(db_->Save(args[0]));
+  return "saved database to " + args[0] + "\n";
+}
+
+util::Result<std::string> Shell::CmdLoad(const std::vector<std::string>& args) {
+  if (args.size() != 1) return util::InvalidArgument("load <path>");
+  GOOFI_RETURN_IF_ERROR(db_->Load(args[0]));
+  return "loaded database from " + args[0] + "\n";
+}
+
+util::Result<std::string> Shell::Execute(const std::string& line) {
+  const std::string_view trimmed = util::Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return std::string();
+  const std::vector<std::string> words = util::SplitWhitespace(trimmed);
+  const std::string& command = words[0];
+  const std::vector<std::string> args(words.begin() + 1, words.end());
+
+  if (command == "help") return CmdHelp();
+  if (command == "list") return CmdList(args);
+  if (command == "target") return CmdTarget(args);
+  if (command == "campaign") return CmdCampaign(args);
+  if (command == "run") return CmdRun(args);
+  if (command == "analyze") return CmdAnalyze(args);
+  if (command == "report") return CmdReport(args);
+  if (command == "rerun-detail") return CmdRerunDetail(args);
+  if (command == "propagation") return CmdPropagation(args);
+  if (command == "sql") {
+    const size_t pos = line.find("sql");
+    return CmdSql(line.substr(pos + 3));
+  }
+  if (command == "save") return CmdSave(args);
+  if (command == "load") return CmdLoad(args);
+  if (command == "echo") {
+    return util::Join(args, " ") + "\n";
+  }
+  return util::InvalidArgument("unknown command: " + command + " (try help)");
+}
+
+util::Status Shell::ExecuteScript(const std::string& script,
+                                  std::string* transcript) {
+  for (const std::string& line : util::Split(script, '\n')) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (transcript != nullptr) {
+      *transcript += "goofi> " + std::string(trimmed) + "\n";
+    }
+    auto result = Execute(line);
+    if (!result.ok()) {
+      if (transcript != nullptr) {
+        *transcript += "error: " + result.status().ToString() + "\n";
+      }
+      return result.status();
+    }
+    if (transcript != nullptr) *transcript += result.value();
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace goofi::tool

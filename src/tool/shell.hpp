@@ -1,0 +1,83 @@
+// The GOOFI command shell: the tool's user-facing layer.
+//
+// The original GOOFI drives everything from a Swing GUI (paper Figs. 5-7:
+// target configuration, campaign definition, progress window). This module
+// is the equivalent front end as a scriptable command interpreter — every
+// GUI workflow maps to a command:
+//
+//   Fig. 5 (configure target)   ->  `target describe`, `list chains`
+//   Fig. 6 (define campaign)    ->  `campaign set`, `campaign show/merge`
+//   Fig. 7 (progress window)    ->  `run` with periodic progress lines
+//   §3.4  (analysis scripts)    ->  `analyze`, `sql`, `propagation`
+//
+// Commands are line-oriented; see `help` for the full list. The shell is
+// deliberately free of I/O: Execute() returns the output text, so the same
+// code drives the interactive binary, scripts and the test suite.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/campaign_store.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi::tool {
+
+class Shell {
+ public:
+  /// `db` and `store` must outlive the shell.
+  Shell(db::Database* db, core::CampaignStore* store);
+
+  /// Registers a target system under `name`. The algorithms object (one per
+  /// TargetSystemInterface) must outlive the shell. `card` may be null for
+  /// targets without scan-chain access.
+  void AddTarget(const std::string& name,
+                 core::FaultInjectionAlgorithms* algorithms,
+                 const testcard::TestCard* card);
+
+  /// Executes one command line; returns its printable output.
+  util::Result<std::string> Execute(const std::string& line);
+
+  /// Executes a whole script (one command per line; '#' comments and blank
+  /// lines skipped). Stops at the first failing command and returns its
+  /// error; `transcript` accumulates "goofi> cmd" + output for all commands
+  /// run so far.
+  util::Status ExecuteScript(const std::string& script, std::string* transcript);
+
+ private:
+  struct Target {
+    core::FaultInjectionAlgorithms* algorithms = nullptr;
+    const testcard::TestCard* card = nullptr;
+  };
+
+  util::Result<std::string> CmdHelp() const;
+  util::Result<std::string> CmdList(const std::vector<std::string>& args) const;
+  util::Result<std::string> CmdTarget(const std::vector<std::string>& args);
+  util::Result<std::string> CmdCampaign(const std::vector<std::string>& args);
+  util::Result<std::string> CmdRun(const std::vector<std::string>& args);
+  util::Result<std::string> CmdAnalyze(const std::vector<std::string>& args) const;
+  /// `report <campaign> <path>`: writes the analyze output to a file — the
+  /// paper's "where to store the results" menu (§3.4).
+  util::Result<std::string> CmdReport(const std::vector<std::string>& args) const;
+  util::Result<std::string> CmdRerunDetail(const std::vector<std::string>& args);
+  util::Result<std::string> CmdPropagation(
+      const std::vector<std::string>& args) const;
+  util::Result<std::string> CmdSql(const std::string& rest);
+  util::Result<std::string> CmdSave(const std::vector<std::string>& args) const;
+  util::Result<std::string> CmdLoad(const std::vector<std::string>& args);
+
+  /// Applies one key=value assignment to a campaign.
+  util::Status ApplyCampaignField(core::CampaignData* campaign,
+                                  const std::string& key,
+                                  const std::string& value) const;
+
+  util::Result<Target> FindTargetFor(const std::string& campaign_name) const;
+
+  db::Database* db_;
+  core::CampaignStore* store_;
+  std::map<std::string, Target> targets_;
+};
+
+}  // namespace goofi::tool

@@ -1,0 +1,120 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace goofi::util {
+
+bool BitVec::Get(size_t i) const {
+  assert(i < size_);
+  return (words_[i / 64] >> (i % 64)) & 1u;
+}
+
+void BitVec::Set(size_t i, bool value) {
+  assert(i < size_);
+  const uint64_t mask = 1ULL << (i % 64);
+  if (value) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+void BitVec::Flip(size_t i) {
+  assert(i < size_);
+  words_[i / 64] ^= 1ULL << (i % 64);
+}
+
+void BitVec::PushBack(bool value) {
+  if (size_ % 64 == 0) words_.push_back(0);
+  ++size_;
+  Set(size_ - 1, value);
+}
+
+void BitVec::AppendWord(uint64_t value, size_t bits) {
+  assert(bits <= 64);
+  for (size_t b = 0; b < bits; ++b) PushBack((value >> b) & 1u);
+}
+
+uint64_t BitVec::ExtractWord(size_t offset, size_t bits) const {
+  assert(bits <= 64);
+  assert(offset + bits <= size_);
+  uint64_t out = 0;
+  for (size_t b = 0; b < bits; ++b) {
+    if (Get(offset + b)) out |= 1ULL << b;
+  }
+  return out;
+}
+
+void BitVec::DepositWord(size_t offset, uint64_t value, size_t bits) {
+  assert(bits <= 64);
+  assert(offset + bits <= size_);
+  for (size_t b = 0; b < bits; ++b) Set(offset + b, (value >> b) & 1u);
+}
+
+size_t BitVec::PopCount() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+std::vector<size_t> BitVec::DiffBits(const BitVec& other) const {
+  assert(size_ == other.size_);
+  std::vector<size_t> diffs;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t x = words_[w] ^ other.words_[w];
+    while (x != 0) {
+      const int b = std::countr_zero(x);
+      diffs.push_back(w * 64 + static_cast<size_t>(b));
+      x &= x - 1;
+    }
+  }
+  return diffs;
+}
+
+void BitVec::XorWith(const BitVec& other) {
+  assert(size_ == other.size_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  if (size_ != other.size_) return false;
+  // Trailing bits past size_ are always zero (Set/PushBack maintain this),
+  // so whole-word comparison is exact.
+  return words_ == other.words_;
+}
+
+std::string BitVec::ToString() const {
+  std::string out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(Get(i) ? '1' : '0');
+  return out;
+}
+
+Result<BitVec> BitVec::FromString(const std::string& text) {
+  BitVec out(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '1') {
+      out.Set(i, true);
+    } else if (text[i] != '0') {
+      return ParseError("BitVec::FromString: invalid character at index " +
+                        std::to_string(i));
+    }
+  }
+  return out;
+}
+
+std::string BitVec::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(words_.size() * 16 + 2);
+  out += "0x";
+  for (size_t w = words_.size(); w-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(words_[w] >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+}  // namespace goofi::util

@@ -1,0 +1,73 @@
+// Dynamic bit vector used to model scan chains and logged state vectors.
+//
+// Scan chains (IEEE 1149.1) are streams of bits shifted through the target's
+// test logic; `BitVec` is the host-side image of such a stream. The
+// LoggedSystemState.stateVector database column stores the serialized form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace goofi::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  /// All-zero vector of `size` bits.
+  explicit BitVec(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Precondition for all indexed accessors: i < size().
+  bool Get(size_t i) const;
+  void Set(size_t i, bool value);
+  void Flip(size_t i);
+
+  /// Appends one bit at the end (grows the vector).
+  void PushBack(bool value);
+
+  /// Appends the low `bits` bits of `value`, LSB first. bits <= 64.
+  void AppendWord(uint64_t value, size_t bits);
+
+  /// Reads `bits` bits starting at `offset`, LSB first, as an integer.
+  /// Precondition: offset + bits <= size(), bits <= 64.
+  uint64_t ExtractWord(size_t offset, size_t bits) const;
+
+  /// Overwrites `bits` bits starting at `offset` with the low bits of value.
+  void DepositWord(size_t offset, uint64_t value, size_t bits);
+
+  /// Number of set bits.
+  size_t PopCount() const;
+
+  /// Indices where this and other differ. Precondition: same size.
+  std::vector<size_t> DiffBits(const BitVec& other) const;
+
+  /// XOR in place. Precondition: same size.
+  void XorWith(const BitVec& other);
+
+  void Clear() {
+    size_ = 0;
+    words_.clear();
+  }
+
+  bool operator==(const BitVec& other) const;
+  bool operator!=(const BitVec& other) const { return !(*this == other); }
+
+  /// "0"/"1" characters, index 0 first. Used for the stateVector DB column.
+  std::string ToString() const;
+  /// Parses the ToString format.
+  static Result<BitVec> FromString(const std::string& text);
+
+  /// Compact hex form (whole words), for logging.
+  std::string ToHex() const;
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace goofi::util

@@ -1,0 +1,50 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace goofi::util {
+
+namespace {
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+}  // namespace
+
+void Crc32::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  for (size_t i = 0; i < size; ++i) {
+    state_ = table[(state_ ^ bytes[i]) & 0xFFu] ^ (state_ >> 8);
+  }
+}
+
+void Crc32::UpdateWord(uint32_t word) {
+  unsigned char bytes[4] = {
+      static_cast<unsigned char>(word & 0xFF),
+      static_cast<unsigned char>((word >> 8) & 0xFF),
+      static_cast<unsigned char>((word >> 16) & 0xFF),
+      static_cast<unsigned char>((word >> 24) & 0xFF),
+  };
+  Update(bytes, 4);
+}
+
+uint32_t Crc32Of(std::string_view text) {
+  Crc32 crc;
+  crc.Update(text);
+  return crc.Value();
+}
+
+}  // namespace goofi::util

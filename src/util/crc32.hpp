@@ -1,0 +1,30 @@
+// CRC-32 (IEEE 802.3 polynomial). Used to checksum persisted database files
+// and as the control-flow signature primitive in the CPU's EDM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace goofi::util {
+
+/// Incremental CRC-32. Feed bytes, read Value() at any point.
+class Crc32 {
+ public:
+  void Update(const void* data, size_t size);
+  void Update(std::string_view text) { Update(text.data(), text.size()); }
+  void UpdateWord(uint32_t word);
+
+  /// Final (post-inverted) CRC of everything fed so far.
+  uint32_t Value() const { return ~state_; }
+
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+uint32_t Crc32Of(std::string_view text);
+
+}  // namespace goofi::util

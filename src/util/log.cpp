@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace goofi::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::SetLevel(LogLevel level) { g_level = level; }
+LogLevel Log::Level() { return g_level; }
+void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::Write(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[goofi %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace goofi::util

@@ -1,0 +1,32 @@
+// Minimal leveled logger. The campaign progress monitor (paper Fig. 7) and
+// examples route human-facing output through this; tests silence it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace goofi::util {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-global log configuration. Not thread-safe by design: GOOFI
+/// campaigns are single-threaded host loops (as in the paper).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void SetLevel(LogLevel level);
+  static LogLevel Level();
+
+  /// Replaces the default stderr sink (pass nullptr to restore it).
+  static void SetSink(Sink sink);
+
+  static void Write(LogLevel level, const std::string& message);
+
+  static void Debug(const std::string& m) { Write(LogLevel::kDebug, m); }
+  static void Info(const std::string& m) { Write(LogLevel::kInfo, m); }
+  static void Warn(const std::string& m) { Write(LogLevel::kWarn, m); }
+  static void Error(const std::string& m) { Write(LogLevel::kError, m); }
+};
+
+}  // namespace goofi::util

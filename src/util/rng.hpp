@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation for fault-injection
+// campaigns. Every campaign stores its seed in the database so an experiment
+// can be replayed bit-exactly (the paper's `parentExperiment` re-run relies
+// on this determinism).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace goofi::util {
+
+/// SplitMix64; used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality, reproducible across platforms
+/// (unlike std::mt19937 whose distributions are implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x600F1u) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses rejection sampling
+  /// to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Gaussian via Box-Muller (used by environment-simulator sensor noise).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// k distinct values sampled uniformly from [0, n). Precondition: k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace goofi::util

@@ -1,0 +1,45 @@
+#include "util/status.hpp"
+
+namespace goofi::util {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kConstraintViolation:
+      return "constraint_violation";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kTargetFault:
+      return "target_fault";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace goofi::util

@@ -1,0 +1,155 @@
+// Lightweight status / result types used across the GOOFI library.
+//
+// Most fallible operations return either `Status` (no payload) or
+// `Result<T>` (payload or error). Exceptions are reserved for programming
+// errors (precondition violations), matching the style of the rest of the
+// code base.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace goofi::util {
+
+/// Error categories used by Status. Kept deliberately coarse; the message
+/// string carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kConstraintViolation,  ///< database integrity (PK/FK) violations
+  kParseError,           ///< SQL / assembly / config parse failures
+  kIoError,              ///< file persistence failures
+  kTargetFault,          ///< target system refused or faulted on an operation
+  kTimeout,              ///< workload or link deadline exceeded
+  kInternal,
+};
+
+/// Human-readable name of a status code ("ok", "parse_error", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status ConstraintViolation(std::string msg) {
+  return Status(StatusCode::kConstraintViolation, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+inline Status TargetFault(std::string msg) {
+  return Status(StatusCode::kTargetFault, std::move(msg));
+}
+inline Status Timeout(std::string msg) {
+  return Status(StatusCode::kTimeout, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// A value of type T or an error Status. Similar in spirit to
+/// std::expected<T, Status> (C++23), restricted to what this code base needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or throws std::runtime_error; for tests and examples
+  /// where an error is unrecoverable.
+  T& ValueOrDie() & {
+    if (!ok()) throw std::runtime_error("Result error: " + status_.ToString());
+    return *value_;
+  }
+  // Returns by value on rvalues: range-for over `Fn().ValueOrDie()` must not
+  // dangle (the Result temporary dies at the end of the full expression).
+  T ValueOrDie() && {
+    if (!ok()) throw std::runtime_error("Result error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+/// Propagates an error Status from an expression returning Status.
+#define GOOFI_RETURN_IF_ERROR(expr)                       \
+  do {                                                    \
+    ::goofi::util::Status goofi_status_tmp_ = (expr);     \
+    if (!goofi_status_tmp_.ok()) return goofi_status_tmp_; \
+  } while (false)
+
+}  // namespace goofi::util

@@ -1,0 +1,202 @@
+// Property-based tests of the TRD32 simulator — the measurement instrument
+// of every experiment in this repository. Faults are injected into it, so
+// it must be robust against *arbitrary* state corruption: no crash, no
+// undefined behaviour, only the documented outcomes.
+#include <gtest/gtest.h>
+
+#include "core/preinjection.hpp"
+#include "cpu/cpu.hpp"
+#include "env/workloads.hpp"
+#include "isa/assembler.hpp"
+#include "util/rng.hpp"
+
+namespace goofi::cpu {
+namespace {
+
+/// Boots a CPU with the named built-in workload.
+std::unique_ptr<Cpu> BootWorkload(const std::string& name,
+                                  const CpuConfig& config = CpuConfig()) {
+  const auto spec = env::GetWorkload(name).ValueOrDie();
+  const auto program = isa::Assemble(spec.source).ValueOrDie();
+  auto cpu = std::make_unique<Cpu>(config);
+  const uint32_t etext = program.symbols.at("_etext");
+  EXPECT_TRUE(cpu->LoadProgram(program.base_address, program.words,
+                               etext - program.base_address)
+                  .ok());
+  cpu->Reset(program.entry);
+  return cpu;
+}
+
+// Property: executing *random garbage* as instructions never crashes the
+// simulator; every step yields one of the three documented outcomes.
+TEST(CpuPropertyTest, RandomInstructionStreamsNeverCrash) {
+  util::Rng rng(0xFACE);
+  for (int trial = 0; trial < 200; ++trial) {
+    Cpu cpu;
+    std::vector<uint32_t> garbage(64);
+    for (uint32_t& word : garbage) word = static_cast<uint32_t>(rng.Next());
+    ASSERT_TRUE(cpu.LoadProgram(0, garbage).ok());
+    cpu.Reset(0);
+    const StepOutcome outcome = cpu.Run(5000);
+    EXPECT_TRUE(outcome == StepOutcome::kOk || outcome == StepOutcome::kHalted ||
+                outcome == StepOutcome::kDetected);
+    // With garbage and all EDMs on, silence is overwhelmingly unlikely but
+    // legal; the invariant under test is simply "no crash, no hang".
+  }
+}
+
+// Property: arbitrary scan-style corruption of any writable state element,
+// at any point of execution, leaves the simulator in a well-defined state.
+TEST(CpuPropertyTest, RandomStateCorruptionNeverCrashes) {
+  util::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto cpu = BootWorkload("bubblesort");
+    auto registry = cpu->BuildStateRegistry();
+    // Run a random prefix.
+    const uint64_t prefix = rng.NextBelow(2000);
+    for (uint64_t i = 0; i < prefix; ++i) {
+      if (cpu->Step() != StepOutcome::kOk) break;
+    }
+    // Corrupt up to 4 random writable elements.
+    const int corruptions = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int c = 0; c < corruptions; ++c) {
+      const auto& element =
+          registry.elements()[rng.NextBelow(registry.size())];
+      if (element.read_only) continue;
+      element.set(rng.Next());
+    }
+    const StepOutcome outcome = cpu->Run(100000);
+    EXPECT_TRUE(outcome == StepOutcome::kOk || outcome == StepOutcome::kHalted ||
+                outcome == StepOutcome::kDetected)
+        << "trial " << trial;
+  }
+}
+
+// Property: execution is bit-exact deterministic — two identical CPUs
+// stepped in lockstep never diverge in any observable counter or register.
+TEST(CpuPropertyTest, LockstepDeterminism) {
+  auto a = BootWorkload("matmul");
+  auto b = BootWorkload("matmul");
+  for (int step = 0; step < 5000; ++step) {
+    const StepOutcome oa = a->Step();
+    const StepOutcome ob = b->Step();
+    ASSERT_EQ(oa, ob) << step;
+    ASSERT_EQ(a->pc(), b->pc()) << step;
+    ASSERT_EQ(a->cycles(), b->cycles()) << step;
+    for (int reg = 0; reg < isa::kNumRegisters; ++reg) {
+      ASSERT_EQ(a->reg(reg), b->reg(reg)) << step << " r" << reg;
+    }
+    if (oa != StepOutcome::kOk) break;
+  }
+}
+
+// Property: the text segment is immutable under CPU execution — whatever
+// the workload (or corrupted workload) does, instruction words never change
+// unless the memory-protection EDM is off.
+TEST(CpuPropertyTest, TextSegmentImmutableUnderExecution) {
+  util::Rng rng(0xBEEF);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto cpu = BootWorkload("checksum");
+    // Snapshot the text segment.
+    std::vector<uint32_t> text;
+    for (uint32_t a = cpu->text_start(); a < cpu->text_end(); a += 4) {
+      text.push_back(cpu->memory().HostRead(a).ValueOrDie());
+    }
+    // Corrupt a few registers mid-run, then run to completion.
+    for (uint64_t i = rng.NextBelow(100); i > 0; --i) {
+      if (cpu->Step() != StepOutcome::kOk) break;
+    }
+    cpu->set_reg(1 + static_cast<int>(rng.NextBelow(13)),
+                 static_cast<uint32_t>(rng.Next()));
+    (void)cpu->Run(100000);
+    for (size_t i = 0; i < text.size(); ++i) {
+      ASSERT_EQ(cpu->memory()
+                    .HostRead(cpu->text_start() + static_cast<uint32_t>(i) * 4)
+                    .ValueOrDie(),
+                text[i])
+          << "text word " << i << " mutated in trial " << trial;
+    }
+  }
+}
+
+// Property: counters are monotone and consistent: cycles >= instret
+// (every instruction costs at least one cycle).
+TEST(CpuPropertyTest, CycleInstretConsistency) {
+  auto cpu = BootWorkload("fibonacci");
+  uint64_t last_cycles = 0;
+  uint64_t last_instret = 0;
+  while (cpu->Step() == StepOutcome::kOk) {
+    EXPECT_GT(cpu->cycles(), last_cycles);
+    EXPECT_EQ(cpu->instructions_retired(), last_instret + 1);
+    EXPECT_GE(cpu->cycles(), cpu->instructions_retired());
+    last_cycles = cpu->cycles();
+    last_instret = cpu->instructions_retired();
+  }
+}
+
+// Property: r0 reads as zero at every point of every workload, whatever
+// happens — the hardwired-zero invariant fault campaigns rely on.
+TEST(CpuPropertyTest, R0AlwaysZeroDuringExecution) {
+  for (const char* name : {"bubblesort", "matmul", "checksum"}) {
+    auto cpu = BootWorkload(name);
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_EQ(cpu->reg(0), 0u) << name;
+      if (cpu->Step() != StepOutcome::kOk) break;
+    }
+  }
+}
+
+// Cross-validation: the pre-injection liveness analysis against *actual*
+// injections. A register the analyzer calls dead at time t must never
+// produce an effective error when flipped at t (outputs match and no EDM).
+// This is the strongest guarantee the §4 extension needs: the filter must
+// only ever skip faults that could not have mattered.
+TEST(CpuPropertyTest, DeadRegisterInjectionsAreNeverEffective) {
+  const auto spec = env::GetWorkload("bubblesort").ValueOrDie();
+  const auto program = isa::Assemble(spec.source).ValueOrDie();
+  const uint32_t etext = program.symbols.at("_etext");
+  const uint32_t result_addr = program.symbols.at("result");
+
+  // Reference outputs.
+  auto RunWithFlip = [&](int reg, uint64_t at,
+                         bool* detected) -> std::vector<uint32_t> {
+    Cpu cpu;
+    EXPECT_TRUE(
+        cpu.LoadProgram(program.base_address, program.words, etext).ok());
+    cpu.Reset(program.entry);
+    while (at > 0 && cpu.Step() == StepOutcome::kOk) --at;
+    if (reg >= 0) cpu.set_reg(reg, cpu.reg(reg) ^ (1u << 7));
+    const StepOutcome outcome = cpu.Run(1'000'000);
+    *detected = outcome == StepOutcome::kDetected;
+    std::vector<uint32_t> outputs;
+    outputs.push_back(cpu.memory().HostRead(result_addr).ValueOrDie());
+    return outputs;
+  };
+
+  bool reference_detected = false;
+  const auto reference = RunWithFlip(-1, 0, &reference_detected);
+  ASSERT_FALSE(reference_detected);
+
+  namespace core = goofi::core;
+  auto analyzer =
+      core::LivenessAnalyzer::Build("bubblesort", CpuConfig()).ValueOrDie();
+
+  util::Rng rng(0xDEAD);
+  int dead_draws = 0;
+  for (int trial = 0; trial < 300 && dead_draws < 60; ++trial) {
+    const int reg = 1 + static_cast<int>(rng.NextBelow(13));
+    const uint64_t t = rng.NextBelow(analyzer->trace_length());
+    if (analyzer->RegisterLive(reg, t)) continue;
+    ++dead_draws;
+    bool detected = false;
+    const auto outputs = RunWithFlip(reg, t, &detected);
+    EXPECT_FALSE(detected) << "dead r" << reg << " flip at " << t
+                           << " raised an EDM";
+    EXPECT_EQ(outputs, reference)
+        << "dead r" << reg << " flip at " << t << " changed the result";
+  }
+  EXPECT_GE(dead_draws, 30) << "the sweep must actually exercise dead draws";
+}
+
+}  // namespace
+}  // namespace goofi::cpu

@@ -1,0 +1,488 @@
+// Tests for the TRD32 CPU simulator: execution semantics, error-detection
+// mechanisms, caches and the state-element registry.
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.hpp"
+#include "isa/assembler.hpp"
+
+namespace goofi::cpu {
+namespace {
+
+/// Assembles and loads a program, returning a ready-to-run CPU.
+std::unique_ptr<Cpu> Boot(const std::string& source,
+                          const CpuConfig& config = CpuConfig()) {
+  auto program = isa::Assemble(source).ValueOrDie();
+  auto cpu = std::make_unique<Cpu>(config);
+  uint32_t text_bytes = 0;
+  const auto etext = program.symbols.find("_etext");
+  if (etext != program.symbols.end()) {
+    text_bytes = etext->second - program.base_address;
+  }
+  EXPECT_TRUE(cpu->LoadProgram(program.base_address, program.words, text_bytes).ok());
+  cpu->Reset(program.entry);
+  return cpu;
+}
+
+TEST(CpuTest, ArithmeticBasics) {
+  auto cpu = Boot(
+      "addi r1, r0, 20\n"
+      "addi r2, r0, 22\n"
+      "add r3, r1, r2\n"
+      "sub r4, r1, r2\n"
+      "mul r5, r1, r2\n"
+      "div r6, r2, r1\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(3), 42u);
+  EXPECT_EQ(static_cast<int32_t>(cpu->reg(4)), -2);
+  EXPECT_EQ(cpu->reg(5), 440u);
+  EXPECT_EQ(cpu->reg(6), 1u);
+}
+
+TEST(CpuTest, LogicAndShifts) {
+  auto cpu = Boot(
+      "addi r1, r0, 0xF0\n"
+      "addi r2, r0, 0x0F\n"
+      "and r3, r1, r2\n"
+      "or r4, r1, r2\n"
+      "xor r5, r1, r1\n"
+      "addi r6, r0, 4\n"
+      "sll r7, r2, r6\n"
+      "srl r8, r1, r6\n"
+      "addi r9, r0, -16\n"
+      "sra r10, r9, r6\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(3), 0u);
+  EXPECT_EQ(cpu->reg(4), 0xFFu);
+  EXPECT_EQ(cpu->reg(5), 0u);
+  EXPECT_EQ(cpu->reg(7), 0xF0u);
+  EXPECT_EQ(cpu->reg(8), 0x0Fu);
+  EXPECT_EQ(static_cast<int32_t>(cpu->reg(10)), -1);
+}
+
+TEST(CpuTest, ComparisonsAndBranches) {
+  auto cpu = Boot(
+      "addi r1, r0, -1\n"
+      "addi r2, r0, 1\n"
+      "slt r3, r1, r2\n"   // signed: -1 < 1 -> 1
+      "sltu r4, r1, r2\n"  // unsigned: 0xFFFFFFFF < 1 -> 0
+      "blt r1, r2, taken\n"
+      "addi r5, r0, 99\n"  // skipped
+      "taken:\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(3), 1u);
+  EXPECT_EQ(cpu->reg(4), 0u);
+  EXPECT_EQ(cpu->reg(5), 0u);
+}
+
+TEST(CpuTest, R0IsHardwiredZero) {
+  auto cpu = Boot(
+      "addi r0, r0, 77\n"
+      "add r1, r0, r0\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(0), 0u);
+  EXPECT_EQ(cpu->reg(1), 0u);
+}
+
+TEST(CpuTest, LoadStoreRoundTrip) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  li r1, buffer\n"
+      "  addi r2, r0, 1234\n"
+      "  stw r2, [r1]\n"
+      "  ldw r3, [r1]\n"
+      "  halt\n"
+      "_etext:\n"
+      "buffer:\n"
+      "  .word 0\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(3), 1234u);
+}
+
+TEST(CpuTest, CallReturnViaLinkRegister) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  call fn\n"
+      "  addi r2, r0, 2\n"
+      "  halt\n"
+      "fn:\n"
+      "  addi r1, r0, 1\n"
+      "  ret\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(1), 1u);
+  EXPECT_EQ(cpu->reg(2), 2u);
+}
+
+// --- EDMs --------------------------------------------------------------------
+
+TEST(CpuTest, ArithmeticOverflowDetected) {
+  auto cpu = Boot(
+      "li r1, 0x7FFFFFFF\n"
+      "addi r2, r0, 1\n"
+      "add r3, r1, r2\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kArithmeticOverflow);
+}
+
+TEST(CpuTest, OverflowDisabledWrapsSilently) {
+  CpuConfig config;
+  config.edms.arithmetic_overflow = false;
+  auto cpu = Boot(
+      "li r1, 0x7FFFFFFF\n"
+      "addi r2, r0, 1\n"
+      "add r3, r1, r2\n"
+      "halt\n",
+      config);
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(3), 0x80000000u);
+}
+
+TEST(CpuTest, DivideByZeroDetected) {
+  auto cpu = Boot(
+      "addi r1, r0, 1\n"
+      "div r2, r1, r0\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kArithmeticOverflow);
+}
+
+TEST(CpuTest, MisalignedLoadDetected) {
+  auto cpu = Boot(
+      "addi r1, r0, 2\n"
+      "ldw r2, [r1]\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kMisalignedAccess);
+}
+
+TEST(CpuTest, OutOfRangeStoreDetected) {
+  CpuConfig config;
+  config.memory_bytes = 1 << 16;
+  auto cpu = Boot(
+      "li r1, 0x100000\n"
+      "stw r1, [r1]\n"
+      "halt\n",
+      config);
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kOutOfRangeAccess);
+}
+
+TEST(CpuTest, StoreToTextSegmentDetected) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  addi r1, r0, 0\n"
+      "  stw r1, [r1]\n"  // address 0 = first text word
+      "  halt\n"
+      "_etext:\n"
+      ".word 0\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kMemoryProtection);
+}
+
+TEST(CpuTest, DataSegmentIsWritable) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  li r1, scratch\n"
+      "  stw r1, [r1]\n"
+      "  halt\n"
+      "_etext:\n"
+      "scratch:\n"
+      "  .word 0\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+}
+
+TEST(CpuTest, IllegalOpcodeDetected) {
+  auto cpu = Boot("halt\n");
+  // Corrupt the prefetched instruction to an undefined opcode via scan-style
+  // poke into IR.
+  auto registry = cpu->BuildStateRegistry();
+  const int ir = registry.Find("core.ir");
+  ASSERT_GE(ir, 0);
+  registry.elements()[static_cast<size_t>(ir)].set(0x3Fu << 26);
+  EXPECT_EQ(cpu->Step(), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kIllegalOpcode);
+}
+
+TEST(CpuTest, IllegalOpcodeDisabledExecutesAsNop) {
+  CpuConfig config;
+  config.edms.illegal_opcode = false;
+  auto cpu = Boot(
+      "addi r1, r0, 5\n"
+      "halt\n",
+      config);
+  auto registry = cpu->BuildStateRegistry();
+  registry.elements()[static_cast<size_t>(registry.Find("core.ir"))].set(0x3Fu << 26);
+  EXPECT_EQ(cpu->Step(), StepOutcome::kOk);  // NOP'd
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(1), 0u) << "the corrupted addi never executed";
+}
+
+TEST(CpuTest, ControlFlowErrorOnWildJump) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  li r1, 0x8000\n"
+      "  jr r1\n"
+      "  halt\n"
+      "_etext:\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kControlFlowError);
+}
+
+TEST(CpuTest, WatchdogFiresWithoutKick) {
+  CpuConfig config;
+  config.watchdog_limit = 100;
+  auto cpu = Boot(
+      "loop:\n"
+      "  jmp loop\n",
+      config);
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kWatchdogTimeout);
+}
+
+TEST(CpuTest, WatchdogKickedByTrapZero) {
+  CpuConfig config;
+  config.watchdog_limit = 50;
+  auto cpu = Boot(
+      "loop:\n"
+      "  trap 0\n"
+      "  jmp loop\n",
+      config);
+  EXPECT_EQ(cpu->Run(2000), StepOutcome::kOk) << "still running after budget";
+  EXPECT_FALSE(cpu->detected());
+}
+
+TEST(CpuTest, TrapRaisesSoftwareAssertion) {
+  auto cpu = Boot("trap 9\nhalt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kSoftwareAssertion);
+  EXPECT_EQ(cpu->edm_event().code, 9);
+}
+
+TEST(CpuTest, StackOverflowDetected) {
+  CpuConfig config;
+  config.stack_limit = (1u << 20) - 64;
+  auto cpu = Boot(
+      "loop:\n"
+      "  push r1\n"
+      "  jmp loop\n",
+      config);
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kStackOverflow);
+}
+
+TEST(CpuTest, FirstDetectionWins) {
+  auto cpu = Boot("trap 1\ntrap 2\nhalt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().code, 1);
+  // Stepping a detected CPU does not advance.
+  const uint64_t instret = cpu->instructions_retired();
+  EXPECT_EQ(cpu->Step(), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->instructions_retired(), instret);
+}
+
+// --- caches ---------------------------------------------------------------------
+
+TEST(CpuTest, InstructionCacheHitsOnLoop) {
+  auto cpu = Boot(
+      "addi r1, r0, 100\n"
+      "loop:\n"
+      "  addi r1, r1, -1\n"
+      "  bne r1, r0, loop\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_GT(cpu->icache().hits(), cpu->icache().misses());
+}
+
+TEST(CpuTest, DataCacheParityFaultDetectedOnNextRead) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  li r1, buffer\n"
+      "  ldw r2, [r1]\n"   // fill dcache line
+      "  ldw r3, [r1]\n"   // will hit the corrupted line
+      "  halt\n"
+      "_etext:\n"
+      "buffer:\n"
+      "  .word 0x1234\n");
+  // Execute li (2 instructions) + first ldw.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(cpu->Step(), StepOutcome::kOk);
+  }
+  // Flip a data bit in every valid dcache line (scan-chain style).
+  ParityCache& dcache = cpu->dcache();
+  bool flipped = false;
+  for (uint32_t line = 0; line < dcache.num_lines(); ++line) {
+    if (dcache.line_valid(line)) {
+      dcache.set_line_data(line, dcache.line_data(line) ^ 1u);
+      flipped = true;
+    }
+  }
+  ASSERT_TRUE(flipped);
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+  EXPECT_EQ(cpu->edm_event().type, EdmType::kCacheParityData);
+}
+
+TEST(CpuTest, ParityFaultInParityBitAlsoDetected) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  li r1, buffer\n"
+      "  ldw r2, [r1]\n"
+      "  ldw r3, [r1]\n"
+      "  halt\n"
+      "_etext:\n"
+      "buffer:\n"
+      "  .word 7\n");
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(cpu->Step(), StepOutcome::kOk);
+  ParityCache& dcache = cpu->dcache();
+  for (uint32_t line = 0; line < dcache.num_lines(); ++line) {
+    if (dcache.line_valid(line)) {
+      dcache.set_line_parity(line, !dcache.line_parity(line));
+    }
+  }
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kDetected);
+}
+
+TEST(CpuTest, CacheParityDisabledConsumesCorruptData) {
+  CpuConfig config;
+  config.edms.cache_parity = false;
+  auto cpu = Boot(
+      "_start:\n"
+      "  li r1, buffer\n"
+      "  ldw r2, [r1]\n"
+      "  ldw r3, [r1]\n"
+      "  halt\n"
+      "_etext:\n"
+      "buffer:\n"
+      "  .word 0x10\n",
+      config);
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(cpu->Step(), StepOutcome::kOk);
+  ParityCache& dcache = cpu->dcache();
+  for (uint32_t line = 0; line < dcache.num_lines(); ++line) {
+    if (dcache.line_valid(line)) {
+      dcache.set_line_data(line, dcache.line_data(line) ^ 2u);
+    }
+  }
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(3), 0x12u) << "corrupted value used silently";
+}
+
+TEST(CpuTest, WriteThroughKeepsMemoryAuthoritative) {
+  auto cpu = Boot(
+      "_start:\n"
+      "  li r1, buffer\n"
+      "  ldw r2, [r1]\n"
+      "  addi r2, r2, 1\n"
+      "  stw r2, [r1]\n"
+      "  halt\n"
+      "_etext:\n"
+      "buffer:\n"
+      "  .word 41\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  const auto program = isa::Assemble("").ValueOrDie();
+  (void)program;
+  // Find buffer address: it is the word after _etext.
+  auto value = cpu->memory().HostRead(cpu->text_end());
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 42u);
+}
+
+// --- prefetch / IR fault semantics -------------------------------------------
+
+TEST(CpuTest, FlippingIrCorruptsNextInstruction) {
+  auto cpu = Boot(
+      "addi r1, r0, 1\n"
+      "addi r2, r0, 2\n"
+      "halt\n");
+  ASSERT_EQ(cpu->Step(), StepOutcome::kOk);  // executed first addi
+  // IR now holds "addi r2, r0, 2". Flip the destination-register field so it
+  // becomes a different register (bit 22 flips rd 2 -> 3).
+  auto registry = cpu->BuildStateRegistry();
+  auto& ir = registry.elements()[static_cast<size_t>(registry.Find("core.ir"))];
+  ir.set(ir.get() ^ (1ull << 22));
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(2), 0u);
+  EXPECT_EQ(cpu->reg(3), 2u) << "corrupted rd field redirected the write";
+}
+
+// --- state registry -------------------------------------------------------------
+
+TEST(CpuTest, StateRegistryExposesExpectedGroups) {
+  Cpu cpu;
+  auto registry = cpu.BuildStateRegistry();
+  const auto groups = registry.Groups();
+  EXPECT_NE(std::find(groups.begin(), groups.end(), "regfile"), groups.end());
+  EXPECT_NE(std::find(groups.begin(), groups.end(), "core"), groups.end());
+  EXPECT_NE(std::find(groups.begin(), groups.end(), "pipeline"), groups.end());
+  EXPECT_NE(std::find(groups.begin(), groups.end(), "icache"), groups.end());
+  EXPECT_NE(std::find(groups.begin(), groups.end(), "dcache"), groups.end());
+  // Default config: 64 icache + 64 dcache lines, 4 elements each, plus the
+  // core/pipeline/regfile elements.
+  EXPECT_GT(registry.size(), 512u);
+  EXPECT_GT(registry.TotalBits(), 4000u) << "Thor-class state element count";
+}
+
+TEST(CpuTest, StateRegistryReadWriteRoundTrip) {
+  Cpu cpu;
+  cpu.Reset(0);
+  auto registry = cpu.BuildStateRegistry();
+  const int r5 = registry.Find("regfile.r5");
+  ASSERT_GE(r5, 0);
+  registry.elements()[static_cast<size_t>(r5)].set(0xABCD);
+  EXPECT_EQ(cpu.reg(5), 0xABCDu);
+  EXPECT_EQ(registry.elements()[static_cast<size_t>(r5)].get(), 0xABCDu);
+}
+
+TEST(CpuTest, ReadOnlyElementsHaveNoSetter) {
+  Cpu cpu;
+  auto registry = cpu.BuildStateRegistry();
+  for (const StateElement& element : registry.elements()) {
+    if (element.read_only) {
+      EXPECT_EQ(element.set, nullptr) << element.name;
+    } else {
+      EXPECT_NE(element.set, nullptr) << element.name;
+    }
+  }
+  // r0 is read-only; cycles and instret are read-only.
+  EXPECT_TRUE(registry.elements()[static_cast<size_t>(registry.Find("regfile.r0"))]
+                  .read_only);
+  EXPECT_TRUE(registry.elements()[static_cast<size_t>(registry.Find("core.cycles"))]
+                  .read_only);
+}
+
+TEST(CpuTest, CycleAccountingChargesMissPenalty) {
+  CpuConfig config;
+  config.cache_miss_penalty = 10;
+  auto cpu = Boot("nop\nhalt\n", config);
+  ASSERT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  // Two instructions, each base 1 cycle, at least one icache miss.
+  EXPECT_GE(cpu->cycles(), 2u + 10u);
+}
+
+TEST(CpuTest, ResetRestoresCleanState) {
+  auto cpu = Boot(
+      "addi r1, r0, 7\n"
+      "halt\n");
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted);
+  EXPECT_EQ(cpu->reg(1), 7u);
+  cpu->Reset(0);
+  EXPECT_EQ(cpu->reg(1), 0u);
+  EXPECT_FALSE(cpu->halted());
+  EXPECT_EQ(cpu->cycles(), 0u);
+  EXPECT_EQ(cpu->Run(0), StepOutcome::kHalted) << "program still in memory";
+  EXPECT_EQ(cpu->reg(1), 7u);
+}
+
+TEST(CpuTest, RunHonorsCycleBudget) {
+  auto cpu = Boot(
+      "loop:\n"
+      "  jmp loop\n");
+  EXPECT_EQ(cpu->Run(1000), StepOutcome::kOk);
+  EXPECT_GE(cpu->cycles(), 1000u);
+  EXPECT_FALSE(cpu->halted());
+}
+
+}  // namespace
+}  // namespace goofi::cpu

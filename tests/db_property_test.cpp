@@ -1,0 +1,182 @@
+// Property-based tests of the embedded database: randomized row sets must
+// satisfy relational invariants, and persistence must be an identity.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "db/database.hpp"
+#include "db/sql_executor.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::db {
+namespace {
+
+/// Builds a table of `n` random rows (unique integer PK, random text/real
+/// payload); returns the rows inserted.
+std::vector<Row> Populate(Database* db, util::Rng* rng, int n) {
+  EXPECT_TRUE(db->CreateTable(Schema("t",
+                                     {{"id", ValueType::kInt, true},
+                                      {"label", ValueType::kText, false},
+                                      {"score", ValueType::kReal, false}},
+                                     {"id"}))
+                  .ok());
+  std::vector<Row> rows;
+  std::set<int64_t> used;
+  while (static_cast<int>(rows.size()) < n) {
+    const int64_t id = static_cast<int64_t>(rng->NextBelow(100000));
+    if (!used.insert(id).second) continue;
+    Row row = {Value::Int(id),
+               rng->NextBool(0.1)
+                   ? Value::Null()
+                   : Value::Text("x" + std::to_string(rng->NextBelow(50))),
+               rng->NextBool(0.1) ? Value::Null()
+                                  : Value::Real(rng->NextDouble() * 100)};
+    EXPECT_TRUE(db->Insert("t", row).ok());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(DbPropertyTest, CountMatchesInsertions) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db;
+    const int n = 1 + static_cast<int>(rng.NextBelow(200));
+    Populate(&db, &rng, n);
+    const auto count = ExecuteSql(db, "SELECT COUNT(*) FROM t").ValueOrDie();
+    EXPECT_EQ(count.rows[0][0].as_int(), n);
+  }
+}
+
+TEST(DbPropertyTest, OrderByProducesSortedOutput) {
+  util::Rng rng(202);
+  Database db;
+  Populate(&db, &rng, 300);
+  const auto result =
+      ExecuteSql(db, "SELECT id FROM t ORDER BY id").ValueOrDie();
+  int64_t prev = INT64_MIN;
+  for (const Row& row : result.rows) {
+    EXPECT_GE(row[0].as_int(), prev);
+    prev = row[0].as_int();
+  }
+  const auto desc =
+      ExecuteSql(db, "SELECT score FROM t WHERE score IS NOT NULL "
+                     "ORDER BY score DESC")
+          .ValueOrDie();
+  double dprev = 1e18;
+  for (const Row& row : desc.rows) {
+    EXPECT_LE(row[0].as_real(), dprev);
+    dprev = row[0].as_real();
+  }
+}
+
+TEST(DbPropertyTest, WherePartitionsTheTable) {
+  util::Rng rng(303);
+  Database db;
+  Populate(&db, &rng, 250);
+  // For any threshold, |id < T| + |id >= T| == |all|.
+  for (int64_t threshold : {0LL, 500LL, 50000LL, 99999LL}) {
+    const auto below = ExecuteSql(db, util::Format(
+        "SELECT COUNT(*) FROM t WHERE id < %lld", (long long)threshold))
+                           .ValueOrDie();
+    const auto at_or_above = ExecuteSql(db, util::Format(
+        "SELECT COUNT(*) FROM t WHERE id >= %lld", (long long)threshold))
+                                 .ValueOrDie();
+    EXPECT_EQ(below.rows[0][0].as_int() + at_or_above.rows[0][0].as_int(), 250);
+  }
+}
+
+TEST(DbPropertyTest, AggregatesAgreeWithManualFold) {
+  util::Rng rng(404);
+  Database db;
+  const auto rows = Populate(&db, &rng, 150);
+  int64_t sum = 0;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const Row& row : rows) {
+    sum += row[0].as_int();
+    min = std::min(min, row[0].as_int());
+    max = std::max(max, row[0].as_int());
+  }
+  const auto result =
+      ExecuteSql(db, "SELECT SUM(id), MIN(id), MAX(id), AVG(id) FROM t")
+          .ValueOrDie();
+  EXPECT_EQ(result.rows[0][0].as_int(), sum);
+  EXPECT_EQ(result.rows[0][1].as_int(), min);
+  EXPECT_EQ(result.rows[0][2].as_int(), max);
+  EXPECT_NEAR(result.rows[0][3].as_real(), static_cast<double>(sum) / 150, 1e-6);
+}
+
+TEST(DbPropertyTest, GroupByCountsSumToTotal) {
+  util::Rng rng(505);
+  Database db;
+  Populate(&db, &rng, 200);
+  const auto groups =
+      ExecuteSql(db, "SELECT label, COUNT(*) FROM t GROUP BY label")
+          .ValueOrDie();
+  int64_t total = 0;
+  for (const Row& row : groups.rows) total += row[1].as_int();
+  EXPECT_EQ(total, 200);
+}
+
+TEST(DbPropertyTest, DeleteThenCountIsConsistent) {
+  util::Rng rng(606);
+  Database db;
+  Populate(&db, &rng, 200);
+  const auto deleted =
+      ExecuteSql(db, "SELECT COUNT(*) FROM t WHERE id % 3 = 0").ValueOrDie();
+  const int64_t victims = deleted.rows[0][0].as_int();
+  const auto result = ExecuteSql(db, "DELETE FROM t WHERE id % 3 = 0").ValueOrDie();
+  EXPECT_EQ(static_cast<int64_t>(result.affected), victims);
+  const auto remaining = ExecuteSql(db, "SELECT COUNT(*) FROM t").ValueOrDie();
+  EXPECT_EQ(remaining.rows[0][0].as_int(), 200 - victims);
+  const auto none =
+      ExecuteSql(db, "SELECT COUNT(*) FROM t WHERE id % 3 = 0").ValueOrDie();
+  EXPECT_EQ(none.rows[0][0].as_int(), 0);
+}
+
+TEST(DbPropertyTest, SaveLoadIsIdentityOnRandomDatabases) {
+  util::Rng rng(707);
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db;
+    Populate(&db, &rng, 1 + static_cast<int>(rng.NextBelow(120)));
+    const std::string path = testing::TempDir() +
+                             "db_prop_" + std::to_string(trial) + ".db";
+    ASSERT_TRUE(db.Save(path).ok());
+    Database loaded;
+    ASSERT_TRUE(loaded.Load(path).ok());
+    std::remove(path.c_str());
+
+    // Every row from the original appears identically in the copy.
+    const Table* before = db.GetTable("t");
+    const Table* after = loaded.GetTable("t");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(before->size(), after->size());
+    before->ForEach([after](const Row& row) {
+      const auto slot = after->FindByPrimaryKey({row[0]});
+      ASSERT_TRUE(slot.has_value());
+      const Row& copy = after->slots()[*slot];
+      for (size_t i = 0; i < row.size(); ++i) {
+        EXPECT_EQ(copy[i].Compare(row[i]), 0);
+      }
+    });
+  }
+}
+
+TEST(DbPropertyTest, UpdateIsIdempotentForConstantAssignments) {
+  util::Rng rng(808);
+  Database db;
+  Populate(&db, &rng, 100);
+  ASSERT_TRUE(ExecuteSql(db, "UPDATE t SET label = 'fixed' WHERE id % 2 = 0").ok());
+  const auto first =
+      ExecuteSql(db, "SELECT COUNT(*) FROM t WHERE label = 'fixed'").ValueOrDie();
+  ASSERT_TRUE(ExecuteSql(db, "UPDATE t SET label = 'fixed' WHERE id % 2 = 0").ok());
+  const auto second =
+      ExecuteSql(db, "SELECT COUNT(*) FROM t WHERE label = 'fixed'").ValueOrDie();
+  EXPECT_EQ(first.rows[0][0].as_int(), second.rows[0][0].as_int());
+}
+
+}  // namespace
+}  // namespace goofi::db

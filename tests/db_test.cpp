@@ -1,0 +1,342 @@
+// Unit tests for the embedded database: values, schemas, tables, foreign
+// keys and persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "db/database.hpp"
+
+namespace goofi::db {
+namespace {
+
+// --- Value -----------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).as_int(), 5);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).as_real(), 2.5);
+  EXPECT_EQ(Value::Text("hi").as_text(), "hi");
+  EXPECT_EQ(Value::Bool(true).as_int(), 1);
+}
+
+TEST(ValueTest, IntPromotesToRealAccessor) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).as_real(), 3.0);
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::Int(0).Truthy());
+  EXPECT_TRUE(Value::Int(-1).Truthy());
+  EXPECT_FALSE(Value::Real(0.0).Truthy());
+  EXPECT_TRUE(Value::Real(0.1).Truthy());
+  EXPECT_FALSE(Value::Text("").Truthy());
+  EXPECT_TRUE(Value::Text("x").Truthy());
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Text("b").Compare(Value::Text("a")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareMixedNumerics) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Real(2.5)), 0);
+  EXPECT_GT(Value::Real(3.0).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrderingNullNumericText) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::Text("")), 0);
+}
+
+TEST(ValueTest, SerializeRoundTrip) {
+  for (const Value& v : {Value::Null(), Value::Int(-42), Value::Real(1.5e-3),
+                         Value::Text("with spaces & symbols !")}) {
+    auto back = Value::Deserialize(v.Serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().type(), v.type());
+    EXPECT_EQ(back.value().Compare(v), 0);
+  }
+}
+
+TEST(ValueTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Value::Deserialize("").ok());
+  EXPECT_FALSE(Value::Deserialize("Zfoo").ok());
+  EXPECT_FALSE(Value::Deserialize("Iabc").ok());
+  EXPECT_FALSE(Value::Deserialize("R1.2.3").ok());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::Text("abc").Hash(), Value::Text("abc").Hash());
+}
+
+// --- Schema ---------------------------------------------------------------
+
+Schema MakeUserSchema() {
+  return Schema("users",
+                {{"id", ValueType::kInt, true},
+                 {"name", ValueType::kText, true},
+                 {"score", ValueType::kReal, false}},
+                {"id"});
+}
+
+TEST(SchemaTest, ColumnIndexCaseInsensitive) {
+  const Schema schema = MakeUserSchema();
+  EXPECT_EQ(schema.ColumnIndex("ID"), 0u);
+  EXPECT_EQ(schema.ColumnIndex("Name"), 1u);
+  EXPECT_FALSE(schema.ColumnIndex("missing").has_value());
+}
+
+TEST(SchemaTest, ValidateCatchesDuplicates) {
+  Schema schema("t", {{"a", ValueType::kInt, false}, {"A", ValueType::kText, false}});
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateCatchesUnknownPkColumn) {
+  Schema schema("t", {{"a", ValueType::kInt, false}}, {"nope"});
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, CheckRowArityAndTypes) {
+  const Schema schema = MakeUserSchema();
+  EXPECT_TRUE(schema.CheckRow({Value::Int(1), Value::Text("a"), Value::Real(1.0)}).ok());
+  // INT widens into REAL column.
+  EXPECT_TRUE(schema.CheckRow({Value::Int(1), Value::Text("a"), Value::Int(3)}).ok());
+  // NULL ok for nullable column, rejected for NOT NULL.
+  EXPECT_TRUE(schema.CheckRow({Value::Int(1), Value::Text("a"), Value::Null()}).ok());
+  EXPECT_FALSE(schema.CheckRow({Value::Null(), Value::Text("a"), Value::Null()}).ok());
+  // Wrong arity / wrong type.
+  EXPECT_FALSE(schema.CheckRow({Value::Int(1), Value::Text("a")}).ok());
+  EXPECT_FALSE(schema.CheckRow({Value::Text("x"), Value::Text("a"), Value::Null()}).ok());
+}
+
+// --- Table ------------------------------------------------------------------
+
+TEST(TableTest, InsertAndLookupByPrimaryKey) {
+  Table table(MakeUserSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::Text("ada"), Value::Real(9.5)}).ok());
+  ASSERT_TRUE(table.Insert({Value::Int(2), Value::Text("bob"), Value::Null()}).ok());
+  EXPECT_EQ(table.size(), 2u);
+  const auto slot = table.FindByPrimaryKey({Value::Int(2)});
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(table.slots()[*slot][1].as_text(), "bob");
+  EXPECT_FALSE(table.FindByPrimaryKey({Value::Int(3)}).has_value());
+}
+
+TEST(TableTest, DuplicatePrimaryKeyRejected) {
+  Table table(MakeUserSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::Text("a"), Value::Null()}).ok());
+  const auto st = table.Insert({Value::Int(1), Value::Text("b"), Value::Null()});
+  EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TableTest, NullPrimaryKeyRejected) {
+  Table table(MakeUserSchema());
+  // id is NOT NULL so CheckRow already rejects; use a schema with nullable pk
+  Schema schema("t", {{"k", ValueType::kInt, false}}, {"k"});
+  Table t2(schema);
+  EXPECT_FALSE(t2.Insert({Value::Null()}).ok());
+}
+
+TEST(TableTest, DeleteWhereUpdatesIndexAndCount) {
+  Table table(MakeUserSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        table.Insert({Value::Int(i), Value::Text("u"), Value::Null()}).ok());
+  }
+  const size_t deleted =
+      table.DeleteWhere([](const Row& row) { return row[0].as_int() % 2 == 0; });
+  EXPECT_EQ(deleted, 5u);
+  EXPECT_EQ(table.size(), 5u);
+  EXPECT_FALSE(table.FindByPrimaryKey({Value::Int(2)}).has_value());
+  EXPECT_TRUE(table.FindByPrimaryKey({Value::Int(3)}).has_value());
+  // A deleted key can be reinserted.
+  EXPECT_TRUE(table.Insert({Value::Int(2), Value::Text("back"), Value::Null()}).ok());
+}
+
+TEST(TableTest, UpdateWhereMutatesAndReindexes) {
+  Table table(MakeUserSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::Text("a"), Value::Null()}).ok());
+  size_t updated = 0;
+  ASSERT_TRUE(table
+                  .UpdateWhere([](const Row& row) { return row[0].as_int() == 1; },
+                               [](Row& row) { row[0] = Value::Int(99); }, &updated)
+                  .ok());
+  EXPECT_EQ(updated, 1u);
+  EXPECT_FALSE(table.FindByPrimaryKey({Value::Int(1)}).has_value());
+  EXPECT_TRUE(table.FindByPrimaryKey({Value::Int(99)}).has_value());
+}
+
+TEST(TableTest, UpdateWhereRejectsPkCollision) {
+  Table table(MakeUserSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::Text("a"), Value::Null()}).ok());
+  ASSERT_TRUE(table.Insert({Value::Int(2), Value::Text("b"), Value::Null()}).ok());
+  size_t updated = 0;
+  const auto st =
+      table.UpdateWhere([](const Row& row) { return row[0].as_int() == 1; },
+                        [](Row& row) { row[0] = Value::Int(2); }, &updated);
+  EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, ExistsWhere) {
+  Table table(MakeUserSchema());
+  ASSERT_TRUE(table.Insert({Value::Int(1), Value::Text("a"), Value::Real(5)}).ok());
+  EXPECT_TRUE(table.ExistsWhere({1}, {Value::Text("a")}));
+  EXPECT_FALSE(table.ExistsWhere({1}, {Value::Text("zz")}));
+  // PK fast path.
+  EXPECT_TRUE(table.ExistsWhere({0}, {Value::Int(1)}));
+}
+
+// --- Database & foreign keys ---------------------------------------------------
+
+class DatabaseFkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(Schema("parent",
+                                       {{"id", ValueType::kInt, true},
+                                        {"label", ValueType::kText, false}},
+                                       {"id"}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(Schema("child",
+                                       {{"cid", ValueType::kInt, true},
+                                        {"pid", ValueType::kInt, false}},
+                                       {"cid"},
+                                       {{{"pid"}, "parent", {"id"}}}))
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(DatabaseFkTest, InsertRequiresReferencedRow) {
+  EXPECT_FALSE(db_.Insert("child", {Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE(db_.Insert("parent", {Value::Int(7), Value::Text("p")}).ok());
+  EXPECT_TRUE(db_.Insert("child", {Value::Int(1), Value::Int(7)}).ok());
+}
+
+TEST_F(DatabaseFkTest, NullForeignKeyIsAllowed) {
+  EXPECT_TRUE(db_.Insert("child", {Value::Int(1), Value::Null()}).ok());
+}
+
+TEST_F(DatabaseFkTest, DeleteRestrictedWhileReferenced) {
+  ASSERT_TRUE(db_.Insert("parent", {Value::Int(7), Value::Text("p")}).ok());
+  ASSERT_TRUE(db_.Insert("child", {Value::Int(1), Value::Int(7)}).ok());
+  const auto st =
+      db_.Delete("parent", [](const Row& row) { return row[0].as_int() == 7; });
+  EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation);
+  // After removing the child, the delete goes through.
+  ASSERT_TRUE(db_.Delete("child", [](const Row&) { return true; }).ok());
+  EXPECT_TRUE(
+      db_.Delete("parent", [](const Row& row) { return row[0].as_int() == 7; }).ok());
+}
+
+TEST_F(DatabaseFkTest, DropTableRestrictedWhileReferenced) {
+  EXPECT_FALSE(db_.DropTable("parent").ok());
+  EXPECT_TRUE(db_.DropTable("child").ok());
+  EXPECT_TRUE(db_.DropTable("parent").ok());
+}
+
+TEST_F(DatabaseFkTest, CreateTableRejectsUnknownFkTarget) {
+  EXPECT_FALSE(db_.CreateTable(Schema("bad", {{"x", ValueType::kInt, false}}, {},
+                                      {{{"x"}, "nope", {"y"}}}))
+                   .ok());
+  EXPECT_FALSE(db_.CreateTable(Schema("bad", {{"x", ValueType::kInt, false}}, {},
+                                      {{{"x"}, "parent", {"nope"}}}))
+                   .ok());
+}
+
+TEST_F(DatabaseFkTest, SelfReferencingForeignKey) {
+  ASSERT_TRUE(db_.CreateTable(Schema("tree",
+                                     {{"id", ValueType::kInt, true},
+                                      {"up", ValueType::kInt, false}},
+                                     {"id"}, {{{"up"}, "tree", {"id"}}}))
+                  .ok());
+  EXPECT_TRUE(db_.Insert("tree", {Value::Int(1), Value::Null()}).ok());
+  EXPECT_TRUE(db_.Insert("tree", {Value::Int(2), Value::Int(1)}).ok());
+  EXPECT_FALSE(db_.Insert("tree", {Value::Int(3), Value::Int(99)}).ok());
+}
+
+TEST(DatabaseTest, TableNamesCaseInsensitive) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(Schema("MyTable", {{"a", ValueType::kInt, false}})).ok());
+  EXPECT_TRUE(db.HasTable("mytable"));
+  EXPECT_NE(db.GetTable("MYTABLE"), nullptr);
+  EXPECT_FALSE(db.CreateTable(Schema("mytable", {{"a", ValueType::kInt, false}})).ok());
+}
+
+// --- persistence ----------------------------------------------------------------
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "goofi_db_test.db";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PersistenceTest, SaveLoadRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(Schema("parent",
+                                    {{"id", ValueType::kInt, true},
+                                     {"label", ValueType::kText, false}},
+                                    {"id"}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(Schema("child",
+                                    {{"cid", ValueType::kInt, true},
+                                     {"pid", ValueType::kInt, false},
+                                     {"note", ValueType::kText, false}},
+                                    {"cid"}, {{{"pid"}, "parent", {"id"}}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("parent", {Value::Int(1), Value::Text("tab\tnewline\nback\\slash")}).ok());
+  ASSERT_TRUE(db.Insert("child", {Value::Int(10), Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(db.Save(path_).ok());
+
+  Database loaded;
+  ASSERT_TRUE(loaded.Load(path_).ok());
+  ASSERT_TRUE(loaded.HasTable("parent"));
+  ASSERT_TRUE(loaded.HasTable("child"));
+  const Table* parent = loaded.GetTable("parent");
+  EXPECT_EQ(parent->size(), 1u);
+  const auto slot = parent->FindByPrimaryKey({Value::Int(1)});
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(parent->slots()[*slot][1].as_text(), "tab\tnewline\nback\\slash");
+  // FK metadata survived: inserting an orphan child still fails.
+  EXPECT_FALSE(loaded.Insert("child", {Value::Int(11), Value::Int(99), Value::Null()}).ok());
+}
+
+TEST_F(PersistenceTest, LoadRejectsCorruptFile) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(Schema("t", {{"a", ValueType::kInt, false}})).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(1)}).ok());
+  ASSERT_TRUE(db.Save(path_).ok());
+
+  // Flip a byte in the body; the CRC trailer must catch it.
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  content[content.find("I1")] = 'I' + 1;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  Database loaded;
+  const auto st = loaded.Load(path_);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PersistenceTest, LoadMissingFileFails) {
+  Database loaded;
+  EXPECT_EQ(loaded.Load("/nonexistent/dir/x.db").code(),
+            util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace goofi::db

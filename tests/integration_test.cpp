@@ -1,0 +1,200 @@
+// Integration tests: the full GOOFI pipeline across all modules — campaign
+// configuration, fault injection through the TAP scan path, database
+// persistence between phases, and SQL analysis over the logged results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/goofi.hpp"
+#include "db/database.hpp"
+#include "db/sql_executor.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi {
+namespace {
+
+using core::CampaignData;
+using core::CampaignStore;
+using core::Outcome;
+using core::Technique;
+using core::ThorRdTarget;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : store_(&db_), target_(&store_, &card_) {
+    EXPECT_TRUE(store_
+                    .PutTargetSystem(ThorRdTarget::DescribeTarget(
+                        card_, ThorRdTarget::kTargetName))
+                    .ok());
+  }
+
+  CampaignData Campaign(const std::string& name, const std::string& workload) {
+    CampaignData campaign;
+    campaign.name = name;
+    campaign.target_name = ThorRdTarget::kTargetName;
+    campaign.workload = workload;
+    campaign.locations = {{"internal_regfile", ""}};
+    campaign.num_experiments = 30;
+    campaign.inject_min_instr = 1;
+    campaign.inject_max_instr = 900;
+    campaign.timeout_cycles = 150000;
+    return campaign;
+  }
+
+  db::Database db_;
+  CampaignStore store_;
+  testcard::SimTestCard card_;
+  ThorRdTarget target_;
+};
+
+TEST_F(IntegrationTest, FullPipelineWithPersistenceBetweenPhases) {
+  // Set-up phase, then save the database before injecting (host crash
+  // resilience: configuration survives independently of results).
+  ASSERT_TRUE(store_.PutCampaign(Campaign("pipeline", "checksum")).ok());
+  const std::string path = testing::TempDir() + "goofi_integration.db";
+  ASSERT_TRUE(db_.Save(path).ok());
+
+  // Fault-injection phase.
+  ASSERT_TRUE(target_.FaultInjectorScifi("pipeline").ok());
+  ASSERT_TRUE(db_.Save(path).ok());
+
+  // Analysis phase on a *reloaded* database (a different host, per the
+  // paper's portability story).
+  db::Database reloaded;
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  CampaignStore store2(&reloaded);
+  const auto report = core::AnalyzeCampaign(store2, "pipeline").ValueOrDie();
+  EXPECT_EQ(report.total, 30);
+  EXPECT_EQ(report.Count(Outcome::kDetected) + report.Count(Outcome::kEscaped) +
+                report.Count(Outcome::kLatent) + report.Count(Outcome::kOverwritten),
+            30);
+  std::remove(path.c_str());
+}
+
+TEST_F(IntegrationTest, SqlAnalysisOverLoggedSystemState) {
+  ASSERT_TRUE(store_.PutCampaign(Campaign("sqlq", "fibonacci")).ok());
+  ASSERT_TRUE(target_.FaultInjectorScifi("sqlq").ok());
+
+  // Count experiments via SQL exactly like a user analysis script (§3.4).
+  const auto count =
+      db::ExecuteSql(db_,
+                     "SELECT COUNT(*) FROM LoggedSystemState "
+                     "WHERE campaignName = 'sqlq' AND parentExperiment IS NULL")
+          .ValueOrDie();
+  EXPECT_EQ(count.rows[0][0].as_int(), 31);  // 30 + reference
+
+  // Join across the Fig. 4 foreign keys.
+  const auto join =
+      db::ExecuteSql(db_,
+                     "SELECT COUNT(*) FROM LoggedSystemState l "
+                     "JOIN CampaignData c ON l.campaignName = c.campaignName "
+                     "JOIN TargetSystemData t ON c.targetName = t.targetName")
+          .ValueOrDie();
+  EXPECT_EQ(join.rows[0][0].as_int(), 31);
+}
+
+TEST_F(IntegrationTest, ForeignKeysProtectCampaignIntegrity) {
+  ASSERT_TRUE(store_.PutCampaign(Campaign("fk", "fibonacci")).ok());
+  ASSERT_TRUE(target_.FaultInjectorScifi("fk").ok());
+  // Campaign rows cannot be deleted while experiments reference them.
+  EXPECT_FALSE(
+      db::ExecuteSql(db_, "DELETE FROM CampaignData WHERE campaignName = 'fk'")
+          .ok());
+  // Target rows cannot be deleted while campaigns reference them.
+  EXPECT_FALSE(db::ExecuteSql(db_, "DELETE FROM TargetSystemData").ok());
+  // Deleting bottom-up succeeds.
+  ASSERT_TRUE(db::ExecuteSql(db_, "DELETE FROM LoggedSystemState").ok());
+  EXPECT_TRUE(
+      db::ExecuteSql(db_, "DELETE FROM CampaignData WHERE campaignName = 'fk'")
+          .ok());
+}
+
+TEST_F(IntegrationTest, TargetDescriptionMatchesLiveChains) {
+  const auto stored =
+      store_.GetTargetSystem(ThorRdTarget::kTargetName).ValueOrDie();
+  // Every chain the card exposes appears in the stored configuration data.
+  for (const auto& chain : card_.chains().chains()) {
+    EXPECT_NE(stored.chain_data.find(chain.name()), std::string::npos)
+        << chain.name();
+  }
+  EXPECT_NE(stored.chain_data.find("regfile.r3"), std::string::npos);
+  EXPECT_NE(stored.chain_data.find("icache.line63.parity"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, CruiseControlCampaignEndToEnd) {
+  CampaignData campaign = Campaign("cruise", "cruise_pi");
+  campaign.max_iterations = 150;
+  campaign.timeout_cycles = 600000;
+  campaign.inject_max_instr = 2000;
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  ASSERT_TRUE(target_.FaultInjectorScifi("cruise").ok());
+  const auto reference = store_.GetExperiment("cruise/ref").ValueOrDie();
+  EXPECT_EQ(reference.state.iterations, 150);
+  EXPECT_FALSE(reference.state.env_failed) << "PI loop must hold the setpoint";
+  const auto report = core::AnalyzeCampaign(store_, "cruise").ValueOrDie();
+  EXPECT_EQ(report.total, 30);
+}
+
+TEST_F(IntegrationTest, MergedCampaignRuns) {
+  ASSERT_TRUE(store_.PutCampaign(Campaign("m1", "bubblesort")).ok());
+  CampaignData second = Campaign("m2", "bubblesort");
+  second.locations = {{"internal_core", ""}};
+  ASSERT_TRUE(store_.PutCampaign(second).ok());
+  ASSERT_TRUE(store_.MergeCampaigns({"m1", "m2"}, "merged").ok());
+  ASSERT_TRUE(target_.FaultInjectorScifi("merged").ok());
+  const auto report = core::AnalyzeCampaign(store_, "merged").ValueOrDie();
+  EXPECT_EQ(report.total, 60) << "merged campaign sums experiment counts";
+}
+
+TEST_F(IntegrationTest, EdmAblationChangesDetections) {
+  // The same campaign against a target with most EDMs disabled must detect
+  // fewer errors — detections turn into escapes/latents.
+  CampaignData campaign = Campaign("edm_on", "bubblesort");
+  campaign.locations = {{"internal_core", ""}};
+  campaign.num_experiments = 60;
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  ASSERT_TRUE(target_.FaultInjectorScifi("edm_on").ok());
+  const auto with_edms = core::AnalyzeCampaign(store_, "edm_on").ValueOrDie();
+
+  cpu::CpuConfig weak;
+  weak.edms.illegal_opcode = false;
+  weak.edms.control_flow = false;
+  weak.edms.misaligned_access = false;
+  weak.edms.out_of_range_access = false;
+  weak.edms.memory_protection = false;
+  weak.edms.arithmetic_overflow = false;
+  testcard::SimTestCard weak_card(weak);
+  ThorRdTarget weak_target(&store_, &weak_card);
+  CampaignData ablated = campaign;
+  ablated.name = "edm_off";
+  ASSERT_TRUE(store_.PutCampaign(ablated).ok());
+  ASSERT_TRUE(weak_target.FaultInjectorScifi("edm_off").ok());
+  const auto without_edms = core::AnalyzeCampaign(store_, "edm_off").ValueOrDie();
+
+  EXPECT_GT(with_edms.Count(Outcome::kDetected),
+            without_edms.Count(Outcome::kDetected));
+}
+
+TEST_F(IntegrationTest, DetailRerunTraceShowsPropagation) {
+  CampaignData campaign = Campaign("trace", "fibonacci");
+  campaign.num_experiments = 10;
+  campaign.inject_max_instr = 100;
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  ASSERT_TRUE(target_.FaultInjectorScifi("trace").ok());
+  ASSERT_TRUE(target_.RerunDetailed("trace/e0003").ok());
+
+  // Detail rows form a per-instruction trace: instret strictly increases.
+  auto rows = store_.ExperimentsOf("trace").ValueOrDie();
+  uint64_t prev = 0;
+  int seen = 0;
+  for (const auto& row : rows) {
+    if (row.parent_experiment != "trace/e0003/detail") continue;
+    EXPECT_GT(row.state.instret, prev);
+    prev = row.state.instret;
+    ++seen;
+  }
+  EXPECT_GT(seen, 3);
+}
+
+}  // namespace
+}  // namespace goofi

@@ -1,0 +1,123 @@
+// Tests for the TRD32 ISA: encoding, decoding, register names, opcode table.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace goofi::isa {
+namespace {
+
+TEST(IsaTest, RegisterNamesAndAliases) {
+  EXPECT_EQ(RegisterName(0), "r0");
+  EXPECT_EQ(RegisterName(13), "r13");
+  EXPECT_EQ(RegisterName(kLinkRegister), "lr");
+  EXPECT_EQ(RegisterName(kStackPointer), "sp");
+  EXPECT_FALSE(RegisterName(16).has_value());
+  EXPECT_FALSE(RegisterName(-1).has_value());
+}
+
+TEST(IsaTest, ParseRegister) {
+  EXPECT_EQ(ParseRegister("r0"), 0);
+  EXPECT_EQ(ParseRegister("R7"), 7);
+  EXPECT_EQ(ParseRegister("sp"), kStackPointer);
+  EXPECT_EQ(ParseRegister("LR"), kLinkRegister);
+  EXPECT_FALSE(ParseRegister("r16").has_value());
+  EXPECT_FALSE(ParseRegister("x3").has_value());
+  EXPECT_FALSE(ParseRegister("").has_value());
+}
+
+TEST(IsaTest, OpcodeSpaceIsSparse) {
+  int valid = 0;
+  for (int op = 0; op < 64; ++op) {
+    if (IsValidOpcode(static_cast<uint8_t>(op))) ++valid;
+  }
+  EXPECT_EQ(valid, 34);
+  EXPECT_LT(valid, 64) << "sparse opcodes are needed for illegal-opcode EDM";
+}
+
+TEST(IsaTest, MnemonicLookupRoundTrip) {
+  for (int op = 0; op < 64; ++op) {
+    if (!IsValidOpcode(static_cast<uint8_t>(op))) continue;
+    const OpcodeInfo& info = GetOpcodeInfo(static_cast<Opcode>(op));
+    const OpcodeInfo* found = FindOpcodeByMnemonic(info.mnemonic);
+    ASSERT_NE(found, nullptr) << info.mnemonic;
+    EXPECT_EQ(found->op, info.op);
+  }
+  EXPECT_EQ(FindOpcodeByMnemonic("bogus"), nullptr);
+  EXPECT_NE(FindOpcodeByMnemonic("ADD"), nullptr) << "case-insensitive";
+}
+
+TEST(IsaTest, DecodeRejectsIllegalOpcode) {
+  // Opcode 0x01 is undefined.
+  EXPECT_FALSE(Decode(0x01u << 26).ok());
+  EXPECT_FALSE(Decode(0x3Fu << 26).ok());
+}
+
+TEST(IsaTest, DecodeRejectsReservedBitsInRType) {
+  Instruction add{Opcode::kAdd, 1, 2, 3, 0};
+  const uint32_t word = Encode(add);
+  EXPECT_TRUE(Decode(word).ok());
+  EXPECT_FALSE(Decode(word | 1u).ok()) << "nonzero reserved bits";
+}
+
+TEST(IsaTest, DecodeRejectsReservedBitsInNop) {
+  const uint32_t nop = Encode(Instruction{Opcode::kNop, 0, 0, 0, 0});
+  EXPECT_TRUE(Decode(nop).ok());
+  EXPECT_FALSE(Decode(nop | 0x100u).ok());
+}
+
+TEST(IsaTest, ImmediateSignExtension) {
+  Instruction addi{Opcode::kAddi, 1, 2, 0, -5};
+  auto decoded = Decode(Encode(addi)).ValueOrDie();
+  EXPECT_EQ(decoded.imm, -5);
+
+  Instruction jmp{Opcode::kJmp, 0, 0, 0, -1000};
+  auto jback = Decode(Encode(jmp)).ValueOrDie();
+  EXPECT_EQ(jback.imm, -1000);
+}
+
+TEST(IsaTest, ImmediateLimits) {
+  Instruction addi{Opcode::kAddi, 1, 2, 0, kImm18Max};
+  EXPECT_EQ(Decode(Encode(addi)).ValueOrDie().imm, kImm18Max);
+  addi.imm = kImm18Min;
+  EXPECT_EQ(Decode(Encode(addi)).ValueOrDie().imm, kImm18Min);
+}
+
+// Property-style parameterized sweep: every valid opcode round-trips through
+// Encode/Decode with representative field values.
+class EncodeDecodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeDecodeRoundTrip, RoundTrips) {
+  const uint8_t op_byte = static_cast<uint8_t>(GetParam());
+  if (!IsValidOpcode(op_byte)) GTEST_SKIP() << "undefined opcode";
+  const Opcode op = static_cast<Opcode>(op_byte);
+  const OpcodeInfo& info = GetOpcodeInfo(op);
+
+  Instruction ins;
+  ins.op = op;
+  switch (info.format) {
+    case Format::kR:
+      ins.rd = 3;
+      ins.rs1 = 7;
+      ins.rs2 = 12;
+      break;
+    case Format::kI:
+      ins.rd = 5;
+      ins.rs1 = 9;
+      ins.imm = -123;
+      break;
+    case Format::kJ:
+      ins.imm = 4567;
+      break;
+    case Format::kNone:
+      break;
+  }
+  auto decoded = Decode(Encode(ins));
+  ASSERT_TRUE(decoded.ok()) << info.mnemonic;
+  EXPECT_EQ(decoded.value(), ins) << info.mnemonic;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeDecodeRoundTrip,
+                         ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace goofi::isa

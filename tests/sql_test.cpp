@@ -1,0 +1,332 @@
+// Tests for the SQL dialect: tokenizer, parser and executor.
+#include <gtest/gtest.h>
+
+#include "db/sql_executor.hpp"
+#include "db/sql_parser.hpp"
+#include "db/sql_tokenizer.hpp"
+
+namespace goofi::db {
+namespace {
+
+// --- tokenizer -----------------------------------------------------------
+
+TEST(SqlTokenizerTest, BasicKinds) {
+  auto tokens = Tokenize("SELECT a, 42, 3.5, 'text', 0x10 <= >= != <>").ValueOrDie();
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[3].int_value, 42);
+  EXPECT_DOUBLE_EQ(tokens[5].real_value, 3.5);
+  EXPECT_EQ(tokens[7].text, "text");
+  EXPECT_EQ(tokens[9].int_value, 16);
+}
+
+TEST(SqlTokenizerTest, StringEscapes) {
+  auto tokens = Tokenize("'it''s'").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(SqlTokenizerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- comment here\n 1").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(SqlTokenizerTest, NotEqualsNormalized) {
+  auto tokens = Tokenize("a <> b").ValueOrDie();
+  EXPECT_TRUE(tokens[1].IsSymbol("!="));
+}
+
+TEST(SqlTokenizerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(SqlTokenizerTest, RejectsStrayCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+}
+
+// --- parser ------------------------------------------------------------------
+
+TEST(SqlParserTest, ParsesFullSelect) {
+  auto stmt = ParseSql(
+                  "SELECT a, b AS bee, COUNT(*) FROM t JOIN u ON t.id = u.id "
+                  "WHERE a > 1 AND b != 'x' GROUP BY a ORDER BY a DESC LIMIT 5;")
+                  .ValueOrDie();
+  const auto& select = std::get<SelectStmt>(stmt);
+  EXPECT_EQ(select.items.size(), 3u);
+  EXPECT_EQ(select.items[1].alias, "bee");
+  EXPECT_EQ(select.joins.size(), 1u);
+  ASSERT_TRUE(select.where != nullptr);
+  EXPECT_EQ(select.group_by.size(), 1u);
+  EXPECT_EQ(select.order_by.size(), 1u);
+  EXPECT_TRUE(select.order_by[0].descending);
+  EXPECT_EQ(select.limit, 5);
+}
+
+TEST(SqlParserTest, ParsesInsertMultiRow) {
+  auto stmt =
+      ParseSql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").ValueOrDie();
+  const auto& insert = std::get<InsertStmt>(stmt);
+  EXPECT_EQ(insert.columns.size(), 2u);
+  EXPECT_EQ(insert.rows.size(), 2u);
+}
+
+TEST(SqlParserTest, ParsesCreateTableWithConstraints) {
+  auto stmt = ParseSql(
+                  "CREATE TABLE c (id INTEGER NOT NULL PRIMARY KEY, p TEXT, "
+                  "FOREIGN KEY (p) REFERENCES parent (name))")
+                  .ValueOrDie();
+  const auto& create = std::get<CreateTableStmt>(stmt);
+  EXPECT_EQ(create.schema.table_name(), "c");
+  EXPECT_EQ(create.schema.primary_key(), std::vector<std::string>{"id"});
+  ASSERT_EQ(create.schema.foreign_keys().size(), 1u);
+  EXPECT_EQ(create.schema.foreign_keys()[0].ref_table, "parent");
+}
+
+TEST(SqlParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseSql("SELECT 1 FROM t extra garbage here").ok());
+}
+
+TEST(SqlParserTest, RejectsUnknownFunction) {
+  EXPECT_FALSE(ParseSql("SELECT NOPE(a) FROM t").ok());
+}
+
+TEST(SqlParserTest, OperatorPrecedence) {
+  // 1 + 2 * 3 = 7, not 9.
+  auto stmt = ParseSql("SELECT 1 + 2 * 3 FROM t").ValueOrDie();
+  const auto& select = std::get<SelectStmt>(stmt);
+  const Expr& e = *select.items[0].expr;
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.args[1]->op, "*");
+}
+
+// --- executor -------------------------------------------------------------------
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE exp (name TEXT PRIMARY KEY, outcome TEXT, cycles INTEGER, "
+         "score REAL)");
+    Exec("INSERT INTO exp VALUES ('e1', 'detected', 100, 0.5)");
+    Exec("INSERT INTO exp VALUES ('e2', 'escaped', 250, 1.5)");
+    Exec("INSERT INTO exp VALUES ('e3', 'detected', 50, NULL)");
+    Exec("INSERT INTO exp VALUES ('e4', 'overwritten', 70, 2.0)");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto result = ExecuteSql(db_, sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlExecTest, SelectStar) {
+  const auto result = Exec("SELECT * FROM exp");
+  EXPECT_EQ(result.columns.size(), 4u);
+  EXPECT_EQ(result.rows.size(), 4u);
+}
+
+TEST_F(SqlExecTest, WhereFilters) {
+  const auto result = Exec("SELECT name FROM exp WHERE outcome = 'detected'");
+  EXPECT_EQ(result.rows.size(), 2u);
+}
+
+TEST_F(SqlExecTest, WhereWithAndOrNot) {
+  EXPECT_EQ(Exec("SELECT name FROM exp WHERE outcome = 'detected' AND cycles > 60")
+                .rows.size(),
+            1u);
+  EXPECT_EQ(Exec("SELECT name FROM exp WHERE cycles < 60 OR cycles > 200").rows.size(),
+            2u);
+  EXPECT_EQ(Exec("SELECT name FROM exp WHERE NOT outcome = 'detected'").rows.size(),
+            2u);
+}
+
+TEST_F(SqlExecTest, ArithmeticInProjection) {
+  const auto result = Exec("SELECT cycles * 2 + 1 FROM exp WHERE name = 'e1'");
+  EXPECT_EQ(result.rows[0][0].as_int(), 201);
+}
+
+TEST_F(SqlExecTest, IntegerDivisionAndModulo) {
+  const auto result = Exec("SELECT 7 / 2, 7 % 2, 7.0 / 2 FROM exp LIMIT 1");
+  EXPECT_EQ(result.rows[0][0].as_int(), 3);
+  EXPECT_EQ(result.rows[0][1].as_int(), 1);
+  EXPECT_DOUBLE_EQ(result.rows[0][2].as_real(), 3.5);
+}
+
+TEST_F(SqlExecTest, DivisionByZeroYieldsNull) {
+  const auto result = Exec("SELECT 1 / 0 FROM exp LIMIT 1");
+  EXPECT_TRUE(result.rows[0][0].is_null());
+}
+
+TEST_F(SqlExecTest, TextConcatenation) {
+  const auto result = Exec("SELECT name + '!' FROM exp WHERE name = 'e1'");
+  EXPECT_EQ(result.rows[0][0].as_text(), "e1!");
+}
+
+TEST_F(SqlExecTest, IsNullAndIsNotNull) {
+  EXPECT_EQ(Exec("SELECT name FROM exp WHERE score IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Exec("SELECT name FROM exp WHERE score IS NOT NULL").rows.size(), 3u);
+}
+
+TEST_F(SqlExecTest, NullComparisonIsNeverTrue) {
+  EXPECT_EQ(Exec("SELECT name FROM exp WHERE score > 0").rows.size(), 3u);
+  EXPECT_EQ(Exec("SELECT name FROM exp WHERE score = NULL").rows.size(), 0u);
+}
+
+TEST_F(SqlExecTest, OrderByAscDesc) {
+  const auto asc = Exec("SELECT name FROM exp ORDER BY cycles");
+  EXPECT_EQ(asc.rows[0][0].as_text(), "e3");
+  const auto desc = Exec("SELECT name FROM exp ORDER BY cycles DESC");
+  EXPECT_EQ(desc.rows[0][0].as_text(), "e2");
+}
+
+TEST_F(SqlExecTest, OrderByMultipleKeysStable) {
+  const auto result = Exec("SELECT name FROM exp ORDER BY outcome, cycles DESC");
+  // detected(e1 100, e3 50) then escaped then overwritten.
+  EXPECT_EQ(result.rows[0][0].as_text(), "e1");
+  EXPECT_EQ(result.rows[1][0].as_text(), "e3");
+}
+
+TEST_F(SqlExecTest, Limit) {
+  EXPECT_EQ(Exec("SELECT name FROM exp ORDER BY name LIMIT 2").rows.size(), 2u);
+  EXPECT_EQ(Exec("SELECT name FROM exp LIMIT 0").rows.size(), 0u);
+}
+
+TEST_F(SqlExecTest, AggregatesWholeTable) {
+  const auto result = Exec(
+      "SELECT COUNT(*), COUNT(score), SUM(cycles), MIN(cycles), MAX(cycles), "
+      "AVG(cycles) FROM exp");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 4);
+  EXPECT_EQ(result.rows[0][1].as_int(), 3);  // COUNT skips NULL
+  EXPECT_EQ(result.rows[0][2].as_int(), 470);
+  EXPECT_EQ(result.rows[0][3].as_int(), 50);
+  EXPECT_EQ(result.rows[0][4].as_int(), 250);
+  EXPECT_DOUBLE_EQ(result.rows[0][5].as_real(), 117.5);
+}
+
+TEST_F(SqlExecTest, GroupByWithHavingStyleFilter) {
+  const auto result = Exec(
+      "SELECT outcome, COUNT(*) AS n FROM exp GROUP BY outcome ORDER BY outcome");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0][0].as_text(), "detected");
+  EXPECT_EQ(result.rows[0][1].as_int(), 2);
+}
+
+TEST_F(SqlExecTest, AggregateOverEmptyGroupIsNull) {
+  const auto result = Exec("SELECT SUM(cycles) FROM exp WHERE cycles > 9999");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0][0].is_null());
+}
+
+TEST_F(SqlExecTest, ScalarFunctions) {
+  const auto result =
+      Exec("SELECT ABS(0 - cycles), LENGTH(name) FROM exp WHERE name = 'e1'");
+  EXPECT_EQ(result.rows[0][0].as_int(), 100);
+  EXPECT_EQ(result.rows[0][1].as_int(), 2);
+}
+
+TEST_F(SqlExecTest, JoinWithQualifiedColumns) {
+  Exec("CREATE TABLE camp (cname TEXT PRIMARY KEY, wl TEXT)");
+  Exec("INSERT INTO camp VALUES ('c1', 'sort')");
+  Exec("CREATE TABLE run (rname TEXT PRIMARY KEY, cname TEXT)");
+  Exec("INSERT INTO run VALUES ('e1', 'c1'), ('e2', 'c1')");
+  const auto result = Exec(
+      "SELECT run.rname, camp.wl FROM run JOIN camp ON run.cname = camp.cname "
+      "ORDER BY run.rname");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][1].as_text(), "sort");
+}
+
+TEST_F(SqlExecTest, JoinWithAliases) {
+  Exec("CREATE TABLE pair (a INTEGER, b INTEGER)");
+  Exec("INSERT INTO pair VALUES (1, 2), (2, 3)");
+  const auto result = Exec(
+      "SELECT x.a, y.b FROM pair x JOIN pair y ON x.b = y.a");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_int(), 1);
+  EXPECT_EQ(result.rows[0][1].as_int(), 3);
+}
+
+TEST_F(SqlExecTest, AmbiguousColumnRejected) {
+  Exec("CREATE TABLE pair (a INTEGER, b INTEGER)");
+  Exec("INSERT INTO pair VALUES (1, 2)");
+  auto result = ExecuteSql(db_, "SELECT a FROM pair x JOIN pair y ON x.a = y.a");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SqlExecTest, UpdateWithWhere) {
+  const auto result =
+      Exec("UPDATE exp SET outcome = 'latent', cycles = cycles + 1 "
+           "WHERE name = 'e4'");
+  EXPECT_EQ(result.affected, 1u);
+  const auto check = Exec("SELECT outcome, cycles FROM exp WHERE name = 'e4'");
+  EXPECT_EQ(check.rows[0][0].as_text(), "latent");
+  EXPECT_EQ(check.rows[0][1].as_int(), 71);
+}
+
+TEST_F(SqlExecTest, DeleteWithWhere) {
+  const auto result = Exec("DELETE FROM exp WHERE cycles < 80");
+  EXPECT_EQ(result.affected, 2u);
+  EXPECT_EQ(Exec("SELECT * FROM exp").rows.size(), 2u);
+}
+
+TEST_F(SqlExecTest, InsertColumnSubsetFillsNull) {
+  Exec("CREATE TABLE partial (a INTEGER, b TEXT)");
+  Exec("INSERT INTO partial (a) VALUES (5)");
+  const auto result = Exec("SELECT b FROM partial");
+  EXPECT_TRUE(result.rows[0][0].is_null());
+}
+
+TEST_F(SqlExecTest, InsertEnforcesConstraints) {
+  auto dup = ExecuteSql(db_, "INSERT INTO exp VALUES ('e1', 'x', 0, 0)");
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST_F(SqlExecTest, UnknownTableAndColumnErrors) {
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT * FROM missing").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT missing_col FROM exp").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "UPDATE exp SET nope = 1").ok());
+}
+
+TEST_F(SqlExecTest, CreateAndDropTableViaSql) {
+  Exec("CREATE TABLE tmp (x INTEGER)");
+  EXPECT_TRUE(db_.HasTable("tmp"));
+  Exec("DROP TABLE tmp");
+  EXPECT_FALSE(db_.HasTable("tmp"));
+}
+
+TEST_F(SqlExecTest, QueryResultToStringContainsHeaderAndRows) {
+  const auto result = Exec("SELECT name FROM exp ORDER BY name LIMIT 1");
+  const std::string text = result.ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("e1"), std::string::npos);
+}
+
+TEST_F(SqlExecTest, ColumnIndexLookup) {
+  const auto result = Exec("SELECT name, cycles FROM exp LIMIT 1");
+  EXPECT_EQ(result.ColumnIndex("CYCLES"), 1u);
+  EXPECT_FALSE(result.ColumnIndex("zzz").has_value());
+}
+
+// Parameterized sweep: COUNT(*) with WHERE cycles >= threshold must be
+// monotonically non-increasing in the threshold.
+class SqlThresholdSweep : public SqlExecTest,
+                          public ::testing::WithParamInterface<int> {};
+
+TEST_P(SqlThresholdSweep, CountMonotone) {
+  const int threshold = GetParam();
+  const auto at = Exec("SELECT COUNT(*) FROM exp WHERE cycles >= " +
+                       std::to_string(threshold));
+  const auto above = Exec("SELECT COUNT(*) FROM exp WHERE cycles >= " +
+                          std::to_string(threshold + 10));
+  EXPECT_GE(at.rows[0][0].as_int(), above.rows[0][0].as_int());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SqlThresholdSweep,
+                         ::testing::Values(0, 50, 60, 70, 100, 240, 260));
+
+}  // namespace
+}  // namespace goofi::db

@@ -1,0 +1,183 @@
+// Tests for SwifiSimTarget — the Framework-derived second target system —
+// and for the Framework template's fail-loudly placeholders (paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include "core/goofi.hpp"
+#include "db/database.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::core {
+namespace {
+
+class SwifiTargetTest : public ::testing::Test {
+ protected:
+  SwifiTargetTest() : store_(&db_), target_(&store_) {
+    EXPECT_TRUE(store_.PutTargetSystem(SwifiSimTarget::Describe()).ok());
+  }
+
+  CampaignData Campaign(const std::string& name) {
+    CampaignData campaign;
+    campaign.name = name;
+    campaign.target_name = SwifiSimTarget::kTargetName;
+    campaign.technique = Technique::kSwifiPreRuntime;
+    campaign.workload = "matmul";
+    campaign.locations = {{"memory.text", ""}};
+    campaign.num_experiments = 25;
+    campaign.inject_min_instr = 0;
+    campaign.inject_max_instr = 0;
+    campaign.timeout_cycles = 200000;
+    return campaign;
+  }
+
+  db::Database db_;
+  CampaignStore store_;
+  SwifiSimTarget target_;
+};
+
+TEST_F(SwifiTargetTest, PreRuntimeSwifiCampaignRuns) {
+  ASSERT_TRUE(store_.PutCampaign(Campaign("pre")).ok());
+  ASSERT_TRUE(target_.FaultInjectorSwifiPreRuntime("pre").ok());
+  const auto report = AnalyzeCampaign(store_, "pre").ValueOrDie();
+  EXPECT_EQ(report.total, 25);
+  EXPECT_GT(report.EffectivenessRatio(), 0.3)
+      << "text faults on matmul must mostly matter";
+}
+
+TEST_F(SwifiTargetTest, ReferenceRunProducesCorrectResult) {
+  ASSERT_TRUE(store_.PutCampaign(Campaign("ref")).ok());
+  ASSERT_TRUE(target_.FaultInjectorSwifiPreRuntime("ref").ok());
+  const auto reference = store_.GetExperiment("ref/ref").ValueOrDie();
+  EXPECT_TRUE(reference.state.halted);
+  ASSERT_EQ(reference.state.outputs.size(), 1u);
+  EXPECT_EQ(reference.state.outputs[0], 621u);
+  EXPECT_TRUE(reference.state.scan_images.contains("sim.regfile"))
+      << "simulator observes architectural state directly";
+}
+
+TEST_F(SwifiTargetTest, RuntimeSwifiWorksThroughInstructionBreakpoint) {
+  CampaignData campaign = Campaign("rt");
+  campaign.technique = Technique::kSwifiRuntime;
+  campaign.locations = {{"memory.data", ""}};
+  campaign.inject_min_instr = 10;
+  campaign.inject_max_instr = 500;
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  ASSERT_TRUE(target_.FaultInjectorSwifiRuntime("rt").ok());
+  EXPECT_EQ(AnalyzeCampaign(store_, "rt").ValueOrDie().total, 25);
+}
+
+TEST_F(SwifiTargetTest, ScifiCampaignFailsWithFrameworkDiagnostic) {
+  CampaignData campaign = Campaign("scifi");
+  campaign.technique = Technique::kScifi;
+  campaign.locations = {{"memory.text", ""}};
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  const util::Status st = target_.FaultInjectorScifi("scifi");
+  ASSERT_FALSE(st.ok());
+  // The failure names the missing building block (Fig. 3's "Write your code
+  // here!" placeholder made type-safe).
+  EXPECT_NE(st.message().find("InjectFault"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(st.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SwifiTargetTest, ScanSelectorsRejected) {
+  CampaignData campaign = Campaign("badsel");
+  campaign.locations = {{"internal_regfile", ""}};
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  EXPECT_FALSE(target_.FaultInjectorSwifiPreRuntime("badsel").ok());
+}
+
+TEST_F(SwifiTargetTest, ControlWorkloadWithEnvironmentRuns) {
+  CampaignData campaign = Campaign("ctrl");
+  campaign.workload = "cruise_pi";
+  campaign.technique = Technique::kSwifiRuntime;
+  campaign.locations = {{"memory.data", ""}};
+  campaign.max_iterations = 120;
+  campaign.timeout_cycles = 500000;
+  campaign.inject_min_instr = 10;
+  campaign.inject_max_instr = 1500;
+  campaign.num_experiments = 10;
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  ASSERT_TRUE(target_.FaultInjectorSwifiRuntime("ctrl").ok());
+  const auto reference = store_.GetExperiment("ctrl/ref").ValueOrDie();
+  EXPECT_EQ(reference.state.iterations, 120);
+  EXPECT_FALSE(reference.state.env_failed);
+}
+
+TEST_F(SwifiTargetTest, DeterministicAcrossTargetInstances) {
+  ASSERT_TRUE(store_.PutCampaign(Campaign("det1")).ok());
+  ASSERT_TRUE(target_.FaultInjectorSwifiPreRuntime("det1").ok());
+
+  SwifiSimTarget fresh(&store_);
+  CampaignData campaign = Campaign("det2");
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  ASSERT_TRUE(fresh.FaultInjectorSwifiPreRuntime("det2").ok());
+
+  for (int i = 0; i < 25; ++i) {
+    const auto a = store_.GetExperiment(util::Format("det1/e%04d", i)).ValueOrDie();
+    const auto b = store_.GetExperiment(util::Format("det2/e%04d", i)).ValueOrDie();
+    EXPECT_EQ(a.experiment_data, b.experiment_data);
+    EXPECT_EQ(a.state.Serialize(), b.state.Serialize());
+  }
+}
+
+// Cross-target comparison: the same SWIFI campaign on the scan-capable
+// ThorRdTarget and on SwifiSimTarget must agree on workload-level outcomes
+// (both run the same TRD32 core; only the access path differs).
+TEST_F(SwifiTargetTest, AgreesWithThorTargetOnSwifiOutcomes) {
+  ASSERT_TRUE(store_.PutCampaign(Campaign("simside")).ok());
+  ASSERT_TRUE(target_.FaultInjectorSwifiPreRuntime("simside").ok());
+
+  testcard::SimTestCard card;
+  ThorRdTarget thor(&store_, &card);
+  ASSERT_TRUE(store_
+                  .PutTargetSystem(ThorRdTarget::DescribeTarget(
+                      card, ThorRdTarget::kTargetName))
+                  .ok());
+  CampaignData campaign = Campaign("thorside");
+  campaign.target_name = ThorRdTarget::kTargetName;
+  ASSERT_TRUE(store_.PutCampaign(campaign).ok());
+  ASSERT_TRUE(thor.FaultInjectorSwifiPreRuntime("thorside").ok());
+
+  int agree = 0;
+  for (int i = 0; i < 25; ++i) {
+    const auto a =
+        store_.GetExperiment(util::Format("simside/e%04d", i)).ValueOrDie();
+    const auto b =
+        store_.GetExperiment(util::Format("thorside/e%04d", i)).ValueOrDie();
+    // Same seed, same fault space -> identical fault lists.
+    EXPECT_EQ(a.experiment_data, b.experiment_data) << i;
+    if (a.state.detected == b.state.detected &&
+        a.state.outputs == b.state.outputs) {
+      ++agree;
+    }
+  }
+  EXPECT_EQ(agree, 25) << "identical cores must behave identically";
+}
+
+TEST(FrameworkTest, AllPlaceholdersFailLoudly) {
+  db::Database db;
+  CampaignStore store(&db);
+  // A FrameworkTarget with nothing overridden: every campaign technique
+  // fails at its first building block, naming it.
+  class Bare : public FrameworkTarget {
+   public:
+    using FrameworkTarget::FrameworkTarget;
+  };
+  Bare bare(&store);
+  TargetSystemData target;
+  target.name = "bare";
+  ASSERT_TRUE(store.PutTargetSystem(target).ok());
+  CampaignData campaign;
+  campaign.name = "bare_c";
+  campaign.target_name = "bare";
+  campaign.workload = "bubblesort";
+  campaign.locations = {{"internal_regfile", ""}};
+  ASSERT_TRUE(store.PutCampaign(campaign).ok());
+  const util::Status st = bare.FaultInjectorScifi("bare_c");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("EnumerateFaultSpace"), std::string::npos)
+      << "the first block the driver touches is the fault-space enumeration";
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -1,0 +1,182 @@
+// Tests for the simulated test card: the host<->target adapter that routes
+// all scan access through the TAP controller.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi::testcard {
+namespace {
+
+isa::AssembledProgram Program(const std::string& source) {
+  return isa::Assemble(source).ValueOrDie();
+}
+
+class TestCardTest : public ::testing::Test {
+ protected:
+  SimTestCard card_;
+};
+
+TEST_F(TestCardTest, InitPowersDownCleanly) {
+  ASSERT_TRUE(card_.Init().ok());
+  EXPECT_FALSE(card_.cpu().halted());
+  EXPECT_EQ(card_.cpu().cycles(), 0u);
+}
+
+TEST_F(TestCardTest, LoadWorkloadAndRunToCompletion) {
+  ASSERT_TRUE(card_.Init().ok());
+  ASSERT_TRUE(card_.LoadWorkload(Program("addi r1, r0, 3\nhalt\n")).ok());
+  ASSERT_TRUE(card_.ResetTarget().ok());
+  const auto result = card_.Run(0);
+  EXPECT_EQ(result.outcome, cpu::StepOutcome::kHalted);
+  EXPECT_EQ(card_.cpu().reg(1), 3u);
+}
+
+TEST_F(TestCardTest, EtextSplitsTextAndData) {
+  ASSERT_TRUE(card_.Init().ok());
+  ASSERT_TRUE(card_.LoadWorkload(Program(
+                      "_start:\n"
+                      "  li r1, buf\n"
+                      "  stw r1, [r1]\n"
+                      "  halt\n"
+                      "_etext:\n"
+                      "buf:\n"
+                      "  .word 0\n"))
+                  .ok());
+  ASSERT_TRUE(card_.ResetTarget().ok());
+  EXPECT_EQ(card_.Run(0).outcome, cpu::StepOutcome::kHalted)
+      << "data segment must be writable";
+}
+
+TEST_F(TestCardTest, HostMemoryRoundTrip) {
+  ASSERT_TRUE(card_.Init().ok());
+  ASSERT_TRUE(card_.WriteMemory(0x1000, {1, 2, 3}).ok());
+  const auto words = card_.ReadMemory(0x1000, 3).ValueOrDie();
+  EXPECT_EQ(words, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_FALSE(card_.ReadMemory(0xFFFFFFF0, 8).ok());
+  EXPECT_FALSE(card_.WriteMemory(3, {1}).ok());
+}
+
+TEST_F(TestCardTest, ReadScanChainReturnsCpuState) {
+  ASSERT_TRUE(card_.Init().ok());
+  card_.mutable_cpu().set_reg(4, 0xDEAD);
+  const auto image = card_.ReadScanChain("internal_regfile", true).ValueOrDie();
+  EXPECT_EQ(image.ExtractWord(4 * 32, 32), 0xDEADu);
+}
+
+TEST_F(TestCardTest, RestoringReadPreservesState) {
+  ASSERT_TRUE(card_.Init().ok());
+  card_.mutable_cpu().set_reg(9, 0x1234);
+  (void)card_.ReadScanChain("internal_regfile", true).ValueOrDie();
+  EXPECT_EQ(card_.cpu().reg(9), 0x1234u);
+}
+
+TEST_F(TestCardTest, DestructiveReadZeroesWritableCells) {
+  ASSERT_TRUE(card_.Init().ok());
+  card_.mutable_cpu().set_reg(9, 0x1234);
+  (void)card_.ReadScanChain("internal_regfile", false).ValueOrDie();
+  // The read pass shifted zeros in; the follow-up WriteScanChain in the
+  // SCIFI sequence is what restores state.
+  EXPECT_EQ(card_.cpu().reg(9), 0u);
+}
+
+TEST_F(TestCardTest, ReadModifyWriteInjectsFault) {
+  ASSERT_TRUE(card_.Init().ok());
+  card_.mutable_cpu().set_reg(5, 0b1000);
+  auto image = card_.ReadScanChain("internal_regfile", false).ValueOrDie();
+  image.Flip(5 * 32 + 0);  // flip bit 0 of r5
+  ASSERT_TRUE(card_.WriteScanChain("internal_regfile", image).ok());
+  EXPECT_EQ(card_.cpu().reg(5), 0b1001u);
+}
+
+TEST_F(TestCardTest, UnknownChainErrors) {
+  ASSERT_TRUE(card_.Init().ok());
+  EXPECT_FALSE(card_.ReadScanChain("bogus", true).ok());
+  EXPECT_FALSE(card_.WriteScanChain("bogus", util::BitVec(8)).ok());
+}
+
+TEST_F(TestCardTest, WriteScanChainChecksImageSize) {
+  ASSERT_TRUE(card_.Init().ok());
+  EXPECT_FALSE(card_.WriteScanChain("internal_regfile", util::BitVec(7)).ok());
+}
+
+TEST_F(TestCardTest, TriggersRunThroughDebugUnit) {
+  ASSERT_TRUE(card_.Init().ok());
+  ASSERT_TRUE(card_.LoadWorkload(Program(
+                      "loop:\n"
+                      "  jmp loop\n"))
+                  .ok());
+  ASSERT_TRUE(card_.ResetTarget().ok());
+  scan::Trigger trigger;
+  trigger.kind = scan::TriggerKind::kInstrCount;
+  trigger.count = 5;
+  const int index = card_.AddTrigger(trigger);
+  const auto result = card_.Run(0);
+  EXPECT_EQ(result.fired_trigger, index);
+  card_.ClearTriggers();
+  const auto timeout = card_.Run(200);
+  EXPECT_TRUE(timeout.timed_out);
+}
+
+TEST_F(TestCardTest, SingleStepExecutesOneInstruction) {
+  ASSERT_TRUE(card_.Init().ok());
+  ASSERT_TRUE(card_.LoadWorkload(Program("addi r1, r0, 1\nhalt\n")).ok());
+  ASSERT_TRUE(card_.ResetTarget().ok());
+  EXPECT_EQ(card_.SingleStep(), cpu::StepOutcome::kOk);
+  EXPECT_EQ(card_.cpu().instructions_retired(), 1u);
+  EXPECT_EQ(card_.SingleStep(), cpu::StepOutcome::kHalted);
+}
+
+TEST_F(TestCardTest, LinkTimeGrowsWithScanTraffic) {
+  ASSERT_TRUE(card_.Init().ok());
+  const double before = card_.link_time_us();
+  (void)card_.ReadScanChain("internal_regfile", true).ValueOrDie();
+  const double after_small = card_.link_time_us();
+  EXPECT_GT(after_small, before);
+  (void)card_.ReadScanChain("internal_icache", true).ValueOrDie();
+  const double after_large = card_.link_time_us();
+  // The icache chain is much longer than the regfile chain.
+  EXPECT_GT(after_large - after_small, (after_small - before) * 2);
+}
+
+TEST_F(TestCardTest, WorkloadEntryFollowsStartSymbol) {
+  ASSERT_TRUE(card_.Init().ok());
+  ASSERT_TRUE(card_.LoadWorkload(Program(
+                      ".word 0\n"
+                      "_start:\n"
+                      "  halt\n"))
+                  .ok());
+  EXPECT_EQ(card_.workload_entry(), 4u);
+}
+
+TEST(TestCardNoiseTest, BitErrorsCorruptScanTraffic) {
+  LinkConfig link;
+  link.bit_error_rate = 0.02;
+  SimTestCard card(cpu::CpuConfig(), link);
+  ASSERT_TRUE(card.Init().ok());
+  for (int r = 1; r < 16; ++r) {
+    card.mutable_cpu().set_reg(r, 0xAAAA5555u);
+  }
+  const auto image = card.ReadScanChain("internal_regfile", false).ValueOrDie();
+  // With a 2% BER over 512 bits, corruption is overwhelmingly likely.
+  util::BitVec expected(16 * 32);
+  for (int r = 1; r < 16; ++r) {
+    expected.DepositWord(static_cast<size_t>(r) * 32, 0xAAAA5555u, 32);
+  }
+  EXPECT_NE(image, expected);
+}
+
+TEST(TestCardNoiseTest, CleanLinkIsExact) {
+  SimTestCard card;  // default: BER 0
+  ASSERT_TRUE(card.Init().ok());
+  for (int r = 1; r < 16; ++r) {
+    card.mutable_cpu().set_reg(r, 0x0F0F0F0Fu);
+  }
+  const auto image = card.ReadScanChain("internal_regfile", true).ValueOrDie();
+  for (int r = 1; r < 16; ++r) {
+    EXPECT_EQ(image.ExtractWord(static_cast<size_t>(r) * 32, 32), 0x0F0F0F0Fu);
+  }
+}
+
+}  // namespace
+}  // namespace goofi::testcard

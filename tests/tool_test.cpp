@@ -1,0 +1,239 @@
+// Tests for the GOOFI command shell (the GUI-equivalent front end).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/goofi.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+#include "tool/shell.hpp"
+
+namespace goofi::tool {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  ShellTest()
+      : store_(&db_), target_(&store_, &card_), shell_(&db_, &store_) {
+    shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_);
+    EXPECT_TRUE(
+        Run(std::string("target describe ") + core::ThorRdTarget::kTargetName)
+            .ok());
+  }
+
+  util::Result<std::string> Run(const std::string& line) {
+    return shell_.Execute(line);
+  }
+
+  std::string MustRun(const std::string& line) {
+    auto result = Run(line);
+    EXPECT_TRUE(result.ok()) << line << ": " << result.status().ToString();
+    return result.ok() ? result.value() : "";
+  }
+
+  db::Database db_;
+  core::CampaignStore store_;
+  testcard::SimTestCard card_;
+  core::ThorRdTarget target_;
+  Shell shell_;
+};
+
+TEST_F(ShellTest, HelpListsCommands) {
+  const std::string help = MustRun("help");
+  for (const char* cmd : {"campaign set", "run", "analyze", "sql", "propagation"}) {
+    EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST_F(ShellTest, BlankLinesAndCommentsAreNoOps) {
+  EXPECT_EQ(MustRun(""), "");
+  EXPECT_EQ(MustRun("   "), "");
+  EXPECT_EQ(MustRun("# a comment"), "");
+}
+
+TEST_F(ShellTest, UnknownCommandErrors) {
+  EXPECT_FALSE(Run("frobnicate").ok());
+}
+
+TEST_F(ShellTest, ListTargetsWorkloadsChains) {
+  EXPECT_NE(MustRun("list targets").find(core::ThorRdTarget::kTargetName),
+            std::string::npos);
+  EXPECT_NE(MustRun("list workloads").find("bubblesort"), std::string::npos);
+  const std::string chains =
+      MustRun(std::string("list chains ") + core::ThorRdTarget::kTargetName);
+  EXPECT_NE(chains.find("internal_regfile"), std::string::npos);
+  EXPECT_NE(chains.find("512 bits"), std::string::npos);
+  EXPECT_FALSE(Run("list chains nope").ok());
+  EXPECT_FALSE(Run("list nonsense").ok());
+}
+
+TEST_F(ShellTest, CampaignSetParsesAllKeys) {
+  MustRun(
+      "campaign set c1 workload=matmul technique=swifi_runtime "
+      "model=permanent_stuckat experiments=42 faults=2 window=5:500 "
+      "locations=memory.data,memory.text timeout=9999 iterations=77 seed=3 "
+      "logmode=detail observe=boundary burst=5:111");
+  const auto campaign = store_.GetCampaign("c1").ValueOrDie();
+  EXPECT_EQ(campaign.workload, "matmul");
+  EXPECT_EQ(campaign.technique, core::Technique::kSwifiRuntime);
+  EXPECT_EQ(campaign.fault_model, core::FaultModelKind::kPermanentStuckAt);
+  EXPECT_EQ(campaign.num_experiments, 42);
+  EXPECT_EQ(campaign.faults_per_experiment, 2);
+  EXPECT_EQ(campaign.inject_min_instr, 5u);
+  EXPECT_EQ(campaign.inject_max_instr, 500u);
+  EXPECT_EQ(campaign.locations.size(), 2u);
+  EXPECT_EQ(campaign.timeout_cycles, 9999u);
+  EXPECT_EQ(campaign.max_iterations, 77);
+  EXPECT_EQ(campaign.seed, 3u);
+  EXPECT_EQ(campaign.log_mode, core::LogMode::kDetail);
+  EXPECT_EQ(campaign.observe_chains, std::vector<std::string>{"boundary"});
+  EXPECT_EQ(campaign.burst_length, 5u);
+  EXPECT_EQ(campaign.burst_spacing, 111u);
+  // Default target auto-filled (single registered target).
+  EXPECT_EQ(campaign.target_name, core::ThorRdTarget::kTargetName);
+}
+
+TEST_F(ShellTest, CampaignSetUpdatesExisting) {
+  MustRun("campaign set c1 workload=matmul experiments=10");
+  MustRun("campaign set c1 experiments=20");
+  const auto campaign = store_.GetCampaign("c1").ValueOrDie();
+  EXPECT_EQ(campaign.workload, "matmul") << "earlier keys preserved";
+  EXPECT_EQ(campaign.num_experiments, 20);
+}
+
+TEST_F(ShellTest, CampaignSetRejectsBadInput) {
+  EXPECT_FALSE(Run("campaign set c1 experiments=abc").ok());
+  EXPECT_FALSE(Run("campaign set c1 nonsense=1").ok());
+  EXPECT_FALSE(Run("campaign set c1 technique=warp").ok());
+  EXPECT_FALSE(Run("campaign set c1 window=17").ok());
+  EXPECT_FALSE(Run("campaign set c1 noequalsign").ok());
+}
+
+TEST_F(ShellTest, CampaignShowRendersStoredData) {
+  MustRun("campaign set c1 workload=checksum experiments=5");
+  const std::string shown = MustRun("campaign show c1");
+  EXPECT_NE(shown.find("checksum"), std::string::npos);
+  EXPECT_NE(shown.find("experiments: 5"), std::string::npos);
+  EXPECT_FALSE(Run("campaign show ghost").ok());
+}
+
+TEST_F(ShellTest, RunAndAnalyzeEndToEnd) {
+  MustRun(
+      "campaign set mini workload=fibonacci locations=internal_regfile "
+      "experiments=15 window=1:80 timeout=50000");
+  const std::string run_output = MustRun("run mini");
+  EXPECT_NE(run_output.find("15 experiments run"), std::string::npos);
+  const std::string analysis = MustRun("analyze mini");
+  EXPECT_NE(analysis.find("error coverage"), std::string::npos);
+  EXPECT_NE(analysis.find("15 experiments"), std::string::npos);
+}
+
+TEST_F(ShellTest, RunUnknownCampaignOrTargetFails) {
+  EXPECT_FALSE(Run("run ghost").ok());
+  // A target that exists in the database but is not registered with the
+  // shell: defining the campaign works (FK satisfied), running it fails.
+  MustRun("sql INSERT INTO TargetSystemData VALUES ('unregistered', '', '')");
+  MustRun("campaign set orphan workload=fibonacci target=unregistered");
+  EXPECT_FALSE(Run("run orphan").ok());
+}
+
+TEST_F(ShellTest, SqlPassesThrough) {
+  const std::string result =
+      MustRun("sql SELECT COUNT(*) AS n FROM CampaignData");
+  EXPECT_NE(result.find("n"), std::string::npos);
+  EXPECT_FALSE(Run("sql SELEKT broken").ok());
+}
+
+TEST_F(ShellTest, SaveAndLoadRoundTrip) {
+  MustRun("campaign set persisted workload=matmul experiments=3");
+  const std::string path = testing::TempDir() + "shell_roundtrip.db";
+  MustRun("save " + path);
+  // New shell over a fresh database, load the file.
+  db::Database db2;
+  core::CampaignStore store2(&db2);
+  Shell shell2(&db2, &store2);
+  auto loaded = shell2.Execute("load " + path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(store2.GetCampaign("persisted").ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ShellTest, RerunDetailAndPropagationWorkflow) {
+  MustRun(
+      "campaign set hunt workload=fibonacci locations=internal_regfile "
+      "experiments=8 window=1:60 timeout=50000");
+  MustRun("run hunt");
+  MustRun("rerun-detail hunt/e0002");
+  MustRun("rerun-detail hunt/ref");
+  const std::string report = MustRun("propagation hunt/e0002");
+  EXPECT_NE(report.find("steps compared"), std::string::npos);
+}
+
+TEST_F(ShellTest, PropagationWithoutTracesFailsCleanly) {
+  MustRun(
+      "campaign set p workload=fibonacci locations=internal_regfile "
+      "experiments=2 window=1:60");
+  MustRun("run p");
+  const auto result = Run("propagation p/e0000");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShellTest, ListExperimentsShowsLoggedRows) {
+  MustRun(
+      "campaign set le workload=checksum locations=internal_regfile "
+      "experiments=4 window=1:100");
+  MustRun("run le");
+  const std::string listing = MustRun("list experiments le");
+  EXPECT_NE(listing.find("le/e0000"), std::string::npos);
+  EXPECT_NE(listing.find("le/ref"), std::string::npos);
+  EXPECT_FALSE(Run("list experiments").ok());
+}
+
+TEST_F(ShellTest, ReportWritesAnalysisToFile) {
+  MustRun(
+      "campaign set rep workload=checksum locations=internal_regfile "
+      "experiments=4 window=1:100");
+  MustRun("run rep");
+  const std::string path = testing::TempDir() + "shell_report.txt";
+  MustRun("report rep " + path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("error coverage"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(Run("report ghost /tmp/x").ok());
+}
+
+TEST_F(ShellTest, EchoForScripts) {
+  EXPECT_EQ(MustRun("echo phase one done"), "phase one done\n");
+}
+
+TEST_F(ShellTest, ScriptTranscriptAndErrorStop) {
+  std::string transcript;
+  const util::Status st = shell_.ExecuteScript(
+      "# configure\n"
+      "campaign set s workload=checksum experiments=2 window=1:50\n"
+      "run s\n"
+      "bogus command\n"
+      "echo never reached\n",
+      &transcript);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(transcript.find("goofi> run s"), std::string::npos);
+  EXPECT_NE(transcript.find("error:"), std::string::npos);
+  EXPECT_EQ(transcript.find("never reached"), std::string::npos);
+}
+
+TEST_F(ShellTest, CampaignMergeViaShell) {
+  MustRun("campaign set a workload=matmul experiments=5 locations=internal_core");
+  MustRun("campaign set b workload=matmul experiments=7 locations=internal_regfile");
+  MustRun("campaign merge ab a b");
+  const auto merged = store_.GetCampaign("ab").ValueOrDie();
+  EXPECT_EQ(merged.num_experiments, 12);
+  EXPECT_EQ(merged.locations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace goofi::tool
