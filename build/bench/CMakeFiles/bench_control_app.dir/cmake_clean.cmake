@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_app.dir/bench_control_app.cpp.o"
+  "CMakeFiles/bench_control_app.dir/bench_control_app.cpp.o.d"
+  "bench_control_app"
+  "bench_control_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

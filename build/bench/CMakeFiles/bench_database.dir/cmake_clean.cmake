@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_database.dir/bench_database.cpp.o"
+  "CMakeFiles/bench_database.dir/bench_database.cpp.o.d"
+  "bench_database"
+  "bench_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detail_mode.dir/bench_detail_mode.cpp.o"
+  "CMakeFiles/bench_detail_mode.dir/bench_detail_mode.cpp.o.d"
+  "bench_detail_mode"
+  "bench_detail_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detail_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

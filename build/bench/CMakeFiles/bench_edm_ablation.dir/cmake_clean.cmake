@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edm_ablation.dir/bench_edm_ablation.cpp.o"
+  "CMakeFiles/bench_edm_ablation.dir/bench_edm_ablation.cpp.o.d"
+  "bench_edm_ablation"
+  "bench_edm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preinjection.dir/bench_preinjection.cpp.o"
+  "CMakeFiles/bench_preinjection.dir/bench_preinjection.cpp.o.d"
+  "bench_preinjection"
+  "bench_preinjection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preinjection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

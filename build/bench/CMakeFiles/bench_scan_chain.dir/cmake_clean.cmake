@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_chain.dir/bench_scan_chain.cpp.o"
+  "CMakeFiles/bench_scan_chain.dir/bench_scan_chain.cpp.o.d"
+  "bench_scan_chain"
+  "bench_scan_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

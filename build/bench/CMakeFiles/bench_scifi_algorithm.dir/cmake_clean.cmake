@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scifi_algorithm.dir/bench_scifi_algorithm.cpp.o"
+  "CMakeFiles/bench_scifi_algorithm.dir/bench_scifi_algorithm.cpp.o.d"
+  "bench_scifi_algorithm"
+  "bench_scifi_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scifi_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swifi_preruntime.dir/bench_swifi_preruntime.cpp.o"
+  "CMakeFiles/bench_swifi_preruntime.dir/bench_swifi_preruntime.cpp.o.d"
+  "bench_swifi_preruntime"
+  "bench_swifi_preruntime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swifi_preruntime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_swifi_preruntime.
+# This may be replaced when dependencies are built.

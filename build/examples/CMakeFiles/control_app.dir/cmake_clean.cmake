@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_app.dir/control_app.cpp.o"
+  "CMakeFiles/control_app.dir/control_app.cpp.o.d"
+  "control_app"
+  "control_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

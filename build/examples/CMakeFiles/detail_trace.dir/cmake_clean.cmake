@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detail_trace.dir/detail_trace.cpp.o"
+  "CMakeFiles/detail_trace.dir/detail_trace.cpp.o.d"
+  "detail_trace"
+  "detail_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detail_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_shell.dir/goofi_shell.cpp.o"
+  "CMakeFiles/goofi_shell.dir/goofi_shell.cpp.o.d"
+  "goofi_shell"
+  "goofi_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

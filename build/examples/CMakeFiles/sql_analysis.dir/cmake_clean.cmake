@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_analysis.dir/sql_analysis.cpp.o"
+  "CMakeFiles/sql_analysis.dir/sql_analysis.cpp.o.d"
+  "sql_analysis"
+  "sql_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

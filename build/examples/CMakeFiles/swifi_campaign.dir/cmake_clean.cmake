@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swifi_campaign.dir/swifi_campaign.cpp.o"
+  "CMakeFiles/swifi_campaign.dir/swifi_campaign.cpp.o.d"
+  "swifi_campaign"
+  "swifi_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swifi_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

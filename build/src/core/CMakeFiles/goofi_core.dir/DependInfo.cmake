@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/goofi_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/goofi_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/campaign_store.cpp" "src/core/CMakeFiles/goofi_core.dir/campaign_store.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/campaign_store.cpp.o.d"
+  "/root/repo/src/core/preinjection.cpp" "src/core/CMakeFiles/goofi_core.dir/preinjection.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/preinjection.cpp.o.d"
+  "/root/repo/src/core/progress.cpp" "src/core/CMakeFiles/goofi_core.dir/progress.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/progress.cpp.o.d"
+  "/root/repo/src/core/propagation.cpp" "src/core/CMakeFiles/goofi_core.dir/propagation.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/propagation.cpp.o.d"
+  "/root/repo/src/core/swifi_target.cpp" "src/core/CMakeFiles/goofi_core.dir/swifi_target.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/swifi_target.cpp.o.d"
+  "/root/repo/src/core/thor_target.cpp" "src/core/CMakeFiles/goofi_core.dir/thor_target.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/thor_target.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/goofi_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/goofi_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/goofi_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/testcard/CMakeFiles/goofi_testcard.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/goofi_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/goofi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/goofi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/goofi_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goofi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

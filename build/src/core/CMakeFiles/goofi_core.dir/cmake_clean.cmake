@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_core.dir/algorithms.cpp.o"
+  "CMakeFiles/goofi_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/analysis.cpp.o"
+  "CMakeFiles/goofi_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/campaign_store.cpp.o"
+  "CMakeFiles/goofi_core.dir/campaign_store.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/preinjection.cpp.o"
+  "CMakeFiles/goofi_core.dir/preinjection.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/progress.cpp.o"
+  "CMakeFiles/goofi_core.dir/progress.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/propagation.cpp.o"
+  "CMakeFiles/goofi_core.dir/propagation.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/swifi_target.cpp.o"
+  "CMakeFiles/goofi_core.dir/swifi_target.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/thor_target.cpp.o"
+  "CMakeFiles/goofi_core.dir/thor_target.cpp.o.d"
+  "CMakeFiles/goofi_core.dir/types.cpp.o"
+  "CMakeFiles/goofi_core.dir/types.cpp.o.d"
+  "libgoofi_core.a"
+  "libgoofi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

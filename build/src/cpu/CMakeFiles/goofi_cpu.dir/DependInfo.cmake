@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cpp" "src/cpu/CMakeFiles/goofi_cpu.dir/cache.cpp.o" "gcc" "src/cpu/CMakeFiles/goofi_cpu.dir/cache.cpp.o.d"
+  "/root/repo/src/cpu/cpu.cpp" "src/cpu/CMakeFiles/goofi_cpu.dir/cpu.cpp.o" "gcc" "src/cpu/CMakeFiles/goofi_cpu.dir/cpu.cpp.o.d"
+  "/root/repo/src/cpu/edm.cpp" "src/cpu/CMakeFiles/goofi_cpu.dir/edm.cpp.o" "gcc" "src/cpu/CMakeFiles/goofi_cpu.dir/edm.cpp.o.d"
+  "/root/repo/src/cpu/memory.cpp" "src/cpu/CMakeFiles/goofi_cpu.dir/memory.cpp.o" "gcc" "src/cpu/CMakeFiles/goofi_cpu.dir/memory.cpp.o.d"
+  "/root/repo/src/cpu/state.cpp" "src/cpu/CMakeFiles/goofi_cpu.dir/state.cpp.o" "gcc" "src/cpu/CMakeFiles/goofi_cpu.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/goofi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goofi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

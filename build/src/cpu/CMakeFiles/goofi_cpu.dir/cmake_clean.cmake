@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_cpu.dir/cache.cpp.o"
+  "CMakeFiles/goofi_cpu.dir/cache.cpp.o.d"
+  "CMakeFiles/goofi_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/goofi_cpu.dir/cpu.cpp.o.d"
+  "CMakeFiles/goofi_cpu.dir/edm.cpp.o"
+  "CMakeFiles/goofi_cpu.dir/edm.cpp.o.d"
+  "CMakeFiles/goofi_cpu.dir/memory.cpp.o"
+  "CMakeFiles/goofi_cpu.dir/memory.cpp.o.d"
+  "CMakeFiles/goofi_cpu.dir/state.cpp.o"
+  "CMakeFiles/goofi_cpu.dir/state.cpp.o.d"
+  "libgoofi_cpu.a"
+  "libgoofi_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_db.dir/database.cpp.o"
+  "CMakeFiles/goofi_db.dir/database.cpp.o.d"
+  "CMakeFiles/goofi_db.dir/schema.cpp.o"
+  "CMakeFiles/goofi_db.dir/schema.cpp.o.d"
+  "CMakeFiles/goofi_db.dir/sql_executor.cpp.o"
+  "CMakeFiles/goofi_db.dir/sql_executor.cpp.o.d"
+  "CMakeFiles/goofi_db.dir/sql_parser.cpp.o"
+  "CMakeFiles/goofi_db.dir/sql_parser.cpp.o.d"
+  "CMakeFiles/goofi_db.dir/sql_tokenizer.cpp.o"
+  "CMakeFiles/goofi_db.dir/sql_tokenizer.cpp.o.d"
+  "CMakeFiles/goofi_db.dir/table.cpp.o"
+  "CMakeFiles/goofi_db.dir/table.cpp.o.d"
+  "CMakeFiles/goofi_db.dir/value.cpp.o"
+  "CMakeFiles/goofi_db.dir/value.cpp.o.d"
+  "libgoofi_db.a"
+  "libgoofi_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_env.dir/environment.cpp.o"
+  "CMakeFiles/goofi_env.dir/environment.cpp.o.d"
+  "CMakeFiles/goofi_env.dir/workloads.cpp.o"
+  "CMakeFiles/goofi_env.dir/workloads.cpp.o.d"
+  "libgoofi_env.a"
+  "libgoofi_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_isa.dir/assembler.cpp.o"
+  "CMakeFiles/goofi_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/goofi_isa.dir/isa.cpp.o"
+  "CMakeFiles/goofi_isa.dir/isa.cpp.o.d"
+  "libgoofi_isa.a"
+  "libgoofi_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/chain.cpp" "src/scan/CMakeFiles/goofi_scan.dir/chain.cpp.o" "gcc" "src/scan/CMakeFiles/goofi_scan.dir/chain.cpp.o.d"
+  "/root/repo/src/scan/debug.cpp" "src/scan/CMakeFiles/goofi_scan.dir/debug.cpp.o" "gcc" "src/scan/CMakeFiles/goofi_scan.dir/debug.cpp.o.d"
+  "/root/repo/src/scan/tap.cpp" "src/scan/CMakeFiles/goofi_scan.dir/tap.cpp.o" "gcc" "src/scan/CMakeFiles/goofi_scan.dir/tap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/goofi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goofi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/goofi_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

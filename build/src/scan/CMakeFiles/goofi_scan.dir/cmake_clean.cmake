@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_scan.dir/chain.cpp.o"
+  "CMakeFiles/goofi_scan.dir/chain.cpp.o.d"
+  "CMakeFiles/goofi_scan.dir/debug.cpp.o"
+  "CMakeFiles/goofi_scan.dir/debug.cpp.o.d"
+  "CMakeFiles/goofi_scan.dir/tap.cpp.o"
+  "CMakeFiles/goofi_scan.dir/tap.cpp.o.d"
+  "libgoofi_scan.a"
+  "libgoofi_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_testcard.dir/testcard.cpp.o"
+  "CMakeFiles/goofi_testcard.dir/testcard.cpp.o.d"
+  "libgoofi_testcard.a"
+  "libgoofi_testcard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_testcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_tool.dir/shell.cpp.o"
+  "CMakeFiles/goofi_tool.dir/shell.cpp.o.d"
+  "libgoofi_tool.a"
+  "libgoofi_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

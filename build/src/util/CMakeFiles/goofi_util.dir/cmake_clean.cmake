@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goofi_util.dir/bitvec.cpp.o"
+  "CMakeFiles/goofi_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/goofi_util.dir/crc32.cpp.o"
+  "CMakeFiles/goofi_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/goofi_util.dir/log.cpp.o"
+  "CMakeFiles/goofi_util.dir/log.cpp.o.d"
+  "CMakeFiles/goofi_util.dir/rng.cpp.o"
+  "CMakeFiles/goofi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/goofi_util.dir/status.cpp.o"
+  "CMakeFiles/goofi_util.dir/status.cpp.o.d"
+  "CMakeFiles/goofi_util.dir/strings.cpp.o"
+  "CMakeFiles/goofi_util.dir/strings.cpp.o.d"
+  "libgoofi_util.a"
+  "libgoofi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goofi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgoofi_util.a"
+)

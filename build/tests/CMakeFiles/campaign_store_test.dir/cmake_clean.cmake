@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_store_test.dir/campaign_store_test.cpp.o"
+  "CMakeFiles/campaign_store_test.dir/campaign_store_test.cpp.o.d"
+  "campaign_store_test"
+  "campaign_store_test.pdb"
+  "campaign_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

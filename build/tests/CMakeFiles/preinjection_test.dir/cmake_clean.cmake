@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preinjection_test.dir/preinjection_test.cpp.o"
+  "CMakeFiles/preinjection_test.dir/preinjection_test.cpp.o.d"
+  "preinjection_test"
+  "preinjection_test.pdb"
+  "preinjection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preinjection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swifi_target_test.dir/swifi_target_test.cpp.o"
+  "CMakeFiles/swifi_target_test.dir/swifi_target_test.cpp.o.d"
+  "swifi_target_test"
+  "swifi_target_test.pdb"
+  "swifi_target_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swifi_target_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

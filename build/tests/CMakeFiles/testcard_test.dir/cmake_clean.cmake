@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testcard_test.dir/testcard_test.cpp.o"
+  "CMakeFiles/testcard_test.dir/testcard_test.cpp.o.d"
+  "testcard_test"
+  "testcard_test.pdb"
+  "testcard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testcard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/util_test.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/goofi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/goofi_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/testcard/CMakeFiles/goofi_testcard.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/goofi_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/goofi_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/goofi_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/goofi_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/goofi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

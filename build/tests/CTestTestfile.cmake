@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/testcard_test[1]_include.cmake")
+include("/root/repo/build/tests/env_test[1]_include.cmake")
+include("/root/repo/build/tests/core_types_test[1]_include.cmake")
+include("/root/repo/build/tests/campaign_store_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/preinjection_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/propagation_test[1]_include.cmake")
+include("/root/repo/build/tests/swifi_target_test[1]_include.cmake")
+include("/root/repo/build/tests/tool_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_property_test[1]_include.cmake")
+include("/root/repo/build/tests/db_property_test[1]_include.cmake")
