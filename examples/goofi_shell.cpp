@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
   target.SetProgressMonitor(&progress);
 
   tool::Shell shell(&database, &store);
-  shell.AddTarget(core::ThorRdTarget::kTargetName, &target, &card);
+  shell.AddTarget(core::ThorRdTarget::kTargetName, &target, &card,
+                  core::MakeSimThorFactory(&store));
   // Register the target description up front so campaigns can be defined
   // immediately (configuration phase, Fig. 5).
   if (auto st = shell.Execute(std::string("target describe ") +

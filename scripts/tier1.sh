@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over the
+# concurrency-sensitive tests (thread pool + parallel campaign determinism).
+#
+# Usage: scripts/tier1.sh [build-dir]     (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: standard build + ctest =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool) =="
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test
+"$TSAN_DIR"/tests/thread_pool_test
+"$TSAN_DIR"/tests/parallel_runner_test
+
+echo "tier-1: OK"

@@ -7,7 +7,7 @@ namespace goofi::core {
 
 namespace {
 std::string ExperimentName(const std::string& campaign, int index) {
-  return util::Format("%s/e%04d", campaign.c_str(), index);
+  return CampaignStore::ExperimentName(campaign, index);
 }
 }  // namespace
 
@@ -127,8 +127,9 @@ util::Status FaultInjectionAlgorithms::GenerateFaults(
   return util::Status::Ok();
 }
 
-util::Status FaultInjectionAlgorithms::LogExperiment(
-    const std::string& experiment_name, const std::string& parent) {
+util::Result<std::vector<CampaignStore::ExperimentRow>>
+FaultInjectionAlgorithms::BuildRecords(const std::string& experiment_name,
+                                       const std::string& parent) {
   auto state = CollectState();
   if (!state.ok()) return state.status();
 
@@ -141,16 +142,30 @@ util::Status FaultInjectionAlgorithms::LogExperiment(
       "technique=" + std::string(TechniqueName(campaign_.technique)) +
       ";faults=" + util::Join(fault_texts, "|");
 
-  GOOFI_RETURN_IF_ERROR(store_->PutExperiment(experiment_name, parent,
-                                              campaign_.name, experiment_data,
-                                              state.value()));
+  std::vector<CampaignStore::ExperimentRow> rows;
+  rows.reserve(1 + detail_log_.size());
+  rows.push_back({experiment_name, parent, campaign_.name, experiment_data,
+                  std::move(state).value()});
   // Detail rows, one per instruction, each pointing at the main experiment.
   for (size_t i = 0; i < detail_log_.size(); ++i) {
-    GOOFI_RETURN_IF_ERROR(store_->PutExperiment(
-        util::Format("%s/d%06zu", experiment_name.c_str(), i), experiment_name,
-        campaign_.name, "detail_step", detail_log_[i]));
+    rows.push_back({util::Format("%s/d%06zu", experiment_name.c_str(), i),
+                    experiment_name, campaign_.name, "detail_step",
+                    detail_log_[i]});
   }
   detail_log_.clear();
+  return rows;
+}
+
+util::Status FaultInjectionAlgorithms::LogExperiment(
+    const std::string& experiment_name, const std::string& parent) {
+  auto rows = BuildRecords(experiment_name, parent);
+  if (!rows.ok()) return rows.status();
+  for (const CampaignStore::ExperimentRow& row : rows.value()) {
+    GOOFI_RETURN_IF_ERROR(store_->PutExperiment(row.experiment_name,
+                                                row.parent_experiment,
+                                                row.campaign_name,
+                                                row.experiment_data, row.state));
+  }
   return util::Status::Ok();
 }
 
@@ -161,12 +176,9 @@ util::Status FaultInjectionAlgorithms::MakeReferenceRun(ExperimentBody body) {
   return LogExperiment(CampaignStore::ReferenceName(campaign_.name), "");
 }
 
-util::Status FaultInjectionAlgorithms::DriveCampaign(
-    const std::string& campaign_name, ExperimentBody body) {
-  // readCampaignData(campaignNr) — Fig. 2.
-  auto campaign = store_->GetCampaign(campaign_name);
-  if (!campaign.ok()) return campaign.status();
-  campaign_ = std::move(campaign).value();
+util::Status FaultInjectionAlgorithms::PrepareCampaign(
+    const CampaignData& campaign) {
+  campaign_ = campaign;
   stats_ = Stats{};
 
   // Enumerate the fault space once per campaign.
@@ -177,6 +189,44 @@ util::Status FaultInjectionAlgorithms::DriveCampaign(
     fault_space_.insert(fault_space_.end(), part.value().begin(),
                         part.value().end());
   }
+  return util::Status::Ok();
+}
+
+util::Result<std::vector<CampaignStore::ExperimentRow>>
+FaultInjectionAlgorithms::ExecuteExperiment(int index) {
+  const ExperimentBody body = BodyForTechnique(campaign_.technique);
+  detail_log_.clear();
+  std::string name;
+  if (index < 0) {
+    faults_.clear();
+    name = CampaignStore::ReferenceName(campaign_.name);
+  } else {
+    GOOFI_RETURN_IF_ERROR(GenerateFaults(fault_space_, index));
+    name = ExperimentName(campaign_.name, index);
+  }
+  GOOFI_RETURN_IF_ERROR((this->*body)());
+  return BuildRecords(name, "");
+}
+
+FaultInjectionAlgorithms::ExperimentBody
+FaultInjectionAlgorithms::BodyForTechnique(Technique technique) {
+  switch (technique) {
+    case Technique::kScifi:
+      return &FaultInjectionAlgorithms::ScifiExperiment;
+    case Technique::kSwifiPreRuntime:
+      return &FaultInjectionAlgorithms::SwifiPreRuntimeExperiment;
+    case Technique::kSwifiRuntime:
+      return &FaultInjectionAlgorithms::SwifiRuntimeExperiment;
+  }
+  return &FaultInjectionAlgorithms::ScifiExperiment;
+}
+
+util::Status FaultInjectionAlgorithms::DriveCampaign(
+    const std::string& campaign_name, ExperimentBody body) {
+  // readCampaignData(campaignNr) — Fig. 2.
+  auto campaign = store_->GetCampaign(campaign_name);
+  if (!campaign.ok()) return campaign.status();
+  GOOFI_RETURN_IF_ERROR(PrepareCampaign(campaign.value()));
 
   // makeReferenceRun() — Fig. 2. A campaign that was paused or stopped can
   // be restarted (the progress window of Fig. 7 offers exactly that): rows

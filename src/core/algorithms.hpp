@@ -49,7 +49,9 @@ struct FaultCandidate {
 };
 
 /// Progress callback (the progress window of paper Fig. 7). Return false to
-/// end the campaign early; block inside the callback to pause it.
+/// end the campaign early; block inside the callback to pause it. In a
+/// parallel run (core::ParallelCampaignRunner) callbacks arrive on the
+/// committer thread, still strictly in experiment order.
 class ProgressMonitor {
  public:
   virtual ~ProgressMonitor() = default;
@@ -98,8 +100,29 @@ class FaultInjectionAlgorithms {
     int experiments_run = 0;
     int injections_skipped_dead = 0;  ///< skipped by the liveness filter
     int experiments_resumed = 0;      ///< already in the database; skipped
+
+    bool operator==(const Stats&) const = default;
   };
   const Stats& stats() const { return stats_; }
+
+  // --- experiment-level API (used by core::ParallelCampaignRunner) ---------
+  //
+  // The campaign drivers above load the campaign, run every experiment and
+  // commit each result to the store. The parallel runner instead prepares N
+  // worker-owned targets once and pulls uncommitted experiment records off
+  // them, so commits can be ordered and batched centrally.
+
+  /// Binds this target to `campaign` and enumerates its fault space. Resets
+  /// stats(). Does not touch the store.
+  util::Status PrepareCampaign(const CampaignData& campaign);
+
+  /// Runs experiment `index` of the prepared campaign — or the fault-free
+  /// reference run when `index` < 0 — and returns its database row(s)
+  /// (main row first, then any detail rows) WITHOUT committing them. Fault
+  /// generation derives the per-experiment RNG stream from (campaign seed,
+  /// index), so results are independent of call order across targets.
+  util::Result<std::vector<CampaignStore::ExperimentRow>> ExecuteExperiment(
+      int index);
 
  protected:
   // --- abstract building blocks (implemented per target system) ----------
@@ -160,6 +183,8 @@ class FaultInjectionAlgorithms {
   util::Status SwifiPreRuntimeExperiment();
   util::Status SwifiRuntimeExperiment();
 
+  static ExperimentBody BodyForTechnique(Technique technique);
+
   util::Status DriveCampaign(const std::string& campaign_name,
                              ExperimentBody body);
 
@@ -169,6 +194,11 @@ class FaultInjectionAlgorithms {
   /// Draws `faults_` for experiment `index` from the campaign's fault space.
   util::Status GenerateFaults(const std::vector<FaultCandidate>& space,
                               int index);
+
+  /// Assembles the database rows of the just-finished experiment: the main
+  /// row plus one row per detail-mode entry. Clears the detail log.
+  util::Result<std::vector<CampaignStore::ExperimentRow>> BuildRecords(
+      const std::string& experiment_name, const std::string& parent);
 
   /// Logs the just-finished experiment (and detail rows, if any).
   util::Status LogExperiment(const std::string& experiment_name,

@@ -236,6 +236,27 @@ util::Status CampaignStore::MergeCampaigns(
 
 // --- LoggedSystemState ---------------------------------------------------------
 
+std::string CampaignStore::ExperimentName(const std::string& campaign_name,
+                                          int index) {
+  return util::Format("%s/e%04d", campaign_name.c_str(), index);
+}
+
+util::Status CampaignStore::PutExperiments(
+    const std::vector<ExperimentRow>& rows) {
+  std::vector<Row> db_rows;
+  db_rows.reserve(rows.size());
+  for (const ExperimentRow& row : rows) {
+    db_rows.push_back({Value::Text(row.experiment_name),
+                       row.parent_experiment.empty()
+                           ? Value::Null()
+                           : Value::Text(row.parent_experiment),
+                       Value::Text(row.campaign_name),
+                       Value::Text(row.experiment_data),
+                       Value::Text(row.state.Serialize())});
+  }
+  return database_->InsertBatch("LoggedSystemState", std::move(db_rows));
+}
+
 util::Status CampaignStore::PutExperiment(const std::string& experiment_name,
                                           const std::string& parent_experiment,
                                           const std::string& campaign_name,

@@ -65,6 +65,13 @@ class CampaignStore {
     std::string experiment_data;
     LoggedState state;
   };
+
+  /// Batched insert into LoggedSystemState: one schema/foreign-key resolution
+  /// for the whole batch instead of one per row, and all-or-nothing semantics
+  /// (on any failure the rows of this batch already inserted are removed).
+  /// Rows may reference earlier rows of the same batch via parentExperiment.
+  util::Status PutExperiments(const std::vector<ExperimentRow>& rows);
+
   util::Result<ExperimentRow> GetExperiment(const std::string& name) const;
   /// All experiments of a campaign, in insertion order.
   util::Result<std::vector<ExperimentRow>> ExperimentsOf(
@@ -74,6 +81,12 @@ class CampaignStore {
   static std::string ReferenceName(const std::string& campaign_name) {
     return campaign_name + "/ref";
   }
+
+  /// Name of experiment `index` of a campaign ("<campaign>/e0042"). The
+  /// serial driver and the parallel runner share this so resume works across
+  /// both.
+  static std::string ExperimentName(const std::string& campaign_name,
+                                    int index);
 
  private:
   db::Database* database_;

@@ -18,6 +18,7 @@
 #include "core/analysis.hpp"       // IWYU pragma: export
 #include "core/campaign_store.hpp" // IWYU pragma: export
 #include "core/framework.hpp"      // IWYU pragma: export
+#include "core/parallel_runner.hpp" // IWYU pragma: export
 #include "core/preinjection.hpp"   // IWYU pragma: export
 #include "core/progress.hpp"       // IWYU pragma: export
 #include "core/propagation.hpp"    // IWYU pragma: export

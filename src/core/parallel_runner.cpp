@@ -1,0 +1,206 @@
+#include "core/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "core/swifi_target.hpp"
+#include "core/thor_target.hpp"
+#include "testcard/testcard.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace goofi::core {
+
+namespace {
+
+/// One dispatched experiment's outcome, filled by a worker and consumed by
+/// the committer in pending order.
+struct Slot {
+  bool done = false;
+  util::Status status;
+  std::vector<CampaignStore::ExperimentRow> rows;
+  int skipped_dead = 0;  ///< liveness-filter skips charged to this experiment
+};
+
+}  // namespace
+
+ParallelCampaignRunner::ParallelCampaignRunner(CampaignStore* store,
+                                               TargetFactory factory,
+                                               int num_workers)
+    : store_(store),
+      factory_(std::move(factory)),
+      num_workers_(num_workers > 0 ? num_workers
+                                   : util::ThreadPool::DefaultWorkers()) {}
+
+void ParallelCampaignRunner::SetCommitBatchRows(int rows) {
+  batch_rows_ = std::max(1, rows);
+}
+
+util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
+  stats_ = FaultInjectionAlgorithms::Stats{};
+  auto campaign_or = store_->GetCampaign(campaign_name);
+  if (!campaign_or.ok()) return campaign_or.status();
+  const CampaignData campaign = std::move(campaign_or).value();
+
+  // Resume semantics (Fig. 7 restart): experiments already in the database
+  // are skipped before dispatch, exactly like the serial driver.
+  const bool need_reference =
+      !store_->GetExperiment(CampaignStore::ReferenceName(campaign.name)).ok();
+  std::vector<int> pending;
+  pending.reserve(static_cast<size_t>(std::max(0, campaign.num_experiments)));
+  for (int i = 0; i < campaign.num_experiments; ++i) {
+    if (store_->GetExperiment(CampaignStore::ExperimentName(campaign.name, i))
+            .ok()) {
+      ++stats_.experiments_resumed;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  const int workers = std::max(
+      1, std::min(num_workers_, static_cast<int>(std::max<size_t>(
+                                    1, pending.size()))));
+  workers_used_ = workers;
+
+  // Build the worker-owned target stacks up front; a factory or fault-space
+  // error surfaces here before any thread starts.
+  std::vector<std::unique_ptr<FaultInjectionAlgorithms>> targets;
+  targets.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    std::unique_ptr<FaultInjectionAlgorithms> target = factory_();
+    if (target == nullptr) {
+      return util::Internal("parallel runner: target factory returned null");
+    }
+    if (liveness_filter_) target->SetLivenessFilter(liveness_filter_);
+    GOOFI_RETURN_IF_ERROR(target->PrepareCampaign(campaign));
+    targets.push_back(std::move(target));
+  }
+
+  // The reference run commits before any experiment row, matching serial
+  // insertion order.
+  if (need_reference) {
+    auto rows = targets[0]->ExecuteExperiment(-1);
+    if (!rows.ok()) return rows.status();
+    GOOFI_RETURN_IF_ERROR(store_->PutExperiments(rows.value()));
+  }
+  if (pending.empty()) return util::Status::Ok();
+
+  // Dispatch: workers pull pending positions off a shared cursor; results
+  // land in per-position slots the committer drains in order.
+  std::vector<Slot> slots(pending.size());
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> cancel{false};
+  std::mutex mutex;
+  std::condition_variable slot_ready;
+
+  auto worker_main = [&](int w) {
+    FaultInjectionAlgorithms& target = *targets[static_cast<size_t>(w)];
+    for (;;) {
+      if (cancel.load(std::memory_order_relaxed)) return;
+      const size_t pos = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (pos >= pending.size()) return;
+      const int dead_before = target.stats().injections_skipped_dead;
+      auto rows = target.ExecuteExperiment(pending[pos]);
+      Slot slot;
+      slot.done = true;
+      if (rows.ok()) {
+        slot.rows = std::move(rows).value();
+      } else {
+        slot.status = rows.status();
+      }
+      slot.skipped_dead =
+          target.stats().injections_skipped_dead - dead_before;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        slots[pos] = std::move(slot);
+      }
+      slot_ready.notify_one();
+    }
+  };
+
+  util::ThreadPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&worker_main, w]() { worker_main(w); });
+  }
+
+  // Single-writer committer: strictly ordered, batched commits; progress
+  // callbacks (and early stop) ride this thread.
+  std::vector<CampaignStore::ExperimentRow> batch;
+  batch.reserve(static_cast<size_t>(batch_rows_));
+  util::Status error = util::Status::Ok();
+  auto flush = [&]() {
+    if (batch.empty()) return util::Status::Ok();
+    util::Status st = store_->PutExperiments(batch);
+    batch.clear();
+    return st;
+  };
+  for (size_t pos = 0; pos < pending.size() && error.ok(); ++pos) {
+    Slot slot;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      slot_ready.wait(lock, [&]() { return slots[pos].done; });
+      slot = std::move(slots[pos]);
+    }
+    if (!slot.status.ok()) {
+      error = slot.status;
+      break;
+    }
+    const LoggedState last_state = slot.rows.front().state;
+    for (CampaignStore::ExperimentRow& row : slot.rows) {
+      batch.push_back(std::move(row));
+    }
+    ++stats_.experiments_run;
+    stats_.injections_skipped_dead += slot.skipped_dead;
+    if (static_cast<int>(batch.size()) >= batch_rows_) {
+      error = flush();
+      if (!error.ok()) break;
+    }
+    if (monitor_ != nullptr &&
+        !monitor_->OnExperiment(pending[pos] + 1, campaign.num_experiments,
+                                last_state)) {
+      util::Log::Info("campaign " + campaign_name + " ended by user after " +
+                      std::to_string(pending[pos] + 1) + " experiments");
+      break;  // early stop: later experiments are cancelled and discarded
+    }
+  }
+
+  cancel.store(true, std::memory_order_relaxed);
+  pool.Shutdown();
+
+  // Commit what completed in order before reporting any error — the same
+  // prefix a serial run that failed at this experiment would have logged.
+  const util::Status flush_status = flush();
+  if (!error.ok()) return error;
+  return flush_status;
+}
+
+ParallelCampaignRunner::TargetFactory MakeSimThorFactory(
+    CampaignStore* store, const cpu::CpuConfig& config) {
+  // ThorRdTarget takes a non-owning TestCard*; workers need the whole stack
+  // to live and die together, so bundle card ownership into the target.
+  class OwnedThorStack final : public ThorRdTarget {
+   public:
+    OwnedThorStack(CampaignStore* store,
+                   std::unique_ptr<testcard::SimTestCard> card)
+        : ThorRdTarget(store, card.get()), card_(std::move(card)) {}
+
+   private:
+    std::unique_ptr<testcard::SimTestCard> card_;
+  };
+  return [store, config]() -> std::unique_ptr<FaultInjectionAlgorithms> {
+    return std::make_unique<OwnedThorStack>(
+        store, std::make_unique<testcard::SimTestCard>(config));
+  };
+}
+
+ParallelCampaignRunner::TargetFactory MakeSwifiSimFactory(
+    CampaignStore* store, const cpu::CpuConfig& config) {
+  return [store, config]() -> std::unique_ptr<FaultInjectionAlgorithms> {
+    return std::make_unique<SwifiSimTarget>(store, config);
+  };
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,101 @@
+// ParallelCampaignRunner: shards a campaign's experiments across worker
+// threads, each owning a private simulated target stack, with deterministic
+// replay — the database contents of a parallel run are byte-identical to a
+// serial FaultInjectionAlgorithms::RunCampaign of the same campaign.
+//
+// Why this is safe: every experiment already derives its RNG stream from
+// (campaign seed, experiment index) alone (core/algorithms.cpp), and every
+// experiment body starts by re-initializing the test card and re-downloading
+// the workload, so experiments are independent of execution order and of the
+// target instance they run on. The runner exploits exactly that:
+//
+//   - N workers, each with its own target built by a TargetFactory (TRD32
+//     CPU + scan logic + test card + TargetSystemInterface) — no simulator
+//     state is shared between threads;
+//   - a shared atomic cursor hands out pending experiment indices;
+//   - results flow to a single committer (the thread that called Run),
+//     which commits them to CampaignStore strictly in experiment order and
+//     in batches (CampaignStore::PutExperiments), and invokes the
+//     ProgressMonitor in order — monitors need no thread-safety;
+//   - resume semantics match the serial driver: experiments already logged
+//     are skipped before dispatch;
+//   - early stop (monitor returns false) cancels outstanding shards; the
+//     speculative results of later experiments are discarded, so the
+//     database again matches a serially-stopped run.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "cpu/cpu.hpp"
+
+namespace goofi::core {
+
+class ParallelCampaignRunner {
+ public:
+  /// Builds one worker's private target stack. Called once per worker on the
+  /// committer thread; the produced target is driven by exactly one worker.
+  using TargetFactory =
+      std::function<std::unique_ptr<FaultInjectionAlgorithms>()>;
+
+  /// `num_workers` <= 0 selects ThreadPool::DefaultWorkers(). The worker
+  /// count is additionally capped by the number of pending experiments.
+  ParallelCampaignRunner(CampaignStore* store, TargetFactory factory,
+                         int num_workers = 0);
+
+  /// Progress callbacks arrive on the committer thread, strictly in
+  /// experiment order (the Fig. 7 progress window semantics, including
+  /// ending the campaign early by returning false).
+  void SetProgressMonitor(ProgressMonitor* monitor) { monitor_ = monitor; }
+
+  /// Applied to every worker target. The filter is shared across threads and
+  /// must therefore be safe to call concurrently (LivenessAnalyzer filters
+  /// are: they only read the immutable trace).
+  void SetLivenessFilter(FaultInjectionAlgorithms::LivenessFilter filter) {
+    liveness_filter_ = std::move(filter);
+  }
+
+  /// Number of database rows buffered before a batched commit. Commit order
+  /// is unaffected; this only trades commit overhead against buffering.
+  void SetCommitBatchRows(int rows);
+
+  /// Runs `campaign_name` to completion (technique dispatched from the
+  /// stored campaign, as in RunCampaign). On a worker error, experiments
+  /// committed so far stay in the database — exactly what a failed serial
+  /// run leaves behind — and the first error is returned.
+  util::Status Run(const std::string& campaign_name);
+
+  /// Aggregated over all workers, counting only committed experiments, so a
+  /// run's Stats equal the serial driver's.
+  const FaultInjectionAlgorithms::Stats& stats() const { return stats_; }
+
+  /// The configured worker count (the ceiling; a Run spawns at most one
+  /// worker per pending experiment).
+  int num_workers() const { return num_workers_; }
+
+  /// Workers the most recent Run actually spawned; 0 before any Run.
+  int workers_used() const { return workers_used_; }
+
+ private:
+  CampaignStore* store_;
+  TargetFactory factory_;
+  int num_workers_;
+  int workers_used_ = 0;
+  int batch_rows_ = 64;
+  ProgressMonitor* monitor_ = nullptr;
+  FaultInjectionAlgorithms::LivenessFilter liveness_filter_;
+  FaultInjectionAlgorithms::Stats stats_;
+};
+
+/// Factory for self-contained simulated Thor RD stacks: each call builds an
+/// independent SimTestCard (TRD32 CPU + scan logic) owned by its
+/// ThorRdTarget.
+ParallelCampaignRunner::TargetFactory MakeSimThorFactory(
+    CampaignStore* store, const cpu::CpuConfig& config = cpu::CpuConfig());
+
+/// Factory for the scan-less SWIFI simulator target (core/swifi_target).
+ParallelCampaignRunner::TargetFactory MakeSwifiSimFactory(
+    CampaignStore* store, const cpu::CpuConfig& config = cpu::CpuConfig());
+
+}  // namespace goofi::core

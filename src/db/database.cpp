@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/crc32.hpp"
 #include "util/strings.hpp"
@@ -115,6 +116,95 @@ util::Status Database::Insert(const std::string& table_name, Row row) {
   GOOFI_RETURN_IF_ERROR(table->schema().CheckRow(row));
   GOOFI_RETURN_IF_ERROR(CheckForeignKeysOnInsert(*table, row));
   return table->Insert(std::move(row));
+}
+
+util::Status Database::InsertBatch(const std::string& table_name,
+                                   std::vector<Row> rows) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return util::NotFound("no table " + table_name);
+  const Schema& schema = table->schema();
+
+  // Resolve every foreign key's local/referenced column indices once.
+  struct ResolvedFk {
+    const Table* ref_table = nullptr;
+    std::vector<size_t> local_indices;
+    std::vector<size_t> ref_indices;
+    std::unordered_set<Row, KeyHash, KeyEq> verified;  ///< per-batch memo
+  };
+  std::vector<ResolvedFk> fks;
+  fks.reserve(schema.foreign_keys().size());
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    ResolvedFk resolved;
+    resolved.ref_table = GetTable(fk.ref_table);
+    if (resolved.ref_table == nullptr) {
+      return util::Internal("foreign key references dropped table " +
+                            fk.ref_table);
+    }
+    for (const auto& col : fk.local_columns) {
+      resolved.local_indices.push_back(*schema.ColumnIndex(col));
+    }
+    for (const auto& col : fk.ref_columns) {
+      resolved.ref_indices.push_back(*resolved.ref_table->schema().ColumnIndex(col));
+    }
+    fks.push_back(std::move(resolved));
+  }
+
+  // Insert in order; a row may reference an earlier row of the same batch
+  // because FK checks run against the table as it grows.
+  std::vector<Row> inserted_keys;
+  const bool has_pk = !schema.primary_key_indices().empty();
+  if (has_pk) inserted_keys.reserve(rows.size());
+  util::Status error = util::Status::Ok();
+  for (Row& row : rows) {
+    error = schema.CheckRow(row);
+    if (!error.ok()) break;
+    for (ResolvedFk& fk : fks) {
+      Row values;
+      values.reserve(fk.local_indices.size());
+      bool any_null = false;
+      for (size_t idx : fk.local_indices) {
+        if (row[idx].is_null()) any_null = true;
+        values.push_back(row[idx]);
+      }
+      if (any_null) continue;  // SQL: NULL FK values are not checked
+      if (fk.verified.contains(values)) continue;
+      if (!fk.ref_table->ExistsWhere(fk.ref_indices, values)) {
+        error = util::ConstraintViolation(
+            "foreign key violation: " + schema.table_name() + " -> " +
+            fk.ref_table->schema().table_name() + " (no matching referenced row)");
+        break;
+      }
+      fk.verified.insert(std::move(values));
+    }
+    if (!error.ok()) break;
+    if (has_pk) {
+      Row key;
+      key.reserve(schema.primary_key_indices().size());
+      for (size_t idx : schema.primary_key_indices()) key.push_back(row[idx]);
+      error = table->Insert(std::move(row));
+      if (!error.ok()) break;
+      inserted_keys.push_back(std::move(key));
+    } else {
+      error = table->Insert(std::move(row));
+      if (!error.ok()) break;
+    }
+  }
+  if (error.ok()) return error;
+
+  // All-or-nothing: undo this batch's inserts (possible only with a primary
+  // key to identify them; all GOOFI tables declare one).
+  if (has_pk && !inserted_keys.empty()) {
+    const auto& pk_indices = schema.primary_key_indices();
+    std::unordered_set<Row, KeyHash, KeyEq> doomed(inserted_keys.begin(),
+                                                   inserted_keys.end());
+    table->DeleteWhere([&](const Row& row) {
+      Row key;
+      key.reserve(pk_indices.size());
+      for (size_t idx : pk_indices) key.push_back(row[idx]);
+      return doomed.contains(key);
+    });
+  }
+  return error;
 }
 
 bool Database::IsReferenced(const std::string& table_name, const Table& table,

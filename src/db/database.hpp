@@ -43,6 +43,14 @@ class Database {
   /// an existing row in the referenced table.
   util::Status Insert(const std::string& table, Row row);
 
+  /// Inserts `rows` in order with FK checking, resolving the table and its
+  /// foreign-key column indices once for the whole batch and memoizing FK
+  /// lookups (campaign batches repeat the same key values row after row).
+  /// Rows may reference earlier rows of the same batch. All-or-nothing: if
+  /// any row fails, the rows of this batch inserted so far are deleted again
+  /// and the first error is returned.
+  util::Status InsertBatch(const std::string& table, std::vector<Row> rows);
+
   /// Deletes rows matching `predicate` with FK checking: fails (RESTRICT)
   /// if any row to delete is still referenced by another table.
   util::Status Delete(const std::string& table,

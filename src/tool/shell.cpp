@@ -28,6 +28,7 @@ const char* const kHelpText =
     "  campaign show <name>                   print stored campaign data\n"
     "  campaign merge <new> <src>...          merge campaigns (3.2)\n"
     "  run <campaign>                         fault-injection phase (Fig. 2)\n"
+    "  run-parallel <campaign> [workers]      sharded run, deterministic replay\n"
     "  analyze <campaign>                     classification report (3.4)\n"
     "  report <campaign> <path>               write the report to a file\n"
     "  rerun-detail <experiment>              detail-mode re-run (2.3)\n"
@@ -43,8 +44,9 @@ Shell::Shell(db::Database* db, core::CampaignStore* store)
 
 void Shell::AddTarget(const std::string& name,
                       core::FaultInjectionAlgorithms* algorithms,
-                      const testcard::TestCard* card) {
-  targets_[name] = Target{algorithms, card};
+                      const testcard::TestCard* card,
+                      core::ParallelCampaignRunner::TargetFactory factory) {
+  targets_[name] = Target{algorithms, card, std::move(factory)};
 }
 
 util::Result<std::string> Shell::CmdHelp() const { return std::string(kHelpText); }
@@ -292,6 +294,35 @@ util::Result<std::string> Shell::CmdRun(const std::vector<std::string>& args) {
                       stats.experiments_resumed);
 }
 
+util::Result<std::string> Shell::CmdRunParallel(
+    const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) {
+    return util::InvalidArgument("run-parallel <campaign> [workers]");
+  }
+  int workers = 0;  // 0 = hardware concurrency
+  if (args.size() == 2) {
+    const auto parsed = util::ParseInt(args[1]);
+    if (!parsed || *parsed < 1) {
+      return util::InvalidArgument("workers must be a positive number");
+    }
+    workers = static_cast<int>(*parsed);
+  }
+  auto target = FindTargetFor(args[0]);
+  if (!target.ok()) return target.status();
+  if (!target.value().factory) {
+    return util::FailedPrecondition(
+        "target of campaign " + args[0] +
+        " was registered without a parallel target factory");
+  }
+  core::ParallelCampaignRunner runner(store_, target.value().factory, workers);
+  GOOFI_RETURN_IF_ERROR(runner.Run(args[0]));
+  const auto& stats = runner.stats();
+  return util::Format(
+      "campaign %s: %d experiments run on %d workers, %d resumed\n",
+      args[0].c_str(), stats.experiments_run, runner.workers_used(),
+      stats.experiments_resumed);
+}
+
 util::Result<std::string> Shell::CmdAnalyze(
     const std::vector<std::string>& args) const {
   if (args.size() != 1) return util::InvalidArgument("analyze <campaign>");
@@ -377,6 +408,7 @@ util::Result<std::string> Shell::Execute(const std::string& line) {
   if (command == "target") return CmdTarget(args);
   if (command == "campaign") return CmdCampaign(args);
   if (command == "run") return CmdRun(args);
+  if (command == "run-parallel") return CmdRunParallel(args);
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "report") return CmdReport(args);
   if (command == "rerun-detail") return CmdRerunDetail(args);

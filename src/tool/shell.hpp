@@ -20,6 +20,7 @@
 
 #include "core/algorithms.hpp"
 #include "core/campaign_store.hpp"
+#include "core/parallel_runner.hpp"
 #include "db/database.hpp"
 #include "testcard/testcard.hpp"
 
@@ -32,10 +33,13 @@ class Shell {
 
   /// Registers a target system under `name`. The algorithms object (one per
   /// TargetSystemInterface) must outlive the shell. `card` may be null for
-  /// targets without scan-chain access.
+  /// targets without scan-chain access. `factory` (optional) enables
+  /// `run-parallel` for campaigns on this target by building worker-owned
+  /// target stacks (see core::MakeSimThorFactory).
   void AddTarget(const std::string& name,
                  core::FaultInjectionAlgorithms* algorithms,
-                 const testcard::TestCard* card);
+                 const testcard::TestCard* card,
+                 core::ParallelCampaignRunner::TargetFactory factory = nullptr);
 
   /// Executes one command line; returns its printable output.
   util::Result<std::string> Execute(const std::string& line);
@@ -50,6 +54,7 @@ class Shell {
   struct Target {
     core::FaultInjectionAlgorithms* algorithms = nullptr;
     const testcard::TestCard* card = nullptr;
+    core::ParallelCampaignRunner::TargetFactory factory;
   };
 
   util::Result<std::string> CmdHelp() const;
@@ -57,6 +62,9 @@ class Shell {
   util::Result<std::string> CmdTarget(const std::vector<std::string>& args);
   util::Result<std::string> CmdCampaign(const std::vector<std::string>& args);
   util::Result<std::string> CmdRun(const std::vector<std::string>& args);
+  /// `run-parallel <campaign> [workers]`: the fault-injection phase sharded
+  /// across worker-owned target stacks with deterministic, ordered commits.
+  util::Result<std::string> CmdRunParallel(const std::vector<std::string>& args);
   util::Result<std::string> CmdAnalyze(const std::vector<std::string>& args) const;
   /// `report <campaign> <path>`: writes the analyze output to a file — the
   /// paper's "where to store the results" menu (§3.4).

@@ -1,11 +1,14 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace goofi::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;  // guards g_sink and serializes sink invocations
 Log::Sink g_sink;
 
 const char* LevelName(LogLevel level) {
@@ -25,12 +28,19 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void Log::SetLevel(LogLevel level) { g_level = level; }
-LogLevel Log::Level() { return g_level; }
-void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
+void Log::SetLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::Level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log::Write(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (g_sink) {
     g_sink(level, message);
     return;

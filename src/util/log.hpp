@@ -9,8 +9,12 @@ namespace goofi::util {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
-/// Process-global log configuration. Not thread-safe by design: GOOFI
-/// campaigns are single-threaded host loops (as in the paper).
+/// Process-global log configuration. Thread-safe: parallel campaign workers
+/// (core::ParallelCampaignRunner) log concurrently, so the level is atomic
+/// and the sink is invoked under a mutex (messages never interleave
+/// mid-line). SetSink should still happen before workers start — replacing
+/// the sink mid-campaign serializes correctly but delivers an arbitrary
+/// prefix of messages to the old sink.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;

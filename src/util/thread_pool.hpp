@@ -1,0 +1,64 @@
+// A fixed-size worker pool for campaign parallelism.
+//
+// The pool is deliberately small: a queue of type-erased tasks, N worker
+// threads, and future-based result/exception propagation. It carries no
+// GOOFI-specific policy — sharding, ordering and determinism live in
+// core::ParallelCampaignRunner, which owns one pool per run.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace goofi::util {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains and joins (see Shutdown).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues `task`; the returned future yields its result or rethrows the
+  /// exception it escaped with. Submitting after Shutdown() throws.
+  template <typename F>
+  auto Submit(F&& task) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    Enqueue([packaged]() { (*packaged)(); });
+    return future;
+  }
+
+  /// Stops accepting tasks, runs everything already queued, joins all
+  /// workers. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  /// A sensible default worker count for this machine.
+  static int DefaultWorkers();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace goofi::util

@@ -1,0 +1,291 @@
+// Determinism and semantics tests for core::ParallelCampaignRunner.
+//
+// The headline property: a parallel campaign run leaves the database
+// byte-identical to a serial FaultInjectionAlgorithms::RunCampaign of the
+// same campaign — same LoggedSystemState rows (names, experimentData,
+// stateVector), same insertion order, same Stats — at any worker count.
+#include "core/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/goofi.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi::core {
+namespace {
+
+CampaignData ScifiCampaign() {
+  CampaignData campaign;
+  campaign.name = "par_scifi";
+  campaign.target_name = ThorRdTarget::kTargetName;
+  campaign.technique = Technique::kScifi;
+  campaign.num_experiments = 12;
+  campaign.workload = "bubblesort";
+  campaign.locations = {{"internal_regfile", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 1000;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+CampaignData SwifiCampaign() {
+  CampaignData campaign;
+  campaign.name = "par_swifi";
+  campaign.target_name = SwifiSimTarget::kTargetName;
+  campaign.technique = Technique::kSwifiPreRuntime;
+  campaign.num_experiments = 12;
+  campaign.workload = "fibonacci";
+  campaign.locations = {{"memory.text", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 500;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+/// Everything a run leaves behind that determinism is asserted over.
+struct RunResult {
+  util::Status status;
+  std::vector<CampaignStore::ExperimentRow> rows;  ///< insertion order
+  FaultInjectionAlgorithms::Stats stats;
+  std::string db_bytes;  ///< the Save() file, CRC trailer and all
+};
+
+/// One self-contained session: fresh database + store + registered target.
+struct Session {
+  db::Database db;
+  CampaignStore store;
+
+  explicit Session(const CampaignData& campaign) : store(&db) {
+    if (campaign.target_name == ThorRdTarget::kTargetName) {
+      testcard::SimTestCard card;
+      EXPECT_TRUE(store
+                      .PutTargetSystem(ThorRdTarget::DescribeTarget(
+                          card, ThorRdTarget::kTargetName))
+                      .ok());
+    } else {
+      EXPECT_TRUE(store.PutTargetSystem(SwifiSimTarget::Describe()).ok());
+    }
+    EXPECT_TRUE(store.PutCampaign(campaign).ok());
+  }
+
+  RunResult Snapshot(util::Status status,
+                     const FaultInjectionAlgorithms::Stats& stats,
+                     const std::string& campaign_name) {
+    RunResult result;
+    result.status = std::move(status);
+    result.stats = stats;
+    auto rows = store.ExperimentsOf(campaign_name);
+    if (rows.ok()) result.rows = std::move(rows).value();
+    const std::string path =
+        testing::TempDir() + "goofi_parallel_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".db";
+    EXPECT_TRUE(db.Save(path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    result.db_bytes = buf.str();
+    std::remove(path.c_str());
+    return result;
+  }
+};
+
+ParallelCampaignRunner::TargetFactory FactoryFor(const CampaignData& campaign,
+                                                 CampaignStore* store) {
+  return campaign.target_name == ThorRdTarget::kTargetName
+             ? MakeSimThorFactory(store)
+             : MakeSwifiSimFactory(store);
+}
+
+RunResult RunSerial(const CampaignData& campaign,
+                    ProgressMonitor* monitor = nullptr) {
+  Session session(campaign);
+  if (campaign.target_name == ThorRdTarget::kTargetName) {
+    testcard::SimTestCard card;
+    ThorRdTarget target(&session.store, &card);
+    target.SetProgressMonitor(monitor);
+    return session.Snapshot(target.RunCampaign(campaign.name), target.stats(),
+                            campaign.name);
+  }
+  SwifiSimTarget target(&session.store);
+  target.SetProgressMonitor(monitor);
+  return session.Snapshot(target.RunCampaign(campaign.name), target.stats(),
+                          campaign.name);
+}
+
+RunResult RunParallel(const CampaignData& campaign, int workers,
+                      int batch_rows = 0, ProgressMonitor* monitor = nullptr) {
+  Session session(campaign);
+  ParallelCampaignRunner runner(&session.store,
+                                FactoryFor(campaign, &session.store), workers);
+  if (batch_rows > 0) runner.SetCommitBatchRows(batch_rows);
+  runner.SetProgressMonitor(monitor);
+  return session.Snapshot(runner.Run(campaign.name), runner.stats(),
+                          campaign.name);
+}
+
+void ExpectIdentical(const RunResult& serial, const RunResult& parallel) {
+  ASSERT_TRUE(serial.status.ok()) << serial.status.ToString();
+  ASSERT_TRUE(parallel.status.ok()) << parallel.status.ToString();
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (size_t i = 0; i < serial.rows.size(); ++i) {
+    EXPECT_EQ(serial.rows[i].experiment_name, parallel.rows[i].experiment_name)
+        << "row " << i << " out of order";
+    EXPECT_EQ(serial.rows[i].parent_experiment,
+              parallel.rows[i].parent_experiment);
+    EXPECT_EQ(serial.rows[i].experiment_data, parallel.rows[i].experiment_data);
+    EXPECT_EQ(serial.rows[i].state.Serialize(),
+              parallel.rows[i].state.Serialize());
+  }
+  EXPECT_EQ(serial.stats, parallel.stats);
+  EXPECT_EQ(serial.db_bytes, parallel.db_bytes)
+      << "database files must be byte-identical";
+}
+
+TEST(ParallelRunnerTest, ScifiMatchesSerialAtEveryWorkerCount) {
+  const CampaignData campaign = ScifiCampaign();
+  const RunResult serial = RunSerial(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExpectIdentical(serial, RunParallel(campaign, workers));
+  }
+}
+
+TEST(ParallelRunnerTest, SwifiPreRuntimeMatchesSerialAtEveryWorkerCount) {
+  const CampaignData campaign = SwifiCampaign();
+  const RunResult serial = RunSerial(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExpectIdentical(serial, RunParallel(campaign, workers));
+  }
+}
+
+TEST(ParallelRunnerTest, CommitBatchSizeDoesNotAffectContents) {
+  const CampaignData campaign = ScifiCampaign();
+  const RunResult serial = RunSerial(campaign);
+  ExpectIdentical(serial, RunParallel(campaign, 4, /*batch_rows=*/1));
+  ExpectIdentical(serial, RunParallel(campaign, 4, /*batch_rows=*/1000));
+}
+
+TEST(ParallelRunnerTest, DetailModeRowsCommitInOrder) {
+  CampaignData campaign = ScifiCampaign();
+  campaign.name = "par_detail";
+  campaign.log_mode = LogMode::kDetail;
+  campaign.num_experiments = 3;
+  campaign.inject_max_instr = 200;
+  const RunResult serial = RunSerial(campaign);
+  // Detail rows reference their main row via parentExperiment — the batched
+  // insert path must resolve those intra-batch foreign keys.
+  ASSERT_GT(serial.rows.size(), 4u) << "expected detail rows";
+  ExpectIdentical(serial, RunParallel(campaign, 2));
+}
+
+TEST(ParallelRunnerTest, ResumeSkipsLoggedExperimentsAndCompletesCampaign) {
+  const CampaignData campaign = ScifiCampaign();
+
+  // A full serial run is the reference picture.
+  const RunResult full = RunSerial(campaign);
+
+  // Serially run the first 5 experiments, then let the parallel runner
+  // resume the rest in the same session.
+  Session session(campaign);
+  testcard::SimTestCard card;
+  ThorRdTarget target(&session.store, &card);
+  CountingMonitor stopper(/*limit=*/5);
+  target.SetProgressMonitor(&stopper);
+  ASSERT_TRUE(target.RunCampaign(campaign.name).ok());
+  ASSERT_EQ(target.stats().experiments_run, 5);
+
+  ParallelCampaignRunner runner(&session.store,
+                                MakeSimThorFactory(&session.store), 3);
+  const RunResult resumed =
+      session.Snapshot(runner.Run(campaign.name), runner.stats(), campaign.name);
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  EXPECT_EQ(resumed.stats.experiments_resumed, 5);
+  EXPECT_EQ(resumed.stats.experiments_run, campaign.num_experiments - 5);
+  EXPECT_EQ(full.db_bytes, resumed.db_bytes);
+}
+
+TEST(ParallelRunnerTest, EarlyStopMatchesSeriallyStoppedRun) {
+  const CampaignData campaign = ScifiCampaign();
+  CountingMonitor serial_stopper(/*limit=*/4);
+  const RunResult serial = RunSerial(campaign, &serial_stopper);
+  CountingMonitor parallel_stopper(/*limit=*/4);
+  const RunResult parallel =
+      RunParallel(campaign, 4, /*batch_rows=*/0, &parallel_stopper);
+  EXPECT_EQ(parallel_stopper.calls(), 4);
+  ExpectIdentical(serial, parallel);
+  EXPECT_EQ(parallel.stats.experiments_run, 4);
+}
+
+TEST(ParallelRunnerTest, ProgressCallbacksArriveInExperimentOrder) {
+  class OrderMonitor final : public ProgressMonitor {
+   public:
+    bool OnExperiment(int done, int, const LoggedState&) override {
+      ordered_ = ordered_ && done == last_ + 1;
+      last_ = done;
+      return true;
+    }
+    bool ordered() const { return ordered_; }
+    int last() const { return last_; }
+
+   private:
+    bool ordered_ = true;
+    int last_ = 0;
+  };
+  OrderMonitor monitor;
+  const CampaignData campaign = ScifiCampaign();
+  const RunResult result =
+      RunParallel(campaign, 8, /*batch_rows=*/0, &monitor);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(monitor.ordered());
+  EXPECT_EQ(monitor.last(), campaign.num_experiments);
+}
+
+TEST(ParallelRunnerTest, UnknownCampaignFails) {
+  CampaignData campaign = ScifiCampaign();
+  Session session(campaign);
+  ParallelCampaignRunner runner(&session.store,
+                                MakeSimThorFactory(&session.store), 2);
+  EXPECT_FALSE(runner.Run("ghost").ok());
+}
+
+TEST(ParallelRunnerTest, BadLocationSelectorFailsBeforeDispatch) {
+  CampaignData campaign = ScifiCampaign();
+  campaign.name = "par_bad";
+  campaign.locations = {{"no_such_chain", ""}};
+  Session session(campaign);
+  ParallelCampaignRunner runner(&session.store,
+                                MakeSimThorFactory(&session.store), 2);
+  EXPECT_FALSE(runner.Run(campaign.name).ok());
+}
+
+TEST(ParallelRunnerTest, LivenessFilterStatsMatchSerial) {
+  const CampaignData campaign = ScifiCampaign();
+  auto analyzer =
+      LivenessAnalyzer::Build(campaign.workload, cpu::CpuConfig()).ValueOrDie();
+
+  Session serial_session(campaign);
+  testcard::SimTestCard card;
+  ThorRdTarget target(&serial_session.store, &card);
+  target.SetLivenessFilter(analyzer->MakeFilter());
+  const RunResult serial = serial_session.Snapshot(
+      target.RunCampaign(campaign.name), target.stats(), campaign.name);
+
+  Session parallel_session(campaign);
+  ParallelCampaignRunner runner(
+      &parallel_session.store, MakeSimThorFactory(&parallel_session.store), 4);
+  runner.SetLivenessFilter(analyzer->MakeFilter());
+  const RunResult parallel = parallel_session.Snapshot(
+      runner.Run(campaign.name), runner.stats(), campaign.name);
+
+  ASSERT_TRUE(serial.stats.injections_skipped_dead > 0);
+  ExpectIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -1,0 +1,83 @@
+// Unit tests for util::ThreadPool: task completion, result/exception
+// propagation through futures, and shutdown semantics.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace goofi::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter]() { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PropagatesResultsThroughFutures) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& future : futures) sum += future.get();
+  int expected = 0;
+  for (int i = 0; i < 32; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() { return 7; });
+  auto boom = pool.Submit(
+      []() -> int { throw std::runtime_error("injected failure"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(1);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++counter;
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndBlocksNewWork) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([]() {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.Submit([]() { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultWorkers(), 1);
+}
+
+}  // namespace
+}  // namespace goofi::util
