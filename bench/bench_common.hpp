@@ -6,13 +6,69 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/goofi.hpp"
 #include "db/database.hpp"
 #include "testcard/testcard.hpp"
 
 namespace goofi::bench {
+
+/// `--json <path>` support: benches that emit machine-readable metrics
+/// collect them here and dump one flat JSON object next to the printed
+/// table, so scripts (scripts/bench.sh, scripts/tier1.sh) can track
+/// performance without parsing the human-readable output.
+class JsonReport {
+ public:
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + entries_[i].first + "\": " + entries_[i].second;
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the report; aborts on I/O errors (benches must fail loudly).
+  void Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::abort();
+    }
+    const std::string text = ToString();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Returns the path following a `--json` flag, or nullptr when absent.
+inline const char* JsonOutputPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
 
 /// A ready-to-run GOOFI session: database + store + simulated target.
 struct Session {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Performance tracking: builds and runs the JSON-emitting benchmarks and
+# leaves one BENCH_<name>.json per benchmark in the build directory.
+#
+# Currently covered:
+#   BENCH_checkpoint.json — experiments/sec cold vs warm (checkpoint
+#   fast-forward, E13), swept over interval x injection distribution x
+#   worker count, plus the cache memory footprint per interval.
+#
+# Usage: scripts/bench.sh [build-dir]     (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Only pin the build type on a fresh directory: re-specifying it on an
+# existing one with a different type forces a full rebuild.
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_checkpoint_fastforward
+
+"$BUILD_DIR"/bench/bench_checkpoint_fastforward \
+    --json "$BUILD_DIR"/BENCH_checkpoint.json
+
+echo "bench: OK ($BUILD_DIR/BENCH_checkpoint.json)"

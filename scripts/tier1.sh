@@ -14,11 +14,16 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool) =="
+echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test
 "$TSAN_DIR"/tests/thread_pool_test
 "$TSAN_DIR"/tests/parallel_runner_test
+"$TSAN_DIR"/tests/checkpoint_test
+
+echo "== tier-1: checkpoint fast-forward benchmark (BENCH_checkpoint.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_checkpoint_fastforward
+"$BUILD_DIR"/bench/bench_checkpoint_fastforward --json "$BUILD_DIR"/BENCH_checkpoint.json
 
 echo "tier-1: OK"

@@ -61,6 +61,68 @@ util::Status FaultInjectionAlgorithms::SwifiRuntimeExperiment() {
   return util::Status::Ok();
 }
 
+// Warm-start bodies: RestoreCheckpoint stands in for the cold prefix
+// (InitTestCard/LoadWorkload/WriteMemory/RunWorkload plus the fault-free
+// execution up to the checkpoint); every block from the breakpoint on is the
+// cold sequence verbatim, so the logged state is bit-for-bit identical.
+
+util::Status FaultInjectionAlgorithms::ScifiExperimentFrom(
+    const Checkpoint& checkpoint) {
+  GOOFI_RETURN_IF_ERROR(RestoreCheckpoint(checkpoint));
+  GOOFI_RETURN_IF_ERROR(WaitForBreakpoint());
+  GOOFI_RETURN_IF_ERROR(ReadScanChain());
+  GOOFI_RETURN_IF_ERROR(InjectFault());
+  GOOFI_RETURN_IF_ERROR(WriteScanChain());
+  GOOFI_RETURN_IF_ERROR(WaitForTermination());
+  GOOFI_RETURN_IF_ERROR(ReadMemory());
+  GOOFI_RETURN_IF_ERROR(ReadScanChain());
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectionAlgorithms::SwifiRuntimeExperimentFrom(
+    const Checkpoint& checkpoint) {
+  GOOFI_RETURN_IF_ERROR(RestoreCheckpoint(checkpoint));
+  GOOFI_RETURN_IF_ERROR(WaitForBreakpoint());
+  GOOFI_RETURN_IF_ERROR(InjectMemoryFault());
+  GOOFI_RETURN_IF_ERROR(WaitForTermination());
+  GOOFI_RETURN_IF_ERROR(ReadMemory());
+  GOOFI_RETURN_IF_ERROR(ReadScanChain());
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectionAlgorithms::RunBody(ExperimentBody body) {
+  // Warm-start applies only to injecting experiments of the stop-inject-
+  // resume techniques; the reference run and pre-runtime SWIFI stay cold.
+  if (checkpoint_cache_ != nullptr && !faults_.empty() &&
+      SupportsCheckpoints() &&
+      (campaign_.technique == Technique::kScifi ||
+       campaign_.technique == Technique::kSwifiRuntime)) {
+    const Checkpoint* checkpoint =
+        checkpoint_cache_->FindBefore(faults_.front().inject_instr);
+    if (checkpoint != nullptr) {
+      ++warm_starts_;
+      return campaign_.technique == Technique::kScifi
+                 ? ScifiExperimentFrom(*checkpoint)
+                 : SwifiRuntimeExperimentFrom(*checkpoint);
+    }
+  }
+  return (this->*body)();
+}
+
+bool FaultInjectionAlgorithms::ShouldAutoCheckpoint() const {
+  if (checkpoint_interval_ == 0 || !SupportsCheckpoints()) return false;
+  if (campaign_.technique != Technique::kScifi &&
+      campaign_.technique != Technique::kSwifiRuntime) {
+    return false;
+  }
+  // Default policy: warm-start when every fault injects at or after the
+  // first checkpoint interval, so each experiment is guaranteed to skip at
+  // least one interval's worth of re-simulation.
+  return force_warm_start_ ||
+         static_cast<uint64_t>(campaign_.inject_min_instr) >=
+             checkpoint_interval_;
+}
+
 // ---------------------------------------------------------------------------
 // Campaign driver.
 // ---------------------------------------------------------------------------
@@ -180,6 +242,8 @@ util::Status FaultInjectionAlgorithms::PrepareCampaign(
     const CampaignData& campaign) {
   campaign_ = campaign;
   stats_ = Stats{};
+  checkpoint_cache_.reset();
+  warm_starts_ = 0;
 
   // Enumerate the fault space once per campaign.
   fault_space_.clear();
@@ -188,6 +252,15 @@ util::Status FaultInjectionAlgorithms::PrepareCampaign(
     if (!part.ok()) return part.status();
     fault_space_.insert(fault_space_.end(), part.value().begin(),
                         part.value().end());
+  }
+
+  // Build the golden-run checkpoint cache once per campaign. A campaign
+  // driven by ParallelCampaignRunner suppresses this (interval 0 on the
+  // workers) and installs one shared cache instead.
+  if (ShouldAutoCheckpoint()) {
+    auto cache = std::make_shared<CheckpointCache>(checkpoint_interval_);
+    GOOFI_RETURN_IF_ERROR(BuildCheckpoints(checkpoint_interval_, cache.get()));
+    checkpoint_cache_ = std::move(cache);
   }
   return util::Status::Ok();
 }
@@ -204,7 +277,7 @@ FaultInjectionAlgorithms::ExecuteExperiment(int index) {
     GOOFI_RETURN_IF_ERROR(GenerateFaults(fault_space_, index));
     name = ExperimentName(campaign_.name, index);
   }
-  GOOFI_RETURN_IF_ERROR((this->*body)());
+  GOOFI_RETURN_IF_ERROR(RunBody(body));
   return BuildRecords(name, "");
 }
 
@@ -242,7 +315,7 @@ util::Status FaultInjectionAlgorithms::DriveCampaign(
     }
     GOOFI_RETURN_IF_ERROR(GenerateFaults(fault_space_, i));
     detail_log_.clear();
-    GOOFI_RETURN_IF_ERROR((this->*body)());
+    GOOFI_RETURN_IF_ERROR(RunBody(body));
     GOOFI_RETURN_IF_ERROR(LogExperiment(ExperimentName(campaign_.name, i), ""));
     ++stats_.experiments_run;
     if (monitor_ != nullptr) {

@@ -29,8 +29,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "core/campaign_store.hpp"
+#include "core/checkpoint.hpp"
 #include "core/types.hpp"
 #include "util/rng.hpp"
 
@@ -124,7 +126,67 @@ class FaultInjectionAlgorithms {
   util::Result<std::vector<CampaignStore::ExperimentRow>> ExecuteExperiment(
       int index);
 
+  // --- checkpoint fast-forward ---------------------------------------------
+  //
+  // During PrepareCampaign the target (if it SupportsCheckpoints) runs the
+  // fault-free workload once, snapshotting full target state every
+  // `checkpoint_interval` retired instructions. Each experiment then warm-
+  // starts from the nearest checkpoint strictly before its inject_instr
+  // instead of re-simulating from reset. The warm path is bit-for-bit
+  // equivalent: a warm campaign's database is byte-identical to a cold one.
+
+  static constexpr uint64_t kDefaultCheckpointInterval = 4096;
+
+  /// Retired instructions between golden-run snapshots; 0 disables
+  /// checkpointing entirely.
+  void SetCheckpointInterval(uint64_t interval) {
+    checkpoint_interval_ = interval;
+  }
+  uint64_t checkpoint_interval() const { return checkpoint_interval_; }
+
+  /// Forces warm-start even for campaigns whose faults may inject before the
+  /// first checkpoint interval. By default warm-start engages only when
+  /// inject_min_instr >= checkpoint_interval (all faults inject after the
+  /// first snapshot, so building the cache is guaranteed to pay off).
+  void SetForceWarmStart(bool force) { force_warm_start_ = force; }
+
+  /// Installs a prebuilt cache (shared read-only across parallel workers).
+  /// PrepareCampaign resets any installed cache, so install after preparing.
+  void SetCheckpointCache(std::shared_ptr<const CheckpointCache> cache) {
+    checkpoint_cache_ = std::move(cache);
+  }
+  const std::shared_ptr<const CheckpointCache>& checkpoint_cache() const {
+    return checkpoint_cache_;
+  }
+
+  /// Experiments that started from a checkpoint instead of from reset.
+  /// Deliberately outside Stats: warm and cold runs must compare equal.
+  int warm_starts() const { return warm_starts_; }
+
+  /// Whether this target implements BuildCheckpoints/RestoreCheckpoint.
+  virtual bool SupportsCheckpoints() const { return false; }
+
+  /// Runs the prepared campaign's fault-free workload once, adding a
+  /// snapshot to `cache` at instruction 0 and every `interval` retired
+  /// instructions until termination. Requires PrepareCampaign.
+  virtual util::Status BuildCheckpoints(uint64_t interval,
+                                        CheckpointCache* cache) {
+    (void)interval;
+    (void)cache;
+    return util::FailedPrecondition(
+        "this target does not support checkpointing");
+  }
+
  protected:
+  /// Restores the target to `checkpoint`'s state and re-arms triggers for
+  /// the current `faults_`, replacing InitTestCard..RunWorkload +
+  /// fast-forwarding execution to the checkpoint's instruction.
+  virtual util::Status RestoreCheckpoint(const Checkpoint& checkpoint) {
+    (void)checkpoint;
+    return util::FailedPrecondition(
+        "this target does not support checkpointing");
+  }
+
   // --- abstract building blocks (implemented per target system) ----------
 
   virtual util::Status InitTestCard() = 0;
@@ -183,6 +245,20 @@ class FaultInjectionAlgorithms {
   util::Status SwifiPreRuntimeExperiment();
   util::Status SwifiRuntimeExperiment();
 
+  /// Warm-start bodies: the same block sequences with the cold prefix
+  /// (InitTestCard..RunWorkload, pre-breakpoint execution) replaced by
+  /// RestoreCheckpoint. Pre-runtime SWIFI has no warm form — it corrupts the
+  /// image before execution, so there is no shared fault-free prefix.
+  util::Status ScifiExperimentFrom(const Checkpoint& checkpoint);
+  util::Status SwifiRuntimeExperimentFrom(const Checkpoint& checkpoint);
+
+  /// Dispatches one experiment body, taking the warm-start path when a
+  /// usable checkpoint exists for the current faults.
+  util::Status RunBody(ExperimentBody body);
+
+  /// Whether PrepareCampaign should auto-build a checkpoint cache.
+  bool ShouldAutoCheckpoint() const;
+
   static ExperimentBody BodyForTechnique(Technique technique);
 
   util::Status DriveCampaign(const std::string& campaign_name,
@@ -205,6 +281,11 @@ class FaultInjectionAlgorithms {
                              const std::string& parent);
 
   std::vector<FaultCandidate> fault_space_;
+
+  uint64_t checkpoint_interval_ = kDefaultCheckpointInterval;
+  bool force_warm_start_ = false;
+  std::shared_ptr<const CheckpointCache> checkpoint_cache_;
+  int warm_starts_ = 0;
 };
 
 }  // namespace goofi::core

@@ -1,0 +1,32 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace goofi::core {
+
+void CheckpointCache::Add(Checkpoint checkpoint) {
+  assert(checkpoints_.empty() ||
+         checkpoint.instret >= checkpoints_.back().instret);
+  checkpoints_.push_back(std::move(checkpoint));
+}
+
+const Checkpoint* CheckpointCache::FindBefore(uint64_t inject_instr) const {
+  // First checkpoint with instret >= inject_instr; the one before it is the
+  // greatest strictly-below match.
+  auto it = std::lower_bound(
+      checkpoints_.begin(), checkpoints_.end(), inject_instr,
+      [](const Checkpoint& cp, uint64_t value) { return cp.instret < value; });
+  if (it == checkpoints_.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+size_t CheckpointCache::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.payload != nullptr) bytes += cp.payload->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace goofi::core

@@ -17,6 +17,7 @@
 #include "core/algorithms.hpp"     // IWYU pragma: export
 #include "core/analysis.hpp"       // IWYU pragma: export
 #include "core/campaign_store.hpp" // IWYU pragma: export
+#include "core/checkpoint.hpp"     // IWYU pragma: export
 #include "core/framework.hpp"      // IWYU pragma: export
 #include "core/parallel_runner.hpp" // IWYU pragma: export
 #include "core/preinjection.hpp"   // IWYU pragma: export

@@ -41,6 +41,7 @@ void ParallelCampaignRunner::SetCommitBatchRows(int rows) {
 
 util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
   stats_ = FaultInjectionAlgorithms::Stats{};
+  warm_starts_ = 0;
   auto campaign_or = store_->GetCampaign(campaign_name);
   if (!campaign_or.ok()) return campaign_or.status();
   const CampaignData campaign = std::move(campaign_or).value();
@@ -75,8 +76,27 @@ util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
       return util::Internal("parallel runner: target factory returned null");
     }
     if (liveness_filter_) target->SetLivenessFilter(liveness_filter_);
+    // Suppress the per-target auto-build: a shared cache (below) replaces N
+    // redundant golden runs with one.
+    target->SetCheckpointInterval(0);
     GOOFI_RETURN_IF_ERROR(target->PrepareCampaign(campaign));
     targets.push_back(std::move(target));
+  }
+
+  // Build the golden-run checkpoint cache once, on the committer thread,
+  // and share it read-only across all workers. Same engagement rule as the
+  // serial driver: warm-start only pays off when every fault injects at or
+  // after the first snapshot interval (or when forced).
+  const bool warm_technique = campaign.technique == Technique::kScifi ||
+                              campaign.technique == Technique::kSwifiRuntime;
+  if (checkpoint_interval_ > 0 && warm_technique &&
+      targets[0]->SupportsCheckpoints() &&
+      (force_warm_start_ || campaign.inject_min_instr >= checkpoint_interval_)) {
+    auto cache = std::make_shared<CheckpointCache>(checkpoint_interval_);
+    GOOFI_RETURN_IF_ERROR(
+        targets[0]->BuildCheckpoints(checkpoint_interval_, cache.get()));
+    const std::shared_ptr<const CheckpointCache> shared = std::move(cache);
+    for (auto& target : targets) target->SetCheckpointCache(shared);
   }
 
   // The reference run commits before any experiment row, matching serial
@@ -169,6 +189,8 @@ util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
 
   cancel.store(true, std::memory_order_relaxed);
   pool.Shutdown();
+
+  for (const auto& target : targets) warm_starts_ += target->warm_starts();
 
   // Commit what completed in order before reporting any error — the same
   // prefix a serial run that failed at this experiment would have logged.

@@ -60,6 +60,24 @@ class ParallelCampaignRunner {
   /// is unaffected; this only trades commit overhead against buffering.
   void SetCommitBatchRows(int rows);
 
+  /// Checkpoint fast-forward: when the target supports it, the committer
+  /// thread builds one golden-run CheckpointCache during preparation and
+  /// shares it read-only across all workers, so each experiment warm-starts
+  /// from the nearest snapshot before its injection time. 0 disables.
+  void SetCheckpointInterval(uint64_t interval) {
+    checkpoint_interval_ = interval;
+  }
+  uint64_t checkpoint_interval() const { return checkpoint_interval_; }
+
+  /// Engages warm-start even when some faults may inject before the first
+  /// checkpoint (see FaultInjectionAlgorithms::SetForceWarmStart).
+  void SetForceWarmStart(bool force) { force_warm_start_ = force; }
+
+  /// Experiments of the most recent Run that started from a checkpoint,
+  /// summed over all workers. Outside stats() so warm and cold runs compare
+  /// equal.
+  int warm_starts() const { return warm_starts_; }
+
   /// Runs `campaign_name` to completion (technique dispatched from the
   /// stored campaign, as in RunCampaign). On a worker error, experiments
   /// committed so far stay in the database — exactly what a failed serial
@@ -83,6 +101,10 @@ class ParallelCampaignRunner {
   int num_workers_;
   int workers_used_ = 0;
   int batch_rows_ = 64;
+  uint64_t checkpoint_interval_ =
+      FaultInjectionAlgorithms::kDefaultCheckpointInterval;
+  bool force_warm_start_ = false;
+  int warm_starts_ = 0;
   ProgressMonitor* monitor_ = nullptr;
   FaultInjectionAlgorithms::LivenessFilter liveness_filter_;
   FaultInjectionAlgorithms::Stats stats_;

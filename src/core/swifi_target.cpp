@@ -4,6 +4,26 @@
 
 namespace goofi::core {
 
+namespace {
+
+/// Checkpoint payload for the simulator-only SWIFI target: the CPU snapshot
+/// (registers, caches, memory delta) plus the host-side per-experiment state
+/// the golden run accumulates. Built and consumed in this translation unit
+/// only.
+struct SwifiPayload final : CheckpointPayload {
+  cpu::CpuSnapshot cpu;
+  int iterations = 0;
+  uint32_t crc_state = 0;
+  std::vector<double> env_state;
+
+  size_t MemoryBytes() const override {
+    return sizeof(SwifiPayload) + cpu.MemoryBytes() +
+           env_state.size() * sizeof(double);
+  }
+};
+
+}  // namespace
+
 SwifiSimTarget::SwifiSimTarget(CampaignStore* store,
                                const cpu::CpuConfig& config)
     : FrameworkTarget(store), cpu_(std::make_unique<cpu::Cpu>(config)) {}
@@ -133,6 +153,90 @@ util::Status SwifiSimTarget::RunUntil(uint64_t stop_instr) {
   return util::Status::Ok();
 }
 
+util::Status SwifiSimTarget::EnsureWarmBaseline() {
+  if (warm_ready_workload_ == campaign_.workload) return util::Status::Ok();
+  // The deterministic cold prologue every experiment shares. Running it once
+  // per worker makes each worker's baseline image identical to the one the
+  // cache's deltas were captured against.
+  GOOFI_RETURN_IF_ERROR(InitTestCard());
+  GOOFI_RETURN_IF_ERROR(LoadWorkload());
+  GOOFI_RETURN_IF_ERROR(WriteMemory());
+  cpu_->MarkMemoryBaseline();
+  warm_ready_workload_ = campaign_.workload;
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::CaptureCheckpoint(CheckpointCache* cache) {
+  auto payload = std::make_shared<SwifiPayload>();
+  payload->cpu = cpu_->SaveSnapshot();
+  payload->iterations = iterations_;
+  payload->crc_state = actuator_crc_.raw_state();
+  if (environment_ != nullptr) payload->env_state = environment_->SaveState();
+  Checkpoint checkpoint;
+  checkpoint.instret = cpu_->instructions_retired();
+  checkpoint.payload = std::move(payload);
+  cache->Add(std::move(checkpoint));
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::BuildCheckpoints(uint64_t interval,
+                                              CheckpointCache* cache) {
+  if (interval == 0 || cache == nullptr) {
+    return util::InvalidArgument("checkpoint interval must be positive");
+  }
+  // Golden run: the fault-free workload, stepped with exactly the semantics
+  // of RunUntil. Captures happen at the loop top — the same program point a
+  // cold WaitForBreakpoint stops at — so the state at instret N here is
+  // bit-for-bit the state a cold experiment passes through at instret N.
+  faults_.clear();
+  warm_ready_workload_.clear();
+  GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
+  cpu_->Reset(program_.entry);  // RunWorkload, minus re-downloading memory
+  uint64_t next_capture = 0;
+  for (;;) {
+    if (Terminated()) break;
+    if (cpu_->instructions_retired() >= next_capture) {
+      GOOFI_RETURN_IF_ERROR(CaptureCheckpoint(cache));
+      next_capture = cpu_->instructions_retired() + interval;
+      // No experiment can use a checkpoint at or past inject_max_instr
+      // (FindBefore is strict), so stop the golden run there.
+      if (next_capture >= campaign_.inject_max_instr) break;
+    }
+    const uint32_t exec_pc = cpu_->pc();
+    const cpu::StepOutcome outcome = cpu_->Step();
+    // RunUntil services the boundary iteration even when the step faulted —
+    // the exchange happens before the outcome is inspected. Mirror that.
+    if (environment_ != nullptr && exec_pc == loop_end_addr_) {
+      GOOFI_RETURN_IF_ERROR(ServiceIteration());
+    }
+    if (cpu_->cycles() >= campaign_.timeout_cycles) {
+      timed_out_ = true;
+      break;  // the golden run hit the campaign timeout; checkpoints end here
+    }
+    if (outcome != cpu::StepOutcome::kOk) break;
+  }
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::RestoreCheckpoint(const Checkpoint& checkpoint) {
+  const auto* payload =
+      dynamic_cast<const SwifiPayload*>(checkpoint.payload.get());
+  if (payload == nullptr) {
+    return util::Internal("checkpoint payload is not a SWIFI sim snapshot");
+  }
+  GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
+  cpu_->RestoreSnapshot(payload->cpu);
+  // Per-experiment bookkeeping exactly as a cold run carries it to this
+  // instruction. This target has no debug triggers to re-arm: RunUntil polls
+  // the retired-instruction counter directly.
+  iterations_ = payload->iterations;
+  timed_out_ = false;
+  actuator_crc_.set_raw_state(payload->crc_state);
+  outputs_.clear();
+  if (environment_ != nullptr) environment_->RestoreState(payload->env_state);
+  return util::Status::Ok();
+}
+
 util::Status SwifiSimTarget::WaitForBreakpoint() {
   return RunUntil(faults_.empty() ? 0 : faults_.front().inject_instr);
 }
@@ -250,6 +354,7 @@ util::Result<LoggedState> SwifiSimTarget::CollectState() {
   state.outputs = outputs_;
   // The simulator host observes the architectural state directly.
   util::BitVec image;
+  image.Reserve((isa::kNumRegisters + 1) * 32);
   for (int reg = 0; reg < isa::kNumRegisters; ++reg) {
     image.AppendWord(cpu_->reg(reg), 32);
   }

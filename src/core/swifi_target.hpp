@@ -44,7 +44,17 @@ class SwifiSimTarget : public FrameworkTarget {
 
   const cpu::Cpu& cpu() const { return *cpu_; }
 
+  /// Checkpoint fast-forward support: the golden run snapshots the CPU
+  /// (registers, caches, memory delta) plus the environment simulator,
+  /// iteration count and actuator CRC. SCIFI is not offered by this target,
+  /// so only runtime SWIFI campaigns warm-start.
+  bool SupportsCheckpoints() const override { return true; }
+  util::Status BuildCheckpoints(uint64_t interval,
+                                CheckpointCache* cache) override;
+
  protected:
+  util::Status RestoreCheckpoint(const Checkpoint& checkpoint) override;
+
   util::Status InitTestCard() override;
   util::Status LoadWorkload() override;
   util::Status WriteMemory() override;
@@ -74,6 +84,11 @@ class SwifiSimTarget : public FrameworkTarget {
   util::Status RunUntil(uint64_t stop_instr);
   bool Terminated() const;
   util::Status ApplyMemoryFaults();
+  /// Establishes the memory delta baseline for the prepared workload (the
+  /// deterministic cold prologue: InitTestCard/LoadWorkload/WriteMemory +
+  /// MarkMemoryBaseline), once per workload per target instance.
+  util::Status EnsureWarmBaseline();
+  util::Status CaptureCheckpoint(CheckpointCache* cache);
 
   std::unique_ptr<cpu::Cpu> cpu_;
 
@@ -90,6 +105,9 @@ class SwifiSimTarget : public FrameworkTarget {
   bool timed_out_ = false;
   util::Crc32 actuator_crc_;
   std::vector<uint32_t> outputs_;
+
+  /// Workload the memory baseline was established for; empty = none yet.
+  std::string warm_ready_workload_;
 };
 
 }  // namespace goofi::core

@@ -5,6 +5,26 @@
 
 namespace goofi::core {
 
+namespace {
+
+/// Checkpoint payload for the Thor RD stack: the full test-card snapshot
+/// plus the host-side per-experiment state the golden run accumulates
+/// (iteration count, actuator-CRC accumulator, plant state). Built and
+/// consumed in this translation unit only.
+struct ThorPayload final : CheckpointPayload {
+  testcard::CardSnapshot card;
+  int iterations = 0;
+  uint32_t crc_state = 0;
+  std::vector<double> env_state;
+
+  size_t MemoryBytes() const override {
+    return sizeof(ThorPayload) + card.MemoryBytes() +
+           env_state.size() * sizeof(double);
+  }
+};
+
+}  // namespace
+
 ThorRdTarget::ThorRdTarget(CampaignStore* store, testcard::TestCard* card)
     : FaultInjectionAlgorithms(store), card_(card) {}
 
@@ -244,15 +264,118 @@ util::Status ThorRdTarget::RunLoopDetail() {
     }
     // Log the same chains the campaign observes at termination, so detail
     // traces expose fault propagation in every selected location class.
+    // The capture buffer is reused across instructions: this loop runs per
+    // retired instruction, so a fresh BitVec per read would dominate the
+    // detail-mode allocation profile.
     for (const std::string& chain : campaign_.observe_chains) {
-      auto image = card_->ReadScanChain(chain, /*restore=*/true);
-      if (!image.ok()) return image.status();
-      snapshot.scan_images[chain] = image.value().ToString();
+      GOOFI_RETURN_IF_ERROR(
+          card_->ReadScanChainInto(chain, /*restore=*/true, &detail_capture_));
+      snapshot.scan_images[chain] = detail_capture_.ToString();
     }
     detail_log_.push_back(std::move(snapshot));
 
     if (outcome != cpu::StepOutcome::kOk) break;
   }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::EnsureWarmBaseline() {
+  if (warm_ready_workload_ == campaign_.workload) return util::Status::Ok();
+  // The deterministic cold prologue every experiment shares. Running it once
+  // per worker makes each worker's baseline image identical to the one the
+  // cache's deltas were captured against.
+  GOOFI_RETURN_IF_ERROR(InitTestCard());
+  GOOFI_RETURN_IF_ERROR(LoadWorkload());
+  GOOFI_RETURN_IF_ERROR(WriteMemory());
+  GOOFI_RETURN_IF_ERROR(card_->MarkMemoryBaseline());
+  warm_ready_workload_ = campaign_.workload;
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::CaptureCheckpoint(CheckpointCache* cache) {
+  auto card = card_->SaveSnapshot();
+  if (!card.ok()) return card.status();
+  auto payload = std::make_shared<ThorPayload>();
+  payload->card = std::move(card).value();
+  payload->iterations = iterations_;
+  payload->crc_state = actuator_crc_.raw_state();
+  if (environment_ != nullptr) payload->env_state = environment_->SaveState();
+  Checkpoint checkpoint;
+  checkpoint.instret = card_->cpu().instructions_retired();
+  checkpoint.payload = std::move(payload);
+  cache->Add(std::move(checkpoint));
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::BuildCheckpoints(uint64_t interval,
+                                            CheckpointCache* cache) {
+  if (interval == 0 || cache == nullptr) {
+    return util::InvalidArgument("checkpoint interval must be positive");
+  }
+  // Golden run: the fault-free workload, stepped with exactly the semantics
+  // of RunLoop (service an iteration only when the step at the loop boundary
+  // completed normally; trigger servicing outranks the cycle timeout). The
+  // state at instret N here is bit-for-bit the state a cold experiment
+  // passes through at instret N on its way to the injection breakpoint.
+  faults_.clear();
+  warm_ready_workload_.clear();
+  GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
+  GOOFI_RETURN_IF_ERROR(card_->ResetTarget());
+  uint64_t next_capture = 0;
+  for (;;) {
+    if (Terminated()) break;
+    if (card_->cpu().instructions_retired() >= next_capture) {
+      GOOFI_RETURN_IF_ERROR(CaptureCheckpoint(cache));
+      next_capture = card_->cpu().instructions_retired() + interval;
+      // No experiment can use a checkpoint at or past inject_max_instr
+      // (FindBefore is strict), so stop the golden run there.
+      if (next_capture >= campaign_.inject_max_instr) break;
+    }
+    const uint32_t exec_pc = card_->cpu().pc();
+    const cpu::StepOutcome outcome = card_->SingleStep();
+    if (environment_ != nullptr && exec_pc == loop_end_addr_) {
+      if (outcome != cpu::StepOutcome::kOk) break;
+      GOOFI_RETURN_IF_ERROR(ServiceIteration());
+      if (iterations_ >= campaign_.max_iterations) break;
+      continue;
+    }
+    if (outcome != cpu::StepOutcome::kOk) break;
+    if (campaign_.timeout_cycles != 0 &&
+        card_->cpu().cycles() >= campaign_.timeout_cycles) {
+      break;  // the golden run hit the campaign timeout; checkpoints end here
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::RestoreCheckpoint(const Checkpoint& checkpoint) {
+  const auto* payload =
+      dynamic_cast<const ThorPayload*>(checkpoint.payload.get());
+  if (payload == nullptr) {
+    return util::Internal("checkpoint payload is not a Thor RD snapshot");
+  }
+  GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
+  GOOFI_RETURN_IF_ERROR(card_->RestoreSnapshot(payload->card));
+  // Per-experiment bookkeeping exactly as a cold run carries it to this
+  // instruction: injection still ahead, no timeout, accumulated iteration
+  // count / CRC / plant state from the fault-free prefix.
+  iterations_ = payload->iterations;
+  timed_out_ = false;
+  injection_done_ = false;
+  terminated_before_injection_ = false;
+  activations_done_ = 0;
+  next_activation_ = 0;
+  actuator_crc_.set_raw_state(payload->crc_state);
+  outputs_.clear();
+  inject_images_.clear();
+  observe_images_.clear();
+  if (environment_ != nullptr) environment_->RestoreState(payload->env_state);
+  // Re-arm as RunWorkload would. The PC breakpoint fires on every execution
+  // of the loop boundary regardless of its occurrence counter (occurrence
+  // 1), and instruction-count triggers are level-comparators, so fresh
+  // counters behave identically to counters carried from instruction 0.
+  ArmTriggers(/*with_injection_breakpoint=*/!faults_.empty(),
+              /*with_reactivation=*/false);
   return util::Status::Ok();
 }
 

@@ -36,7 +36,16 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
   /// The default name this target registers under.
   static constexpr const char* kTargetName = "thor-rd-sim";
 
+  /// Checkpoint fast-forward support: the golden run snapshots the full
+  /// card state (CPU, caches, memory delta, TAP, debug unit) plus the
+  /// environment simulator, iteration count and actuator CRC.
+  bool SupportsCheckpoints() const override { return true; }
+  util::Status BuildCheckpoints(uint64_t interval,
+                                CheckpointCache* cache) override;
+
  protected:
+  util::Status RestoreCheckpoint(const Checkpoint& checkpoint) override;
+
   util::Status InitTestCard() override;
   util::Status LoadWorkload() override;
   util::Status WriteMemory() override;
@@ -78,6 +87,15 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
   /// True when a termination condition has been reached.
   bool Terminated() const;
 
+  /// Establishes the memory delta baseline for the prepared workload (the
+  /// deterministic cold prologue: InitTestCard/LoadWorkload/WriteMemory +
+  /// MarkMemoryBaseline). Each worker runs this once per workload, so a
+  /// shared cache's deltas restore against an identical baseline.
+  util::Status EnsureWarmBaseline();
+
+  /// Captures the current golden-run state into `cache`.
+  util::Status CaptureCheckpoint(CheckpointCache* cache);
+
   testcard::TestCard* card_;
 
   // Cached workload.
@@ -106,6 +124,12 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
   int iteration_trigger_ = -1;
   int breakpoint_trigger_ = -1;
   int reactivation_trigger_ = -1;
+
+  /// Workload the memory baseline was established for; empty = none yet.
+  std::string warm_ready_workload_;
+
+  /// Capture buffer reused across detail-mode scan-chain reads.
+  util::BitVec detail_capture_;
 
   /// Cap on detail-mode rows per experiment, to bound database growth.
   static constexpr size_t kMaxDetailRows = 20000;

@@ -59,13 +59,32 @@ class ParityCache {
   uint64_t misses() const { return misses_; }
   void ResetStats() { hits_ = misses_ = 0; }
 
- private:
   struct Line {
     bool valid = false;
     uint32_t tag = 0;
     uint32_t data = 0;
     bool parity = false;
   };
+
+  /// Full cache state for checkpointing: every line field (valid, tag, data,
+  /// parity) plus hit/miss stats, since the cycle model (and hence timeout
+  /// behaviour) depends on hit/miss patterns after restore.
+  struct Snapshot {
+    std::vector<Line> lines;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    size_t MemoryBytes() const { return lines.size() * sizeof(Line); }
+  };
+
+  Snapshot SaveSnapshot() const { return {lines_, hits_, misses_}; }
+  void RestoreSnapshot(const Snapshot& snapshot) {
+    lines_ = snapshot.lines;
+    hits_ = snapshot.hits;
+    misses_ = snapshot.misses;
+  }
+
+ private:
 
   uint32_t IndexOf(uint32_t word_address) const {
     return word_address & (num_lines() - 1);

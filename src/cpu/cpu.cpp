@@ -67,6 +67,52 @@ util::Status Cpu::HostWriteWord(uint32_t address, uint32_t value) {
   return util::Status::Ok();
 }
 
+CpuSnapshot Cpu::SaveSnapshot() const {
+  CpuSnapshot snapshot;
+  snapshot.regs = regs_;
+  snapshot.pc = pc_;
+  snapshot.ir = ir_;
+  snapshot.next_pc = next_pc_;
+  snapshot.latch_operand_a = latch_operand_a_;
+  snapshot.latch_operand_b = latch_operand_b_;
+  snapshot.latch_alu_result = latch_alu_result_;
+  snapshot.latch_mem_addr = latch_mem_addr_;
+  snapshot.latch_mem_data = latch_mem_data_;
+  snapshot.watchdog_counter = watchdog_counter_;
+  snapshot.cycles = cycles_;
+  snapshot.instret = instret_;
+  snapshot.halted = halted_;
+  snapshot.edm_event = edm_event_;
+  snapshot.text_start = text_start_;
+  snapshot.text_end = text_end_;
+  snapshot.icache = icache_.SaveSnapshot();
+  snapshot.dcache = dcache_.SaveSnapshot();
+  snapshot.memory = memory_.CaptureDelta();
+  return snapshot;
+}
+
+void Cpu::RestoreSnapshot(const CpuSnapshot& snapshot) {
+  regs_ = snapshot.regs;
+  pc_ = snapshot.pc;
+  ir_ = snapshot.ir;
+  next_pc_ = snapshot.next_pc;
+  latch_operand_a_ = snapshot.latch_operand_a;
+  latch_operand_b_ = snapshot.latch_operand_b;
+  latch_alu_result_ = snapshot.latch_alu_result;
+  latch_mem_addr_ = snapshot.latch_mem_addr;
+  latch_mem_data_ = snapshot.latch_mem_data;
+  watchdog_counter_ = snapshot.watchdog_counter;
+  cycles_ = snapshot.cycles;
+  instret_ = snapshot.instret;
+  halted_ = snapshot.halted;
+  edm_event_ = snapshot.edm_event;
+  text_start_ = snapshot.text_start;
+  text_end_ = snapshot.text_end;
+  icache_.RestoreSnapshot(snapshot.icache);
+  dcache_.RestoreSnapshot(snapshot.dcache);
+  memory_.RestoreDelta(snapshot.memory);
+}
+
 void Cpu::RaiseEdm(EdmType type, int32_t code, const std::string& detail) {
   if (!config_.edms.Enabled(type)) return;
   if (edm_event_.Detected()) return;  // first detection wins

@@ -40,6 +40,37 @@ enum class StepOutcome {
   kDetected,  ///< an EDM fired; see edm_event()
 };
 
+/// Complete execution state of a Cpu at one point in time, captured for the
+/// checkpoint engine. Memory is stored as a dirty-page delta against the
+/// baseline image (Memory::MarkCleanBaseline), not a full copy.
+struct CpuSnapshot {
+  std::array<uint32_t, isa::kNumRegisters> regs{};
+  uint32_t pc = 0;
+  uint32_t ir = 0;
+  uint32_t next_pc = 0;
+  uint32_t latch_operand_a = 0;
+  uint32_t latch_operand_b = 0;
+  uint32_t latch_alu_result = 0;
+  uint32_t latch_mem_addr = 0;
+  uint32_t latch_mem_data = 0;
+  uint32_t watchdog_counter = 0;
+  uint64_t cycles = 0;
+  uint64_t instret = 0;
+  bool halted = false;
+  EdmEvent edm_event;
+  uint32_t text_start = 0;
+  uint32_t text_end = 0;
+  ParityCache::Snapshot icache;
+  ParityCache::Snapshot dcache;
+  Memory::Delta memory;
+
+  /// Approximate heap footprint, for checkpoint-store accounting.
+  size_t MemoryBytes() const {
+    return sizeof(CpuSnapshot) + icache.MemoryBytes() + dcache.MemoryBytes() +
+           memory.MemoryBytes() + edm_event.detail.size();
+  }
+};
+
 class Cpu {
  public:
   explicit Cpu(const CpuConfig& config = CpuConfig());
@@ -111,6 +142,22 @@ class Cpu {
   /// Builds the scan-visible state-element list. The returned registry holds
   /// accessors bound to this Cpu instance and must not outlive it.
   StateRegistry BuildStateRegistry();
+
+  // --- checkpointing -------------------------------------------------------
+
+  /// Declares the current memory contents as the delta baseline. Call once
+  /// after the workload image is downloaded, before any SaveSnapshot.
+  void MarkMemoryBaseline() { memory_.MarkCleanBaseline(); }
+
+  /// Captures every execution-visible piece of state: registers, pc/ir/
+  /// next_pc, data-path latches, counters, EDM/halt state, text bounds, full
+  /// cache state and the memory delta.
+  CpuSnapshot SaveSnapshot() const;
+
+  /// Restores a SaveSnapshot taken on a Cpu with the same configuration and
+  /// memory baseline. Afterwards execution is bit-for-bit identical to the
+  /// original run from the capture point.
+  void RestoreSnapshot(const CpuSnapshot& snapshot);
 
  private:
   /// Fetches the instruction at `address` into ir_ through the icache;

@@ -1,5 +1,8 @@
 #include "cpu/memory.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 namespace goofi::cpu {
 
 Memory::Memory(uint32_t size_bytes) : words_((size_bytes + 3) / 4, 0) {}
@@ -33,6 +36,7 @@ MemAccess Memory::Write(uint32_t address, uint32_t value) {
     return out;
   }
   words_[address / 4] = value;
+  MarkDirty(address / 4);
   return out;
 }
 
@@ -40,6 +44,7 @@ util::Status Memory::HostWrite(uint32_t address, uint32_t value) {
   if (address % 4 != 0) return util::InvalidArgument("misaligned host write");
   if (address >= size_bytes()) return util::OutOfRange("host write out of range");
   words_[address / 4] = value;
+  MarkDirty(address / 4);
   return util::Status::Ok();
 }
 
@@ -65,6 +70,66 @@ bool Memory::IsProtected(uint32_t address) const {
 void Memory::Reset() {
   std::fill(words_.begin(), words_.end(), 0u);
   protected_ranges_.clear();
+  // Every page now potentially differs from the baseline image.
+  std::fill(dirty_.begin(), dirty_.end(), static_cast<uint8_t>(1));
+}
+
+void Memory::MarkCleanBaseline() {
+  baseline_ = words_;
+  dirty_.assign((words_.size() + kPageWords - 1) / kPageWords, 0);
+}
+
+Memory::Delta Memory::CaptureDelta() const {
+  assert(!baseline_.empty() && "MarkCleanBaseline() must precede CaptureDelta");
+  Delta delta;
+  for (size_t page = 0; page < dirty_.size(); ++page) {
+    if (!dirty_[page]) continue;
+    const size_t begin = page * kPageWords;
+    const size_t end = std::min(begin + kPageWords, words_.size());
+    // Writes that re-stored the baseline value leave the page marked dirty;
+    // skip pages that in fact still match so deltas stay tight.
+    if (std::equal(words_.begin() + static_cast<ptrdiff_t>(begin),
+                   words_.begin() + static_cast<ptrdiff_t>(end),
+                   baseline_.begin() + static_cast<ptrdiff_t>(begin))) {
+      continue;
+    }
+    Delta::Page out;
+    out.index = static_cast<uint32_t>(page);
+    out.words.assign(words_.begin() + static_cast<ptrdiff_t>(begin),
+                     words_.begin() + static_cast<ptrdiff_t>(end));
+    delta.pages.push_back(std::move(out));
+  }
+  delta.protected_ranges.reserve(protected_ranges_.size());
+  for (const Range& range : protected_ranges_) {
+    delta.protected_ranges.push_back({range.start, range.end});
+  }
+  return delta;
+}
+
+void Memory::RestoreDelta(const Delta& delta) {
+  assert(!baseline_.empty() && "MarkCleanBaseline() must precede RestoreDelta");
+  // Revert everything dirtied since the baseline, then lay the delta's pages
+  // on top. Clean pages already equal the baseline by invariant.
+  for (size_t page = 0; page < dirty_.size(); ++page) {
+    if (!dirty_[page]) continue;
+    const size_t begin = page * kPageWords;
+    const size_t end = std::min(begin + kPageWords, words_.size());
+    std::copy(baseline_.begin() + static_cast<ptrdiff_t>(begin),
+              baseline_.begin() + static_cast<ptrdiff_t>(end),
+              words_.begin() + static_cast<ptrdiff_t>(begin));
+    dirty_[page] = 0;
+  }
+  for (const Delta::Page& page : delta.pages) {
+    const size_t begin = static_cast<size_t>(page.index) * kPageWords;
+    std::copy(page.words.begin(), page.words.end(),
+              words_.begin() + static_cast<ptrdiff_t>(begin));
+    dirty_[page.index] = 1;
+  }
+  protected_ranges_.clear();
+  protected_ranges_.reserve(delta.protected_ranges.size());
+  for (const Delta::Range& range : delta.protected_ranges) {
+    protected_ranges_.push_back({range.start, range.end});
+  }
 }
 
 }  // namespace goofi::cpu

@@ -3,6 +3,12 @@
 // Word-addressable backing store. The text segment is marked read-only once
 // the workload is downloaded (pre-runtime SWIFI writes it *before* marking),
 // so stray stores caused by injected faults trip the memory-protection EDM.
+//
+// Dirty-page tracking: checkpoints must not store full 1 MiB images, so the
+// memory keeps a per-page dirty bitmap against a host-declared baseline (the
+// downloaded workload image). A snapshot captures only the pages that differ
+// from the baseline; restore reverts every page dirtied since to the baseline
+// and re-applies the snapshot's deltas.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,32 @@ struct MemAccess {
 
 class Memory {
  public:
+  /// Dirty-tracking granularity: 256 words == 1 KiB per page.
+  static constexpr uint32_t kPageWords = 256;
+
+  /// Memory contents relative to the baseline image: only dirty pages are
+  /// stored, so an idle checkpoint costs a few KiB instead of a full copy.
+  struct Delta {
+    struct Page {
+      uint32_t index;               ///< page number (word index / kPageWords)
+      std::vector<uint32_t> words;  ///< full page contents
+    };
+    std::vector<Page> pages;
+
+    struct Range {
+      uint32_t start;
+      uint32_t end;  // exclusive
+    };
+    std::vector<Range> protected_ranges;
+
+    /// Approximate heap footprint, for checkpoint-store accounting.
+    size_t MemoryBytes() const {
+      size_t bytes = pages.size() * (sizeof(Page) + kPageWords * 4) +
+                     protected_ranges.size() * sizeof(Range);
+      return bytes;
+    }
+  };
+
   /// `size_bytes` is rounded up to a whole word count.
   explicit Memory(uint32_t size_bytes);
 
@@ -46,8 +78,22 @@ class Memory {
   void ClearProtection();
   bool IsProtected(uint32_t address) const;
 
-  /// Zeroes all contents, keeps protection ranges cleared.
+  /// Zeroes all contents, keeps protection ranges cleared. Marks everything
+  /// dirty relative to any previously declared baseline.
   void Reset();
+
+  /// Declares the current contents as the checkpoint baseline (call after
+  /// the workload image is downloaded). Clears the dirty bitmap.
+  void MarkCleanBaseline();
+
+  /// Pages currently differing from the baseline, plus protection ranges.
+  Delta CaptureDelta() const;
+
+  /// Restores contents to baseline + `delta`. Pages dirtied since the
+  /// baseline but absent from the delta revert to their baseline words.
+  /// Precondition: MarkCleanBaseline() was called and the delta was captured
+  /// from this memory size.
+  void RestoreDelta(const Delta& delta);
 
  private:
   struct Range {
@@ -55,8 +101,14 @@ class Memory {
     uint32_t end;  // exclusive
   };
 
+  void MarkDirty(uint32_t word_index) {
+    if (!dirty_.empty()) dirty_[word_index / kPageWords] = 1;
+  }
+
   std::vector<uint32_t> words_;
   std::vector<Range> protected_ranges_;
+  std::vector<uint32_t> baseline_;  ///< empty until MarkCleanBaseline
+  std::vector<uint8_t> dirty_;      ///< per-page; empty until baseline set
 };
 
 }  // namespace goofi::cpu

@@ -52,6 +52,13 @@ class EnvironmentSimulator {
   /// Whether the plant has left its safe operating envelope (used to detect
   /// escaped errors that manifest as physical failures).
   virtual bool Failed() const = 0;
+
+  /// Full plant state as raw doubles, for checkpointing. RestoreState with a
+  /// SaveState vector must reproduce the plant bit-for-bit (doubles are
+  /// copied, never recomputed), so a warm-started control loop behaves
+  /// identically to the original run.
+  virtual std::vector<double> SaveState() const = 0;
+  virtual void RestoreState(const std::vector<double>& state) = 0;
 };
 
 /// Linearized inverted pendulum: unstable second-order plant
@@ -78,6 +85,11 @@ class InvertedPendulum final : public EnvironmentSimulator {
   size_t num_inputs() const override { return 2; }
   size_t num_outputs() const override { return 1; }
   bool Failed() const override;
+  std::vector<double> SaveState() const override { return {theta_, omega_}; }
+  void RestoreState(const std::vector<double>& state) override {
+    theta_ = state.at(0);
+    omega_ = state.at(1);
+  }
 
   double theta() const { return theta_; }
   double omega() const { return omega_; }
@@ -114,6 +126,13 @@ class CruiseControl final : public EnvironmentSimulator {
   size_t num_inputs() const override { return 1; }
   size_t num_outputs() const override { return 1; }
   bool Failed() const override;
+  std::vector<double> SaveState() const override {
+    return {speed_, static_cast<double>(steps_)};
+  }
+  void RestoreState(const std::vector<double>& state) override {
+    speed_ = state.at(0);
+    steps_ = static_cast<int>(state.at(1));
+  }
 
   double speed() const { return speed_; }
 

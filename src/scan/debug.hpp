@@ -72,6 +72,20 @@ class DebugUnit {
   /// Resets per-run occurrence counters. Call when the target is reset.
   void ResetCounters();
 
+  /// Trigger configuration plus accumulated occurrence counters, for
+  /// checkpointing — restored breakpoints behave exactly as if the run had
+  /// executed up to the capture point.
+  struct Snapshot {
+    std::vector<Trigger> triggers;
+    std::vector<uint64_t> hit_counts;
+  };
+
+  Snapshot SaveSnapshot() const { return {triggers_, hit_counts_}; }
+  void RestoreSnapshot(const Snapshot& snapshot) {
+    triggers_ = snapshot.triggers;
+    hit_counts_ = snapshot.hit_counts;
+  }
+
  private:
   cpu::Cpu* cpu_;
   std::vector<Trigger> triggers_;

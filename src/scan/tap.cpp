@@ -143,6 +143,13 @@ void TapController::LoadInstruction(TapInstruction instruction) {
 }
 
 util::BitVec TapController::ShiftData(const util::BitVec& out) {
+  util::BitVec captured;
+  ShiftDataInto(out, &captured);
+  return captured;
+}
+
+void TapController::ShiftDataInto(const util::BitVec& out,
+                                  util::BitVec* captured) {
   assert(state_ == TapState::kRunTestIdle);
   const uint32_t length = handler_->DrLength(instruction_);
   assert(out.empty() || out.size() == length);
@@ -150,16 +157,15 @@ util::BitVec TapController::ShiftData(const util::BitVec& out) {
   Clock(true, false);
   Clock(false, false);
   Clock(false, false);
-  util::BitVec captured(length);
+  captured->ResizeZero(length);
   for (uint32_t i = 0; i < length; ++i) {
     const bool tms = (i == length - 1);
     const bool tdi = out.empty() ? false : out.Get(i);
-    captured.Set(i, Clock(tms, tdi));
+    captured->Set(i, Clock(tms, tdi));
   }
   // Exit1-DR -> Update-DR -> Run-Test/Idle.
   Clock(true, false);
   Clock(false, false);
-  return captured;
 }
 
 }  // namespace goofi::scan

@@ -90,9 +90,37 @@ class TapController {
   /// Length is taken from the current instruction's register.
   util::BitVec ShiftData(const util::BitVec& out);
 
+  /// Like ShiftData but writes the captured bits into `*captured` (resized
+  /// to the register length). Lets hot per-instruction capture loops reuse
+  /// one buffer instead of allocating a BitVec per shift.
+  void ShiftDataInto(const util::BitVec& out, util::BitVec* captured);
+
   /// Number of TCK cycles issued since construction (scan-time accounting
   /// for the benches: scan cost is proportional to chain length).
   uint64_t tck_count() const { return tck_count_; }
+
+  /// Controller state for checkpointing: FSM state, current instruction,
+  /// both shift stages and the TCK counter.
+  struct Snapshot {
+    TapState state = TapState::kTestLogicReset;
+    TapInstruction instruction = TapInstruction::kIdcode;
+    util::BitVec ir_shift;
+    util::BitVec dr_shift;
+    uint32_t shift_pos = 0;
+    uint64_t tck_count = 0;
+  };
+
+  Snapshot SaveSnapshot() const {
+    return {state_, instruction_, ir_shift_, dr_shift_, shift_pos_, tck_count_};
+  }
+  void RestoreSnapshot(const Snapshot& snapshot) {
+    state_ = snapshot.state;
+    instruction_ = snapshot.instruction;
+    ir_shift_ = snapshot.ir_shift;
+    dr_shift_ = snapshot.dr_shift;
+    shift_pos_ = snapshot.shift_pos;
+    tck_count_ = snapshot.tck_count;
+  }
 
  private:
   void EnterState(TapState next);

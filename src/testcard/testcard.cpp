@@ -169,40 +169,86 @@ void SimTestCard::UpdateDr(scan::TapInstruction instruction,
 }
 
 util::BitVec SimTestCard::ShiftWithNoise(const util::BitVec& out) {
-  if (link_.bit_error_rate <= 0.0) return tap_.ShiftData(out);
+  util::BitVec captured;
+  ShiftWithNoiseInto(out, &captured);
+  return captured;
+}
+
+void SimTestCard::ShiftWithNoiseInto(const util::BitVec& out,
+                                     util::BitVec* captured) {
+  if (link_.bit_error_rate <= 0.0) {
+    tap_.ShiftDataInto(out, captured);
+    return;
+  }
   util::BitVec noisy = out;
   for (size_t i = 0; i < noisy.size(); ++i) {
     if (noise_.NextBool(link_.bit_error_rate)) noisy.Flip(i);
   }
-  util::BitVec captured = tap_.ShiftData(noisy);
+  tap_.ShiftDataInto(noisy, captured);
   // TDO path is equally noisy.
-  for (size_t i = 0; i < captured.size(); ++i) {
-    if (noise_.NextBool(link_.bit_error_rate)) captured.Flip(i);
+  for (size_t i = 0; i < captured->size(); ++i) {
+    if (noise_.NextBool(link_.bit_error_rate)) captured->Flip(i);
   }
-  return captured;
 }
 
 util::Result<util::BitVec> SimTestCard::ReadScanChain(const std::string& chain,
                                                       bool restore) {
+  util::BitVec out;
+  GOOFI_RETURN_IF_ERROR(ReadScanChainInto(chain, restore, &out));
+  return out;
+}
+
+util::Status SimTestCard::ReadScanChainInto(const std::string& chain,
+                                            bool restore, util::BitVec* out) {
   const int index = chains_.IndexOf(chain);
   if (index < 0) return util::NotFound("no scan chain " + chain);
   extra_us_ += link_.op_overhead_us;
 
   // Select the chain via SCAN_N, then INTEST.
   tap_.LoadInstruction(scan::TapInstruction::kScanN);
-  util::BitVec select(SelectBits(chains_.chains().size()));
-  select.DepositWord(0, static_cast<uint32_t>(index), select.size());
-  ShiftWithNoise(select);
+  select_scratch_.ResizeZero(SelectBits(chains_.chains().size()));
+  select_scratch_.DepositWord(0, static_cast<uint32_t>(index),
+                              select_scratch_.size());
+  ShiftWithNoiseInto(select_scratch_, &shift_scratch_);
 
   tap_.LoadInstruction(scan::TapInstruction::kIntest);
-  util::BitVec zeros(chains_.chains()[static_cast<size_t>(index)].length_bits());
-  util::BitVec captured = ShiftWithNoise(zeros);
+  zeros_scratch_.ResizeZero(
+      chains_.chains()[static_cast<size_t>(index)].length_bits());
+  ShiftWithNoiseInto(zeros_scratch_, out);
   if (restore) {
     // Second pass: write the captured image back so the (destructive) read
     // leaves target state unchanged.
-    ShiftWithNoise(captured);
+    ShiftWithNoiseInto(*out, &shift_scratch_);
   }
-  return captured;
+  return util::Status::Ok();
+}
+
+util::Status SimTestCard::MarkMemoryBaseline() {
+  cpu_->MarkMemoryBaseline();
+  return util::Status::Ok();
+}
+
+util::Result<CardSnapshot> SimTestCard::SaveSnapshot() {
+  CardSnapshot snapshot;
+  snapshot.cpu = cpu_->SaveSnapshot();
+  snapshot.tap = tap_.SaveSnapshot();
+  snapshot.debug = debug_.SaveSnapshot();
+  snapshot.noise = noise_;
+  snapshot.chain_select = chain_select_;
+  snapshot.entry = entry_;
+  snapshot.extra_us = extra_us_;
+  return snapshot;
+}
+
+util::Status SimTestCard::RestoreSnapshot(const CardSnapshot& snapshot) {
+  cpu_->RestoreSnapshot(snapshot.cpu);
+  tap_.RestoreSnapshot(snapshot.tap);
+  debug_.RestoreSnapshot(snapshot.debug);
+  noise_ = snapshot.noise;
+  chain_select_ = snapshot.chain_select;
+  entry_ = snapshot.entry;
+  extra_us_ = snapshot.extra_us;
+  return util::Status::Ok();
 }
 
 util::Status SimTestCard::WriteScanChain(const std::string& chain,

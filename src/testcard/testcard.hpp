@@ -20,6 +20,27 @@
 
 namespace goofi::testcard {
 
+/// Everything the test card and its target hold at one point in time: CPU
+/// state (with memory as a dirty-page delta), TAP controller, debug-unit
+/// triggers + occurrence counters, link-noise RNG and card bookkeeping.
+/// Captured by the checkpoint engine during the golden run.
+struct CardSnapshot {
+  cpu::CpuSnapshot cpu;
+  scan::TapController::Snapshot tap;
+  scan::DebugUnit::Snapshot debug;
+  util::Rng noise{0};
+  uint32_t chain_select = 0;
+  uint32_t entry = 0;
+  double extra_us = 0.0;
+
+  /// Approximate heap footprint, for checkpoint-store accounting.
+  size_t MemoryBytes() const {
+    return sizeof(CardSnapshot) + cpu.MemoryBytes() +
+           debug.triggers.size() * sizeof(scan::Trigger) +
+           debug.hit_counts.size() * sizeof(uint64_t);
+  }
+};
+
 /// Host-visible target operations.
 class TestCard {
  public:
@@ -59,6 +80,41 @@ class TestCard {
                                                    bool restore) = 0;
   virtual util::Status WriteScanChain(const std::string& chain,
                                       const util::BitVec& image) = 0;
+
+  /// Like ReadScanChain but fills a caller-owned buffer, so per-instruction
+  /// capture loops (detail-mode logging) avoid an allocation per read. The
+  /// default forwards to ReadScanChain.
+  virtual util::Status ReadScanChainInto(const std::string& chain, bool restore,
+                                         util::BitVec* out) {
+    auto captured = ReadScanChain(chain, restore);
+    if (!captured.ok()) return captured.status();
+    *out = std::move(captured).value();
+    return util::Status::Ok();
+  }
+
+  // --- checkpointing (optional capability) ---------------------------------
+  // Cards for real hardware cannot snapshot a live board; only simulated
+  // cards implement these, and the defaults fail accordingly.
+
+  /// Declares the target's current memory contents as the delta baseline.
+  virtual util::Status MarkMemoryBaseline() {
+    return util::FailedPrecondition(
+        "this test card does not support checkpointing");
+  }
+
+  /// Captures the full card + target state.
+  virtual util::Result<CardSnapshot> SaveSnapshot() {
+    return util::FailedPrecondition(
+        "this test card does not support checkpointing");
+  }
+
+  /// Restores a snapshot captured on an identically configured card whose
+  /// memory baseline matches.
+  virtual util::Status RestoreSnapshot(const CardSnapshot& snapshot) {
+    (void)snapshot;
+    return util::FailedPrecondition(
+        "this test card does not support checkpointing");
+  }
 
   /// Chain topology (for campaign configuration).
   virtual const scan::ScanChainSet& chains() const = 0;
@@ -100,6 +156,11 @@ class SimTestCard final : public TestCard, private scan::TapController::DrHandle
                                            bool restore) override;
   util::Status WriteScanChain(const std::string& chain,
                               const util::BitVec& image) override;
+  util::Status ReadScanChainInto(const std::string& chain, bool restore,
+                                 util::BitVec* out) override;
+  util::Status MarkMemoryBaseline() override;
+  util::Result<CardSnapshot> SaveSnapshot() override;
+  util::Status RestoreSnapshot(const CardSnapshot& snapshot) override;
   const scan::ScanChainSet& chains() const override { return chains_; }
   const cpu::Cpu& cpu() const override { return *cpu_; }
   cpu::Cpu& mutable_cpu() override { return *cpu_; }
@@ -120,6 +181,9 @@ class SimTestCard final : public TestCard, private scan::TapController::DrHandle
   /// DR scan through the TAP with link-noise applied to TDI bits.
   util::BitVec ShiftWithNoise(const util::BitVec& out);
 
+  /// Buffer-reusing variant of ShiftWithNoise for hot capture loops.
+  void ShiftWithNoiseInto(const util::BitVec& out, util::BitVec* captured);
+
   const scan::ScanChain* SelectedChain() const;
 
   std::unique_ptr<cpu::Cpu> cpu_;
@@ -133,6 +197,11 @@ class SimTestCard final : public TestCard, private scan::TapController::DrHandle
   uint32_t chain_select_ = 0;
   uint32_t entry_ = 0;
   double extra_us_ = 0.0;  ///< op overheads accumulated
+
+  // Scratch buffers recycled across ReadScanChainInto calls.
+  util::BitVec select_scratch_;
+  util::BitVec shift_scratch_;
+  util::BitVec zeros_scratch_;
 };
 
 }  // namespace goofi::testcard

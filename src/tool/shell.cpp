@@ -29,6 +29,7 @@ const char* const kHelpText =
     "  campaign merge <new> <src>...          merge campaigns (3.2)\n"
     "  run <campaign>                         fault-injection phase (Fig. 2)\n"
     "  run-parallel <campaign> [workers]      sharded run, deterministic replay\n"
+    "  run-warm <campaign> [workers] [interval]  checkpoint fast-forward run\n"
     "  analyze <campaign>                     classification report (3.4)\n"
     "  report <campaign> <path>               write the report to a file\n"
     "  rerun-detail <experiment>              detail-mode re-run (2.3)\n"
@@ -323,6 +324,47 @@ util::Result<std::string> Shell::CmdRunParallel(
       stats.experiments_resumed);
 }
 
+util::Result<std::string> Shell::CmdRunWarm(
+    const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 3) {
+    return util::InvalidArgument("run-warm <campaign> [workers] [interval]");
+  }
+  int workers = 1;
+  if (args.size() >= 2) {
+    const auto parsed = util::ParseInt(args[1]);
+    if (!parsed || *parsed < 1) {
+      return util::InvalidArgument("workers must be a positive number");
+    }
+    workers = static_cast<int>(*parsed);
+  }
+  uint64_t interval = core::FaultInjectionAlgorithms::kDefaultCheckpointInterval;
+  if (args.size() == 3) {
+    const auto parsed = util::ParseInt(args[2]);
+    if (!parsed || *parsed < 1) {
+      return util::InvalidArgument("interval must be a positive number");
+    }
+    interval = static_cast<uint64_t>(*parsed);
+  }
+  auto target = FindTargetFor(args[0]);
+  if (!target.ok()) return target.status();
+  if (!target.value().factory) {
+    return util::FailedPrecondition(
+        "target of campaign " + args[0] +
+        " was registered without a parallel target factory");
+  }
+  core::ParallelCampaignRunner runner(store_, target.value().factory, workers);
+  runner.SetCheckpointInterval(interval);
+  runner.SetForceWarmStart(true);
+  GOOFI_RETURN_IF_ERROR(runner.Run(args[0]));
+  const auto& stats = runner.stats();
+  return util::Format(
+      "campaign %s: %d experiments run on %d workers (%d warm starts, "
+      "interval %llu), %d resumed\n",
+      args[0].c_str(), stats.experiments_run, runner.workers_used(),
+      runner.warm_starts(), static_cast<unsigned long long>(interval),
+      stats.experiments_resumed);
+}
+
 util::Result<std::string> Shell::CmdAnalyze(
     const std::vector<std::string>& args) const {
   if (args.size() != 1) return util::InvalidArgument("analyze <campaign>");
@@ -409,6 +451,7 @@ util::Result<std::string> Shell::Execute(const std::string& line) {
   if (command == "campaign") return CmdCampaign(args);
   if (command == "run") return CmdRun(args);
   if (command == "run-parallel") return CmdRunParallel(args);
+  if (command == "run-warm") return CmdRunWarm(args);
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "report") return CmdReport(args);
   if (command == "rerun-detail") return CmdRerunDetail(args);

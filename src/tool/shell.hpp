@@ -65,6 +65,11 @@ class Shell {
   /// `run-parallel <campaign> [workers]`: the fault-injection phase sharded
   /// across worker-owned target stacks with deterministic, ordered commits.
   util::Result<std::string> CmdRunParallel(const std::vector<std::string>& args);
+  /// `run-warm <campaign> [workers] [interval]`: parallel run with checkpoint
+  /// fast-forward forced on — one golden run builds the snapshot cache, each
+  /// experiment warm-starts from the nearest checkpoint before its injection
+  /// time. Byte-identical database to `run`/`run-parallel`.
+  util::Result<std::string> CmdRunWarm(const std::vector<std::string>& args);
   util::Result<std::string> CmdAnalyze(const std::vector<std::string>& args) const;
   /// `report <campaign> <path>`: writes the analyze output to a file — the
   /// paper's "where to store the results" menu (§3.4).

@@ -33,7 +33,15 @@ void BitVec::PushBack(bool value) {
 
 void BitVec::AppendWord(uint64_t value, size_t bits) {
   assert(bits <= 64);
-  for (size_t b = 0; b < bits; ++b) PushBack((value >> b) & 1u);
+  if (bits == 0) return;
+  if (bits < 64) value &= (1ULL << bits) - 1;
+  const size_t bit_off = size_ % 64;
+  size_ += bits;
+  words_.resize((size_ + 63) / 64, 0);
+  words_[(size_ - bits) / 64] |= value << bit_off;
+  if (bit_off != 0 && bit_off + bits > 64) {
+    words_[(size_ - 1) / 64] |= value >> (64 - bit_off);
+  }
 }
 
 uint64_t BitVec::ExtractWord(size_t offset, size_t bits) const {
@@ -85,9 +93,19 @@ bool BitVec::operator==(const BitVec& other) const {
 }
 
 std::string BitVec::ToString() const {
-  std::string out;
-  out.reserve(size_);
-  for (size_t i = 0; i < size_; ++i) out.push_back(Get(i) ? '1' : '0');
+  // Word-at-a-time: start from all-'0' and flip only the set positions.
+  // State vectors are mostly zeros, so this touches far fewer characters
+  // than a per-bit Get() loop (this runs once per retired instruction in
+  // detail-mode logging).
+  std::string out(size_, '0');
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t bits = words_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      out[w * 64 + static_cast<size_t>(b)] = '1';
+      bits &= bits - 1;
+    }
+  }
   return out;
 }
 

@@ -30,6 +30,18 @@ class BitVec {
   /// Appends one bit at the end (grows the vector).
   void PushBack(bool value);
 
+  /// Pre-allocates word storage for `bits` bits. Hot shift paths append one
+  /// bit per TCK; without this the backing vector reallocates every 64 bits.
+  void Reserve(size_t bits) { words_.reserve((bits + 63) / 64); }
+
+  /// Resets to an all-zero vector of `bits` bits, reusing existing capacity
+  /// (unlike `*this = BitVec(bits)`, which reallocates). For capture buffers
+  /// recycled across scan-chain reads.
+  void ResizeZero(size_t bits) {
+    size_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
   /// Appends the low `bits` bits of `value`, LSB first. bits <= 64.
   void AppendWord(uint64_t value, size_t bits);
 

@@ -20,6 +20,11 @@ class Crc32 {
 
   void Reset() { state_ = 0xFFFFFFFFu; }
 
+  /// Raw accumulator access for checkpoint save/restore. `raw_state` is the
+  /// pre-inverted internal state, not Value(); round-trips exactly.
+  uint32_t raw_state() const { return state_; }
+  void set_raw_state(uint32_t state) { state_ = state; }
+
  private:
   uint32_t state_ = 0xFFFFFFFFu;
 };

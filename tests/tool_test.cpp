@@ -129,6 +129,24 @@ TEST_F(ShellTest, RunAndAnalyzeEndToEnd) {
   EXPECT_NE(analysis.find("15 experiments"), std::string::npos);
 }
 
+TEST_F(ShellTest, RunWarmForcesCheckpointFastForward) {
+  MustRun(
+      "campaign set warm workload=fibonacci locations=internal_regfile "
+      "experiments=6 window=1:80 timeout=50000");
+  // The fixture registers the target without a parallel factory: run-warm
+  // must fail with a precise diagnosis, not fall back to a cold run.
+  EXPECT_FALSE(Run("run-warm warm").ok());
+  shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store_));
+  const std::string out = MustRun("run-warm warm 1 16");
+  EXPECT_NE(out.find("6 experiments run"), std::string::npos);
+  EXPECT_NE(out.find("6 warm starts"), std::string::npos);
+  EXPECT_NE(out.find("interval 16"), std::string::npos);
+  EXPECT_FALSE(Run("run-warm warm 0").ok());
+  EXPECT_FALSE(Run("run-warm warm 1 0").ok());
+  EXPECT_FALSE(Run("run-warm").ok());
+}
+
 TEST_F(ShellTest, RunUnknownCampaignOrTargetFails) {
   EXPECT_FALSE(Run("run ghost").ok());
   // A target that exists in the database but is not registered with the
