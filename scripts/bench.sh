@@ -6,6 +6,8 @@
 #   BENCH_checkpoint.json — experiments/sec cold vs warm (checkpoint
 #   fast-forward, E13), swept over interval x injection distribution x
 #   worker count, plus the cache memory footprint per interval.
+#   BENCH_cpu_throughput.json — simulator MIPS, reference interpreter vs
+#   predecoded superblock fast path (E14), per workload + geomean.
 #
 # Usage: scripts/bench.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -19,9 +21,13 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_checkpoint_fastforward
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target bench_checkpoint_fastforward bench_cpu_throughput
 
 "$BUILD_DIR"/bench/bench_checkpoint_fastforward \
     --json "$BUILD_DIR"/BENCH_checkpoint.json
 
-echo "bench: OK ($BUILD_DIR/BENCH_checkpoint.json)"
+"$BUILD_DIR"/bench/bench_cpu_throughput \
+    --json "$BUILD_DIR"/BENCH_cpu_throughput.json
+
+echo "bench: OK ($BUILD_DIR/BENCH_checkpoint.json, $BUILD_DIR/BENCH_cpu_throughput.json)"

@@ -22,8 +22,24 @@ cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_t
 "$TSAN_DIR"/tests/parallel_runner_test
 "$TSAN_DIR"/tests/checkpoint_test
 
+echo "== tier-1: ASan pass (superblock fast-path differential fuzzer) =="
+ASAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=address
+cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test
+"$ASAN_DIR"/tests/cpu_fastpath_test
+
+echo "== tier-1: UBSan pass (superblock fast-path differential fuzzer) =="
+UBSAN_DIR="${BUILD_DIR}-ubsan"
+cmake -B "$UBSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=undefined
+cmake --build "$UBSAN_DIR" -j "$JOBS" --target cpu_fastpath_test
+"$UBSAN_DIR"/tests/cpu_fastpath_test
+
 echo "== tier-1: checkpoint fast-forward benchmark (BENCH_checkpoint.json) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_checkpoint_fastforward
 "$BUILD_DIR"/bench/bench_checkpoint_fastforward --json "$BUILD_DIR"/BENCH_checkpoint.json
+
+echo "== tier-1: simulator throughput benchmark (BENCH_cpu_throughput.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_cpu_throughput
+"$BUILD_DIR"/bench/bench_cpu_throughput --json "$BUILD_DIR"/BENCH_cpu_throughput.json
 
 echo "tier-1: OK"

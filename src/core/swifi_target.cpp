@@ -1,5 +1,7 @@
 #include "core/swifi_target.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 
 namespace goofi::core {
@@ -135,20 +137,54 @@ util::Status SwifiSimTarget::ServiceIteration() {
 }
 
 util::Status SwifiSimTarget::RunUntil(uint64_t stop_instr) {
+  if (!use_fast_run_) {
+    while (!Terminated()) {
+      if (stop_instr != 0 && cpu_->instructions_retired() >= stop_instr) {
+        return util::Status::Ok();
+      }
+      const uint32_t exec_pc = cpu_->pc();
+      const cpu::StepOutcome outcome = cpu_->Step();
+      if (environment_ != nullptr && exec_pc == loop_end_addr_) {
+        GOOFI_RETURN_IF_ERROR(ServiceIteration());
+      }
+      if (cpu_->cycles() >= campaign_.timeout_cycles) {
+        timed_out_ = true;
+        return util::Status::Ok();
+      }
+      if (outcome != cpu::StepOutcome::kOk) return util::Status::Ok();
+    }
+    return util::Status::Ok();
+  }
+
+  // Fast path: same loop, with the per-step interior handled by the
+  // superblock primitive. Every condition the reference loop checks per
+  // step can only change at a primitive stop: halt/detection end the
+  // primitive, the retired-instruction breakpoint is its instret budget,
+  // the timeout its cycle budget (the reference compares cycles >= timeout
+  // without a zero guard, so 0 means "stop after one step", not "off"),
+  // and boundary-iteration servicing is a pc watch.
+  cpu::RunFastRequest request;
+  request.max_instret = stop_instr;
+  request.max_cycles = std::max<uint64_t>(campaign_.timeout_cycles, 1);
+  if (environment_ != nullptr) {
+    request.watch_pc_enabled = true;
+    request.watch_pc = loop_end_addr_;
+  }
   while (!Terminated()) {
     if (stop_instr != 0 && cpu_->instructions_retired() >= stop_instr) {
       return util::Status::Ok();
     }
-    const uint32_t exec_pc = cpu_->pc();
-    const cpu::StepOutcome outcome = cpu_->Step();
-    if (environment_ != nullptr && exec_pc == loop_end_addr_) {
+    const cpu::RunFastResult fast = cpu_->RunFastEx(request);
+    // The boundary iteration is serviced even when the step faulted — the
+    // exchange happens before the outcome is inspected, as in the slow loop.
+    if (environment_ != nullptr && fast.exec_pc == loop_end_addr_) {
       GOOFI_RETURN_IF_ERROR(ServiceIteration());
     }
     if (cpu_->cycles() >= campaign_.timeout_cycles) {
       timed_out_ = true;
       return util::Status::Ok();
     }
-    if (outcome != cpu::StepOutcome::kOk) return util::Status::Ok();
+    if (fast.outcome != cpu::StepOutcome::kOk) return util::Status::Ok();
   }
   return util::Status::Ok();
 }
@@ -193,6 +229,36 @@ util::Status SwifiSimTarget::BuildCheckpoints(uint64_t interval,
   GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
   cpu_->Reset(program_.entry);  // RunWorkload, minus re-downloading memory
   uint64_t next_capture = 0;
+  if (use_fast_run_) {
+    // Fast-forward between capture points with the superblock primitive;
+    // stops land exactly where the stepped loop below would act (capture
+    // crossings, boundary iterations, timeout, halt/detection).
+    cpu::RunFastRequest request;
+    request.max_cycles = std::max<uint64_t>(campaign_.timeout_cycles, 1);
+    if (environment_ != nullptr) {
+      request.watch_pc_enabled = true;
+      request.watch_pc = loop_end_addr_;
+    }
+    for (;;) {
+      if (Terminated()) break;
+      if (cpu_->instructions_retired() >= next_capture) {
+        GOOFI_RETURN_IF_ERROR(CaptureCheckpoint(cache));
+        next_capture = cpu_->instructions_retired() + interval;
+        if (next_capture >= campaign_.inject_max_instr) break;
+      }
+      request.max_instret = next_capture;
+      const cpu::RunFastResult fast = cpu_->RunFastEx(request);
+      if (environment_ != nullptr && fast.exec_pc == loop_end_addr_) {
+        GOOFI_RETURN_IF_ERROR(ServiceIteration());
+      }
+      if (cpu_->cycles() >= campaign_.timeout_cycles) {
+        timed_out_ = true;
+        break;
+      }
+      if (fast.outcome != cpu::StepOutcome::kOk) break;
+    }
+    return util::Status::Ok();
+  }
   for (;;) {
     if (Terminated()) break;
     if (cpu_->instructions_retired() >= next_capture) {

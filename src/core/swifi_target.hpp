@@ -44,6 +44,11 @@ class SwifiSimTarget : public FrameworkTarget {
 
   const cpu::Cpu& cpu() const { return *cpu_; }
 
+  /// Superblock fast path on/off (on by default). Off runs the reference
+  /// Step() loops, for differential byte-identical-DB suites.
+  bool use_fast_run() const { return use_fast_run_; }
+  void set_use_fast_run(bool enabled) { use_fast_run_ = enabled; }
+
   /// Checkpoint fast-forward support: the golden run snapshots the CPU
   /// (registers, caches, memory delta) plus the environment simulator,
   /// iteration count and actuator CRC. SCIFI is not offered by this target,
@@ -105,6 +110,7 @@ class SwifiSimTarget : public FrameworkTarget {
   bool timed_out_ = false;
   util::Crc32 actuator_crc_;
   std::vector<uint32_t> outputs_;
+  bool use_fast_run_ = true;
 
   /// Workload the memory baseline was established for; empty = none yet.
   std::string warm_ready_workload_;

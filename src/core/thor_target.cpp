@@ -322,6 +322,46 @@ util::Status ThorRdTarget::BuildCheckpoints(uint64_t interval,
   GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
   GOOFI_RETURN_IF_ERROR(card_->ResetTarget());
   uint64_t next_capture = 0;
+  if (card_->use_fast_run()) {
+    // Fast-forward through the predecoded superblock path. The reference
+    // loop's exit tests compile directly into a RunFastRequest: the capture
+    // threshold is an instret budget (level-compared, exactly like the
+    // pre-step check below), the campaign timeout a cycle budget (0 means
+    // unbounded here, matching the `timeout_cycles != 0` guard), and the
+    // iteration boundary a pc watch, so ServiceIteration runs after exactly
+    // the retirements single-stepping would service.
+    cpu::Cpu& cpu = card_->mutable_cpu();
+    for (;;) {
+      if (Terminated()) break;
+      if (cpu.instructions_retired() >= next_capture) {
+        GOOFI_RETURN_IF_ERROR(CaptureCheckpoint(cache));
+        next_capture = cpu.instructions_retired() + interval;
+        if (next_capture >= campaign_.inject_max_instr) break;
+      }
+      cpu::RunFastRequest request;
+      request.max_instret = next_capture;
+      request.max_cycles = campaign_.timeout_cycles;
+      if (environment_ != nullptr) {
+        request.watch_pc = loop_end_addr_;
+        request.watch_pc_enabled = true;
+      }
+      const cpu::RunFastResult fast = cpu.RunFastEx(request);
+      // Same branch order as the stepped loop: the boundary's own outcome
+      // check, then service, then the generic outcome and timeout tests.
+      if (environment_ != nullptr && fast.exec_pc == loop_end_addr_) {
+        if (fast.outcome != cpu::StepOutcome::kOk) break;
+        GOOFI_RETURN_IF_ERROR(ServiceIteration());
+        if (iterations_ >= campaign_.max_iterations) break;
+        continue;
+      }
+      if (fast.outcome != cpu::StepOutcome::kOk) break;
+      if (campaign_.timeout_cycles != 0 &&
+          cpu.cycles() >= campaign_.timeout_cycles) {
+        break;
+      }
+    }
+    return util::Status::Ok();
+  }
   for (;;) {
     if (Terminated()) break;
     if (card_->cpu().instructions_retired() >= next_capture) {

@@ -15,11 +15,6 @@ ParityCache::ParityCache(uint32_t num_lines, uint32_t address_bits,
   tag_bits_ = word_bits > index_bits_ ? word_bits - index_bits_ : 1;
 }
 
-bool ParityCache::ComputeParity(const Line& line) {
-  uint32_t acc = line.data ^ line.tag ^ (line.valid ? 1u : 0u);
-  return (std::popcount(acc) & 1) != 0;
-}
-
 ParityCache::LookupResult ParityCache::Lookup(uint32_t word_address) {
   LookupResult out;
   Line& line = lines_[IndexOf(word_address)];

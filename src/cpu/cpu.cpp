@@ -1,11 +1,19 @@
 #include "cpu/cpu.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 
 namespace goofi::cpu {
 
 namespace {
 constexpr uint32_t kAddressBits = 20;  // matches the 1 MiB default memory
+
+// Upper bound on uninterrupted fast-path steps between superblock exits.
+// Bounds how stale the lazily-materialized watchdog counter can get and how
+// far budget re-evaluation can drift; large enough that per-exit costs
+// amortize to nothing.
+constexpr uint64_t kMaxBurst = 1u << 15;
 }
 
 Cpu::Cpu(const CpuConfig& config)
@@ -26,6 +34,7 @@ util::Status Cpu::LoadProgram(uint32_t base, const std::vector<uint32_t>& words,
   text_start_ = base;
   text_end_ = base + text_bytes;
   memory_.Protect(text_start_, text_bytes);
+  decode_cache_.Configure(text_start_, text_end_);
   return util::Status::Ok();
 }
 
@@ -57,6 +66,7 @@ void Cpu::Reset(uint32_t entry) {
 void Cpu::PowerCycle() {
   memory_.Reset();
   text_start_ = text_end_ = 0;
+  decode_cache_.Configure(0, 0);
   Reset(0);
 }
 
@@ -64,6 +74,9 @@ util::Status Cpu::HostWriteWord(uint32_t address, uint32_t value) {
   GOOFI_RETURN_IF_ERROR(memory_.HostWrite(address, value));
   dcache_.WriteThrough(address / 4, value);
   icache_.WriteThrough(address / 4, value);
+  // Pre-runtime SWIFI code mutations and host-side input downloads funnel
+  // through here; a flip inside the text segment must drop the predecode.
+  decode_cache_.InvalidateWord(address);
   return util::Status::Ok();
 }
 
@@ -111,6 +124,9 @@ void Cpu::RestoreSnapshot(const CpuSnapshot& snapshot) {
   icache_.RestoreSnapshot(snapshot.icache);
   dcache_.RestoreSnapshot(snapshot.dcache);
   memory_.RestoreDelta(snapshot.memory);
+  // The restored image may differ arbitrarily from what was predecoded
+  // (checkpoint restore rewinds memory); rebind and flush.
+  decode_cache_.Configure(text_start_, text_end_);
 }
 
 void Cpu::RaiseEdm(EdmType type, int32_t code, const std::string& detail) {
@@ -199,6 +215,9 @@ bool Cpu::StoreWord(uint32_t address, uint32_t value) {
     return false;
   }
   dcache_.WriteThrough(address / 4, value);
+  // Text is normally store-protected, so this only triggers when protection
+  // is off (code-in-data setups); stale predecodes must still be impossible.
+  decode_cache_.InvalidateWord(address);
   return true;
 }
 
@@ -220,10 +239,11 @@ StepOutcome Cpu::Step() {
   if (edm_event_.Detected()) return StepOutcome::kDetected;
   if (halted_) return StepOutcome::kHalted;
 
-  // Watchdog: counts cycles since reset (kicked by TRAP 0 below).
+  // Watchdog: counts steps since the last kick (TRAP 0 below). Saturating
+  // add without the clamp branch; the fast path batches this increment into
+  // a per-superblock budget (see RunFastEx).
   if (config_.watchdog_limit != 0) {
-    watchdog_counter_ = static_cast<uint32_t>(
-        std::min<uint64_t>(watchdog_counter_ + 1, UINT32_MAX));
+    watchdog_counter_ += (watchdog_counter_ != UINT32_MAX) ? 1u : 0u;
     if (watchdog_counter_ >= config_.watchdog_limit) {
       RaiseEdm(EdmType::kWatchdogTimeout, 0, "watchdog expired");
       return StepOutcome::kDetected;
@@ -252,22 +272,220 @@ StepOutcome Cpu::Run(uint64_t max_cycles) {
   }
 }
 
-void Cpu::ExecuteInstruction() {
-  using isa::Opcode;
+RunFastResult Cpu::RunFastEx(const RunFastRequest& request) {
+  RunFastResult result;
+  if (halted_) {
+    result.outcome =
+        edm_event_.Detected() ? StepOutcome::kDetected : StepOutcome::kHalted;
+    return result;
+  }
 
-  auto decoded = isa::Decode(ir_);
-  if (!decoded.ok()) {
-    RaiseEdm(EdmType::kIllegalOpcode, 0, decoded.status().message());
-    if (halted_) return;
-    // EDM disabled: undefined instructions execute as NOP.
-    next_pc_ = pc_ + 4;
-    cycles_ += 1;
-    ++instret_;
+  // Like Step(), the watchdog/stack checks are driven by the configured
+  // limits alone: with the corresponding EDM disabled they still terminate
+  // the step (returning kDetected without recording an event), so the gates
+  // here must not consult EdmConfig.
+  const uint64_t wd_limit = config_.watchdog_limit;
+  const bool wd_active = wd_limit != 0;
+  const bool stack_active = config_.stack_limit != 0;
+
+  uint8_t stop_flag_mask = 0;
+  if (request.watch_mem) stop_flag_mask |= DecodeCache::kMem;
+  if (request.watch_branch) stop_flag_mask |= DecodeCache::kBranch;
+  if (request.watch_call) stop_flag_mask |= DecodeCache::kCall;
+  const bool watch_pc_on = request.watch_pc_enabled;
+  const uint8_t sp_mask = stack_active ? DecodeCache::kWritesSp : 0;
+
+  // Worst-case cycles one step can cost (for the cycle-budget fuel bound):
+  // the largest base_cycles plus one instruction- and one data-cache miss.
+  const uint64_t max_step_cycles = static_cast<uint64_t>(isa::kMaxBaseCycles) +
+                                   2ull * config_.cache_miss_penalty;
+
+  // Satellite of the superblock design: the per-step saturating watchdog
+  // increment is batched. `wd_pending` counts steps since the counter was
+  // last materialized; fuel never exceeds the steps remaining until the
+  // counter could reach the limit, so the precise >= check only needs to run
+  // at superblock exits.
+  uint64_t wd_pending = 0;
+  auto materialize_watchdog = [&] {
+    if (wd_pending == 0) return;
+    watchdog_counter_ = static_cast<uint32_t>(std::min<uint64_t>(
+        static_cast<uint64_t>(watchdog_counter_) + wd_pending, UINT32_MAX));
+    wd_pending = 0;
+  };
+
+  // Steps that can run before any hoisted check could possibly fire. Always
+  // >= 1; requires the watchdog counter to be materialized.
+  auto compute_fuel = [&]() -> uint64_t {
+    uint64_t fuel = kMaxBurst;
+    if (wd_active) {
+      fuel = std::min(fuel, wd_limit > watchdog_counter_
+                                ? wd_limit - watchdog_counter_
+                                : uint64_t{1});
+    }
+    if (request.max_cycles != 0) {
+      fuel = std::min(
+          fuel, cycles_ < request.max_cycles
+                    ? std::max<uint64_t>(
+                          (request.max_cycles - cycles_) / max_step_cycles, 1)
+                    : uint64_t{1});
+    }
+    if (request.max_instret != 0) {
+      fuel = std::min(fuel, instret_ < request.max_instret
+                                ? request.max_instret - instret_
+                                : uint64_t{1});
+    }
+    if (request.max_steps != 0) {
+      fuel = std::min(fuel, request.max_steps > result.steps
+                                ? request.max_steps - result.steps
+                                : uint64_t{1});
+    }
+    return fuel;
+  };
+
+  // Step() checks the stack limit after every instruction; after the first
+  // step here only sp-writing instructions (flagged) can change sp, so the
+  // check is hoisted behind the flag with a one-shot check on step one.
+  bool stack_check_pending = stack_active;
+  uint64_t fuel = compute_fuel();
+  uint32_t exec_pc = pc_;
+  uint8_t exec_flags = 0;
+
+  for (;;) {
+    exec_pc = pc_;
+    const uint32_t word = ir_;
+    // The raw-word tag check inside Resolve() is the correctness backstop:
+    // scan-chain flips into ir_ or icache line data change the executed word
+    // without passing any invalidation hook.
+    const DecodeCache::Entry& entry = decode_cache_.Resolve(exec_pc, word);
+    exec_flags = entry.flags;
+
+    if (exec_flags & DecodeCache::kWatchdogKick) {
+      // TRAP 0 zeroes the counter inside execute; flush the pending
+      // increments first so they land before the reset, not after.
+      materialize_watchdog();
+    }
+    if (exec_flags & DecodeCache::kIllegal) {
+      ExecuteIllegal(word, entry.fault);
+    } else {
+      ExecuteValid(entry.ins, entry.base_cycles);
+    }
+    ++result.steps;
+    if (edm_event_.Detected()) {
+      result.outcome = StepOutcome::kDetected;
+      break;
+    }
+    if (halted_) {
+      result.outcome = StepOutcome::kHalted;
+      break;
+    }
+    if (wd_active) ++wd_pending;
+
+    const bool stop_after = (exec_flags & stop_flag_mask) != 0 ||
+                            (watch_pc_on && exec_pc == request.watch_pc);
+    if (--fuel == 0 || stop_after || (exec_flags & sp_mask) != 0 ||
+        stack_check_pending) {
+      // Superblock exit: re-establish the hoisted checks in exactly the
+      // order Step() performs them — watchdog, stack limit, then fetch.
+      materialize_watchdog();
+      if (wd_active && watchdog_counter_ >= wd_limit) {
+        RaiseEdm(EdmType::kWatchdogTimeout, 0, "watchdog expired");
+        result.outcome = StepOutcome::kDetected;
+        break;
+      }
+      stack_check_pending = false;
+      if (stack_active && regs_[isa::kStackPointer] < config_.stack_limit) {
+        RaiseEdm(
+            EdmType::kStackOverflow, 0,
+            util::Format("sp=0x%08x below limit", regs_[isa::kStackPointer]));
+        result.outcome = StepOutcome::kDetected;
+        break;
+      }
+      Fetch(next_pc_);
+      if (edm_event_.Detected()) {
+        result.outcome = StepOutcome::kDetected;
+        break;
+      }
+      pc_ = next_pc_;
+      if (stop_after) {
+        result.stop = RunFastResult::Stop::kWatch;
+        break;
+      }
+      if (request.max_instret != 0 && instret_ >= request.max_instret) {
+        result.stop = RunFastResult::Stop::kInstret;
+        break;
+      }
+      if (request.max_cycles != 0 && cycles_ >= request.max_cycles) {
+        result.stop = RunFastResult::Stop::kCycles;
+        break;
+      }
+      if (request.max_steps != 0 && result.steps >= request.max_steps) {
+        result.stop = RunFastResult::Stop::kSteps;
+        break;
+      }
+      fuel = compute_fuel();
+    } else {
+      // Hot fetch: an aligned, clean icache hit needs none of Fetch()'s
+      // misalignment / miss / parity handling — FastHit performs the same
+      // statistics accounting inline and anything unusual falls back to the
+      // full path, which re-runs the lookup with identical observable
+      // effects.
+      const uint32_t fetch_addr = next_pc_;
+      uint32_t fetched;
+      if ((fetch_addr & 3u) == 0 && icache_.FastHit(fetch_addr / 4, &fetched)) {
+        ir_ = fetched;
+        pc_ = fetch_addr;
+      } else {
+        Fetch(fetch_addr);
+        if (edm_event_.Detected()) {
+          result.outcome = StepOutcome::kDetected;
+          break;
+        }
+        pc_ = next_pc_;
+      }
+    }
+  }
+
+  materialize_watchdog();
+  result.exec_pc = exec_pc;
+  result.exec_mem = (exec_flags & DecodeCache::kMem) != 0;
+  result.exec_branch = (exec_flags & DecodeCache::kBranch) != 0;
+  result.exec_call = (exec_flags & DecodeCache::kCall) != 0;
+  return result;
+}
+
+StepOutcome Cpu::RunFast(uint64_t max_cycles) {
+  RunFastRequest request;
+  request.max_cycles = max_cycles;
+  return RunFastEx(request).outcome;
+}
+
+void Cpu::ExecuteInstruction() {
+  const isa::Predecoded pre = isa::Predecode(ir_);
+  if (pre.fault != isa::PredecodeFault::kNone) {
+    ExecuteIllegal(ir_, pre.fault);
     return;
   }
-  const isa::Instruction ins = decoded.value();
-  const isa::OpcodeInfo& info = isa::GetOpcodeInfo(ins.op);
-  cycles_ += static_cast<uint64_t>(info.base_cycles);
+  ExecuteValid(pre.ins, pre.base_cycles);
+}
+
+void Cpu::ExecuteIllegal(uint32_t word, isa::PredecodeFault fault) {
+  // The Decode() error string is only materialized if an enabled EDM will
+  // actually record it — undefined words executing as NOPs (EDM disabled)
+  // must not allocate per step.
+  if (config_.edms.Enabled(EdmType::kIllegalOpcode) && !edm_event_.Detected()) {
+    RaiseEdm(EdmType::kIllegalOpcode, 0, isa::IllegalDecodeMessage(word, fault));
+  }
+  if (halted_) return;
+  // EDM disabled: undefined instructions execute as NOP.
+  next_pc_ = pc_ + 4;
+  cycles_ += 1;
+  ++instret_;
+}
+
+void Cpu::ExecuteValid(const isa::Instruction& ins, uint8_t base_cycles) {
+  using isa::Opcode;
+
+  cycles_ += static_cast<uint64_t>(base_cycles);
   ++instret_;
   next_pc_ = pc_ + 4;
 

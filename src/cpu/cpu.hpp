@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "cpu/cache.hpp"
+#include "cpu/decode_cache.hpp"
 #include "cpu/edm.hpp"
 #include "cpu/memory.hpp"
 #include "cpu/state.hpp"
@@ -38,6 +39,42 @@ enum class StepOutcome {
   kOk,        ///< executed one instruction, still running
   kHalted,    ///< executed HALT (normal workload termination)
   kDetected,  ///< an EDM fired; see edm_event()
+};
+
+/// Stop conditions for Cpu::RunFastEx. A zero budget means "no limit"; all
+/// budgets are absolute counter values (stop once the counter reaches the
+/// value after a full step), matching the post-step checks the reference
+/// Step() drivers perform.
+struct RunFastRequest {
+  uint64_t max_cycles = 0;   ///< stop once cycles() >= this
+  uint64_t max_instret = 0;  ///< stop once instructions_retired() >= this
+  uint64_t max_steps = 0;    ///< stop after this many instructions executed here
+  uint32_t watch_pc = 0;     ///< stop after executing the instruction at this pc
+  bool watch_pc_enabled = false;
+  bool watch_mem = false;     ///< stop after any LDW/STW
+  bool watch_branch = false;  ///< stop after any conditional branch
+  bool watch_call = false;    ///< stop after any JAL
+};
+
+/// Result of Cpu::RunFastEx: why control returned plus the classification of
+/// the last executed instruction (what DebugUnit::StepAndCheck derives by
+/// re-decoding — the fast path hands it out for free).
+struct RunFastResult {
+  /// What a reference Step() of the last instruction would have returned.
+  StepOutcome outcome = StepOutcome::kOk;
+  enum class Stop {
+    kOutcome,  ///< halted or detected
+    kWatch,    ///< a watch_* condition matched the last executed instruction
+    kCycles,   ///< max_cycles reached
+    kInstret,  ///< max_instret reached
+    kSteps,    ///< max_steps reached
+  };
+  Stop stop = Stop::kOutcome;
+  uint64_t steps = 0;    ///< instructions executed by this call
+  uint32_t exec_pc = 0;  ///< pc of the last executed instruction
+  bool exec_mem = false;
+  bool exec_branch = false;
+  bool exec_call = false;
 };
 
 /// Complete execution state of a Cpu at one point in time, captured for the
@@ -113,6 +150,24 @@ class Cpu {
   /// StepOutcome::kOk (the GOOFI layer treats that as a timeout).
   StepOutcome Run(uint64_t max_cycles);
 
+  /// Superblock fast path: executes through the predecoded DecodeCache with
+  /// the watchdog / stack-limit / budget checks hoisted out of the per-step
+  /// path (re-established at every superblock exit), producing bit-identical
+  /// architectural state, counters and EDM events to an equivalent reference
+  /// Step() loop. Returns on halt/detection, on any budget in `request`, or
+  /// after a step matching a watch condition.
+  RunFastResult RunFastEx(const RunFastRequest& request);
+
+  /// Drop-in fast equivalent of Run(max_cycles) — same overshoot semantics
+  /// (the budget is only checked after a full step completes).
+  StepOutcome RunFast(uint64_t max_cycles);
+
+  /// Predecoded-instruction cache (fast path). Exposed so mutation sites
+  /// outside the core (scan-chain writes) can invalidate, and so tools can
+  /// report hit/miss/flush counters next to the icache/dcache stats.
+  DecodeCache& decode_cache() { return decode_cache_; }
+  const DecodeCache& decode_cache() const { return decode_cache_; }
+
   bool halted() const { return halted_; }
   bool detected() const { return edm_event_.Detected(); }
   const EdmEvent& edm_event() const { return edm_event_; }
@@ -176,10 +231,17 @@ class Cpu {
 
   void ExecuteInstruction();
 
+  /// Execute paths shared between Step() and RunFastEx(): a predecoded valid
+  /// instruction, and an illegal word (EDM or NOP; the error string is only
+  /// built when an enabled detection consumes it).
+  void ExecuteValid(const isa::Instruction& ins, uint8_t base_cycles);
+  void ExecuteIllegal(uint32_t word, isa::PredecodeFault fault);
+
   CpuConfig config_;
   Memory memory_;
   ParityCache icache_;
   ParityCache dcache_;
+  DecodeCache decode_cache_;
 
   std::array<uint32_t, isa::kNumRegisters> regs_{};
   uint32_t pc_ = 0;

@@ -47,8 +47,8 @@ constexpr OpcodeInfo kOpcodeTable[] = {
 };
 
 // Opcode byte -> table slot, or -1.
-std::array<int, 64> MakeOpcodeIndex() {
-  std::array<int, 64> index;
+constexpr std::array<int, 64> MakeOpcodeIndex() {
+  std::array<int, 64> index{};
   index.fill(-1);
   for (size_t i = 0; i < std::size(kOpcodeTable); ++i) {
     index[static_cast<uint8_t>(kOpcodeTable[i].op)] = static_cast<int>(i);
@@ -56,10 +56,20 @@ std::array<int, 64> MakeOpcodeIndex() {
   return index;
 }
 
-const std::array<int, 64>& OpcodeIndex() {
-  static const std::array<int, 64> index = MakeOpcodeIndex();
-  return index;
+// Built at compile time so the hot decode path has no static-init guard.
+constexpr std::array<int, 64> kOpcodeIndex = MakeOpcodeIndex();
+
+constexpr int MaxBaseCyclesInTable() {
+  int max = 0;
+  for (const OpcodeInfo& info : kOpcodeTable) {
+    if (info.base_cycles > max) max = info.base_cycles;
+  }
+  return max;
 }
+
+// The fast path's superblock cycle budgeting assumes this bound; keep the
+// header constant in lockstep with the table.
+static_assert(MaxBaseCyclesInTable() == kMaxBaseCycles);
 
 int32_t SignExtend(uint32_t value, int bits) {
   const uint32_t sign = 1u << (bits - 1);
@@ -68,10 +78,10 @@ int32_t SignExtend(uint32_t value, int bits) {
 
 }  // namespace
 
-bool IsValidOpcode(uint8_t op) { return op < 64 && OpcodeIndex()[op] >= 0; }
+bool IsValidOpcode(uint8_t op) { return op < 64 && kOpcodeIndex[op] >= 0; }
 
 const OpcodeInfo& GetOpcodeInfo(Opcode op) {
-  const int slot = OpcodeIndex()[static_cast<uint8_t>(op)];
+  const int slot = kOpcodeIndex[static_cast<uint8_t>(op)];
   assert(slot >= 0);
   return kOpcodeTable[slot];
 }
@@ -111,41 +121,59 @@ uint32_t Encode(const Instruction& instruction) {
   return word;
 }
 
-util::Result<Instruction> Decode(uint32_t word) {
+Predecoded Predecode(uint32_t word) {
+  Predecoded out;
   const uint8_t op = static_cast<uint8_t>(word >> 26);
   if (!IsValidOpcode(op)) {
-    return util::ParseError(
-        util::Format("illegal opcode 0x%02x in word 0x%08x", op, word));
+    out.fault = PredecodeFault::kBadOpcode;
+    return out;
   }
-  Instruction out;
-  out.op = static_cast<Opcode>(op);
-  const OpcodeInfo& info = GetOpcodeInfo(out.op);
+  out.ins.op = static_cast<Opcode>(op);
+  const OpcodeInfo& info = kOpcodeTable[kOpcodeIndex[op]];
+  out.base_cycles = static_cast<uint8_t>(info.base_cycles);
   switch (info.format) {
     case Format::kR:
-      out.rd = (word >> 22) & 0xF;
-      out.rs1 = (word >> 18) & 0xF;
-      out.rs2 = (word >> 14) & 0xF;
+      out.ins.rd = (word >> 22) & 0xF;
+      out.ins.rs1 = (word >> 18) & 0xF;
+      out.ins.rs2 = (word >> 14) & 0xF;
       if ((word & 0x3FFF) != 0) {
-        return util::ParseError(
-            util::Format("illegal encoding (nonzero reserved bits) 0x%08x", word));
+        out = Predecoded{};
+        out.fault = PredecodeFault::kReservedBits;
       }
       break;
     case Format::kI:
-      out.rd = (word >> 22) & 0xF;
-      out.rs1 = (word >> 18) & 0xF;
-      out.imm = SignExtend(word & 0x3FFFFu, 18);
+      out.ins.rd = (word >> 22) & 0xF;
+      out.ins.rs1 = (word >> 18) & 0xF;
+      out.ins.imm = SignExtend(word & 0x3FFFFu, 18);
       break;
     case Format::kJ:
-      out.imm = SignExtend(word & 0x3FFFFFFu, 26);
+      out.ins.imm = SignExtend(word & 0x3FFFFFFu, 26);
       break;
     case Format::kNone:
       if ((word & 0x3FFFFFFu) != 0) {
-        return util::ParseError(
-            util::Format("illegal encoding (nonzero reserved bits) 0x%08x", word));
+        out = Predecoded{};
+        out.fault = PredecodeFault::kReservedBits;
       }
       break;
   }
   return out;
+}
+
+std::string IllegalDecodeMessage(uint32_t word, PredecodeFault fault) {
+  assert(fault != PredecodeFault::kNone);
+  if (fault == PredecodeFault::kBadOpcode) {
+    return util::Format("illegal opcode 0x%02x in word 0x%08x",
+                        static_cast<uint8_t>(word >> 26), word);
+  }
+  return util::Format("illegal encoding (nonzero reserved bits) 0x%08x", word);
+}
+
+util::Result<Instruction> Decode(uint32_t word) {
+  const Predecoded pre = Predecode(word);
+  if (pre.fault != PredecodeFault::kNone) {
+    return util::ParseError(IllegalDecodeMessage(word, pre.fault));
+  }
+  return pre.ins;
 }
 
 std::optional<std::string> RegisterName(int reg) {

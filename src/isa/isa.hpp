@@ -124,6 +124,35 @@ uint32_t Encode(const Instruction& instruction);
 /// CPU's EDM (that is what makes instruction-bit flips observable).
 util::Result<Instruction> Decode(uint32_t word);
 
+/// Why Predecode() rejected a word (mirrors the two Decode() error classes).
+enum class PredecodeFault : uint8_t {
+  kNone = 0,
+  kBadOpcode,     ///< undefined opcode value
+  kReservedBits,  ///< must-be-zero field is nonzero
+};
+
+/// Infallible decode: either a valid instruction or a fault tag. Unlike
+/// Decode(), no error string (and no allocation) is ever produced — the
+/// CPU's hot loop and the decode cache predecode through this, and turn the
+/// tag into the byte-identical EDM message via IllegalDecodeMessage() only
+/// when an enabled detection actually consumes it.
+struct Predecoded {
+  Instruction ins;
+  PredecodeFault fault = PredecodeFault::kNone;
+  uint8_t base_cycles = 1;  ///< GetOpcodeInfo(op).base_cycles; 1 (NOP) for faults
+};
+
+Predecoded Predecode(uint32_t word);
+
+/// The exact Decode() error message for a word Predecode() rejected.
+/// Precondition: fault != kNone.
+std::string IllegalDecodeMessage(uint32_t word, PredecodeFault fault);
+
+/// Largest base_cycles over all opcodes — the per-instruction cycle upper
+/// bound (excluding cache-miss penalties) used for superblock budgeting in
+/// the CPU fast path. static_assert'd against the opcode table.
+inline constexpr int kMaxBaseCycles = 12;
+
 /// Immediate field limits.
 inline constexpr int32_t kImm18Min = -(1 << 17);
 inline constexpr int32_t kImm18Max = (1 << 17) - 1;

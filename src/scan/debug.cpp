@@ -1,5 +1,7 @@
 #include "scan/debug.hpp"
 
+#include <algorithm>
+
 #include "util/strings.hpp"
 
 namespace goofi::scan {
@@ -66,13 +68,20 @@ int DebugUnit::StepAndCheck(cpu::StepOutcome* outcome) {
   const uint32_t exec_ir = cpu_->ir();
   *outcome = cpu_->Step();
 
-  auto decoded = isa::Decode(exec_ir);
-  const bool is_branch =
-      decoded.ok() && decoded.value().op >= isa::Opcode::kBeq &&
-      decoded.value().op <= isa::Opcode::kBgeu;
-  const bool is_call = decoded.ok() && decoded.value().op == isa::Opcode::kJal;
-  const bool is_mem = decoded.ok() && (decoded.value().op == isa::Opcode::kLdw ||
-                                       decoded.value().op == isa::Opcode::kStw);
+  // Predecode is infallible and allocation-free — a per-step isa::Decode
+  // would build error strings whenever a fault corrupted the executed word.
+  const isa::Predecoded decoded = isa::Predecode(exec_ir);
+  const bool valid = decoded.fault == isa::PredecodeFault::kNone;
+  const bool is_branch = valid && decoded.ins.op >= isa::Opcode::kBeq &&
+                         decoded.ins.op <= isa::Opcode::kBgeu;
+  const bool is_call = valid && decoded.ins.op == isa::Opcode::kJal;
+  const bool is_mem = valid && (decoded.ins.op == isa::Opcode::kLdw ||
+                                decoded.ins.op == isa::Opcode::kStw);
+  return EvaluateTriggers(exec_pc, is_mem, is_branch, is_call);
+}
+
+int DebugUnit::EvaluateTriggers(uint32_t exec_pc, bool is_mem, bool is_branch,
+                                bool is_call) {
   // The data-path latches hold the executed access's address and data.
   const uint32_t mem_addr = cpu_->latch_mem_addr();
   const uint32_t mem_data = cpu_->latch_mem_data();
@@ -121,6 +130,77 @@ DebugRunResult DebugUnit::RunUntilEvent(uint64_t max_cycles) {
       result.timed_out = true;
       return result;
     }
+  }
+}
+
+DebugRunResult DebugUnit::RunUntilEventFast(uint64_t max_cycles) {
+  // An already-terminated CPU still gets a (stale) trigger evaluation from
+  // the reference loop; keep that quirk by delegating.
+  if (cpu_->halted()) return RunUntilEvent(max_cycles);
+
+  // Compile the trigger list into watch conditions. Count triggers become
+  // absolute budgets (a count of 0 is already-true level semantics: any
+  // step satisfies it, so stop after one). Data/branch/call triggers watch
+  // the instruction class; the precise address/value/occurrence conditions
+  // are re-checked by EvaluateTriggers at each stop, so over-approximating
+  // the watch set costs only extra stops, never wrong results.
+  cpu::RunFastRequest request;
+  request.max_cycles = max_cycles;
+  bool have_pc = false;
+  for (const Trigger& trigger : triggers_) {
+    switch (trigger.kind) {
+      case TriggerKind::kPcBreakpoint:
+        if (have_pc && request.watch_pc != trigger.address) {
+          // Two distinct breakpoint addresses: one hardware comparator
+          // cannot watch both, run the reference loop.
+          return RunUntilEvent(max_cycles);
+        }
+        have_pc = true;
+        request.watch_pc = trigger.address;
+        request.watch_pc_enabled = true;
+        break;
+      case TriggerKind::kInstrCount: {
+        const uint64_t count = trigger.count != 0 ? trigger.count : 1;
+        request.max_instret = request.max_instret == 0
+                                  ? count
+                                  : std::min(request.max_instret, count);
+        break;
+      }
+      case TriggerKind::kCycleCount: {
+        const uint64_t count = trigger.count != 0 ? trigger.count : 1;
+        request.max_cycles = request.max_cycles == 0
+                                 ? count
+                                 : std::min(request.max_cycles, count);
+        break;
+      }
+      case TriggerKind::kDataAccess:
+      case TriggerKind::kDataValue:
+        request.watch_mem = true;
+        break;
+      case TriggerKind::kBranch:
+        request.watch_branch = true;
+        break;
+      case TriggerKind::kCall:
+        request.watch_call = true;
+        break;
+    }
+  }
+
+  DebugRunResult result;
+  for (;;) {
+    const cpu::RunFastResult fast = cpu_->RunFastEx(request);
+    result.outcome = fast.outcome;
+    // Same order as the reference loop: triggers first (evaluated even on a
+    // halting/detecting step), then outcome, then timeout.
+    result.fired_trigger = EvaluateTriggers(fast.exec_pc, fast.exec_mem,
+                                            fast.exec_branch, fast.exec_call);
+    if (result.fired_trigger >= 0) return result;
+    if (result.outcome != cpu::StepOutcome::kOk) return result;
+    if (max_cycles != 0 && cpu_->cycles() >= max_cycles) {
+      result.timed_out = true;
+      return result;
+    }
+    // Spurious stop (e.g. breakpoint occurrence not yet reached): resume.
   }
 }
 

@@ -69,6 +69,14 @@ class DebugUnit {
   /// `max_cycles` elapse (0 = unbounded — only sensible with triggers).
   DebugRunResult RunUntilEvent(uint64_t max_cycles);
 
+  /// Fast-path equivalent of RunUntilEvent: compiles the trigger list into
+  /// Cpu::RunFastEx watch conditions, then re-evaluates the triggers with
+  /// the exact StepAndCheck logic at every superblock exit. Produces
+  /// bit-identical results (fired index, hit counts, CPU state); trigger
+  /// shapes the watch compiler cannot express — more than one distinct
+  /// pc-breakpoint address — fall back to the reference loop.
+  DebugRunResult RunUntilEventFast(uint64_t max_cycles);
+
   /// Resets per-run occurrence counters. Call when the target is reset.
   void ResetCounters();
 
@@ -87,6 +95,13 @@ class DebugUnit {
   }
 
  private:
+  /// Evaluates all triggers against one executed instruction (address plus
+  /// classification); shared verbatim between StepAndCheck and the fast
+  /// path so occurrence counting cannot diverge. Returns the first fired
+  /// trigger index, or -1.
+  int EvaluateTriggers(uint32_t exec_pc, bool is_mem, bool is_branch,
+                       bool is_call);
+
   cpu::Cpu* cpu_;
   std::vector<Trigger> triggers_;
   std::vector<uint64_t> hit_counts_;  ///< per-trigger occurrence counters

@@ -85,7 +85,8 @@ int SimTestCard::AddTrigger(const scan::Trigger& trigger) {
 void SimTestCard::ClearTriggers() { debug_.ClearTriggers(); }
 
 scan::DebugRunResult SimTestCard::Run(uint64_t max_cycles) {
-  return debug_.RunUntilEvent(max_cycles);
+  return use_fast_run_ ? debug_.RunUntilEventFast(max_cycles)
+                       : debug_.RunUntilEvent(max_cycles);
 }
 
 cpu::StepOutcome SimTestCard::SingleStep() { return cpu_->Step(); }
@@ -158,7 +159,17 @@ void SimTestCard::UpdateDr(scan::TapInstruction instruction,
     }
     case scan::TapInstruction::kIntest: {
       const scan::ScanChain* chain = SelectedChain();
-      if (chain != nullptr) chain->Update(value);
+      if (chain != nullptr) {
+        chain->Update(value);
+        // A scan write into the instruction-cache chain rewrites line data
+        // behind the memory hierarchy; drop every predecode. (The per-fetch
+        // raw-word tag check in DecodeCache::Resolve would catch stale
+        // entries anyway — this keeps the cache contents honest and the
+        // flush counter meaningful.)
+        if (chain->name() == "internal_icache") {
+          cpu_->decode_cache().InvalidateAll();
+        }
+      }
       break;
     }
     case scan::TapInstruction::kSample:   // observe-only

@@ -68,6 +68,11 @@ class TestCard {
   /// Runs the target until a debug event, halt, detection or cycle budget.
   virtual scan::DebugRunResult Run(uint64_t max_cycles) = 0;
 
+  /// Whether Run() (and golden-run fast-forwarding layered on top) drives
+  /// the target through the predecoded superblock fast path. Real hardware
+  /// runs at its own speed, so the base card reports false.
+  virtual bool use_fast_run() const { return false; }
+
   /// Executes exactly one instruction (detail mode logging).
   virtual cpu::StepOutcome SingleStep() = 0;
 
@@ -171,6 +176,12 @@ class SimTestCard final : public TestCard, private scan::TapController::DrHandle
 
   uint32_t workload_entry() const { return entry_; }
 
+  /// Fast path on/off switch (on by default). The reference interpreter is
+  /// kept selectable so differential suites can prove byte-identical
+  /// campaign databases against it.
+  bool use_fast_run() const override { return use_fast_run_; }
+  void set_use_fast_run(bool enabled) { use_fast_run_ = enabled; }
+
  private:
   // TapController::DrHandler:
   uint32_t DrLength(scan::TapInstruction instruction) override;
@@ -197,6 +208,7 @@ class SimTestCard final : public TestCard, private scan::TapController::DrHandle
   uint32_t chain_select_ = 0;
   uint32_t entry_ = 0;
   double extra_us_ = 0.0;  ///< op overheads accumulated
+  bool use_fast_run_ = true;
 
   // Scratch buffers recycled across ReadScanChainInto calls.
   util::BitVec select_scratch_;
