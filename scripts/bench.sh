@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Performance tracking: builds and runs the JSON-emitting benchmarks and
-# leaves one BENCH_<name>.json per benchmark in the build directory.
+# Performance tracking: builds and runs the JSON-emitting benchmarks, leaves
+# one BENCH_<name>.json per benchmark in the build directory, and aggregates
+# them into BENCH_PR4.json at the repo root.
 #
 # Currently covered:
 #   BENCH_checkpoint.json — experiments/sec cold vs warm (checkpoint
@@ -8,6 +9,9 @@
 #   worker count, plus the cache memory footprint per interval.
 #   BENCH_cpu_throughput.json — simulator MIPS, reference interpreter vs
 #   predecoded superblock fast path (E14), per workload + geomean.
+#   BENCH_convergence_pruning.json — experiments/sec unpruned vs warm-only
+#   vs pruned (golden-trace convergence pruning, E15), swept over fault
+#   location class x injection distribution x trace interval.
 #
 # Usage: scripts/bench.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -22,7 +26,8 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-    --target bench_checkpoint_fastforward bench_cpu_throughput
+    --target bench_checkpoint_fastforward bench_cpu_throughput \
+             bench_convergence_pruning
 
 "$BUILD_DIR"/bench/bench_checkpoint_fastforward \
     --json "$BUILD_DIR"/BENCH_checkpoint.json
@@ -30,4 +35,17 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
 "$BUILD_DIR"/bench/bench_cpu_throughput \
     --json "$BUILD_DIR"/BENCH_cpu_throughput.json
 
-echo "bench: OK ($BUILD_DIR/BENCH_checkpoint.json, $BUILD_DIR/BENCH_cpu_throughput.json)"
+"$BUILD_DIR"/bench/bench_convergence_pruning \
+    --json "$BUILD_DIR"/BENCH_convergence_pruning.json
+
+# One aggregate file at the repo root: nested objects keyed by benchmark.
+# Each per-bench file is a single flat JSON object on one line.
+{
+  printf '{\n'
+  printf '  "checkpoint": %s,\n' "$(cat "$BUILD_DIR"/BENCH_checkpoint.json)"
+  printf '  "cpu_throughput": %s,\n' "$(cat "$BUILD_DIR"/BENCH_cpu_throughput.json)"
+  printf '  "convergence_pruning": %s\n' "$(cat "$BUILD_DIR"/BENCH_convergence_pruning.json)"
+  printf '}\n'
+} > BENCH_PR4.json
+
+echo "bench: OK (BENCH_PR4.json; per-bench JSON in $BUILD_DIR/)"

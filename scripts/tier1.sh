@@ -14,19 +14,23 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints) =="
+echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test
 "$TSAN_DIR"/tests/thread_pool_test
 "$TSAN_DIR"/tests/parallel_runner_test
 "$TSAN_DIR"/tests/checkpoint_test
+"$TSAN_DIR"/tests/convergence_test
 
 echo "== tier-1: ASan pass (superblock fast-path differential fuzzer) =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=address
-cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test
+cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test
 "$ASAN_DIR"/tests/cpu_fastpath_test
+
+echo "== tier-1: ASan pass (state-hash / canonical-memory fuzzers) =="
+"$ASAN_DIR"/tests/convergence_test --gtest_filter='*Fuzz*'
 
 echo "== tier-1: UBSan pass (superblock fast-path differential fuzzer) =="
 UBSAN_DIR="${BUILD_DIR}-ubsan"
@@ -41,5 +45,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_checkpoint_fastforward
 echo "== tier-1: simulator throughput benchmark (BENCH_cpu_throughput.json) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_cpu_throughput
 "$BUILD_DIR"/bench/bench_cpu_throughput --json "$BUILD_DIR"/BENCH_cpu_throughput.json
+
+echo "== tier-1: convergence pruning benchmark (BENCH_convergence_pruning.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_convergence_pruning
+"$BUILD_DIR"/bench/bench_convergence_pruning --json "$BUILD_DIR"/BENCH_convergence_pruning.json
 
 echo "tier-1: OK"

@@ -244,6 +244,9 @@ util::Status FaultInjectionAlgorithms::PrepareCampaign(
   stats_ = Stats{};
   checkpoint_cache_.reset();
   warm_starts_ = 0;
+  golden_trace_.reset();
+  convergence_memo_.reset();
+  prune_stats_ = ConvergenceStats{};
 
   // Enumerate the fault space once per campaign.
   fault_space_.clear();
@@ -254,13 +257,25 @@ util::Status FaultInjectionAlgorithms::PrepareCampaign(
                         part.value().end());
   }
 
-  // Build the golden-run checkpoint cache once per campaign. A campaign
-  // driven by ParallelCampaignRunner suppresses this (interval 0 on the
-  // workers) and installs one shared cache instead.
-  if (ShouldAutoCheckpoint()) {
-    auto cache = std::make_shared<CheckpointCache>(checkpoint_interval_);
-    GOOFI_RETURN_IF_ERROR(BuildCheckpoints(checkpoint_interval_, cache.get()));
+  // Build the golden-run products once per campaign: the checkpoint cache
+  // (warm-start) and/or the golden trace (convergence pruning), in a single
+  // fault-free pass. A campaign driven by ParallelCampaignRunner suppresses
+  // this (interval 0 on the workers) and installs shared products instead.
+  const bool want_cache = ShouldAutoCheckpoint();
+  const bool want_trace =
+      convergence_pruning_ && checkpoint_interval_ > 0 && SupportsCheckpoints();
+  if (want_cache || want_trace) {
+    std::shared_ptr<CheckpointCache> cache;
+    if (want_cache) cache = std::make_shared<CheckpointCache>(checkpoint_interval_);
+    std::shared_ptr<GoldenTrace> trace;
+    if (want_trace) trace = std::make_shared<GoldenTrace>();
+    GOOFI_RETURN_IF_ERROR(
+        BuildGoldenRun(checkpoint_interval_, cache.get(), trace.get()));
     checkpoint_cache_ = std::move(cache);
+    golden_trace_ = std::move(trace);
+  }
+  if (golden_trace_ != nullptr && convergence_memo_ == nullptr) {
+    convergence_memo_ = std::make_shared<ConvergenceMemo>();
   }
   return util::Status::Ok();
 }

@@ -33,6 +33,7 @@
 
 #include "core/campaign_store.hpp"
 #include "core/checkpoint.hpp"
+#include "core/convergence.hpp"
 #include "core/types.hpp"
 #include "util/rng.hpp"
 
@@ -163,19 +164,74 @@ class FaultInjectionAlgorithms {
   /// Deliberately outside Stats: warm and cold runs must compare equal.
   int warm_starts() const { return warm_starts_; }
 
-  /// Whether this target implements BuildCheckpoints/RestoreCheckpoint.
+  /// Whether this target implements BuildGoldenRun/RestoreCheckpoint.
   virtual bool SupportsCheckpoints() const { return false; }
 
   /// Runs the prepared campaign's fault-free workload once, adding a
   /// snapshot to `cache` at instruction 0 and every `interval` retired
   /// instructions until termination. Requires PrepareCampaign.
-  virtual util::Status BuildCheckpoints(uint64_t interval,
-                                        CheckpointCache* cache) {
+  util::Status BuildCheckpoints(uint64_t interval, CheckpointCache* cache) {
+    return BuildGoldenRun(interval, cache, nullptr);
+  }
+
+  /// Golden-run builder behind BuildCheckpoints: runs the prepared
+  /// campaign's fault-free workload, filling whichever products are
+  /// non-null — `cache` with full-state snapshots every `interval` retired
+  /// instructions up to the injection window, and `trace` with a
+  /// convergence-pruning record (per-boundary state digests at every
+  /// multiple of `interval` until termination, the golden final LoggedState,
+  /// and — for detail-mode campaigns — the golden per-instruction rows).
+  /// Requires PrepareCampaign.
+  virtual util::Status BuildGoldenRun(uint64_t interval, CheckpointCache* cache,
+                                      GoldenTrace* trace) {
     (void)interval;
     (void)cache;
+    (void)trace;
     return util::FailedPrecondition(
         "this target does not support checkpointing");
   }
+
+  // --- convergence pruning -------------------------------------------------
+  //
+  // With pruning enabled, PrepareCampaign additionally records a GoldenTrace
+  // during the golden run. Experiments then compare their full-state digest
+  // against the golden digest at every checkpoint boundary after injection;
+  // on a (blob-verified) match the run terminates immediately and its
+  // remaining rows are synthesized from the recorded golden data — the
+  // database stays byte-identical to a full run. See core/convergence.hpp.
+
+  /// Master switch; off by default. Set before PrepareCampaign.
+  void SetConvergencePruning(bool enabled) { convergence_pruning_ = enabled; }
+  bool convergence_pruning() const { return convergence_pruning_; }
+
+  /// Installs a prebuilt golden trace (shared read-only across parallel
+  /// workers). PrepareCampaign resets any installed trace, so install after
+  /// preparing. Installing a trace implies pruning for matching campaigns.
+  void SetGoldenTrace(std::shared_ptr<const GoldenTrace> trace) {
+    golden_trace_ = std::move(trace);
+  }
+  const std::shared_ptr<const GoldenTrace>& golden_trace() const {
+    return golden_trace_;
+  }
+
+  /// Installs a cross-experiment suffix memo (shared mutable, thread-safe).
+  /// PrepareCampaign creates a private one when pruning is on and none is
+  /// installed afterwards.
+  void SetConvergenceMemo(std::shared_ptr<ConvergenceMemo> memo) {
+    convergence_memo_ = std::move(memo);
+  }
+  const std::shared_ptr<ConvergenceMemo>& convergence_memo() const {
+    return convergence_memo_;
+  }
+
+  /// Ensures the worker-local prerequisites for hashing against an installed
+  /// golden trace (memory baseline etc.) without rebuilding the trace.
+  /// ParallelCampaignRunner calls this on each worker after SetGoldenTrace.
+  virtual util::Status PrepareGoldenBaseline() { return util::Status::Ok(); }
+
+  /// Pruning observability. Like warm_starts(), deliberately outside Stats:
+  /// pruned and unpruned runs must compare equal on Stats.
+  const ConvergenceStats& prune_stats() const { return prune_stats_; }
 
  protected:
   /// Restores the target to `checkpoint`'s state and re-arms triggers for
@@ -236,6 +292,12 @@ class FaultInjectionAlgorithms {
   /// Filled by WaitForTermination in detail mode: one entry per executed
   /// instruction after injection.
   std::vector<LoggedState> detail_log_;
+
+  // Convergence-pruning context, consumed by the target-level run loops.
+  std::shared_ptr<const GoldenTrace> golden_trace_;
+  std::shared_ptr<ConvergenceMemo> convergence_memo_;
+  ConvergenceStats prune_stats_;
+  bool convergence_pruning_ = false;
 
  private:
   /// The per-experiment block sequence for one technique.

@@ -1,0 +1,67 @@
+#include "core/convergence.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace goofi::core {
+
+void GoldenTrace::AddBoundary(GoldenBoundary boundary) {
+  assert((boundaries_.empty() ||
+          boundaries_.back().instret < boundary.instret) &&
+         "boundaries must arrive in strictly increasing instret order");
+  boundaries_.push_back(std::move(boundary));
+}
+
+const GoldenBoundary* GoldenTrace::FindBoundary(uint64_t instret) const {
+  auto it = std::lower_bound(
+      boundaries_.begin(), boundaries_.end(), instret,
+      [](const GoldenBoundary& b, uint64_t value) { return b.instret < value; });
+  if (it == boundaries_.end() || it->instret != instret) return nullptr;
+  return &*it;
+}
+
+size_t GoldenTrace::MemoryBytes() const {
+  size_t bytes = sizeof(GoldenTrace);
+  for (const GoldenBoundary& boundary : boundaries_) {
+    bytes += sizeof(GoldenBoundary) + boundary.blob.size();
+  }
+  for (const LoggedState& row : detail_rows_) {
+    bytes += sizeof(LoggedState);
+    bytes += row.outputs.size() * sizeof(uint32_t);
+    for (const auto& [chain, image] : row.scan_images) {
+      bytes += chain.size() + image.size();
+    }
+  }
+  return bytes;
+}
+
+bool ConvergenceMemo::Lookup(uint64_t instret, uint64_t hash,
+                             const std::vector<uint8_t>& blob,
+                             LoggedState* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find({instret, hash});
+  if (it == entries_.end()) return false;
+  // Full-state verify: an entry whose digest collides but whose state
+  // differs is a miss, not a wrong answer.
+  if (it->second.blob != blob) return false;
+  *out = it->second.final_state;
+  return true;
+}
+
+bool ConvergenceMemo::Insert(uint64_t instret, uint64_t hash,
+                             std::vector<uint8_t> blob,
+                             LoggedState final_state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kMaxEntries) return false;
+  auto [it, inserted] = entries_.try_emplace(
+      std::make_pair(instret, hash), Entry{std::move(blob), std::move(final_state)});
+  (void)it;
+  return inserted;
+}
+
+size_t ConvergenceMemo::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace goofi::core

@@ -42,6 +42,7 @@ void ParallelCampaignRunner::SetCommitBatchRows(int rows) {
 util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
   stats_ = FaultInjectionAlgorithms::Stats{};
   warm_starts_ = 0;
+  prune_stats_ = ConvergenceStats{};
   auto campaign_or = store_->GetCampaign(campaign_name);
   if (!campaign_or.ok()) return campaign_or.status();
   const CampaignData campaign = std::move(campaign_or).value();
@@ -83,20 +84,46 @@ util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
     targets.push_back(std::move(target));
   }
 
-  // Build the golden-run checkpoint cache once, on the committer thread,
-  // and share it read-only across all workers. Same engagement rule as the
-  // serial driver: warm-start only pays off when every fault injects at or
-  // after the first snapshot interval (or when forced).
+  // Build the golden run once, on the committer thread, and share its
+  // products read-only across all workers. Checkpoint cache: same engagement
+  // rule as the serial driver — warm-start only pays off when every fault
+  // injects at or after the first snapshot interval (or when forced).
+  // Convergence trace: any checkpoint-capable target qualifies (even
+  // pre-runtime SWIFI data faults can rejoin the golden trajectory).
   const bool warm_technique = campaign.technique == Technique::kScifi ||
                               campaign.technique == Technique::kSwifiRuntime;
-  if (checkpoint_interval_ > 0 && warm_technique &&
+  const bool want_cache =
+      checkpoint_interval_ > 0 && warm_technique &&
       targets[0]->SupportsCheckpoints() &&
-      (force_warm_start_ || campaign.inject_min_instr >= checkpoint_interval_)) {
-    auto cache = std::make_shared<CheckpointCache>(checkpoint_interval_);
-    GOOFI_RETURN_IF_ERROR(
-        targets[0]->BuildCheckpoints(checkpoint_interval_, cache.get()));
-    const std::shared_ptr<const CheckpointCache> shared = std::move(cache);
-    for (auto& target : targets) target->SetCheckpointCache(shared);
+      (force_warm_start_ || campaign.inject_min_instr >= checkpoint_interval_);
+  const bool want_trace = convergence_pruning_ && checkpoint_interval_ > 0 &&
+                          targets[0]->SupportsCheckpoints();
+  if (want_cache || want_trace) {
+    auto cache = want_cache
+                     ? std::make_shared<CheckpointCache>(checkpoint_interval_)
+                     : nullptr;
+    auto trace = want_trace ? std::make_shared<GoldenTrace>() : nullptr;
+    GOOFI_RETURN_IF_ERROR(targets[0]->BuildGoldenRun(
+        checkpoint_interval_, cache ? cache.get() : nullptr,
+        trace ? trace.get() : nullptr));
+    if (cache != nullptr) {
+      const std::shared_ptr<const CheckpointCache> shared = std::move(cache);
+      for (auto& target : targets) target->SetCheckpointCache(shared);
+    }
+    if (trace != nullptr) {
+      const std::shared_ptr<const GoldenTrace> shared_trace = std::move(trace);
+      // One memo for the whole run: a suffix outcome memoized by any worker
+      // prunes matching experiments on every worker (single-writer inserts
+      // under the memo's lock, shared lock-guarded lookups).
+      auto memo = std::make_shared<ConvergenceMemo>();
+      for (auto& target : targets) {
+        target->SetConvergencePruning(true);
+        target->SetGoldenTrace(shared_trace);
+        target->SetConvergenceMemo(memo);
+        // Each worker needs its own memory baseline for canonical hashing.
+        GOOFI_RETURN_IF_ERROR(target->PrepareGoldenBaseline());
+      }
+    }
   }
 
   // The reference run commits before any experiment row, matching serial
@@ -190,7 +217,10 @@ util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
   cancel.store(true, std::memory_order_relaxed);
   pool.Shutdown();
 
-  for (const auto& target : targets) warm_starts_ += target->warm_starts();
+  for (const auto& target : targets) {
+    warm_starts_ += target->warm_starts();
+    prune_stats_ += target->prune_stats();
+  }
 
   // Commit what completed in order before reporting any error — the same
   // prefix a serial run that failed at this experiment would have logged.

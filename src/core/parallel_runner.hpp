@@ -78,6 +78,21 @@ class ParallelCampaignRunner {
   /// equal.
   int warm_starts() const { return warm_starts_; }
 
+  /// Golden-trace convergence pruning: when enabled (and the target supports
+  /// checkpoints), the committer thread records one GoldenTrace during
+  /// preparation and shares it read-only across all workers, together with a
+  /// shared cross-experiment ConvergenceMemo. Experiments whose
+  /// post-injection state rejoins the golden trajectory terminate at the
+  /// matching boundary with their remaining rows synthesized — byte-identical
+  /// to a full run.
+  void SetConvergencePruning(bool enabled) { convergence_pruning_ = enabled; }
+  bool convergence_pruning() const { return convergence_pruning_; }
+
+  /// Convergence counters of the most recent Run, summed over all workers
+  /// (like warm_starts(), outside stats() so pruned and unpruned runs
+  /// compare equal).
+  const ConvergenceStats& prune_stats() const { return prune_stats_; }
+
   /// Runs `campaign_name` to completion (technique dispatched from the
   /// stored campaign, as in RunCampaign). On a worker error, experiments
   /// committed so far stay in the database — exactly what a failed serial
@@ -105,6 +120,8 @@ class ParallelCampaignRunner {
       FaultInjectionAlgorithms::kDefaultCheckpointInterval;
   bool force_warm_start_ = false;
   int warm_starts_ = 0;
+  bool convergence_pruning_ = false;
+  ConvergenceStats prune_stats_;
   ProgressMonitor* monitor_ = nullptr;
   FaultInjectionAlgorithms::LivenessFilter liveness_filter_;
   FaultInjectionAlgorithms::Stats stats_;

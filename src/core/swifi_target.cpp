@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cpu/state_hash.hpp"
 #include "util/strings.hpp"
 
 namespace goofi::core {
@@ -83,6 +84,11 @@ util::Status SwifiSimTarget::InitTestCard() {
   timed_out_ = false;
   actuator_crc_.Reset();
   outputs_.clear();
+  prune_active_ = false;
+  converged_ = false;
+  prune_next_check_ = 0;
+  memo_pending_ = false;
+  memo_blob_.clear();
   return util::Status::Ok();
 }
 
@@ -142,6 +148,14 @@ util::Status SwifiSimTarget::RunUntil(uint64_t stop_instr) {
       if (stop_instr != 0 && cpu_->instructions_retired() >= stop_instr) {
         return util::Status::Ok();
       }
+      // Convergence boundary: checked at the loop top, i.e. after the step
+      // that reached the boundary count and its iteration servicing — the
+      // same program point the golden trace captured at.
+      if (prune_active_ && !converged_ &&
+          cpu_->instructions_retired() >= prune_next_check_) {
+        GOOFI_RETURN_IF_ERROR(AtBoundary());
+        if (converged_) return util::Status::Ok();
+      }
       const uint32_t exec_pc = cpu_->pc();
       const cpu::StepOutcome outcome = cpu_->Step();
       if (environment_ != nullptr && exec_pc == loop_end_addr_) {
@@ -164,7 +178,6 @@ util::Status SwifiSimTarget::RunUntil(uint64_t stop_instr) {
   // without a zero guard, so 0 means "stop after one step", not "off"),
   // and boundary-iteration servicing is a pc watch.
   cpu::RunFastRequest request;
-  request.max_instret = stop_instr;
   request.max_cycles = std::max<uint64_t>(campaign_.timeout_cycles, 1);
   if (environment_ != nullptr) {
     request.watch_pc_enabled = true;
@@ -174,6 +187,20 @@ util::Status SwifiSimTarget::RunUntil(uint64_t stop_instr) {
     if (stop_instr != 0 && cpu_->instructions_retired() >= stop_instr) {
       return util::Status::Ok();
     }
+    if (prune_active_ && !converged_ &&
+        cpu_->instructions_retired() >= prune_next_check_) {
+      GOOFI_RETURN_IF_ERROR(AtBoundary());
+      if (converged_) return util::Status::Ok();
+    }
+    // The instret budget is the nearer of the caller's breakpoint and the
+    // next convergence boundary, so the primitive stops exactly where the
+    // reference loop would act (0 = unbounded).
+    uint64_t budget = stop_instr;
+    if (prune_active_ && !converged_) {
+      budget = budget == 0 ? prune_next_check_
+                           : std::min(budget, prune_next_check_);
+    }
+    request.max_instret = budget;
     const cpu::RunFastResult fast = cpu_->RunFastEx(request);
     // The boundary iteration is serviced even when the step faulted — the
     // exchange happens before the outcome is inspected, as in the slow loop.
@@ -215,11 +242,23 @@ util::Status SwifiSimTarget::CaptureCheckpoint(CheckpointCache* cache) {
   return util::Status::Ok();
 }
 
-util::Status SwifiSimTarget::BuildCheckpoints(uint64_t interval,
-                                              CheckpointCache* cache) {
-  if (interval == 0 || cache == nullptr) {
+util::Status SwifiSimTarget::BuildGoldenRun(uint64_t interval,
+                                            CheckpointCache* cache,
+                                            GoldenTrace* trace) {
+  if (interval == 0 || (cache == nullptr && trace == nullptr)) {
     return util::InvalidArgument("checkpoint interval must be positive");
   }
+  if (cache != nullptr) {
+    GOOFI_RETURN_IF_ERROR(BuildCheckpointPass(interval, cache));
+  }
+  if (trace != nullptr) {
+    GOOFI_RETURN_IF_ERROR(BuildTracePass(interval, trace));
+  }
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::BuildCheckpointPass(uint64_t interval,
+                                                 CheckpointCache* cache) {
   // Golden run: the fault-free workload, stepped with exactly the semantics
   // of RunUntil. Captures happen at the loop top — the same program point a
   // cold WaitForBreakpoint stops at — so the state at instret N here is
@@ -284,6 +323,116 @@ util::Status SwifiSimTarget::BuildCheckpoints(uint64_t interval,
   return util::Status::Ok();
 }
 
+util::Status SwifiSimTarget::BuildTracePass(uint64_t interval,
+                                            GoldenTrace* trace) {
+  trace->set_interval(interval);
+  trace->set_campaign_name(campaign_.name);
+  // Drive the fault-free workload through RunUntil with boundary capture
+  // active, then run the standard experiment epilogue so the golden final
+  // state is row-identical to a full fault-free experiment. This target
+  // never logs detail rows, so the trace carries none (and needs none for
+  // detail-mode synthesis).
+  faults_.clear();
+  warm_ready_workload_.clear();
+  GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
+  cpu_->Reset(program_.entry);  // RunWorkload, minus re-downloading memory
+  capture_trace_ = trace;
+  prune_active_ = true;
+  converged_ = false;
+  prune_next_check_ = 0;  // first capture at instret 0, then every interval
+  const util::Status run = RunUntil(0);
+  capture_trace_ = nullptr;
+  prune_active_ = false;
+  GOOFI_RETURN_IF_ERROR(run);
+  GOOFI_RETURN_IF_ERROR(ReadMemory());
+  auto state = CollectState();
+  if (!state.ok()) return state.status();
+  trace->SetFinalState(std::move(state).value());
+  return util::Status::Ok();
+}
+
+util::Status SwifiSimTarget::HashTargetNow(cpu::StateHasher* hasher) {
+  cpu_->HashExecutionState(hasher);
+  hasher->U32(actuator_crc_.raw_state());
+  hasher->I32(iterations_);
+  if (environment_ != nullptr) {
+    environment_->SaveStateInto(&env_state_scratch_);
+    hasher->U64(env_state_scratch_.size());
+    for (double value : env_state_scratch_) hasher->Double(value);
+  }
+  return util::Status::Ok();
+}
+
+bool SwifiSimTarget::CanPruneExperiment() const {
+  if (!convergence_pruning_ || golden_trace_ == nullptr) return false;
+  const GoldenTrace& trace = *golden_trace_;
+  if (trace.interval() == 0 || !trace.has_final_state()) return false;
+  if (trace.campaign_name() != campaign_.name) return false;
+  if (faults_.empty()) return false;
+  // No model restriction: this target applies each fault exactly once (it
+  // has no reactivation machinery), so once WaitForTermination starts the
+  // rest of the run is a pure function of the hashed state for every model,
+  // permanent stuck-at included.
+  // Canonical memory hashing digests against the workload's baseline.
+  return warm_ready_workload_ == campaign_.workload;
+}
+
+util::Status SwifiSimTarget::AtBoundary() {
+  const uint64_t instret = cpu_->instructions_retired();
+  if (capture_trace_ != nullptr) {
+    cpu::StateHasher hasher(/*capture=*/true);
+    GOOFI_RETURN_IF_ERROR(HashTargetNow(&hasher));
+    GoldenBoundary boundary;
+    boundary.instret = instret;
+    boundary.hash = hasher.hash();
+    boundary.blob = hasher.TakeBlob();
+    capture_trace_->AddBoundary(std::move(boundary));
+    prune_next_check_ =
+        (instret / capture_trace_->interval() + 1) * capture_trace_->interval();
+    return util::Status::Ok();
+  }
+  const uint64_t interval = golden_trace_->interval();
+  const uint64_t next = (instret / interval + 1) * interval;
+  if (instret != prune_next_check_) {
+    // Overshot the boundary (instret budgets stop exactly, so this should
+    // not happen); skip rather than compare at a non-boundary point.
+    prune_next_check_ = next;
+    return util::Status::Ok();
+  }
+  prune_next_check_ = next;
+  const GoldenBoundary* golden = golden_trace_->FindBoundary(instret);
+  if (golden == nullptr) {
+    prune_active_ = false;  // golden terminated before this point
+    return util::Status::Ok();
+  }
+  ++prune_stats_.boundary_checks;
+  cpu::StateHasher hasher(/*capture=*/true);
+  GOOFI_RETURN_IF_ERROR(HashTargetNow(&hasher));
+  if (hasher.hash() == golden->hash) {
+    if (hasher.blob() == golden->blob) {
+      synth_state_ = golden_trace_->final_state();
+      converged_ = true;
+      ++prune_stats_.pruned_golden;
+      return util::Status::Ok();
+    }
+    ++prune_stats_.collision_rejects;
+  }
+  if (convergence_memo_ != nullptr &&
+      convergence_memo_->Lookup(instret, hasher.hash(), hasher.blob(),
+                                &synth_state_)) {
+    converged_ = true;
+    ++prune_stats_.pruned_memo;
+    return util::Status::Ok();
+  }
+  if (!memo_pending_) {
+    memo_pending_ = true;
+    memo_instret_ = instret;
+    memo_hash_ = hasher.hash();
+    memo_blob_ = hasher.TakeBlob();
+  }
+  return util::Status::Ok();
+}
+
 util::Status SwifiSimTarget::RestoreCheckpoint(const Checkpoint& checkpoint) {
   const auto* payload =
       dynamic_cast<const SwifiPayload*>(checkpoint.payload.get());
@@ -299,6 +448,11 @@ util::Status SwifiSimTarget::RestoreCheckpoint(const Checkpoint& checkpoint) {
   timed_out_ = false;
   actuator_crc_.set_raw_state(payload->crc_state);
   outputs_.clear();
+  prune_active_ = false;
+  converged_ = false;
+  prune_next_check_ = 0;
+  memo_pending_ = false;
+  memo_blob_.clear();
   if (environment_ != nullptr) environment_->RestoreState(payload->env_state);
   return util::Status::Ok();
 }
@@ -307,9 +461,24 @@ util::Status SwifiSimTarget::WaitForBreakpoint() {
   return RunUntil(faults_.empty() ? 0 : faults_.front().inject_instr);
 }
 
-util::Status SwifiSimTarget::WaitForTermination() { return RunUntil(0); }
+util::Status SwifiSimTarget::WaitForTermination() {
+  converged_ = false;
+  memo_pending_ = false;
+  prune_active_ = false;
+  if (CanPruneExperiment()) {
+    // First boundary strictly after the injection point: a faulty run can
+    // only have rejoined the golden trajectory after the fault landed.
+    const uint64_t interval = golden_trace_->interval();
+    prune_next_check_ =
+        (cpu_->instructions_retired() / interval + 1) * interval;
+    prune_active_ = true;
+  }
+  return RunUntil(0);
+}
 
 util::Status SwifiSimTarget::ReadMemory() {
+  // A converged run takes its outputs from the synthesized state.
+  if (converged_) return util::Status::Ok();
   if (environment_ != nullptr) {
     outputs_ = {actuator_crc_.Value()};
     return util::Status::Ok();
@@ -406,26 +575,41 @@ util::Result<std::vector<FaultCandidate>> SwifiSimTarget::EnumerateFaultSpace(
 
 util::Result<LoggedState> SwifiSimTarget::CollectState() {
   LoggedState state;
-  state.detected = cpu_->detected();
-  state.halted = cpu_->halted() && !cpu_->detected();
-  if (state.detected) {
-    state.edm = cpu::EdmTypeName(cpu_->edm_event().type);
-    state.edm_code = cpu_->edm_event().code;
+  if (converged_) {
+    state = synth_state_;
+  } else {
+    state.detected = cpu_->detected();
+    state.halted = cpu_->halted() && !cpu_->detected();
+    if (state.detected) {
+      state.edm = cpu::EdmTypeName(cpu_->edm_event().type);
+      state.edm_code = cpu_->edm_event().code;
+    }
+    state.timed_out = timed_out_;
+    state.env_failed = environment_ != nullptr && environment_->Failed();
+    state.cycles = cpu_->cycles();
+    state.instret = cpu_->instructions_retired();
+    state.iterations = iterations_;
+    state.outputs = outputs_;
+    // The simulator host observes the architectural state directly.
+    util::BitVec image;
+    image.Reserve((isa::kNumRegisters + 1) * 32);
+    for (int reg = 0; reg < isa::kNumRegisters; ++reg) {
+      image.AppendWord(cpu_->reg(reg), 32);
+    }
+    image.AppendWord(cpu_->pc(), 32);
+    state.scan_images["sim.regfile"] = image.ToString();
   }
-  state.timed_out = timed_out_;
-  state.env_failed = environment_ != nullptr && environment_->Failed();
-  state.cycles = cpu_->cycles();
-  state.instret = cpu_->instructions_retired();
-  state.iterations = iterations_;
-  state.outputs = outputs_;
-  // The simulator host observes the architectural state directly.
-  util::BitVec image;
-  image.Reserve((isa::kNumRegisters + 1) * 32);
-  for (int reg = 0; reg < isa::kNumRegisters; ++reg) {
-    image.AppendWord(cpu_->reg(reg), 32);
+  // Memoize the deterministic outcome of the first divergent boundary state
+  // recorded in AtBoundary (whether this run later converged or ran out).
+  if (memo_pending_) {
+    if (convergence_memo_ != nullptr &&
+        convergence_memo_->Insert(memo_instret_, memo_hash_,
+                                  std::move(memo_blob_), state)) {
+      ++prune_stats_.memo_inserts;
+    }
+    memo_pending_ = false;
+    memo_blob_.clear();
   }
-  image.AppendWord(cpu_->pc(), 32);
-  state.scan_images["sim.regfile"] = image.ToString();
   return state;
 }
 

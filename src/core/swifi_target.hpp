@@ -52,10 +52,12 @@ class SwifiSimTarget : public FrameworkTarget {
   /// Checkpoint fast-forward support: the golden run snapshots the CPU
   /// (registers, caches, memory delta) plus the environment simulator,
   /// iteration count and actuator CRC. SCIFI is not offered by this target,
-  /// so only runtime SWIFI campaigns warm-start.
+  /// so only runtime SWIFI campaigns warm-start. The same builder records
+  /// the convergence-pruning GoldenTrace when asked for one.
   bool SupportsCheckpoints() const override { return true; }
-  util::Status BuildCheckpoints(uint64_t interval,
-                                CheckpointCache* cache) override;
+  util::Status BuildGoldenRun(uint64_t interval, CheckpointCache* cache,
+                              GoldenTrace* trace) override;
+  util::Status PrepareGoldenBaseline() override { return EnsureWarmBaseline(); }
 
  protected:
   util::Status RestoreCheckpoint(const Checkpoint& checkpoint) override;
@@ -94,6 +96,25 @@ class SwifiSimTarget : public FrameworkTarget {
   /// MarkMemoryBaseline), once per workload per target instance.
   util::Status EnsureWarmBaseline();
   util::Status CaptureCheckpoint(CheckpointCache* cache);
+  /// Fills the checkpoint cache (stops at the injection window) — the
+  /// `cache` half of BuildGoldenRun.
+  util::Status BuildCheckpointPass(uint64_t interval, CheckpointCache* cache);
+  /// Records the GoldenTrace by driving the fault-free workload through
+  /// RunUntil with boundary capture active — the `trace` half of
+  /// BuildGoldenRun.
+  util::Status BuildTracePass(uint64_t interval, GoldenTrace* trace);
+  /// Digests everything that can shape the rest of this experiment: the
+  /// CPU's full execution state plus the host-side per-experiment
+  /// accumulators (actuator CRC, iteration count, plant state).
+  util::Status HashTargetNow(cpu::StateHasher* hasher);
+  /// Whether the experiment entering WaitForTermination qualifies for
+  /// convergence pruning against the installed golden trace.
+  bool CanPruneExperiment() const;
+  /// Boundary action for RunUntil when prune_next_check_ is reached:
+  /// capture (golden trace pass) or compare-and-maybe-converge
+  /// (experiment). Advances prune_next_check_; may set converged_ or clear
+  /// prune_active_.
+  util::Status AtBoundary();
 
   std::unique_ptr<cpu::Cpu> cpu_;
 
@@ -111,6 +132,25 @@ class SwifiSimTarget : public FrameworkTarget {
   util::Crc32 actuator_crc_;
   std::vector<uint32_t> outputs_;
   bool use_fast_run_ = true;
+
+  // Convergence-pruning state for the current run phase (see ThorRdTarget
+  // for the full protocol). converged_ means the rest of the run is
+  // synthesized from synth_state_.
+  bool prune_active_ = false;
+  bool converged_ = false;
+  uint64_t prune_next_check_ = 0;
+  LoggedState synth_state_;
+  GoldenTrace* capture_trace_ = nullptr;  ///< non-null during BuildTracePass
+
+  // First post-injection boundary whose state diverged from golden: the
+  // cross-experiment memo candidate, inserted in CollectState.
+  bool memo_pending_ = false;
+  uint64_t memo_instret_ = 0;
+  uint64_t memo_hash_ = 0;
+  std::vector<uint8_t> memo_blob_;
+
+  /// Plant-state buffer reused across boundary hashes.
+  std::vector<double> env_state_scratch_;
 
   /// Workload the memory baseline was established for; empty = none yet.
   std::string warm_ready_workload_;

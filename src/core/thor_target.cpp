@@ -1,5 +1,8 @@
 #include "core/thor_target.hpp"
 
+#include <algorithm>
+
+#include "cpu/state_hash.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -94,6 +97,12 @@ util::Status ThorRdTarget::InitTestCard() {
   outputs_.clear();
   inject_images_.clear();
   observe_images_.clear();
+  prune_active_ = false;
+  converged_ = false;
+  prune_next_check_ = 0;
+  reactivation_armed_ = false;
+  memo_pending_ = false;
+  memo_blob_.clear();
   return util::Status::Ok();
 }
 
@@ -114,6 +123,8 @@ void ThorRdTarget::ArmTriggers(bool with_injection_breakpoint,
                                bool with_reactivation) {
   card_->ClearTriggers();
   iteration_trigger_ = breakpoint_trigger_ = reactivation_trigger_ = -1;
+  prune_trigger_ = -1;
+  reactivation_armed_ = with_reactivation;
   if (environment_ != nullptr) {
     scan::Trigger trigger;
     trigger.kind = scan::TriggerKind::kPcBreakpoint;
@@ -132,6 +143,17 @@ void ThorRdTarget::ArmTriggers(bool with_injection_breakpoint,
     trigger.kind = scan::TriggerKind::kInstrCount;
     trigger.count = next_activation_;
     reactivation_trigger_ = card_->AddTrigger(trigger);
+  }
+  // Convergence-boundary stop. Added LAST: DebugUnit reports the first fired
+  // trigger index, so when a boundary coincides with an iteration breakpoint
+  // or a reactivation, RunLoop services those first and the boundary action
+  // runs at the loop top afterwards — the same post-servicing program point
+  // the golden trace captured at.
+  if (prune_active_ && !converged_) {
+    scan::Trigger trigger;
+    trigger.kind = scan::TriggerKind::kInstrCount;
+    trigger.count = prune_next_check_;
+    prune_trigger_ = card_->AddTrigger(trigger);
   }
 }
 
@@ -202,6 +224,18 @@ util::Status ThorRdTarget::ReactivateFaults() {
 util::Status ThorRdTarget::RunLoop(bool stop_at_breakpoint) {
   for (;;) {
     if (Terminated()) return util::Status::Ok();
+    // Convergence boundary: this check runs at the loop top, i.e. after any
+    // iteration servicing or fault reactivation that stopped the run at the
+    // same retirement count — the exact program point the golden trace
+    // captured at. The re-arm is unconditional: it drops the fired (level-
+    // comparing) boundary trigger and installs one for the next boundary
+    // while preserving the iteration and reactivation triggers.
+    if (prune_active_ && !converged_ &&
+        card_->cpu().instructions_retired() >= prune_next_check_) {
+      GOOFI_RETURN_IF_ERROR(AtBoundary());
+      if (converged_) return util::Status::Ok();
+      ArmTriggers(/*with_injection_breakpoint=*/false, reactivation_armed_);
+    }
     const scan::DebugRunResult result = card_->Run(campaign_.timeout_cycles);
     if (result.outcome != cpu::StepOutcome::kOk) {
       return util::Status::Ok();  // halted or detected
@@ -245,6 +279,16 @@ util::Status ThorRdTarget::RunLoopDetail() {
   // target system allows, typically after the execution of each machine
   // instruction".
   while (!Terminated() && detail_log_.size() < kMaxDetailRows) {
+    // Convergence boundary, post-step and post-servicing like RunLoop's
+    // loop-top check (row instret values are post-step, so the state here is
+    // the state after retiring exactly prune_next_check_ instructions). No
+    // triggers to re-arm on this path: single-stepping checks every
+    // retirement, so the boundary hits exactly.
+    if (prune_active_ && !converged_ &&
+        card_->cpu().instructions_retired() >= prune_next_check_) {
+      GOOFI_RETURN_IF_ERROR(AtBoundary());
+      if (converged_) return util::Status::Ok();
+    }
     const uint32_t exec_pc = card_->cpu().pc();
     const cpu::StepOutcome outcome = card_->SingleStep();
     if (environment_ != nullptr && exec_pc == loop_end_addr_) {
@@ -307,11 +351,23 @@ util::Status ThorRdTarget::CaptureCheckpoint(CheckpointCache* cache) {
   return util::Status::Ok();
 }
 
-util::Status ThorRdTarget::BuildCheckpoints(uint64_t interval,
-                                            CheckpointCache* cache) {
-  if (interval == 0 || cache == nullptr) {
+util::Status ThorRdTarget::BuildGoldenRun(uint64_t interval,
+                                          CheckpointCache* cache,
+                                          GoldenTrace* trace) {
+  if (interval == 0 || (cache == nullptr && trace == nullptr)) {
     return util::InvalidArgument("checkpoint interval must be positive");
   }
+  if (cache != nullptr) {
+    GOOFI_RETURN_IF_ERROR(BuildCheckpointPass(interval, cache));
+  }
+  if (trace != nullptr) {
+    GOOFI_RETURN_IF_ERROR(BuildTracePass(interval, trace));
+  }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::BuildCheckpointPass(uint64_t interval,
+                                               CheckpointCache* cache) {
   // Golden run: the fault-free workload, stepped with exactly the semantics
   // of RunLoop (service an iteration only when the step at the loop boundary
   // completed normally; trigger servicing outranks the cycle timeout). The
@@ -388,6 +444,180 @@ util::Status ThorRdTarget::BuildCheckpoints(uint64_t interval,
   return util::Status::Ok();
 }
 
+util::Status ThorRdTarget::BuildTracePass(uint64_t interval,
+                                          GoldenTrace* trace) {
+  trace->set_interval(interval);
+  trace->set_campaign_name(campaign_.name);
+  // A card without state-hash support leaves the trace without a final
+  // state, which CanPruneExperiment treats as "pruning unavailable".
+  if (!card_->SupportsStateHash()) return util::Status::Ok();
+  // Drive the fault-free workload through the *experiment* run loops with
+  // boundary capture active. Reusing RunLoop/RunLoopDetail (rather than a
+  // bespoke golden loop) guarantees that boundary program points, the
+  // branch-order corner cases around iteration servicing, and the final
+  // outcome (including timed_out) are exactly what a converging faulty run
+  // reaches.
+  faults_.clear();
+  warm_ready_workload_.clear();
+  GOOFI_RETURN_IF_ERROR(EnsureWarmBaseline());
+  GOOFI_RETURN_IF_ERROR(card_->ResetTarget());
+  detail_log_.clear();
+  capture_trace_ = trace;
+  prune_active_ = true;
+  converged_ = false;
+  prune_next_check_ = 0;  // first capture at instret 0, then every interval
+  ArmTriggers(/*with_injection_breakpoint=*/false, /*with_reactivation=*/false);
+  const util::Status run = campaign_.log_mode == LogMode::kDetail
+                               ? RunLoopDetail()
+                               : RunLoop(/*stop_at_breakpoint=*/false);
+  capture_trace_ = nullptr;
+  prune_active_ = false;
+  GOOFI_RETURN_IF_ERROR(run);
+  // The standard experiment epilogue, so the golden final state is row-
+  // identical to what a full fault-free experiment would log.
+  GOOFI_RETURN_IF_ERROR(ReadMemory());
+  GOOFI_RETURN_IF_ERROR(ReadScanChain());
+  auto state = CollectState();
+  if (!state.ok()) return state.status();
+  trace->SetFinalState(std::move(state).value());
+  if (campaign_.log_mode == LogMode::kDetail) {
+    // A golden run truncated by the row cap has no usable suffix: a faulty
+    // run converging late would need rows the trace never recorded.
+    trace->set_detail_complete(
+        !(detail_log_.size() >= kMaxDetailRows && !Terminated()));
+    *trace->mutable_detail_rows() = std::move(detail_log_);
+    detail_log_.clear();
+  }
+  return util::Status::Ok();
+}
+
+util::Status ThorRdTarget::HashTargetNow(cpu::StateHasher* hasher) {
+  GOOFI_RETURN_IF_ERROR(card_->HashTargetState(hasher));
+  // Host-side per-experiment accumulators that shape the remaining run and
+  // the logged outcome: actuator-CRC state, iteration count, plant state.
+  hasher->U32(actuator_crc_.raw_state());
+  hasher->I32(iterations_);
+  if (environment_ != nullptr) {
+    environment_->SaveStateInto(&env_state_scratch_);
+    hasher->U64(env_state_scratch_.size());
+    for (double value : env_state_scratch_) hasher->Double(value);
+  }
+  return util::Status::Ok();
+}
+
+bool ThorRdTarget::CanPruneExperiment() const {
+  if (!convergence_pruning_ || golden_trace_ == nullptr) return false;
+  const GoldenTrace& trace = *golden_trace_;
+  if (trace.interval() == 0 || !trace.has_final_state()) return false;
+  if (trace.campaign_name() != campaign_.name) return false;
+  if (faults_.empty() || !injection_done_ || terminated_before_injection_) {
+    return false;
+  }
+  // Permanent faults re-activate forever: the target can never rejoin the
+  // golden trajectory while the stuck-at keeps being re-applied.
+  if (campaign_.fault_model == FaultModelKind::kPermanentStuckAt) return false;
+  if (!card_->SupportsStateHash()) return false;
+  // Canonical memory hashing digests against the workload's baseline; no
+  // baseline for this workload means no comparable hash.
+  if (warm_ready_workload_ != campaign_.workload) return false;
+  // Detail mode additionally needs the golden suffix rows to synthesize.
+  if (campaign_.log_mode == LogMode::kDetail &&
+      (!trace.detail_complete() || trace.detail_rows().empty())) {
+    return false;
+  }
+  return true;
+}
+
+util::Status ThorRdTarget::AtBoundary() {
+  const uint64_t instret = card_->cpu().instructions_retired();
+  if (capture_trace_ != nullptr) {
+    // Golden trace pass: record the digest (and its capture blob, the
+    // collision guard) at this boundary.
+    cpu::StateHasher hasher(/*capture=*/true);
+    GOOFI_RETURN_IF_ERROR(HashTargetNow(&hasher));
+    GoldenBoundary boundary;
+    boundary.instret = instret;
+    boundary.hash = hasher.hash();
+    boundary.blob = hasher.TakeBlob();
+    capture_trace_->AddBoundary(std::move(boundary));
+    prune_next_check_ =
+        (instret / capture_trace_->interval() + 1) * capture_trace_->interval();
+    return util::Status::Ok();
+  }
+  const uint64_t interval = golden_trace_->interval();
+  const uint64_t next = (instret / interval + 1) * interval;
+  if (instret != prune_next_check_) {
+    // Overshot the boundary (instruction-count stops are exact, so this
+    // should not happen); skip rather than compare at a non-boundary point.
+    prune_next_check_ = next;
+    return util::Status::Ok();
+  }
+  prune_next_check_ = next;
+  // An intermittent burst still in flight keeps future behavior dependent on
+  // host-side reactivation state the hash does not cover; compare only once
+  // the burst has fully fired.
+  if (campaign_.fault_model == FaultModelKind::kIntermittentBitFlip &&
+      activations_done_ < campaign_.burst_length) {
+    return util::Status::Ok();
+  }
+  const GoldenBoundary* golden = golden_trace_->FindBoundary(instret);
+  if (golden == nullptr) {
+    // The golden run terminated before this point; no later boundary can
+    // match either.
+    prune_active_ = false;
+    return util::Status::Ok();
+  }
+  ++prune_stats_.boundary_checks;
+  cpu::StateHasher hasher(/*capture=*/true);
+  GOOFI_RETURN_IF_ERROR(HashTargetNow(&hasher));
+  if (hasher.hash() == golden->hash) {
+    if (hasher.blob() == golden->blob) {
+      if (campaign_.log_mode == LogMode::kDetail) {
+        // Synthesize the remaining detail rows from the golden suffix
+        // (rows past this boundary; row instret values increase strictly).
+        const std::vector<LoggedState>& rows = golden_trace_->detail_rows();
+        const auto suffix_begin = std::upper_bound(
+            rows.begin(), rows.end(), instret,
+            [](uint64_t value, const LoggedState& row) {
+              return value < row.instret;
+            });
+        const size_t suffix = static_cast<size_t>(rows.end() - suffix_begin);
+        if (detail_log_.size() + suffix > kMaxDetailRows) {
+          // A full run would hit the row cap mid-suffix and stop with that
+          // row's state; synthesizing that is not worth the complexity, and
+          // the overflow persists at every later boundary — give up.
+          prune_active_ = false;
+          return util::Status::Ok();
+        }
+        detail_log_.insert(detail_log_.end(), suffix_begin, rows.end());
+      }
+      synth_state_ = golden_trace_->final_state();
+      converged_ = true;
+      ++prune_stats_.pruned_golden;
+      return util::Status::Ok();
+    }
+    ++prune_stats_.collision_rejects;
+  }
+  // Divergent state: try the cross-experiment memo (normal mode only —
+  // detail rows are not memoized), and remember the first such boundary as
+  // this experiment's memo candidate.
+  if (campaign_.log_mode != LogMode::kNormal) return util::Status::Ok();
+  if (convergence_memo_ != nullptr &&
+      convergence_memo_->Lookup(instret, hasher.hash(), hasher.blob(),
+                                &synth_state_)) {
+    converged_ = true;
+    ++prune_stats_.pruned_memo;
+    return util::Status::Ok();
+  }
+  if (!memo_pending_) {
+    memo_pending_ = true;
+    memo_instret_ = instret;
+    memo_hash_ = hasher.hash();
+    memo_blob_ = hasher.TakeBlob();
+  }
+  return util::Status::Ok();
+}
+
 util::Status ThorRdTarget::RestoreCheckpoint(const Checkpoint& checkpoint) {
   const auto* payload =
       dynamic_cast<const ThorPayload*>(checkpoint.payload.get());
@@ -409,6 +639,11 @@ util::Status ThorRdTarget::RestoreCheckpoint(const Checkpoint& checkpoint) {
   outputs_.clear();
   inject_images_.clear();
   observe_images_.clear();
+  prune_active_ = false;
+  converged_ = false;
+  prune_next_check_ = 0;
+  memo_pending_ = false;
+  memo_blob_.clear();
   if (environment_ != nullptr) environment_->RestoreState(payload->env_state);
   // Re-arm as RunWorkload would. The PC breakpoint fires on every execution
   // of the loop boundary regardless of its occurrence counter (occurrence
@@ -426,6 +661,8 @@ util::Status ThorRdTarget::WaitForBreakpoint() {
 }
 
 util::Status ThorRdTarget::ReadScanChain() {
+  // A converged run takes its observation images from the synthesized state.
+  if (converged_) return util::Status::Ok();
   const bool injection_read = !faults_.empty() && !injection_done_ &&
                               !terminated_before_injection_ &&
                               campaign_.technique == Technique::kScifi;
@@ -488,6 +725,17 @@ util::Status ThorRdTarget::WaitForTermination() {
     next_activation_ = card_->cpu().instructions_retired() +
                        std::max<uint64_t>(1, campaign_.burst_spacing);
   }
+  converged_ = false;
+  memo_pending_ = false;
+  prune_active_ = false;
+  if (CanPruneExperiment()) {
+    // First boundary strictly after the injection point: a faulty run can
+    // only have rejoined the golden trajectory after the fault landed.
+    const uint64_t interval = golden_trace_->interval();
+    prune_next_check_ =
+        (card_->cpu().instructions_retired() / interval + 1) * interval;
+    prune_active_ = true;
+  }
   ArmTriggers(false, reactivate);
   if (campaign_.log_mode == LogMode::kDetail) {
     return RunLoopDetail();
@@ -496,6 +744,8 @@ util::Status ThorRdTarget::WaitForTermination() {
 }
 
 util::Status ThorRdTarget::ReadMemory() {
+  // A converged run takes its outputs from the synthesized state.
+  if (converged_) return util::Status::Ok();
   if (environment_ != nullptr) {
     // Control workloads: the trace of actuator commands is the output.
     outputs_ = {actuator_crc_.Value()};
@@ -622,20 +872,37 @@ util::Result<std::vector<FaultCandidate>> ThorRdTarget::EnumerateFaultSpace(
 
 util::Result<LoggedState> ThorRdTarget::CollectState() {
   LoggedState state;
-  const cpu::Cpu& cpu = card_->cpu();
-  state.detected = cpu.detected();
-  state.halted = cpu.halted() && !cpu.detected();
-  if (state.detected) {
-    state.edm = cpu::EdmTypeName(cpu.edm_event().type);
-    state.edm_code = cpu.edm_event().code;
+  if (converged_) {
+    state = synth_state_;
+  } else {
+    const cpu::Cpu& cpu = card_->cpu();
+    state.detected = cpu.detected();
+    state.halted = cpu.halted() && !cpu.detected();
+    if (state.detected) {
+      state.edm = cpu::EdmTypeName(cpu.edm_event().type);
+      state.edm_code = cpu.edm_event().code;
+    }
+    state.timed_out = timed_out_;
+    state.env_failed = environment_ != nullptr && environment_->Failed();
+    state.cycles = cpu.cycles();
+    state.instret = cpu.instructions_retired();
+    state.iterations = iterations_;
+    state.outputs = outputs_;
+    state.scan_images = observe_images_;
   }
-  state.timed_out = timed_out_;
-  state.env_failed = environment_ != nullptr && environment_->Failed();
-  state.cycles = cpu.cycles();
-  state.instret = cpu.instructions_retired();
-  state.iterations = iterations_;
-  state.outputs = outputs_;
-  state.scan_images = observe_images_;
+  // The experiment's final state is the deterministic outcome of the first
+  // divergent boundary state recorded in AtBoundary — memoize it, whether
+  // this run later converged (via golden or memo) or simulated to the end.
+  if (memo_pending_) {
+    if (convergence_memo_ != nullptr &&
+        campaign_.log_mode == LogMode::kNormal &&
+        convergence_memo_->Insert(memo_instret_, memo_hash_,
+                                  std::move(memo_blob_), state)) {
+      ++prune_stats_.memo_inserts;
+    }
+    memo_pending_ = false;
+    memo_blob_.clear();
+  }
   return state;
 }
 

@@ -38,10 +38,13 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
 
   /// Checkpoint fast-forward support: the golden run snapshots the full
   /// card state (CPU, caches, memory delta, TAP, debug unit) plus the
-  /// environment simulator, iteration count and actuator CRC.
+  /// environment simulator, iteration count and actuator CRC. The same
+  /// builder records the convergence-pruning GoldenTrace (per-boundary state
+  /// digests + golden final outcome) when asked for one.
   bool SupportsCheckpoints() const override { return true; }
-  util::Status BuildCheckpoints(uint64_t interval,
-                                CheckpointCache* cache) override;
+  util::Status BuildGoldenRun(uint64_t interval, CheckpointCache* cache,
+                              GoldenTrace* trace) override;
+  util::Status PrepareGoldenBaseline() override { return EnsureWarmBaseline(); }
 
  protected:
   util::Status RestoreCheckpoint(const Checkpoint& checkpoint) override;
@@ -90,11 +93,38 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
   /// Establishes the memory delta baseline for the prepared workload (the
   /// deterministic cold prologue: InitTestCard/LoadWorkload/WriteMemory +
   /// MarkMemoryBaseline). Each worker runs this once per workload, so a
-  /// shared cache's deltas restore against an identical baseline.
+  /// shared cache's deltas restore against an identical baseline — and so
+  /// canonical memory hashing has a baseline to digest against.
   util::Status EnsureWarmBaseline();
 
   /// Captures the current golden-run state into `cache`.
   util::Status CaptureCheckpoint(CheckpointCache* cache);
+
+  /// Fills the checkpoint cache (the PR2 golden pass, stops at the injection
+  /// window) — the `cache` half of BuildGoldenRun.
+  util::Status BuildCheckpointPass(uint64_t interval, CheckpointCache* cache);
+
+  /// Records the GoldenTrace by driving the fault-free workload through the
+  /// *experiment* run loops (RunLoop/RunLoopDetail) with boundary capture
+  /// active — the `trace` half of BuildGoldenRun. Using the experiment loops
+  /// guarantees boundary program points and the final outcome match what a
+  /// converging faulty run would reach, branch-order corner cases included.
+  util::Status BuildTracePass(uint64_t interval, GoldenTrace* trace);
+
+  /// Digests everything that can shape the rest of this experiment: the card
+  /// state (CPU + conditional link-noise RNG) plus the host-side per-
+  /// experiment accumulators (actuator CRC, iteration count, plant state).
+  util::Status HashTargetNow(cpu::StateHasher* hasher);
+
+  /// Whether the experiment that just finished injecting qualifies for
+  /// convergence pruning against the installed golden trace.
+  bool CanPruneExperiment() const;
+
+  /// Boundary action for the run loops when prune_next_check_ is reached:
+  /// capture (golden trace pass) or compare-and-maybe-converge (experiment).
+  /// Advances prune_next_check_ to the next interval multiple; may set
+  /// converged_ or clear prune_active_. Does not re-arm triggers.
+  util::Status AtBoundary();
 
   testcard::TestCard* card_;
 
@@ -124,6 +154,30 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
   int iteration_trigger_ = -1;
   int breakpoint_trigger_ = -1;
   int reactivation_trigger_ = -1;
+  int prune_trigger_ = -1;
+
+  // Convergence-pruning state for the current run phase. prune_active_ turns
+  // the boundary machinery on; converged_ means the rest of the run is
+  // synthesized from synth_state_ (ReadMemory/ReadScanChain/CollectState
+  // short-circuit). reactivation_armed_ mirrors the last ArmTriggers
+  // reactivation flag so boundary re-arms preserve it.
+  bool prune_active_ = false;
+  bool converged_ = false;
+  uint64_t prune_next_check_ = 0;
+  bool reactivation_armed_ = false;
+  LoggedState synth_state_;
+  GoldenTrace* capture_trace_ = nullptr;  ///< non-null during BuildTracePass
+
+  // First post-injection boundary whose state diverged from golden: the
+  // cross-experiment memo candidate, inserted with the experiment's final
+  // LoggedState in CollectState.
+  bool memo_pending_ = false;
+  uint64_t memo_instret_ = 0;
+  uint64_t memo_hash_ = 0;
+  std::vector<uint8_t> memo_blob_;
+
+  /// Plant-state buffer reused across boundary hashes.
+  std::vector<double> env_state_scratch_;
 
   /// Workload the memory baseline was established for; empty = none yet.
   std::string warm_ready_workload_;

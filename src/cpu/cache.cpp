@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "cpu/state_hash.hpp"
+
 namespace goofi::cpu {
 
 ParityCache::ParityCache(uint32_t num_lines, uint32_t address_bits,
@@ -49,6 +51,17 @@ void ParityCache::WriteThrough(uint32_t word_address, uint32_t value) {
 
 void ParityCache::Flush() {
   for (Line& line : lines_) line = Line{};
+}
+
+void ParityCache::HashState(StateHasher* hasher) const {
+  for (const Line& line : lines_) {
+    hasher->Bool(line.valid);
+    hasher->U32(line.tag);
+    hasher->U32(line.data);
+    hasher->Bool(line.parity);
+  }
+  hasher->U64(hits_);
+  hasher->U64(misses_);
 }
 
 }  // namespace goofi::cpu

@@ -16,6 +16,8 @@
 
 namespace goofi::cpu {
 
+class StateHasher;
+
 class ParityCache {
  public:
   /// `num_lines` must be a power of two. `address_bits` bounds the tag width.
@@ -91,6 +93,12 @@ class ParityCache {
 
     size_t MemoryBytes() const { return lines.size() * sizeof(Line); }
   };
+
+  /// Appends the full cache state — every line field plus hit/miss stats —
+  /// to a convergence hash. Same coverage as Snapshot, and for the same
+  /// reason: the cycle model depends on hit/miss patterns, so two states are
+  /// only execution-equivalent if their caches (and stats) match.
+  void HashState(StateHasher* hasher) const;
 
   Snapshot SaveSnapshot() const { return {lines_, hits_, misses_}; }
   void RestoreSnapshot(const Snapshot& snapshot) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cpu/state_hash.hpp"
 #include "util/strings.hpp"
 
 namespace goofi::cpu {
@@ -127,6 +128,32 @@ void Cpu::RestoreSnapshot(const CpuSnapshot& snapshot) {
   // The restored image may differ arbitrarily from what was predecoded
   // (checkpoint restore rewinds memory); rebind and flush.
   decode_cache_.Configure(text_start_, text_end_);
+}
+
+void Cpu::HashExecutionState(StateHasher* hasher) {
+  for (uint32_t reg : regs_) hasher->U32(reg);
+  hasher->U32(pc_);
+  hasher->U32(ir_);
+  hasher->U32(next_pc_);
+  hasher->U32(latch_operand_a_);
+  hasher->U32(latch_operand_b_);
+  hasher->U32(latch_alu_result_);
+  hasher->U32(latch_mem_addr_);
+  hasher->U32(latch_mem_data_);
+  hasher->U32(watchdog_counter_);
+  hasher->U64(cycles_);
+  hasher->U64(instret_);
+  hasher->Bool(halted_);
+  hasher->U8(static_cast<uint8_t>(edm_event_.type));
+  hasher->U64(edm_event_.cycle);
+  hasher->U32(edm_event_.pc);
+  hasher->I32(edm_event_.code);
+  hasher->Str(edm_event_.detail);
+  hasher->U32(text_start_);
+  hasher->U32(text_end_);
+  icache_.HashState(hasher);
+  dcache_.HashState(hasher);
+  memory_.HashCanonicalState(hasher, /*scrub_clean_pages=*/true);
 }
 
 void Cpu::RaiseEdm(EdmType type, int32_t code, const std::string& detail) {

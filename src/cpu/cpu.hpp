@@ -24,6 +24,8 @@
 
 namespace goofi::cpu {
 
+class StateHasher;
+
 struct CpuConfig {
   uint32_t memory_bytes = 1u << 20;  ///< 1 MiB
   uint32_t icache_lines = 64;        ///< power of two
@@ -213,6 +215,18 @@ class Cpu {
   /// memory baseline. Afterwards execution is bit-for-bit identical to the
   /// original run from the capture point.
   void RestoreSnapshot(const CpuSnapshot& snapshot);
+
+  /// Appends every execution-visible piece of state to a convergence hash:
+  /// the same coverage as SaveSnapshot (registers, pc/ir/next_pc, latches,
+  /// watchdog, cycle/instret counters, halt/EDM state, text bounds, both
+  /// parity caches, canonical memory-vs-baseline delta). Two Cpus with equal
+  /// digested streams execute bit-identically from here on. The DecodeCache
+  /// is deliberately excluded: it is a pure performance structure with a
+  /// raw-word tag check, so its contents never affect architectural results.
+  /// Non-const: memory hashing scrubs dirty bits of pages that still equal
+  /// the baseline (see Memory::HashCanonicalState).
+  /// Precondition: MarkMemoryBaseline() was called.
+  void HashExecutionState(StateHasher* hasher);
 
  private:
   /// Fetches the instruction at `address` into ir_ through the icache;

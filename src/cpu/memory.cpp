@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cpu/state_hash.hpp"
+
 namespace goofi::cpu {
 
 Memory::Memory(uint32_t size_bytes) : words_((size_bytes + 3) / 4, 0) {}
@@ -129,6 +131,29 @@ void Memory::RestoreDelta(const Delta& delta) {
   protected_ranges_.reserve(delta.protected_ranges.size());
   for (const Delta::Range& range : delta.protected_ranges) {
     protected_ranges_.push_back({range.start, range.end});
+  }
+}
+
+void Memory::HashCanonicalState(StateHasher* hasher, bool scrub_clean_pages) {
+  assert(!baseline_.empty() &&
+         "MarkCleanBaseline() must precede HashCanonicalState");
+  for (size_t page = 0; page < dirty_.size(); ++page) {
+    if (!dirty_[page]) continue;
+    const size_t begin = page * kPageWords;
+    const size_t end = std::min(begin + kPageWords, words_.size());
+    if (std::equal(words_.begin() + static_cast<ptrdiff_t>(begin),
+                   words_.begin() + static_cast<ptrdiff_t>(end),
+                   baseline_.begin() + static_cast<ptrdiff_t>(begin))) {
+      if (scrub_clean_pages) dirty_[page] = 0;
+      continue;
+    }
+    hasher->U32(static_cast<uint32_t>(page));
+    hasher->Words(words_.data() + begin, end - begin);
+  }
+  hasher->U64(protected_ranges_.size());
+  for (const Range& range : protected_ranges_) {
+    hasher->U32(range.start);
+    hasher->U32(range.end);
   }
 }
 

@@ -19,6 +19,8 @@
 
 namespace goofi::cpu {
 
+class StateHasher;
+
 /// Outcome of a memory access: either success or the EDM that should fire.
 struct MemAccess {
   EdmType violation = EdmType::kNone;  ///< kNone == access succeeded
@@ -94,6 +96,21 @@ class Memory {
   /// Precondition: MarkCleanBaseline() was called and the delta was captured
   /// from this memory size.
   void RestoreDelta(const Delta& delta);
+
+  /// Hashes the canonical memory state: every page that differs from the
+  /// baseline (index + full contents, in page order) plus the protection
+  /// ranges. "Canonical" means the digest is a function of the *contents*
+  /// only — dirty pages whose words happen to equal the baseline are skipped,
+  /// so a cold run (all pages dirty after Reset) and a checkpoint-restored
+  /// run hash identically when their memories are equal.
+  ///
+  /// With `scrub_clean_pages`, pages verified equal to the baseline get their
+  /// dirty bit cleared. This keeps repeated boundary hashes proportional to
+  /// the truly-dirty working set instead of rescanning an all-dirty bitmap
+  /// every time. Safe because "clean" means exactly "equals baseline", the
+  /// invariant CaptureDelta/RestoreDelta rely on.
+  /// Precondition: MarkCleanBaseline() was called.
+  void HashCanonicalState(StateHasher* hasher, bool scrub_clean_pages);
 
  private:
   struct Range {

@@ -1,0 +1,16 @@
+#include "cpu/state_hash.hpp"
+
+namespace goofi::cpu {
+
+void StateHasher::Bytes(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = hash_;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  hash_ = h;
+  if (capture_) blob_.insert(blob_.end(), bytes, bytes + size);
+}
+
+}  // namespace goofi::cpu

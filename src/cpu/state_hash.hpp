@@ -1,0 +1,71 @@
+// Incremental state hashing for golden-trace convergence pruning.
+//
+// A StateHasher folds execution-visible target state into a 64-bit FNV-1a
+// digest. Components append themselves field by field (Cpu, ParityCache,
+// Memory, test card, host bookkeeping); two runs whose appended byte streams
+// are identical hash identically.
+//
+// Because a 64-bit hash can collide, the hasher can additionally *capture*
+// the exact byte stream it digested (the verify blob). The blob's scope is
+// identical to the hash's scope by construction — every Append path feeds
+// both — so comparing blobs is a full-state equality check over exactly the
+// hashed state. The convergence engine hashes cheaply at every checkpoint
+// boundary and verifies the blob before ever acting on a hash match, which
+// makes a silent collision impossible rather than merely improbable.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace goofi::cpu {
+
+class StateHasher {
+ public:
+  /// `capture` additionally records every digested byte into blob().
+  explicit StateHasher(bool capture = false) : capture_(capture) {}
+
+  void Bytes(const void* data, size_t size);
+
+  void U8(uint8_t value) { Bytes(&value, sizeof(value)); }
+  void U32(uint32_t value) { Bytes(&value, sizeof(value)); }
+  void U64(uint64_t value) { Bytes(&value, sizeof(value)); }
+  void I32(int32_t value) { Bytes(&value, sizeof(value)); }
+  void Bool(bool value) { U8(value ? 1 : 0); }
+
+  /// Doubles are hashed by bit pattern: checkpointed plant state is copied,
+  /// never recomputed, so bit-exact equality is the right notion.
+  void Double(double value) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    U64(bits);
+  }
+
+  /// Length-prefixed, so adjacent strings cannot alias each other.
+  void Str(const std::string& value) {
+    U64(value.size());
+    Bytes(value.data(), value.size());
+  }
+
+  /// Bulk word append (dirty-page contents).
+  void Words(const uint32_t* data, size_t count) {
+    Bytes(data, count * sizeof(uint32_t));
+  }
+
+  uint64_t hash() const { return hash_; }
+
+  /// The digested byte stream; empty unless constructed with capture=true.
+  const std::vector<uint8_t>& blob() const { return blob_; }
+  std::vector<uint8_t> TakeBlob() { return std::move(blob_); }
+
+ private:
+  static constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+  uint64_t hash_ = kFnvOffset;
+  bool capture_;
+  std::vector<uint8_t> blob_;
+};
+
+}  // namespace goofi::cpu

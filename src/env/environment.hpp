@@ -59,6 +59,13 @@ class EnvironmentSimulator {
   /// identically to the original run.
   virtual std::vector<double> SaveState() const = 0;
   virtual void RestoreState(const std::vector<double>& state) = 0;
+
+  /// Allocation-reusing SaveState variant for the convergence-hash hot path
+  /// (called at every checkpoint boundary). Same coverage contract as
+  /// SaveState; plants with heavy state can override to append in place.
+  virtual void SaveStateInto(std::vector<double>* out) const {
+    *out = SaveState();
+  }
 };
 
 /// Linearized inverted pendulum: unstable second-order plant

@@ -83,6 +83,11 @@ class DebugUnit {
   /// Trigger configuration plus accumulated occurrence counters, for
   /// checkpointing — restored breakpoints behave exactly as if the run had
   /// executed up to the capture point.
+  ///
+  /// Deliberately *not* covered by the convergence hash
+  /// (SimTestCard::HashTargetState): the targets clear and re-arm all
+  /// triggers via ArmTriggers before every run phase, so leftover trigger or
+  /// hit-count state never survives into comparable execution.
   struct Snapshot {
     std::vector<Trigger> triggers;
     std::vector<uint64_t> hit_counts;

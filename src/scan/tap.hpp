@@ -101,6 +101,13 @@ class TapController {
 
   /// Controller state for checkpointing: FSM state, current instruction,
   /// both shift stages and the TCK counter.
+  ///
+  /// Deliberately *not* covered by the convergence hash
+  /// (SimTestCard::HashTargetState): every scan operation begins with
+  /// LoadInstruction, which accepts both legal parked states (kRunTestIdle /
+  /// kTestLogicReset) and navigates deterministically from either, so a
+  /// never-scanned golden TAP and a post-injection faulty TAP are
+  /// operationally equivalent even though their Snapshots differ.
   struct Snapshot {
     TapState state = TapState::kTestLogicReset;
     TapInstruction instruction = TapInstruction::kIdcode;

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "cpu/state_hash.hpp"
+
 namespace goofi::testcard {
 
 namespace {
@@ -259,6 +261,43 @@ util::Status SimTestCard::RestoreSnapshot(const CardSnapshot& snapshot) {
   chain_select_ = snapshot.chain_select;
   entry_ = snapshot.entry;
   extra_us_ = snapshot.extra_us;
+  return util::Status::Ok();
+}
+
+util::Status SimTestCard::HashTargetState(cpu::StateHasher* hasher) {
+  // Everything that can influence future execution, and nothing that cannot:
+  //
+  //  * Cpu: full execution state (regs, pc/ir, latches, counters, EDM, both
+  //    parity caches, canonical memory delta).
+  //  * Link-noise RNG: only when bit_error_rate > 0. At rate 0 every shift
+  //    takes the ShiftWithNoiseInto early-return and draws nothing, so the
+  //    RNG is inert; including it would block convergence for no reason
+  //    (golden did no pre-boundary scan ops, a faulty run did injection ops,
+  //    so draw *counts* — not behaviour — differ). At a positive rate the
+  //    draw sequence does shape future reads, so it is hashed; in practice
+  //    that auto-disables pruning under noise, which is exactly right.
+  //
+  // Deliberately excluded (behaviourally inert for any future host-driven
+  // operation, but different between golden and faulty runs):
+  //
+  //  * TAP controller state + chain_select: every scan operation starts with
+  //    LoadInstruction, which asserts the FSM is parked in kRunTestIdle or
+  //    kTestLogicReset and navigates deterministically from either; chain
+  //    selection is re-shifted via kScanN before every access. Golden (fresh
+  //    reset, never scanned) and faulty (parked in kRunTestIdle after the
+  //    injection) TAP states differ but are operationally equivalent.
+  //  * DebugUnit triggers + hit counts: triggers are cleared and re-armed by
+  //    ArmTriggers before every run phase, so leftover trigger state never
+  //    survives into comparable execution.
+  //  * extra_us_/tck_count: host-side cost accounting, never fed back.
+  //  * entry_: fixed per workload, identical by construction.
+  cpu_->HashExecutionState(hasher);
+  if (link_.bit_error_rate > 0.0) {
+    const util::Rng::State noise = noise_.GetState();
+    for (uint64_t word : noise.s) hasher->U64(word);
+    hasher->Bool(noise.have_spare_gaussian);
+    hasher->Double(noise.spare_gaussian);
+  }
   return util::Status::Ok();
 }
 

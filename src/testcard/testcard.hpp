@@ -121,6 +121,22 @@ class TestCard {
         "this test card does not support checkpointing");
   }
 
+  // --- convergence hashing (optional capability) ---------------------------
+  // Like checkpointing: requires full observability of the target, so only
+  // simulated cards support it.
+
+  /// Whether HashTargetState works on this card.
+  virtual bool SupportsStateHash() const { return false; }
+
+  /// Appends every piece of card + target state that can influence future
+  /// execution to `hasher`. Two cards with equal digested streams behave
+  /// identically from here on (given identical host-side driving).
+  virtual util::Status HashTargetState(cpu::StateHasher* hasher) {
+    (void)hasher;
+    return util::FailedPrecondition(
+        "this test card does not support state hashing");
+  }
+
   /// Chain topology (for campaign configuration).
   virtual const scan::ScanChainSet& chains() const = 0;
 
@@ -166,6 +182,8 @@ class SimTestCard final : public TestCard, private scan::TapController::DrHandle
   util::Status MarkMemoryBaseline() override;
   util::Result<CardSnapshot> SaveSnapshot() override;
   util::Status RestoreSnapshot(const CardSnapshot& snapshot) override;
+  bool SupportsStateHash() const override { return true; }
+  util::Status HashTargetState(cpu::StateHasher* hasher) override;
   const scan::ScanChainSet& chains() const override { return chains_; }
   const cpu::Cpu& cpu() const override { return *cpu_; }
   cpu::Cpu& mutable_cpu() override { return *cpu_; }

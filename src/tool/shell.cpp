@@ -30,6 +30,8 @@ const char* const kHelpText =
     "  run <campaign>                         fault-injection phase (Fig. 2)\n"
     "  run-parallel <campaign> [workers]      sharded run, deterministic replay\n"
     "  run-warm <campaign> [workers] [interval]  checkpoint fast-forward run\n"
+    "  run-pruned <campaign> [workers] [interval]  run-warm + convergence pruning\n"
+    "  stats                                  counters of the last run command\n"
     "  analyze <campaign>                     classification report (3.4)\n"
     "  report <campaign> <path>               write the report to a file\n"
     "  rerun-detail <experiment>              detail-mode re-run (2.3)\n"
@@ -290,6 +292,13 @@ util::Result<std::string> Shell::CmdRun(const std::vector<std::string>& args) {
   if (!target.ok()) return target.status();
   GOOFI_RETURN_IF_ERROR(target.value().algorithms->RunCampaign(args[0]));
   const auto& stats = target.value().algorithms->stats();
+  last_run_ = LastRun{};
+  last_run_.valid = true;
+  last_run_.campaign = args[0];
+  last_run_.mode = "run";
+  last_run_.stats = stats;
+  last_run_.warm_starts = target.value().algorithms->warm_starts();
+  last_run_.prune = target.value().algorithms->prune_stats();
   return util::Format("campaign %s: %d experiments run, %d resumed\n",
                       args[0].c_str(), stats.experiments_run,
                       stats.experiments_resumed);
@@ -318,6 +327,13 @@ util::Result<std::string> Shell::CmdRunParallel(
   core::ParallelCampaignRunner runner(store_, target.value().factory, workers);
   GOOFI_RETURN_IF_ERROR(runner.Run(args[0]));
   const auto& stats = runner.stats();
+  last_run_ = LastRun{};
+  last_run_.valid = true;
+  last_run_.campaign = args[0];
+  last_run_.mode = "run-parallel";
+  last_run_.stats = stats;
+  last_run_.warm_starts = runner.warm_starts();
+  last_run_.prune = runner.prune_stats();
   return util::Format(
       "campaign %s: %d experiments run on %d workers, %d resumed\n",
       args[0].c_str(), stats.experiments_run, runner.workers_used(),
@@ -326,8 +342,20 @@ util::Result<std::string> Shell::CmdRunParallel(
 
 util::Result<std::string> Shell::CmdRunWarm(
     const std::vector<std::string>& args) {
+  return RunWarmOrPruned(args, /*pruned=*/false);
+}
+
+util::Result<std::string> Shell::CmdRunPruned(
+    const std::vector<std::string>& args) {
+  return RunWarmOrPruned(args, /*pruned=*/true);
+}
+
+util::Result<std::string> Shell::RunWarmOrPruned(
+    const std::vector<std::string>& args, bool pruned) {
   if (args.empty() || args.size() > 3) {
-    return util::InvalidArgument("run-warm <campaign> [workers] [interval]");
+    return util::InvalidArgument(pruned
+                                     ? "run-pruned <campaign> [workers] [interval]"
+                                     : "run-warm <campaign> [workers] [interval]");
   }
   int workers = 1;
   if (args.size() >= 2) {
@@ -355,14 +383,63 @@ util::Result<std::string> Shell::CmdRunWarm(
   core::ParallelCampaignRunner runner(store_, target.value().factory, workers);
   runner.SetCheckpointInterval(interval);
   runner.SetForceWarmStart(true);
+  runner.SetConvergencePruning(pruned);
   GOOFI_RETURN_IF_ERROR(runner.Run(args[0]));
   const auto& stats = runner.stats();
+  last_run_ = LastRun{};
+  last_run_.valid = true;
+  last_run_.campaign = args[0];
+  last_run_.mode = pruned ? "run-pruned" : "run-warm";
+  last_run_.stats = stats;
+  last_run_.warm_starts = runner.warm_starts();
+  last_run_.prune = runner.prune_stats();
+  if (pruned) {
+    return util::Format(
+        "campaign %s: %d experiments run on %d workers (%d warm starts, "
+        "%lld pruned, interval %llu), %d resumed\n",
+        args[0].c_str(), stats.experiments_run, runner.workers_used(),
+        runner.warm_starts(),
+        static_cast<long long>(runner.prune_stats().pruned_total()),
+        static_cast<unsigned long long>(interval), stats.experiments_resumed);
+  }
   return util::Format(
       "campaign %s: %d experiments run on %d workers (%d warm starts, "
       "interval %llu), %d resumed\n",
       args[0].c_str(), stats.experiments_run, runner.workers_used(),
       runner.warm_starts(), static_cast<unsigned long long>(interval),
       stats.experiments_resumed);
+}
+
+util::Result<std::string> Shell::CmdStats() const {
+  if (!last_run_.valid) {
+    return util::FailedPrecondition("no run command has executed yet");
+  }
+  std::ostringstream out;
+  out << "last run: " << last_run_.campaign << " (" << last_run_.mode << ")\n";
+  out << util::Format("  experiments run:          %d\n",
+                      last_run_.stats.experiments_run);
+  out << util::Format("  experiments resumed:      %d\n",
+                      last_run_.stats.experiments_resumed);
+  // The two distinct "experiment finished early" populations: faults the
+  // liveness analyzer proved dead (never injected at all) versus faults that
+  // were injected but whose state rejoined the golden trajectory.
+  out << util::Format("  never injected (dead):    %d\n",
+                      last_run_.stats.injections_skipped_dead);
+  out << util::Format(
+      "  injected but converged:   %lld (golden %lld, memo %lld)\n",
+      static_cast<long long>(last_run_.prune.pruned_total()),
+      static_cast<long long>(last_run_.prune.pruned_golden),
+      static_cast<long long>(last_run_.prune.pruned_memo));
+  out << util::Format("  warm starts:              %d\n",
+                      last_run_.warm_starts);
+  out << util::Format("  boundary checks:          %lld\n",
+                      static_cast<long long>(last_run_.prune.boundary_checks));
+  out << util::Format(
+      "  collision rejects:        %lld\n",
+      static_cast<long long>(last_run_.prune.collision_rejects));
+  out << util::Format("  memo inserts:             %lld\n",
+                      static_cast<long long>(last_run_.prune.memo_inserts));
+  return out.str();
 }
 
 util::Result<std::string> Shell::CmdAnalyze(
@@ -452,6 +529,8 @@ util::Result<std::string> Shell::Execute(const std::string& line) {
   if (command == "run") return CmdRun(args);
   if (command == "run-parallel") return CmdRunParallel(args);
   if (command == "run-warm") return CmdRunWarm(args);
+  if (command == "run-pruned") return CmdRunPruned(args);
+  if (command == "stats") return CmdStats();
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "report") return CmdReport(args);
   if (command == "rerun-detail") return CmdRerunDetail(args);

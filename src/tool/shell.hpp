@@ -70,6 +70,15 @@ class Shell {
   /// experiment warm-starts from the nearest checkpoint before its injection
   /// time. Byte-identical database to `run`/`run-parallel`.
   util::Result<std::string> CmdRunWarm(const std::vector<std::string>& args);
+  /// `run-pruned <campaign> [workers] [interval]`: run-warm plus golden-trace
+  /// convergence pruning — experiments whose post-injection state rejoins the
+  /// golden trajectory at a checkpoint boundary terminate early, with the
+  /// remaining rows synthesized. Byte-identical database to `run`.
+  util::Result<std::string> CmdRunPruned(const std::vector<std::string>& args);
+  /// `stats`: counters of the most recent run command, distinguishing
+  /// experiments never injected (liveness-dead) from experiments injected but
+  /// converged (pruned).
+  util::Result<std::string> CmdStats() const;
   util::Result<std::string> CmdAnalyze(const std::vector<std::string>& args) const;
   /// `report <campaign> <path>`: writes the analyze output to a file — the
   /// paper's "where to store the results" menu (§3.4).
@@ -88,9 +97,24 @@ class Shell {
 
   util::Result<Target> FindTargetFor(const std::string& campaign_name) const;
 
+  /// Shared body of run-warm / run-pruned (identical grammar, one flag).
+  util::Result<std::string> RunWarmOrPruned(const std::vector<std::string>& args,
+                                            bool pruned);
+
+  /// Snapshot of the most recent run command, reported by `stats`.
+  struct LastRun {
+    bool valid = false;
+    std::string campaign;
+    std::string mode;  ///< the command that produced it
+    core::FaultInjectionAlgorithms::Stats stats;
+    int warm_starts = 0;
+    core::ConvergenceStats prune;
+  };
+
   db::Database* db_;
   core::CampaignStore* store_;
   std::map<std::string, Target> targets_;
+  LastRun last_run_;
 };
 
 }  // namespace goofi::tool

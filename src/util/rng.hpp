@@ -55,6 +55,19 @@ class Rng {
   /// k distinct values sampled uniformly from [0, n). Precondition: k <= n.
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
 
+  /// Complete generator state, exposed for convergence hashing: two Rngs
+  /// with equal GetState() produce identical future draw sequences. Includes
+  /// the Box-Muller spare so a pending half-pair is not invisible.
+  struct State {
+    uint64_t s[4];
+    bool have_spare_gaussian;
+    double spare_gaussian;
+  };
+  State GetState() const {
+    return {{state_[0], state_[1], state_[2], state_[3]},
+            have_spare_gaussian_, spare_gaussian_};
+  }
+
  private:
   uint64_t state_[4];
   bool have_spare_gaussian_ = false;

@@ -147,6 +147,51 @@ TEST_F(ShellTest, RunWarmForcesCheckpointFastForward) {
   EXPECT_FALSE(Run("run-warm").ok());
 }
 
+TEST_F(ShellTest, RunPrunedEngagesConvergencePruning) {
+  MustRun(
+      "campaign set pruned workload=fibonacci locations=internal_core "
+      "experiments=6 window=1:80 timeout=50000");
+  // Like run-warm, run-pruned needs a parallel target factory.
+  EXPECT_FALSE(Run("run-pruned pruned").ok());
+  shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store_));
+  const std::string out = MustRun("run-pruned pruned 1 16");
+  EXPECT_NE(out.find("6 experiments run"), std::string::npos);
+  EXPECT_NE(out.find("pruned"), std::string::npos);
+  EXPECT_NE(out.find("interval 16"), std::string::npos);
+  EXPECT_FALSE(Run("run-pruned pruned 0").ok());
+  EXPECT_FALSE(Run("run-pruned pruned 1 0").ok());
+  EXPECT_FALSE(Run("run-pruned").ok());
+}
+
+TEST_F(ShellTest, StatsFailsBeforeAnyRun) {
+  const auto result = Run("stats");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShellTest, StatsReportsLastRunCounters) {
+  MustRun(
+      "campaign set st workload=fibonacci locations=internal_core "
+      "experiments=4 window=1:80 timeout=50000");
+  shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store_));
+  MustRun("run-pruned st 1 16");
+  const std::string stats = MustRun("stats");
+  EXPECT_NE(stats.find("last run: st (run-pruned)"), std::string::npos);
+  EXPECT_NE(stats.find("experiments run:"), std::string::npos);
+  // The two early-exit populations must be reported separately.
+  EXPECT_NE(stats.find("never injected (dead):"), std::string::npos);
+  EXPECT_NE(stats.find("injected but converged:"), std::string::npos);
+  EXPECT_NE(stats.find("boundary checks:"), std::string::npos);
+  EXPECT_NE(stats.find("collision rejects:"), std::string::npos);
+  // A plain run resets the counters to its own (unpruned) numbers.
+  MustRun("run st");
+  const std::string plain = MustRun("stats");
+  EXPECT_NE(plain.find("last run: st (run)"), std::string::npos);
+  EXPECT_NE(plain.find("injected but converged:   0"), std::string::npos);
+}
+
 TEST_F(ShellTest, RunUnknownCampaignOrTargetFails) {
   EXPECT_FALSE(Run("run ghost").ok());
   // A target that exists in the database but is not registered with the
