@@ -26,11 +26,14 @@ cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_t
 echo "== tier-1: ASan pass (superblock fast-path differential fuzzer) =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=address
-cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test
+cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test
 "$ASAN_DIR"/tests/cpu_fastpath_test
 
 echo "== tier-1: ASan pass (state-hash / canonical-memory fuzzers) =="
 "$ASAN_DIR"/tests/convergence_test --gtest_filter='*Fuzz*'
+
+echo "== tier-1: ASan pass (indexed-vs-scan SQL differential suite) =="
+"$ASAN_DIR"/tests/sql_index_test
 
 echo "== tier-1: UBSan pass (superblock fast-path differential fuzzer) =="
 UBSAN_DIR="${BUILD_DIR}-ubsan"
@@ -49,5 +52,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_cpu_throughput
 echo "== tier-1: convergence pruning benchmark (BENCH_convergence_pruning.json) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_convergence_pruning
 "$BUILD_DIR"/bench/bench_convergence_pruning --json "$BUILD_DIR"/BENCH_convergence_pruning.json
+
+echo "== tier-1: indexed query engine benchmark (BENCH_database.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_database
+"$BUILD_DIR"/bench/bench_database --json "$BUILD_DIR"/BENCH_database.json
 
 echo "tier-1: OK"

@@ -61,16 +61,46 @@ Schema LoggedSystemStateSchema() {
 }  // namespace
 
 CampaignStore::CampaignStore(db::Database* database) : database_(database) {
+  const util::Status st = EnsureSchema();
+  if (!st.ok()) {
+    util::Log::Error("CampaignStore: cannot set up schema: " + st.ToString());
+  }
+}
+
+util::Status CampaignStore::EnsureSchema() {
   for (const Schema& schema :
        {TargetSystemSchema(), CampaignSchema(), LoggedSystemStateSchema()}) {
     if (!database_->HasTable(schema.table_name())) {
-      const util::Status st = database_->CreateTable(schema);
-      if (!st.ok()) {
-        util::Log::Error("CampaignStore: cannot create " + schema.table_name() +
-                         ": " + st.ToString());
-      }
+      GOOFI_RETURN_IF_ERROR(database_->CreateTable(schema));
     }
   }
+  // Secondary indexes backing the analysis queries (§3.4): equality on
+  // campaignName (AnalyzeCampaign, the analysis join), equality and IS NULL
+  // on parentExperiment (detail traces; top-level experiment filters), and
+  // range on experimentName (per-campaign name prefixes sort together).
+  struct IndexSpec {
+    const char* table;
+    const char* name;
+    std::vector<std::string> columns;
+    db::IndexKind kind;
+  };
+  const IndexSpec specs[] = {
+      {"LoggedSystemState", "idx_lss_campaign", {"campaignName"},
+       db::IndexKind::kHash},
+      {"LoggedSystemState", "idx_lss_parent", {"parentExperiment"},
+       db::IndexKind::kHash},
+      {"LoggedSystemState", "idx_lss_name", {"experimentName"},
+       db::IndexKind::kSorted},
+      {"CampaignData", "idx_campaign_target", {"targetName"},
+       db::IndexKind::kHash},
+  };
+  for (const IndexSpec& spec : specs) {
+    const db::Table* table = database_->GetTable(spec.table);
+    if (table == nullptr || table->FindIndex(spec.name) != nullptr) continue;
+    GOOFI_RETURN_IF_ERROR(
+        database_->CreateIndex(spec.table, spec.name, spec.columns, spec.kind));
+  }
+  return util::Status::Ok();
 }
 
 // --- TargetSystemData --------------------------------------------------------
@@ -262,12 +292,15 @@ util::Status CampaignStore::PutExperiment(const std::string& experiment_name,
                                           const std::string& campaign_name,
                                           const std::string& experiment_data,
                                           const LoggedState& state) {
-  return database_->Insert(
-      "LoggedSystemState",
+  // Bound prepared statement: the INSERT is parsed once per store lifetime
+  // even though the serial driver calls this once per experiment.
+  auto result = cache_.Execute(
+      *database_, "INSERT INTO LoggedSystemState VALUES (?, ?, ?, ?, ?)",
       {Value::Text(experiment_name),
        parent_experiment.empty() ? Value::Null() : Value::Text(parent_experiment),
        Value::Text(campaign_name), Value::Text(experiment_data),
        Value::Text(state.Serialize())});
+  return result.status();
 }
 
 util::Result<CampaignStore::ExperimentRow> CampaignStore::GetExperiment(
@@ -288,27 +321,44 @@ util::Result<CampaignStore::ExperimentRow> CampaignStore::GetExperiment(
 }
 
 util::Result<std::vector<CampaignStore::ExperimentRow>>
-CampaignStore::ExperimentsOf(const std::string& campaign_name) const {
-  const db::Table* table = database_->GetTable("LoggedSystemState");
+CampaignStore::ExperimentQuery(const std::string& sql,
+                               const std::string& param) const {
+  auto result = cache_.Execute(*database_, sql, {Value::Text(param)});
+  if (!result.ok()) return result.status();
   std::vector<ExperimentRow> rows;
-  util::Status error = util::Status::Ok();
-  table->ForEach([&](const Row& row) {
-    if (!error.ok() || row[2].as_text() != campaign_name) return;
+  rows.reserve(result.value().rows.size());
+  for (Row& row : result.value().rows) {
     ExperimentRow out;
     out.experiment_name = row[0].as_text();
     out.parent_experiment = row[1].is_null() ? "" : row[1].as_text();
     out.campaign_name = row[2].as_text();
     out.experiment_data = row[3].is_null() ? "" : row[3].as_text();
-    auto state = LoggedState::Deserialize(row[4].is_null() ? "" : row[4].as_text());
-    if (!state.ok()) {
-      error = state.status();
-      return;
-    }
+    auto state =
+        LoggedState::Deserialize(row[4].is_null() ? "" : row[4].as_text());
+    if (!state.ok()) return state.status();
     out.state = std::move(state).value();
     rows.push_back(std::move(out));
-  });
-  GOOFI_RETURN_IF_ERROR(error);
+  }
   return rows;
+}
+
+util::Result<std::vector<CampaignStore::ExperimentRow>>
+CampaignStore::ExperimentsOf(const std::string& campaign_name) const {
+  // Routed through the prepared-statement cache: an index equality probe on
+  // idx_lss_campaign instead of a scan of the whole log table. Index probes
+  // replay rows in insertion order, same as the scan did.
+  return ExperimentQuery(
+      "SELECT experimentName, parentExperiment, campaignName, experimentData, "
+      "stateVector FROM LoggedSystemState WHERE campaignName = ?",
+      campaign_name);
+}
+
+util::Result<std::vector<CampaignStore::ExperimentRow>>
+CampaignStore::DetailRowsOf(const std::string& parent_experiment) const {
+  return ExperimentQuery(
+      "SELECT experimentName, parentExperiment, campaignName, experimentData, "
+      "stateVector FROM LoggedSystemState WHERE parentExperiment = ?",
+      parent_experiment);
 }
 
 }  // namespace goofi::core

@@ -15,6 +15,7 @@
 
 #include "core/types.hpp"
 #include "db/database.hpp"
+#include "db/prepared.hpp"
 
 namespace goofi::core {
 
@@ -29,10 +30,19 @@ struct TargetSystemData {
 
 class CampaignStore {
  public:
-  /// Creates the three tables in `database` if missing.
+  /// Creates the three tables in `database` if missing (via EnsureSchema).
   explicit CampaignStore(db::Database* database);
 
   db::Database& database() { return *database_; }
+
+  /// Creates missing tables and the secondary indexes the analysis queries
+  /// rely on. Idempotent. Must be called again after Database::Load —
+  /// persistence stores rows only, so indexes exist in memory only.
+  util::Status EnsureSchema();
+
+  /// The store's prepared-statement cache. The shell routes ad-hoc `sql`
+  /// commands through it so repeated queries skip parsing and planning.
+  db::StatementCache& statement_cache() const { return cache_; }
 
   // --- TargetSystemData ----------------------------------------------------
   util::Status PutTargetSystem(const TargetSystemData& target);
@@ -76,6 +86,10 @@ class CampaignStore {
   /// All experiments of a campaign, in insertion order.
   util::Result<std::vector<ExperimentRow>> ExperimentsOf(
       const std::string& campaign_name) const;
+  /// All rows logged under `parent_experiment` (a detail-mode rerun's
+  /// per-instruction trace), in insertion order.
+  util::Result<std::vector<ExperimentRow>> DetailRowsOf(
+      const std::string& parent_experiment) const;
 
   /// Name used for a campaign's reference (fault-free) run.
   static std::string ReferenceName(const std::string& campaign_name) {
@@ -89,7 +103,11 @@ class CampaignStore {
                                     int index);
 
  private:
+  util::Result<std::vector<ExperimentRow>> ExperimentQuery(
+      const std::string& sql, const std::string& param) const;
+
   db::Database* database_;
+  mutable db::StatementCache cache_;
 };
 
 }  // namespace goofi::core

@@ -39,13 +39,13 @@ namespace {
 
 /// Loads the detail rows logged under `<rerun_name>` keyed by instret.
 util::Result<std::map<uint64_t, LoggedState>> LoadTrace(
-    const CampaignStore& store, const std::string& campaign,
-    const std::string& rerun_name) {
-  auto rows = store.ExperimentsOf(campaign);
+    const CampaignStore& store, const std::string& rerun_name) {
+  // Index probe on parentExperiment: fetches just this rerun's trace instead
+  // of deserializing every row of the campaign.
+  auto rows = store.DetailRowsOf(rerun_name);
   if (!rows.ok()) return rows.status();
   std::map<uint64_t, LoggedState> trace;
   for (auto& row : rows.value()) {
-    if (row.parent_experiment != rerun_name) continue;
     trace.emplace(row.state.instret, std::move(row.state));
   }
   if (trace.empty()) {
@@ -66,9 +66,9 @@ util::Result<PropagationReport> AnalyzeErrorPropagation(
   const std::string campaign = experiment.value().campaign_name;
   const std::string reference_name = CampaignStore::ReferenceName(campaign);
 
-  auto faulty = LoadTrace(store, campaign, experiment_name + "/detail");
+  auto faulty = LoadTrace(store, experiment_name + "/detail");
   if (!faulty.ok()) return faulty.status();
-  auto golden = LoadTrace(store, campaign, reference_name + "/detail");
+  auto golden = LoadTrace(store, reference_name + "/detail");
   if (!golden.ok()) return golden.status();
 
   PropagationReport report;

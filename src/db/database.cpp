@@ -39,6 +39,7 @@ util::Status Database::CreateTable(Schema schema) {
     }
   }
   tables_.emplace(key, std::make_unique<Table>(std::move(schema)));
+  ++schema_version_;
   return util::Status::Ok();
 }
 
@@ -56,6 +57,27 @@ util::Status Database::DropTable(const std::string& name) {
     }
   }
   tables_.erase(it);
+  ++schema_version_;
+  return util::Status::Ok();
+}
+
+util::Status Database::CreateIndex(const std::string& table,
+                                   const std::string& name,
+                                   const std::vector<std::string>& columns,
+                                   IndexKind kind) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return util::NotFound("no table " + table);
+  GOOFI_RETURN_IF_ERROR(t->CreateIndex(name, columns, kind));
+  ++schema_version_;
+  return util::Status::Ok();
+}
+
+util::Status Database::DropIndex(const std::string& table,
+                                 const std::string& name) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return util::NotFound("no table " + table);
+  GOOFI_RETURN_IF_ERROR(t->DropIndex(name));
+  ++schema_version_;
   return util::Status::Ok();
 }
 
@@ -459,7 +481,12 @@ util::Status Database::Load(const std::string& path) {
       GOOFI_RETURN_IF_ERROR(table->Insert(std::move(row)));
     }
   }
+  // Indexes are in-memory only; callers that rely on automatic indexes
+  // (core::CampaignStore::EnsureSchema) must re-create them after Load. The
+  // version bump below invalidates every cached plan either way.
+  const uint64_t version = schema_version_;
   *this = std::move(fresh);
+  schema_version_ = version + 1;
   return util::Status::Ok();
 }
 

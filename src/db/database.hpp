@@ -31,6 +31,20 @@ class Database {
 
   util::Status DropTable(const std::string& name);
 
+  /// Creates a secondary index on `table` (see Table::CreateIndex). Index
+  /// names are scoped per table.
+  util::Status CreateIndex(const std::string& table, const std::string& name,
+                           const std::vector<std::string>& columns,
+                           IndexKind kind);
+
+  util::Status DropIndex(const std::string& table, const std::string& name);
+
+  /// Monotonic counter bumped by every DDL change (CreateTable/DropTable/
+  /// CreateIndex/DropIndex/Load). Cached query plans hold Table* and
+  /// SecondaryIndex* pointers; a version mismatch tells the prepared-
+  /// statement layer to replan before touching them.
+  uint64_t schema_version() const { return schema_version_; }
+
   bool HasTable(const std::string& name) const;
 
   /// nullptr if missing. Names are case-insensitive.
@@ -73,6 +87,7 @@ class Database {
 
   // Keyed by lowercase name; Table keeps the declared-case name.
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  uint64_t schema_version_ = 0;
 };
 
 }  // namespace goofi::db

@@ -24,6 +24,7 @@ struct Expr {
   enum class Kind {
     kLiteral,  ///< `literal`
     kColumn,   ///< [qualifier.]column
+    kParam,    ///< `?` placeholder, bound at execution time
     kUnary,    ///< op(args[0]); op in {NOT, NEG}
     kBinary,   ///< op(args[0], args[1]); comparisons, AND/OR, arithmetic
     kCall,     ///< func(args...) or COUNT(*) when star
@@ -36,6 +37,7 @@ struct Expr {
   std::string op;    ///< canonical: NOT NEG AND OR = != < <= > >= + - * / %
   std::string func;  ///< uppercase: COUNT SUM AVG MIN MAX ABS LENGTH
   bool star = false; ///< COUNT(*)
+  size_t param_index = 0;  ///< ordinal of a kParam, left to right from 0
   std::vector<ExprPtr> args;
 
   static ExprPtr Literal(Value v) {
@@ -66,9 +68,18 @@ struct Expr {
     e->args.push_back(std::move(rhs));
     return e;
   }
+  static ExprPtr Param(size_t index) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Kind::kParam;
+    e->param_index = index;
+    return e;
+  }
 
   /// True if this expression (recursively) contains an aggregate call.
   bool ContainsAggregate() const;
+
+  /// Number of `?` placeholders in this expression (recursively).
+  size_t CountParams() const;
 };
 
 struct SelectItem {
@@ -124,7 +135,25 @@ struct DropTableStmt {
   std::string table;
 };
 
-using Statement = std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
-                               CreateTableStmt, DropTableStmt>;
+/// `CREATE INDEX name ON table (col, ...)`. One column builds a sorted index
+/// (equality + range probes); several build a hash index (equality only).
+struct CreateIndexStmt {
+  std::string index_name;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct DropIndexStmt {
+  std::string index_name;
+  std::string table;
+};
+
+using Statement =
+    std::variant<SelectStmt, InsertStmt, UpdateStmt, DeleteStmt,
+                 CreateTableStmt, DropTableStmt, CreateIndexStmt,
+                 DropIndexStmt>;
+
+/// Number of `?` placeholders in the statement, in binding order.
+size_t CountStatementParams(const Statement& statement);
 
 }  // namespace goofi::db

@@ -13,59 +13,10 @@ namespace goofi::db {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Column resolution over one or more joined tables. A "combined row" is the
-// concatenation of one row from each bound table.
-// ---------------------------------------------------------------------------
-
-struct TableBinding {
-  std::string alias;  // table name or user alias
-  const Schema* schema = nullptr;
-  size_t base_offset = 0;  // index of this table's first column in the row
-};
-
-class Resolver {
- public:
-  void Bind(std::string alias, const Schema& schema) {
-    TableBinding b;
-    b.alias = std::move(alias);
-    b.schema = &schema;
-    b.base_offset = total_columns_;
-    total_columns_ += schema.num_columns();
-    bindings_.push_back(std::move(b));
-  }
-
-  size_t total_columns() const { return total_columns_; }
-  const std::vector<TableBinding>& bindings() const { return bindings_; }
-
-  util::Result<size_t> Resolve(const std::string& qualifier,
-                               const std::string& column) const {
-    std::optional<size_t> found;
-    for (const TableBinding& b : bindings_) {
-      if (!qualifier.empty() && !util::EqualsIgnoreCase(b.alias, qualifier)) {
-        continue;
-      }
-      if (auto idx = b.schema->ColumnIndex(column)) {
-        if (found) {
-          return util::InvalidArgument("ambiguous column " + column);
-        }
-        found = b.base_offset + *idx;
-      }
-    }
-    if (!found) {
-      return util::NotFound("unknown column " +
-                            (qualifier.empty() ? column : qualifier + "." + column));
-    }
-    return *found;
-  }
-
- private:
-  std::vector<TableBinding> bindings_;
-  size_t total_columns_ = 0;
-};
-
-// ---------------------------------------------------------------------------
 // Expression evaluation. `group` is non-null when evaluating in aggregate
-// context; aggregate calls then fold over the group's member rows.
+// context; aggregate calls then fold over the group's member rows. Column
+// resolution and `?` parameter binding live in the Resolver (query_plan.hpp),
+// shared with the planner.
 // ---------------------------------------------------------------------------
 
 struct GroupContext {
@@ -214,6 +165,8 @@ util::Result<Value> Eval(const Expr& expr, const Resolver& resolver,
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
       return expr.literal;
+    case Expr::Kind::kParam:
+      return resolver.Param(expr.param_index);
     case Expr::Kind::kColumn: {
       auto idx = resolver.Resolve(expr.qualifier, expr.column);
       if (!idx.ok()) return idx.status();
@@ -279,39 +232,217 @@ std::string DeriveItemName(const SelectItem& item, size_t index) {
   return "expr" + std::to_string(index);
 }
 
+/// Candidate slots for the FROM table per the plan's base access, ascending.
+/// nullopt requests a plain full scan (e.g. a probe expression failed to
+/// evaluate — any real error then resurfaces through normal evaluation);
+/// an empty vector means the probe proved there are no matches.
+std::optional<std::vector<size_t>> GatherBaseSlots(const Table& table,
+                                                   const IndexAccess& access,
+                                                   const Resolver& resolver) {
+  const Row no_row;
+  auto eval_key = [&](const std::vector<const Expr*>& exprs)
+      -> std::optional<Row> {
+    Row key;
+    key.reserve(exprs.size());
+    for (const Expr* e : exprs) {
+      auto v = Eval(*e, resolver, no_row, nullptr);
+      if (!v.ok()) return std::nullopt;
+      key.push_back(std::move(v).value());
+    }
+    return key;
+  };
+  auto has_null = [](const Row& key) {
+    return std::any_of(key.begin(), key.end(),
+                       [](const Value& v) { return v.is_null(); });
+  };
+  switch (access.kind) {
+    case IndexAccess::Kind::kFullScan:
+      return std::nullopt;
+    case IndexAccess::Kind::kPrimaryKey: {
+      const auto key = eval_key(access.eq_exprs);
+      if (!key) return std::nullopt;
+      // `col = NULL` is NULL, never true: provably empty.
+      if (has_null(*key)) return std::vector<size_t>{};
+      std::vector<size_t> slots;
+      if (const auto slot = table.FindByPrimaryKey(*key)) slots.push_back(*slot);
+      return slots;
+    }
+    case IndexAccess::Kind::kIndexEq: {
+      const auto key = eval_key(access.eq_exprs);
+      if (!key) return std::nullopt;
+      if (has_null(*key)) return std::vector<size_t>{};
+      return table.IndexEqualSlots(*access.index, *key);
+    }
+    case IndexAccess::Kind::kIndexRange: {
+      Value lower_value;
+      Value upper_value;
+      const Value* lower = nullptr;
+      const Value* upper = nullptr;
+      if (access.lower != nullptr) {
+        auto v = Eval(*access.lower, resolver, no_row, nullptr);
+        if (!v.ok()) return std::nullopt;
+        if (v.value().is_null()) return std::vector<size_t>{};  // col > NULL
+        lower_value = std::move(v).value();
+        lower = &lower_value;
+      }
+      if (access.upper != nullptr) {
+        auto v = Eval(*access.upper, resolver, no_row, nullptr);
+        if (!v.ok()) return std::nullopt;
+        if (v.value().is_null()) return std::vector<size_t>{};
+        upper_value = std::move(v).value();
+        upper = &upper_value;
+      }
+      std::vector<size_t> slots =
+          table.IndexRangeSlots(*access.index, lower, access.lower_inclusive,
+                                upper, access.upper_inclusive);
+      // The range walk yields key order; restore physical scan order.
+      std::sort(slots.begin(), slots.end());
+      return slots;
+    }
+    case IndexAccess::Kind::kIndexNull:
+      return table.IndexEqualSlots(*access.index, Row{Value::Null()});
+  }
+  return std::nullopt;
+}
+
 util::Result<QueryResult> ExecuteSelect(Database& database,
-                                        const SelectStmt& stmt) {
+                                        const SelectStmt& stmt,
+                                        const ExecOptions& options,
+                                        const SelectPlan* cached_plan) {
   const Table* from = database.GetTable(stmt.from_table);
   if (from == nullptr) return util::NotFound("no table " + stmt.from_table);
 
   Resolver resolver;
+  resolver.SetParams(options.params);
   resolver.Bind(stmt.from_alias.empty() ? stmt.from_table : stmt.from_alias,
                 from->schema());
 
-  // Materialize combined rows: start with the FROM table, then nested-loop
-  // join each JOIN clause (adequate for GOOFI's table sizes; joins are over
-  // campaign metadata, not the big log table).
-  std::vector<Row> combined = from->Rows();
-  for (const JoinClause& join : stmt.joins) {
+  // Pick the plan: caller-cached, freshly planned, or (with indexes off) the
+  // default plan, which is all full scans and nested loops.
+  SelectPlan local_plan;
+  local_plan.joins.resize(stmt.joins.size());
+  const SelectPlan* plan = &local_plan;
+  if (options.use_indexes) {
+    if (cached_plan != nullptr) {
+      plan = cached_plan;
+    } else {
+      local_plan = PlanSelect(database, stmt);
+      plan = &local_plan;
+    }
+  }
+
+  // Materialize the FROM table's candidate rows. Without joins, the WHERE
+  // clause runs against rows in place so only matching rows are copied.
+  const bool filter_in_place = stmt.where != nullptr && stmt.joins.empty();
+  std::vector<Row> combined;
+  {
+    const std::vector<Row>& slots = from->slots();
+    const std::vector<bool>& live = from->live();
+    auto admit = [&](const Row& row) -> util::Result<bool> {
+      if (!filter_in_place) return true;
+      auto keep = Eval(*stmt.where, resolver, row, nullptr);
+      if (!keep.ok()) return keep.status();
+      return keep.value().Truthy();
+    };
+    const auto base_slots = GatherBaseSlots(*from, plan->base, resolver);
+    if (base_slots) {
+      combined.reserve(base_slots->size());
+      for (const size_t slot : *base_slots) {
+        auto keep = admit(slots[slot]);
+        if (!keep.ok()) return keep.status();
+        if (keep.value()) combined.push_back(slots[slot]);
+      }
+    } else {
+      combined.reserve(from->size());
+      for (size_t slot = 0; slot < slots.size(); ++slot) {
+        if (!live[slot]) continue;
+        auto keep = admit(slots[slot]);
+        if (!keep.ok()) return keep.status();
+        if (keep.value()) combined.push_back(slots[slot]);
+      }
+    }
+  }
+
+  // Join each JOIN clause in turn. Planned joins probe the right table's
+  // PK/secondary index with key values from the left row and still evaluate
+  // the full ON expression on every merged row; index matches arrive in
+  // ascending slot order, so results are a byte-identical subsequence-ordered
+  // match for the nested loop. A key-expression evaluation error falls back
+  // to the nested loop so errors surface exactly as in a scan.
+  for (size_t j = 0; j < stmt.joins.size(); ++j) {
+    const JoinClause& join = stmt.joins[j];
     const Table* right = database.GetTable(join.table);
     if (right == nullptr) return util::NotFound("no table " + join.table);
     resolver.Bind(join.alias.empty() ? join.table : join.alias, right->schema());
-    const std::vector<Row> right_rows = right->Rows();
+
+    const std::vector<Row>& right_slots = right->slots();
+    const std::vector<bool>& right_live = right->live();
+    const size_t right_width = right->schema().num_columns();
+
     std::vector<Row> next;
-    for (const Row& left_row : combined) {
-      for (const Row& right_row : right_rows) {
-        Row merged = left_row;
-        merged.insert(merged.end(), right_row.begin(), right_row.end());
-        auto on = Eval(*join.on, resolver, merged, nullptr);
-        if (!on.ok()) return on.status();
-        if (on.value().Truthy()) next.push_back(std::move(merged));
+    auto merge_and_filter = [&](const Row& left_row,
+                                const Row& right_row) -> util::Status {
+      Row merged;
+      merged.reserve(left_row.size() + right_width);
+      merged.insert(merged.end(), left_row.begin(), left_row.end());
+      merged.insert(merged.end(), right_row.begin(), right_row.end());
+      auto on = Eval(*join.on, resolver, merged, nullptr);
+      if (!on.ok()) return on.status();
+      if (on.value().Truthy()) next.push_back(std::move(merged));
+      return util::Status::Ok();
+    };
+    auto run_nested_loop = [&]() -> util::Status {
+      next.clear();
+      for (const Row& left_row : combined) {
+        for (size_t slot = 0; slot < right_slots.size(); ++slot) {
+          if (!right_live[slot]) continue;
+          GOOFI_RETURN_IF_ERROR(merge_and_filter(left_row, right_slots[slot]));
+        }
       }
+      return util::Status::Ok();
+    };
+
+    const JoinPlan fallback;
+    const JoinPlan& jp = j < plan->joins.size() ? plan->joins[j] : fallback;
+    if (jp.kind == JoinPlan::Kind::kNestedLoop) {
+      GOOFI_RETURN_IF_ERROR(run_nested_loop());
+    } else {
+      bool fell_back = false;
+      for (const Row& left_row : combined) {
+        Row key;
+        key.reserve(jp.outer_exprs.size());
+        bool null_key = false;
+        for (const Expr* e : jp.outer_exprs) {
+          auto v = Eval(*e, resolver, left_row, nullptr);
+          if (!v.ok()) {
+            fell_back = true;
+            break;
+          }
+          if (v.value().is_null()) {
+            null_key = true;
+            break;
+          }
+          key.push_back(std::move(v).value());
+        }
+        if (fell_back) break;
+        if (null_key) continue;  // `col = NULL` never matches
+        if (jp.kind == JoinPlan::Kind::kPrimaryKey) {
+          if (const auto slot = right->FindByPrimaryKey(key)) {
+            GOOFI_RETURN_IF_ERROR(merge_and_filter(left_row, right_slots[*slot]));
+          }
+        } else {
+          for (const size_t slot : right->IndexEqualSlots(*jp.index, key)) {
+            GOOFI_RETURN_IF_ERROR(merge_and_filter(left_row, right_slots[slot]));
+          }
+        }
+      }
+      if (fell_back) GOOFI_RETURN_IF_ERROR(run_nested_loop());
     }
     combined = std::move(next);
   }
 
-  // WHERE.
-  if (stmt.where) {
+  // WHERE (already applied in place when there are no joins).
+  if (stmt.where != nullptr && !filter_in_place) {
     std::vector<Row> filtered;
     filtered.reserve(combined.size());
     for (Row& row : combined) {
@@ -355,6 +486,7 @@ util::Result<QueryResult> ExecuteSelect(Database& database,
   std::vector<OutRow> out_rows;
 
   if (!has_aggregate) {
+    out_rows.reserve(combined.size());
     for (const Row& row : combined) {
       OutRow out;
       for (const SelectItem& item : stmt.items) {
@@ -451,7 +583,8 @@ util::Result<QueryResult> ExecuteSelect(Database& database,
 // ---------------------------------------------------------------------------
 
 util::Result<QueryResult> ExecuteInsert(Database& database,
-                                        const InsertStmt& stmt) {
+                                        const InsertStmt& stmt,
+                                        const ExecOptions& options) {
   Table* table = database.GetTable(stmt.table);
   if (table == nullptr) return util::NotFound("no table " + stmt.table);
   const Schema& schema = table->schema();
@@ -470,6 +603,7 @@ util::Result<QueryResult> ExecuteInsert(Database& database,
   }
 
   Resolver empty_resolver;
+  empty_resolver.SetParams(options.params);
   const Row no_row;
   QueryResult result;
   for (const auto& value_exprs : stmt.rows) {
@@ -489,12 +623,14 @@ util::Result<QueryResult> ExecuteInsert(Database& database,
 }
 
 util::Result<QueryResult> ExecuteUpdate(Database& database,
-                                        const UpdateStmt& stmt) {
+                                        const UpdateStmt& stmt,
+                                        const ExecOptions& options) {
   Table* table = database.GetTable(stmt.table);
   if (table == nullptr) return util::NotFound("no table " + stmt.table);
   const Schema& schema = table->schema();
 
   Resolver resolver;
+  resolver.SetParams(options.params);
   resolver.Bind(stmt.table, schema);
 
   std::vector<std::pair<size_t, const Expr*>> sets;
@@ -537,11 +673,13 @@ util::Result<QueryResult> ExecuteUpdate(Database& database,
 }
 
 util::Result<QueryResult> ExecuteDelete(Database& database,
-                                        const DeleteStmt& stmt) {
+                                        const DeleteStmt& stmt,
+                                        const ExecOptions& options) {
   const Table* table = database.GetTable(stmt.table);
   if (table == nullptr) return util::NotFound("no table " + stmt.table);
 
   Resolver resolver;
+  resolver.SetParams(options.params);
   resolver.Bind(stmt.table, table->schema());
 
   util::Status eval_error = util::Status::Ok();
@@ -607,36 +745,72 @@ std::string QueryResult::ToString() const {
 }
 
 util::Result<QueryResult> ExecuteStatement(Database& database,
-                                           const Statement& statement) {
+                                           const Statement& statement,
+                                           const ExecOptions& options,
+                                           const SelectPlan* select_plan) {
   return std::visit(
-      [&database](const auto& stmt) -> util::Result<QueryResult> {
+      [&](const auto& stmt) -> util::Result<QueryResult> {
         using T = std::decay_t<decltype(stmt)>;
         if constexpr (std::is_same_v<T, SelectStmt>) {
-          return ExecuteSelect(database, stmt);
+          return ExecuteSelect(database, stmt, options, select_plan);
         } else if constexpr (std::is_same_v<T, InsertStmt>) {
-          return ExecuteInsert(database, stmt);
+          return ExecuteInsert(database, stmt, options);
         } else if constexpr (std::is_same_v<T, UpdateStmt>) {
-          return ExecuteUpdate(database, stmt);
+          return ExecuteUpdate(database, stmt, options);
         } else if constexpr (std::is_same_v<T, DeleteStmt>) {
-          return ExecuteDelete(database, stmt);
+          return ExecuteDelete(database, stmt, options);
         } else if constexpr (std::is_same_v<T, CreateTableStmt>) {
           QueryResult result;
           GOOFI_RETURN_IF_ERROR(database.CreateTable(stmt.schema));
           return result;
-        } else {
-          static_assert(std::is_same_v<T, DropTableStmt>);
+        } else if constexpr (std::is_same_v<T, DropTableStmt>) {
           QueryResult result;
           GOOFI_RETURN_IF_ERROR(database.DropTable(stmt.table));
+          return result;
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          // One key column gets a sorted index (equality + range probes);
+          // composite keys hash.
+          QueryResult result;
+          const IndexKind kind = stmt.columns.size() == 1 ? IndexKind::kSorted
+                                                          : IndexKind::kHash;
+          GOOFI_RETURN_IF_ERROR(database.CreateIndex(stmt.table, stmt.index_name,
+                                                     stmt.columns, kind));
+          return result;
+        } else {
+          static_assert(std::is_same_v<T, DropIndexStmt>);
+          QueryResult result;
+          GOOFI_RETURN_IF_ERROR(database.DropIndex(stmt.table, stmt.index_name));
           return result;
         }
       },
       statement);
 }
 
-util::Result<QueryResult> ExecuteSql(Database& database, const std::string& sql) {
+util::Result<QueryResult> ExecuteStatement(Database& database,
+                                           const Statement& statement) {
+  return ExecuteStatement(database, statement, ExecOptions{});
+}
+
+util::Result<QueryResult> ExecuteSql(Database& database, const std::string& sql,
+                                     const ExecOptions& options) {
   auto stmt = ParseSql(sql);
   if (!stmt.ok()) return stmt.status();
-  return ExecuteStatement(database, stmt.value());
+  return ExecuteStatement(database, stmt.value(), options);
+}
+
+util::Result<QueryResult> ExecuteSql(Database& database, const std::string& sql) {
+  return ExecuteSql(database, sql, ExecOptions{});
+}
+
+util::Result<std::string> ExplainSql(Database& database, const std::string& sql) {
+  auto stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  const auto* select = std::get_if<SelectStmt>(&stmt.value());
+  if (select == nullptr) {
+    return std::string("(no plan: only SELECT statements are planned)\n");
+  }
+  const SelectPlan plan = PlanSelect(database, *select);
+  return DescribePlan(database, *select, plan);
 }
 
 }  // namespace goofi::db

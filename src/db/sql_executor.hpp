@@ -4,12 +4,19 @@
 // tailor made scripts or programs that query the database for the required
 // information" (§3.4). Examples and the analysis module issue SELECTs with
 // WHERE/GROUP BY/aggregates through this executor.
+//
+// SELECT execution is plan-driven (see query_plan.hpp): sargable WHERE/ON
+// conjuncts route through table indexes, and the full predicate is then
+// re-evaluated on the candidates, so results are byte-identical to a full
+// scan. `ExecOptions::use_indexes = false` forces the scan path — the
+// differential test suite runs every query both ways.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "db/database.hpp"
+#include "db/query_plan.hpp"
 #include "db/sql_ast.hpp"
 
 namespace goofi::db {
@@ -28,11 +35,32 @@ struct QueryResult {
   std::string ToString() const;
 };
 
+struct ExecOptions {
+  /// When false, every SELECT runs as a full nested-loop scan even if an
+  /// index applies (reference semantics for differential testing).
+  bool use_indexes = true;
+  /// Values bound to `?` placeholders, in order. Evaluating a placeholder
+  /// without a bound value is an error.
+  const std::vector<Value>* params = nullptr;
+};
+
 /// Parses and executes one SQL statement.
 util::Result<QueryResult> ExecuteSql(Database& database, const std::string& sql);
+util::Result<QueryResult> ExecuteSql(Database& database, const std::string& sql,
+                                     const ExecOptions& options);
 
-/// Executes an already-parsed statement.
+/// Executes an already-parsed statement. `select_plan` optionally supplies a
+/// cached plan for a SelectStmt (the prepared-statement layer); it must have
+/// been built for this database at its current schema_version. When null,
+/// SELECTs are planned on the fly.
 util::Result<QueryResult> ExecuteStatement(Database& database,
                                            const Statement& statement);
+util::Result<QueryResult> ExecuteStatement(Database& database,
+                                           const Statement& statement,
+                                           const ExecOptions& options,
+                                           const SelectPlan* select_plan = nullptr);
+
+/// Parses `sql` and returns the chosen plan as text (shell `explain`).
+util::Result<std::string> ExplainSql(Database& database, const std::string& sql);
 
 }  // namespace goofi::db

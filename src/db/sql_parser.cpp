@@ -1,5 +1,7 @@
 #include "db/sql_parser.hpp"
 
+#include <type_traits>
+
 #include "db/sql_tokenizer.hpp"
 #include "util/strings.hpp"
 
@@ -46,8 +48,14 @@ class Parser {
     if (tok.IsKeyword("INSERT")) return WrapStmt(ParseInsert());
     if (tok.IsKeyword("UPDATE")) return WrapStmt(ParseUpdate());
     if (tok.IsKeyword("DELETE")) return WrapStmt(ParseDelete());
-    if (tok.IsKeyword("CREATE")) return WrapStmt(ParseCreateTable());
-    if (tok.IsKeyword("DROP")) return WrapStmt(ParseDropTable());
+    if (tok.IsKeyword("CREATE")) {
+      if (PeekAhead(1).IsKeyword("INDEX")) return WrapStmt(ParseCreateIndex());
+      return WrapStmt(ParseCreateTable());
+    }
+    if (tok.IsKeyword("DROP")) {
+      if (PeekAhead(1).IsKeyword("INDEX")) return WrapStmt(ParseDropIndex());
+      return WrapStmt(ParseDropTable());
+    }
     return Error("expected a statement keyword");
   }
 
@@ -342,6 +350,33 @@ class Parser {
     return stmt;
   }
 
+  // --- CREATE / DROP INDEX ----------------------------------------------
+
+  util::Result<CreateIndexStmt> ParseCreateIndex() {
+    Advance();  // CREATE
+    Advance();  // INDEX
+    CreateIndexStmt stmt;
+    GOOFI_RETURN_IF_ERROR(ExpectIdent(&stmt.index_name));
+    if (!Peek().IsKeyword("ON")) return Error("expected ON in CREATE INDEX");
+    Advance();
+    GOOFI_RETURN_IF_ERROR(ExpectIdent(&stmt.table));
+    auto cols = ParseParenIdentList();
+    if (!cols.ok()) return cols.status();
+    stmt.columns = std::move(cols).value();
+    return stmt;
+  }
+
+  util::Result<DropIndexStmt> ParseDropIndex() {
+    Advance();  // DROP
+    Advance();  // INDEX
+    DropIndexStmt stmt;
+    GOOFI_RETURN_IF_ERROR(ExpectIdent(&stmt.index_name));
+    if (!Peek().IsKeyword("ON")) return Error("expected ON in DROP INDEX");
+    Advance();
+    GOOFI_RETURN_IF_ERROR(ExpectIdent(&stmt.table));
+    return stmt;
+  }
+
   util::Result<std::vector<std::string>> ParseParenIdentList() {
     if (!Peek().IsSymbol("(")) return Error("expected (");
     Advance();
@@ -496,6 +531,10 @@ class Parser {
         return ExprPtr(Expr::Literal(Value::Text(tok.text)));
       }
       case TokenType::kSymbol: {
+        if (tok.IsSymbol("?")) {
+          Advance();
+          return ExprPtr(Expr::Param(next_param_++));
+        }
         if (tok.IsSymbol("(")) {
           Advance();
           auto inner = ParseExpr();
@@ -555,6 +594,10 @@ class Parser {
   // --- plumbing -----------------------------------------------------------
 
   const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t n) const {
+    const size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
   void Advance() {
     if (tokens_[pos_].type != TokenType::kEnd) ++pos_;
   }
@@ -576,6 +619,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t next_param_ = 0;  ///< ordinal assigned to the next `?` placeholder
 };
 
 }  // namespace
@@ -586,6 +630,39 @@ bool Expr::ContainsAggregate() const {
     if (arg->ContainsAggregate()) return true;
   }
   return false;
+}
+
+size_t Expr::CountParams() const {
+  size_t count = kind == Kind::kParam ? 1 : 0;
+  for (const auto& arg : args) count += arg->CountParams();
+  return count;
+}
+
+size_t CountStatementParams(const Statement& statement) {
+  auto count_opt = [](const ExprPtr& e) { return e ? e->CountParams() : 0; };
+  return std::visit(
+      [&](const auto& stmt) -> size_t {
+        using T = std::decay_t<decltype(stmt)>;
+        size_t n = 0;
+        if constexpr (std::is_same_v<T, SelectStmt>) {
+          for (const SelectItem& item : stmt.items) n += count_opt(item.expr);
+          for (const JoinClause& join : stmt.joins) n += count_opt(join.on);
+          n += count_opt(stmt.where);
+          for (const ExprPtr& e : stmt.group_by) n += count_opt(e);
+          for (const OrderItem& item : stmt.order_by) n += count_opt(item.expr);
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          for (const auto& row : stmt.rows) {
+            for (const ExprPtr& e : row) n += count_opt(e);
+          }
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          for (const auto& [name, e] : stmt.assignments) n += count_opt(e);
+          n += count_opt(stmt.where);
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          n += count_opt(stmt.where);
+        }
+        return n;
+      },
+      statement);
 }
 
 util::Result<Statement> ParseSql(const std::string& sql) {

@@ -113,7 +113,7 @@ util::Result<std::vector<Token>> Tokenize(const std::string& sql) {
     if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
       tok.text = (two == "<>") ? "!=" : two;
       i += 2;
-    } else if (std::string("()*,=<>+-/%.;").find(c) != std::string::npos) {
+    } else if (std::string("()*,=<>+-/%.;?").find(c) != std::string::npos) {
       tok.text = std::string(1, c);
       ++i;
     } else {

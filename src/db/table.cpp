@@ -1,14 +1,70 @@
 #include "db/table.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "util/strings.hpp"
+
 namespace goofi::db {
+
+namespace {
+
+/// Inserts `slot` into `postings` keeping ascending order. Insert() always
+/// appends the largest slot, but UpdateWhere re-indexes interior slots.
+void InsertSorted(std::vector<size_t>* postings, size_t slot) {
+  const auto it = std::lower_bound(postings->begin(), postings->end(), slot);
+  postings->insert(it, slot);
+}
+
+/// Removes `slot` from `postings`; the caller guarantees it is present.
+void EraseSorted(std::vector<size_t>* postings, size_t slot) {
+  const auto it = std::lower_bound(postings->begin(), postings->end(), slot);
+  assert(it != postings->end() && *it == slot);
+  postings->erase(it);
+}
+
+}  // namespace
 
 Row Table::ExtractKey(const Row& row) const {
   Row key;
   key.reserve(schema_.primary_key_indices().size());
   for (size_t idx : schema_.primary_key_indices()) key.push_back(row[idx]);
   return key;
+}
+
+Row Table::IndexKeyOf(const SecondaryIndex& index, const Row& row) const {
+  Row key;
+  key.reserve(index.columns.size());
+  for (size_t idx : index.columns) key.push_back(row[idx]);
+  return key;
+}
+
+void Table::AddToIndexes(size_t slot) {
+  const Row& row = rows_[slot];
+  for (const auto& index : indexes_) {
+    if (index->kind == IndexKind::kSorted) {
+      InsertSorted(&index->sorted[row[index->columns[0]]], slot);
+    } else {
+      InsertSorted(&index->hash[IndexKeyOf(*index, row)], slot);
+    }
+  }
+}
+
+void Table::RemoveFromIndexes(size_t slot) {
+  const Row& row = rows_[slot];
+  for (const auto& index : indexes_) {
+    if (index->kind == IndexKind::kSorted) {
+      const auto it = index->sorted.find(row[index->columns[0]]);
+      assert(it != index->sorted.end());
+      EraseSorted(&it->second, slot);
+      if (it->second.empty()) index->sorted.erase(it);
+    } else {
+      const auto it = index->hash.find(IndexKeyOf(*index, row));
+      assert(it != index->hash.end());
+      EraseSorted(&it->second, slot);
+      if (it->second.empty()) index->hash.erase(it);
+    }
+  }
 }
 
 util::Status Table::Insert(Row row) {
@@ -30,6 +86,7 @@ util::Status Table::Insert(Row row) {
   rows_.push_back(std::move(row));
   live_.push_back(true);
   ++live_count_;
+  if (!indexes_.empty()) AddToIndexes(rows_.size() - 1);
   return util::Status::Ok();
 }
 
@@ -47,6 +104,16 @@ bool Table::ExistsWhere(const std::vector<size_t>& column_indices,
   if (column_indices == schema_.primary_key_indices() &&
       !column_indices.empty()) {
     return pk_index_.contains(values);
+  }
+  // Fast path: a secondary index covers exactly the queried columns. Index
+  // keys and this scan both match with Compare (NULL == NULL), so the probe
+  // is an exact substitute.
+  for (const auto& index : indexes_) {
+    if (index->columns != column_indices) continue;
+    if (index->kind == IndexKind::kSorted) {
+      return index->sorted.contains(values[0]);
+    }
+    return index->hash.contains(values);
   }
   for (size_t slot = 0; slot < rows_.size(); ++slot) {
     if (!live_[slot]) continue;
@@ -69,6 +136,7 @@ size_t Table::DeleteWhere(const std::function<bool(const Row&)>& predicate) {
     if (!schema_.primary_key_indices().empty()) {
       pk_index_.erase(ExtractKey(rows_[slot]));
     }
+    if (!indexes_.empty()) RemoveFromIndexes(slot);
     live_[slot] = false;
     rows_[slot].clear();
     ++deleted;
@@ -105,7 +173,9 @@ util::Status Table::UpdateWhere(
         pk_index_.emplace(std::move(new_key), slot);
       }
     }
+    if (!indexes_.empty()) RemoveFromIndexes(slot);
     rows_[slot] = std::move(candidate);
+    if (!indexes_.empty()) AddToIndexes(slot);
     ++count;
   }
   if (updated != nullptr) *updated = count;
@@ -123,6 +193,151 @@ std::vector<Row> Table::Rows() const {
   out.reserve(live_count_);
   ForEach([&out](const Row& row) { out.push_back(row); });
   return out;
+}
+
+// --- secondary indexes -------------------------------------------------------
+
+util::Status Table::CreateIndex(const std::string& name,
+                                const std::vector<std::string>& columns,
+                                IndexKind kind) {
+  if (FindIndex(name) != nullptr) {
+    return util::AlreadyExists("index " + name + " already exists on " +
+                               schema_.table_name());
+  }
+  if (columns.empty()) {
+    return util::InvalidArgument("index " + name + " needs at least one column");
+  }
+  if (kind == IndexKind::kSorted && columns.size() != 1) {
+    return util::InvalidArgument("sorted index " + name +
+                                 " must have exactly one column");
+  }
+  auto index = std::make_unique<SecondaryIndex>();
+  index->name = name;
+  index->kind = kind;
+  for (const std::string& col : columns) {
+    const auto idx = schema_.ColumnIndex(col);
+    if (!idx) {
+      return util::NotFound("no column " + col + " in " + schema_.table_name());
+    }
+    index->columns.push_back(*idx);
+  }
+  indexes_.push_back(std::move(index));
+  // Build from existing rows; ascending slot order keeps postings sorted.
+  SecondaryIndex& built = *indexes_.back();
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    if (!live_[slot]) continue;
+    if (built.kind == IndexKind::kSorted) {
+      built.sorted[rows_[slot][built.columns[0]]].push_back(slot);
+    } else {
+      built.hash[IndexKeyOf(built, rows_[slot])].push_back(slot);
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Table::DropIndex(const std::string& name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (util::EqualsIgnoreCase((*it)->name, name)) {
+      indexes_.erase(it);
+      return util::Status::Ok();
+    }
+  }
+  return util::NotFound("no index " + name + " on " + schema_.table_name());
+}
+
+const SecondaryIndex* Table::FindIndex(const std::string& name) const {
+  for (const auto& index : indexes_) {
+    if (util::EqualsIgnoreCase(index->name, name)) return index.get();
+  }
+  return nullptr;
+}
+
+std::vector<size_t> Table::IndexEqualSlots(const SecondaryIndex& index,
+                                           const Row& key) const {
+  if (index.kind == IndexKind::kSorted) {
+    const auto it = index.sorted.find(key[0]);
+    if (it == index.sorted.end()) return {};
+    return it->second;
+  }
+  const auto it = index.hash.find(key);
+  if (it == index.hash.end()) return {};
+  return it->second;
+}
+
+std::vector<size_t> Table::IndexRangeSlots(const SecondaryIndex& index,
+                                           const Value* lower,
+                                           bool lower_inclusive,
+                                           const Value* upper,
+                                           bool upper_inclusive) const {
+  assert(index.kind == IndexKind::kSorted);
+  // NULL sorts before everything, so starting past NULL excludes it; a NULL
+  // column never satisfies a range predicate in SQL.
+  const Value null = Value::Null();
+  auto begin = index.sorted.upper_bound(null);
+  if (lower != nullptr) {
+    begin = lower_inclusive ? index.sorted.lower_bound(*lower)
+                            : index.sorted.upper_bound(*lower);
+    // A NULL bound matches nothing (`col >= NULL` is never true), but
+    // lower_bound(NULL) would start at the NULL key; skip it.
+    if (begin != index.sorted.end() && begin->first.is_null()) ++begin;
+  }
+  // Stop on the upper bound by key comparison rather than by a precomputed
+  // end iterator: with an inverted range (lower above upper) the end iterator
+  // would sit before `begin` and the walk would run off the map.
+  std::vector<size_t> slots;
+  for (auto it = begin; it != index.sorted.end(); ++it) {
+    if (upper != nullptr) {
+      const int c = it->first.Compare(*upper);
+      if (c > 0 || (c == 0 && !upper_inclusive)) break;
+    }
+    slots.insert(slots.end(), it->second.begin(), it->second.end());
+  }
+  return slots;
+}
+
+bool Table::ValidateIndexes(std::string* error) const {
+  for (const auto& index : indexes_) {
+    SecondaryIndex rebuilt;
+    rebuilt.kind = index->kind;
+    rebuilt.columns = index->columns;
+    for (size_t slot = 0; slot < rows_.size(); ++slot) {
+      if (!live_[slot]) continue;
+      if (rebuilt.kind == IndexKind::kSorted) {
+        rebuilt.sorted[rows_[slot][rebuilt.columns[0]]].push_back(slot);
+      } else {
+        rebuilt.hash[IndexKeyOf(rebuilt, rows_[slot])].push_back(slot);
+      }
+    }
+    auto fail = [&](const std::string& message) {
+      if (error != nullptr) {
+        *error = "index " + index->name + " on " + schema_.table_name() + ": " +
+                 message;
+      }
+      return false;
+    };
+    if (index->kind == IndexKind::kSorted) {
+      if (index->sorted.size() != rebuilt.sorted.size()) {
+        return fail("key count mismatch");
+      }
+      for (const auto& [key, postings] : rebuilt.sorted) {
+        const auto it = index->sorted.find(key);
+        if (it == index->sorted.end() || it->second != postings) {
+          return fail("postings mismatch for key " + key.Serialize());
+        }
+      }
+    } else {
+      if (index->hash.size() != rebuilt.hash.size()) {
+        return fail("key count mismatch");
+      }
+      for (const auto& [key, postings] : rebuilt.hash) {
+        const auto it = index->hash.find(key);
+        if (it == index->hash.end() || it->second != postings) {
+          return fail("postings mismatch");
+        }
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace goofi::db

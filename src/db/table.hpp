@@ -1,11 +1,17 @@
-// A single table: rows plus a hash index on the primary key.
+// A single table: rows plus a hash index on the primary key and optional
+// secondary indexes.
 //
 // Tables are append-mostly in GOOFI (LoggedSystemState grows by one row per
 // experiment, or per instruction in detail mode), so rows live in a stable
-// vector with tombstones and the PK index maps key -> slot.
+// vector with tombstones and the PK index maps key -> slot. Secondary
+// indexes map key -> posting list of slots and are maintained incrementally
+// by Insert/DeleteWhere/UpdateWhere.
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +39,36 @@ struct KeyEq {
   }
 };
 
+/// Ordering for sorted indexes: Value::Compare's total order
+/// (NULL < numbers < TEXT, INT/REAL compared numerically).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+enum class IndexKind {
+  kHash,    ///< equality probes; any number of key columns
+  kSorted,  ///< equality + range probes; exactly one key column
+};
+
+/// A secondary index: key -> posting list of row slots.
+///
+/// Invariants (checked by Table::ValidateIndexes):
+///  - every live slot appears in exactly one posting list, under the key
+///    built from its current column values (NULL keys are stored too);
+///  - no dead slot appears anywhere;
+///  - every posting list is sorted ascending, so an index probe replays
+///    rows in physical (= insertion) order — this is what makes indexed
+///    execution byte-identical to a full scan.
+struct SecondaryIndex {
+  std::string name;
+  std::vector<size_t> columns;  ///< schema column indices forming the key
+  IndexKind kind = IndexKind::kHash;
+  std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> hash;
+  std::map<Value, std::vector<size_t>, ValueLess> sorted;  ///< kSorted only
+};
+
 class Table {
  public:
   explicit Table(Schema schema) : schema_(std::move(schema)) {}
@@ -51,6 +87,7 @@ class Table {
   std::optional<size_t> FindByPrimaryKey(const Row& key) const;
 
   /// Whether any live row has the given values in the given columns.
+  /// Matching is Compare-based (NULL == NULL), not SQL three-valued logic.
   bool ExistsWhere(const std::vector<size_t>& column_indices,
                    const Row& values) const;
 
@@ -75,14 +112,59 @@ class Table {
   const std::vector<Row>& slots() const { return rows_; }
   const std::vector<bool>& live() const { return live_; }
 
+  // --- secondary indexes ----------------------------------------------------
+
+  /// Creates an index over `columns` (names, case-insensitive) and builds it
+  /// from the existing rows. kSorted requires exactly one column. Fails on
+  /// duplicate name or unknown column.
+  util::Status CreateIndex(const std::string& name,
+                           const std::vector<std::string>& columns,
+                           IndexKind kind);
+
+  util::Status DropIndex(const std::string& name);
+
+  /// The index named `name` (case-insensitive), or nullptr.
+  const SecondaryIndex* FindIndex(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<SecondaryIndex>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Slots whose key equals `key`, ascending; empty vector when none.
+  /// Works for both index kinds (kSorted takes a single-value key).
+  std::vector<size_t> IndexEqualSlots(const SecondaryIndex& index,
+                                      const Row& key) const;
+
+  /// Slots of a kSorted index whose key falls in the given bounds, in
+  /// ascending *key* order (caller must re-sort by slot for scan-order
+  /// results). NULL keys are always excluded: in SQL, `col < x` is NULL
+  /// (never true) for a NULL column even though NULL sorts first here.
+  std::vector<size_t> IndexRangeSlots(const SecondaryIndex& index,
+                                      const Value* lower, bool lower_inclusive,
+                                      const Value* upper,
+                                      bool upper_inclusive) const;
+
+  /// Test hook: rebuilds every index from scratch and compares with the
+  /// incrementally-maintained state. Returns false and sets `error` on the
+  /// first mismatch.
+  bool ValidateIndexes(std::string* error) const;
+
  private:
   Row ExtractKey(const Row& row) const;
+  Row IndexKeyOf(const SecondaryIndex& index, const Row& row) const;
+
+  /// Adds/removes `slot` (with its current row values) to/from every index.
+  /// RemoveFromIndexes must run before the row is cleared or overwritten.
+  void AddToIndexes(size_t slot);
+  void RemoveFromIndexes(size_t slot);
 
   Schema schema_;
   std::vector<Row> rows_;
   std::vector<bool> live_;
   size_t live_count_ = 0;
   std::unordered_map<Row, size_t, KeyHash, KeyEq> pk_index_;
+  // unique_ptr for pointer stability: query plans cache SecondaryIndex*.
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
 };
 
 }  // namespace goofi::db

@@ -162,7 +162,10 @@ size_t Value::Hash() const {
     case ValueType::kNull:
       return 0x9E3779B9u;
     case ValueType::kInt:
-      return std::hash<int64_t>{}(as_int());
+      // Hash through the double representation: Compare treats INT and REAL
+      // numerically (1 == 1.0), so equal-comparing values must hash equal
+      // for the hash indexes, whose key equality is Compare-based.
+      return std::hash<double>{}(static_cast<double>(as_int()));
     case ValueType::kReal:
       return std::hash<double>{}(as_real());
     case ValueType::kText:

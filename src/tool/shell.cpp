@@ -37,6 +37,7 @@ const char* const kHelpText =
     "  rerun-detail <experiment>              detail-mode re-run (2.3)\n"
     "  propagation <experiment>               error-propagation analysis (3.3)\n"
     "  sql <statement>                        raw SQL against the database\n"
+    "  explain <select>                       show the query plan for a SELECT\n"
     "  save <path> | load <path>              database persistence\n"
     "  echo <text>                            print text (for scripts)\n";
 
@@ -494,12 +495,18 @@ util::Result<std::string> Shell::CmdPropagation(
 }
 
 util::Result<std::string> Shell::CmdSql(const std::string& rest) {
-  auto result = db::ExecuteSql(*db_, rest);
+  // Routed through the store's prepared-statement cache: scripted analysis
+  // loops repeat the same statements, so they parse and plan only once.
+  auto result = store_->statement_cache().Execute(*db_, rest);
   if (!result.ok()) return result.status();
   if (result.value().columns.empty()) {
     return util::Format("ok, %zu rows affected\n", result.value().affected);
   }
   return result.value().ToString();
+}
+
+util::Result<std::string> Shell::CmdExplain(const std::string& rest) {
+  return db::ExplainSql(*db_, rest);
 }
 
 util::Result<std::string> Shell::CmdSave(
@@ -512,6 +519,8 @@ util::Result<std::string> Shell::CmdSave(
 util::Result<std::string> Shell::CmdLoad(const std::vector<std::string>& args) {
   if (args.size() != 1) return util::InvalidArgument("load <path>");
   GOOFI_RETURN_IF_ERROR(db_->Load(args[0]));
+  // Persistence stores rows only; re-create the store's secondary indexes.
+  GOOFI_RETURN_IF_ERROR(store_->EnsureSchema());
   return "loaded database from " + args[0] + "\n";
 }
 
@@ -538,6 +547,10 @@ util::Result<std::string> Shell::Execute(const std::string& line) {
   if (command == "sql") {
     const size_t pos = line.find("sql");
     return CmdSql(line.substr(pos + 3));
+  }
+  if (command == "explain") {
+    const size_t pos = line.find("explain");
+    return CmdExplain(line.substr(pos + 7));
   }
   if (command == "save") return CmdSave(args);
   if (command == "load") return CmdLoad(args);

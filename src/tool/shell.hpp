@@ -87,6 +87,9 @@ class Shell {
   util::Result<std::string> CmdPropagation(
       const std::vector<std::string>& args) const;
   util::Result<std::string> CmdSql(const std::string& rest);
+  /// `explain <select>`: prints the chosen access path per table (index
+  /// probes vs scans) without executing the query.
+  util::Result<std::string> CmdExplain(const std::string& rest);
   util::Result<std::string> CmdSave(const std::vector<std::string>& args) const;
   util::Result<std::string> CmdLoad(const std::vector<std::string>& args);
 

@@ -564,14 +564,16 @@ std::string RunCampaignDb(const CampaignData& campaign, bool fast) {
     EXPECT_TRUE(store.PutCampaign(campaign).ok());
     ThorRdTarget target(&store, &card);
     EXPECT_TRUE(target.RunCampaign(campaign.name).ok());
-    bytes = DbBytes(db, campaign.name + (fast ? "_fast" : "_slow"));
+    bytes = DbBytes(db, campaign.name + "_" + campaign.workload +
+                            (fast ? "_fast" : "_slow"));
   } else {
     EXPECT_TRUE(store.PutTargetSystem(SwifiSimTarget::Describe()).ok());
     EXPECT_TRUE(store.PutCampaign(campaign).ok());
     SwifiSimTarget target(&store);
     target.set_use_fast_run(fast);
     EXPECT_TRUE(target.RunCampaign(campaign.name).ok());
-    bytes = DbBytes(db, campaign.name + (fast ? "_fast" : "_slow"));
+    bytes = DbBytes(db, campaign.name + "_" + campaign.workload +
+                            (fast ? "_fast" : "_slow"));
   }
   return bytes;
 }

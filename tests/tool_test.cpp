@@ -219,7 +219,23 @@ TEST_F(ShellTest, SaveAndLoadRoundTrip) {
   auto loaded = shell2.Execute("load " + path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_TRUE(store2.GetCampaign("persisted").ok());
+  // Persistence stores rows only; load must have re-created the standard
+  // indexes so analysis queries stay on the fast path.
+  const db::Table* lss = db2.GetTable("LoggedSystemState");
+  ASSERT_NE(lss, nullptr);
+  EXPECT_NE(lss->FindIndex("idx_lss_campaign"), nullptr);
   std::remove(path.c_str());
+}
+
+TEST_F(ShellTest, ExplainShowsAccessPath) {
+  const std::string help = MustRun("help");
+  EXPECT_NE(help.find("explain"), std::string::npos);
+  const std::string probed = MustRun(
+      "explain SELECT * FROM LoggedSystemState WHERE campaignName = 'c'");
+  EXPECT_NE(probed.find("idx_lss_campaign"), std::string::npos) << probed;
+  const std::string scanned = MustRun("explain SELECT * FROM CampaignData");
+  EXPECT_NE(scanned.find("full scan"), std::string::npos) << scanned;
+  EXPECT_FALSE(Run("explain SELEKT broken").ok());
 }
 
 TEST_F(ShellTest, RerunDetailAndPropagationWorkflow) {
