@@ -1,0 +1,207 @@
+// E17 — fault-list equivalence classing: deduplicated vs plain / warm /
+// pruned wall-clock, swept over fault location class x sampling density,
+// single worker (so the numbers isolate classing, not parallelism).
+//
+// The mechanism pays off when many experiments sample the same location
+// inside the same access window: only one representative per class executes,
+// the rest are synthesized at commit time. Sampling density is the lever —
+// the denser a campaign samples a narrow injection window over few
+// locations, the more experiments collide in (location, bit, window). A
+// single register-file cell at high density is the sweet spot; the broad
+// regfile sweep at low density bounds the benefit (few collisions, classing
+// ~free). Runtime-SWIFI memory faults give the second location class, where
+// windows come from the data-access + instruction-fetch timelines.
+//
+// `--json <path>` additionally writes the headline metrics as a flat JSON
+// object (see scripts/bench.sh). Acceptance: dedup_speedup_vs_pruned >= 1.5x
+// on at least one (location class x density) cell.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/preinjection.hpp"
+
+namespace goofi::bench {
+namespace {
+
+// ~14 retired instructions per control iteration: 4000 iterations give a
+// ~56k-instruction golden run, so every non-executed member saves tens of
+// thousands of simulated instructions.
+constexpr int kIterations = 4000;
+
+struct Cell {
+  const char* location;     ///< location class label
+  const char* density;      ///< sampling density label
+  const char* workload;
+  core::Technique technique;
+  core::FaultLocationSelector selector;
+  int experiments;
+  uint64_t inject_min;
+  uint64_t inject_max;
+};
+
+core::CampaignData Campaign(const std::string& name, const Cell& cell) {
+  core::CampaignData campaign;
+  campaign.name = name;
+  campaign.technique = cell.technique;
+  campaign.target_name = cell.technique == core::Technique::kScifi
+                             ? core::ThorRdTarget::kTargetName
+                             : core::SwifiSimTarget::kTargetName;
+  campaign.workload = cell.workload;
+  campaign.num_experiments = cell.experiments;
+  campaign.locations = {cell.selector};
+  campaign.inject_min_instr = cell.inject_min;
+  campaign.inject_max_instr = cell.inject_max;
+  campaign.max_iterations = kIterations;
+  campaign.timeout_cycles = 100000000;
+  return campaign;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+enum class Mode { kPlain, kWarm, kPruned, kDedup };
+
+/// One timed single-worker campaign run in the given mode. Dedup stacks on
+/// top of run-pruned (forced warm-start + convergence pruning), exactly like
+/// the run-dedup shell command.
+double RunOnce(const core::CampaignData& campaign, Mode mode,
+               const std::shared_ptr<const core::LivenessAnalyzer>& timeline,
+               core::EquivalenceStats* dedup) {
+  db::Database db;
+  core::CampaignStore store(&db);
+  if (campaign.target_name == core::ThorRdTarget::kTargetName) {
+    testcard::SimTestCard card;
+    if (!store
+             .PutTargetSystem(core::ThorRdTarget::DescribeTarget(
+                 card, core::ThorRdTarget::kTargetName))
+             .ok()) {
+      std::abort();
+    }
+  } else if (!store.PutTargetSystem(core::SwifiSimTarget::Describe()).ok()) {
+    std::abort();
+  }
+  if (!store.PutCampaign(campaign).ok()) std::abort();
+  const auto factory = campaign.target_name == core::ThorRdTarget::kTargetName
+                           ? core::MakeSimThorFactory(&store)
+                           : core::MakeSwifiSimFactory(&store);
+  core::ParallelCampaignRunner runner(&store, factory, /*workers=*/1);
+  if (mode != Mode::kPlain) runner.SetForceWarmStart(true);
+  if (mode == Mode::kPruned || mode == Mode::kDedup) {
+    runner.SetConvergencePruning(true);
+  }
+  if (mode == Mode::kDedup) {
+    runner.SetEquivalenceClassing(true);
+    runner.SetEquivalenceTimeline(timeline);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  if (auto st = runner.Run(campaign.name); !st.ok()) {
+    std::fprintf(stderr, "run %s: %s\n", campaign.name.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  const double elapsed = SecondsSince(start);
+  if (dedup != nullptr) *dedup = runner.dedup_stats();
+  return elapsed;
+}
+
+void Main(int argc, char** argv) {
+  JsonReport json;
+  std::printf(
+      "Equivalence classing (E17): dedup vs plain/warm/pruned, 1 worker, "
+      "pendulum_pd (SCIFI regfile) and fibonacci (runtime-SWIFI memory)\n\n");
+
+  // Location class x sampling density. Dense cells concentrate many
+  // experiments on few (location, bit, window) combinations; sparse cells
+  // spread the same window over the full location population.
+  // The dense regfile cell samples a register pendulum_pd never reads or
+  // writes: such flips never converge with golden (the register stays
+  // flipped through every boundary hash), so pruning executes the full
+  // golden-length run per experiment — while all injection times share one
+  // access window and the 160 experiments collapse to at most 32 classes
+  // (one per bit). The dense memory cell samples fibonacci's tiny data
+  // section, whose words are written once early and then idle.
+  const std::vector<Cell> cells = {
+      {"regfile", "dense", "pendulum_pd", core::Technique::kScifi,
+       {"internal_regfile", "regfile.r13"}, 640, 1, 400},
+      {"regfile", "sparse", "pendulum_pd", core::Technique::kScifi,
+       {"internal_regfile", ""}, 40, 1, 4000},
+      {"memory", "dense", "fibonacci", core::Technique::kSwifiRuntime,
+       {"memory.data", ""}, 640, 1, 140},
+      {"memory", "sparse", "fibonacci", core::Technique::kSwifiRuntime,
+       {"memory.text", ""}, 40, 1, 140},
+  };
+
+  core::LivenessCache timelines;
+  std::printf("%-8s %-7s %-7s %10s %16s %9s %8s %7s\n", "location", "density",
+              "mode", "time [s]", "experiments/sec", "speedup", "classes",
+              "synth");
+  for (const Cell& cell : cells) {
+    const std::string base =
+        std::string("eq_") + cell.location + "_" + cell.density;
+    auto timeline = timelines.Get(cell.workload, cpu::CpuConfig(), 100000000,
+                                  kIterations);
+    if (!timeline.ok()) {
+      std::fprintf(stderr, "timeline %s: %s\n", cell.workload,
+                   timeline.status().ToString().c_str());
+      std::abort();
+    }
+    const std::string suffix =
+        std::string("_") + cell.location + "_" + cell.density;
+
+    core::CampaignData campaign = Campaign(base + "_plain", cell);
+    const double plain_s = RunOnce(campaign, Mode::kPlain, nullptr, nullptr);
+    std::printf("%-8s %-7s %-7s %10.3f %16.1f %9s %8s %7s\n", cell.location,
+                cell.density, "plain", plain_s, cell.experiments / plain_s,
+                "1.00x", "-", "-");
+    json.Add("plain_eps" + suffix, cell.experiments / plain_s);
+
+    campaign.name = base + "_warm";
+    const double warm_s = RunOnce(campaign, Mode::kWarm, nullptr, nullptr);
+    std::printf("%-8s %-7s %-7s %10.3f %16.1f %8.2fx %8s %7s\n", cell.location,
+                cell.density, "warm", warm_s, cell.experiments / warm_s,
+                plain_s / warm_s, "-", "-");
+    json.Add("warm_eps" + suffix, cell.experiments / warm_s);
+
+    campaign.name = base + "_pruned";
+    const double pruned_s = RunOnce(campaign, Mode::kPruned, nullptr, nullptr);
+    std::printf("%-8s %-7s %-7s %10.3f %16.1f %8.2fx %8s %7s\n", cell.location,
+                cell.density, "pruned", pruned_s, cell.experiments / pruned_s,
+                plain_s / pruned_s, "-", "-");
+    json.Add("pruned_eps" + suffix, cell.experiments / pruned_s);
+
+    campaign.name = base + "_dedup";
+    core::EquivalenceStats dedup;
+    const double dedup_s =
+        RunOnce(campaign, Mode::kDedup, timeline.value(), &dedup);
+    std::printf("%-8s %-7s %-7s %10.3f %16.1f %8.2fx %8lld %7lld\n",
+                cell.location, cell.density, "dedup", dedup_s,
+                cell.experiments / dedup_s, plain_s / dedup_s,
+                static_cast<long long>(dedup.classes_formed),
+                static_cast<long long>(dedup.experiments_synthesized));
+    json.Add("dedup_eps" + suffix, cell.experiments / dedup_s);
+    json.Add("dedup_speedup" + suffix, plain_s / dedup_s);
+    json.Add("dedup_speedup_vs_pruned" + suffix, pruned_s / dedup_s);
+    json.Add("classes" + suffix, static_cast<uint64_t>(dedup.classes_formed));
+    json.Add("synthesized" + suffix,
+             static_cast<uint64_t>(dedup.experiments_synthesized));
+  }
+  std::printf(
+      "\nHeadline: dedup_speedup_vs_pruned_regfile_dense is the acceptance "
+      "metric (target >= 1.5x on at least one cell).\n");
+
+  if (const char* path = JsonOutputPath(argc, argv)) json.Write(path);
+}
+
+}  // namespace
+}  // namespace goofi::bench
+
+int main(int argc, char** argv) {
+  goofi::bench::Main(argc, argv);
+  return 0;
+}

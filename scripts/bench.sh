@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Performance tracking: builds and runs the JSON-emitting benchmarks, leaves
 # one BENCH_<name>.json per benchmark in the build directory, and aggregates
-# them into BENCH_PR6.json at the repo root.
+# them into BENCH_PR7.json at the repo root.
 #
 # Currently covered:
 #   BENCH_checkpoint.json — experiments/sec cold vs warm (checkpoint
@@ -15,6 +15,10 @@
 #   BENCH_database.json — indexed query engine vs full scans on a 100k-row
 #   campaign archive (E16): equality/range/IS NULL probes, the analysis
 #   join, prepared-vs-reparsed statements, insert index-maintenance cost.
+#   BENCH_equivalence_dedup.json — experiments/sec plain vs warm vs pruned
+#   vs equivalence-classed dedup (E17), swept over fault location class
+#   (SCIFI regfile, runtime-SWIFI memory) x sampling density, plus class
+#   and synthesized-experiment counts per cell.
 #
 # Usage: scripts/bench.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -30,7 +34,7 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_checkpoint_fastforward bench_cpu_throughput \
-             bench_convergence_pruning bench_database
+             bench_convergence_pruning bench_database bench_equivalence_dedup
 
 "$BUILD_DIR"/bench/bench_checkpoint_fastforward \
     --json "$BUILD_DIR"/BENCH_checkpoint.json
@@ -44,6 +48,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
 "$BUILD_DIR"/bench/bench_database \
     --json "$BUILD_DIR"/BENCH_database.json
 
+"$BUILD_DIR"/bench/bench_equivalence_dedup \
+    --json "$BUILD_DIR"/BENCH_equivalence_dedup.json
+
 # One aggregate file at the repo root: nested objects keyed by benchmark.
 # Each per-bench file is a single flat JSON object on one line.
 {
@@ -51,8 +58,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
   printf '  "checkpoint": %s,\n' "$(cat "$BUILD_DIR"/BENCH_checkpoint.json)"
   printf '  "cpu_throughput": %s,\n' "$(cat "$BUILD_DIR"/BENCH_cpu_throughput.json)"
   printf '  "convergence_pruning": %s,\n' "$(cat "$BUILD_DIR"/BENCH_convergence_pruning.json)"
-  printf '  "database": %s\n' "$(cat "$BUILD_DIR"/BENCH_database.json)"
+  printf '  "database": %s,\n' "$(cat "$BUILD_DIR"/BENCH_database.json)"
+  printf '  "equivalence_dedup": %s\n' "$(cat "$BUILD_DIR"/BENCH_equivalence_dedup.json)"
   printf '}\n'
-} > BENCH_PR6.json
+} > BENCH_PR7.json
 
-echo "bench: OK (BENCH_PR6.json; per-bench JSON in $BUILD_DIR/)"
+echo "bench: OK (BENCH_PR7.json; per-bench JSON in $BUILD_DIR/)"

@@ -14,23 +14,27 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence) =="
+echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence + equivalence) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test equivalence_test
 "$TSAN_DIR"/tests/thread_pool_test
 "$TSAN_DIR"/tests/parallel_runner_test
 "$TSAN_DIR"/tests/checkpoint_test
 "$TSAN_DIR"/tests/convergence_test
+"$TSAN_DIR"/tests/equivalence_test
 
 echo "== tier-1: ASan pass (superblock fast-path differential fuzzer) =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=address
-cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test
+cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test equivalence_test
 "$ASAN_DIR"/tests/cpu_fastpath_test
 
 echo "== tier-1: ASan pass (state-hash / canonical-memory fuzzers) =="
 "$ASAN_DIR"/tests/convergence_test --gtest_filter='*Fuzz*'
+
+echo "== tier-1: ASan pass (equivalence-classing spot-check fuzzer) =="
+"$ASAN_DIR"/tests/equivalence_test --gtest_filter='*Fuzz*'
 
 echo "== tier-1: ASan pass (indexed-vs-scan SQL differential suite) =="
 "$ASAN_DIR"/tests/sql_index_test
@@ -56,5 +60,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_convergence_pruning
 echo "== tier-1: indexed query engine benchmark (BENCH_database.json) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_database
 "$BUILD_DIR"/bench/bench_database --json "$BUILD_DIR"/BENCH_database.json
+
+echo "== tier-1: equivalence classing benchmark (BENCH_equivalence_dedup.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_equivalence_dedup
+"$BUILD_DIR"/bench/bench_equivalence_dedup --json "$BUILD_DIR"/BENCH_equivalence_dedup.json
 
 echo "tier-1: OK"

@@ -195,14 +195,8 @@ FaultInjectionAlgorithms::BuildRecords(const std::string& experiment_name,
   auto state = CollectState();
   if (!state.ok()) return state.status();
 
-  std::vector<std::string> fault_texts;
-  fault_texts.reserve(faults_.size());
-  for (const FaultInstance& fault : faults_) {
-    fault_texts.push_back(fault.Serialize());
-  }
   const std::string experiment_data =
-      "technique=" + std::string(TechniqueName(campaign_.technique)) +
-      ";faults=" + util::Join(fault_texts, "|");
+      ExperimentData(campaign_.technique, faults_);
 
   std::vector<CampaignStore::ExperimentRow> rows;
   rows.reserve(1 + detail_log_.size());
@@ -216,6 +210,17 @@ FaultInjectionAlgorithms::BuildRecords(const std::string& experiment_name,
   }
   detail_log_.clear();
   return rows;
+}
+
+std::string FaultInjectionAlgorithms::ExperimentData(
+    Technique technique, const std::vector<FaultInstance>& faults) {
+  std::vector<std::string> fault_texts;
+  fault_texts.reserve(faults.size());
+  for (const FaultInstance& fault : faults) {
+    fault_texts.push_back(fault.Serialize());
+  }
+  return "technique=" + std::string(TechniqueName(technique)) +
+         ";faults=" + util::Join(fault_texts, "|");
 }
 
 util::Status FaultInjectionAlgorithms::LogExperiment(
@@ -294,6 +299,28 @@ FaultInjectionAlgorithms::ExecuteExperiment(int index) {
   }
   GOOFI_RETURN_IF_ERROR(RunBody(body));
   return BuildRecords(name, "");
+}
+
+util::Result<std::vector<FaultInstance>> FaultInjectionAlgorithms::PlanFaults(
+    int index) {
+  if (index < 0) {
+    return util::InvalidArgument("reference runs have no fault list to plan");
+  }
+  GOOFI_RETURN_IF_ERROR(GenerateFaults(fault_space_, index));
+  return faults_;
+}
+
+util::Result<std::vector<CampaignStore::ExperimentRow>>
+FaultInjectionAlgorithms::ExecutePlanned(int index,
+                                         std::vector<FaultInstance> faults) {
+  if (index < 0) {
+    return util::InvalidArgument("ExecutePlanned needs an experiment index");
+  }
+  const ExperimentBody body = BodyForTechnique(campaign_.technique);
+  detail_log_.clear();
+  faults_ = std::move(faults);
+  GOOFI_RETURN_IF_ERROR(RunBody(body));
+  return BuildRecords(ExperimentName(campaign_.name, index), "");
 }
 
 FaultInjectionAlgorithms::ExperimentBody

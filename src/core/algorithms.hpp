@@ -127,6 +127,31 @@ class FaultInjectionAlgorithms {
   util::Result<std::vector<CampaignStore::ExperimentRow>> ExecuteExperiment(
       int index);
 
+  /// Draws experiment `index`'s fault list without running it: the same RNG
+  /// stream, liveness-filter retries and skip accounting as
+  /// ExecuteExperiment, so a later ExecutePlanned with the returned list is
+  /// byte-identical to ExecuteExperiment(index). Lets the equivalence
+  /// classer see every fault list up front (core/equivalence).
+  util::Result<std::vector<FaultInstance>> PlanFaults(int index);
+
+  /// Runs experiment `index` with a fault list previously returned by
+  /// PlanFaults (on this or any other target prepared for the same
+  /// campaign), skipping generation.
+  util::Result<std::vector<CampaignStore::ExperimentRow>> ExecutePlanned(
+      int index, std::vector<FaultInstance> faults);
+
+  /// The experiment_data column for a fault list — shared by BuildRecords
+  /// and equivalence-class row synthesis so synthesized rows are
+  /// byte-identical to executed ones.
+  static std::string ExperimentData(Technique technique,
+                                    const std::vector<FaultInstance>& faults);
+
+  /// Detail-mode row cap per experiment (§3.3 logging "as frequently as the
+  /// target system allows" has to stop somewhere). Shared by the targets'
+  /// detail loops and by equivalence-class suffix synthesis, which must
+  /// refuse to synthesize from a capped representative.
+  static constexpr size_t kMaxDetailRows = 20000;
+
   // --- checkpoint fast-forward ---------------------------------------------
   //
   // During PrepareCampaign the target (if it SupportsCheckpoints) runs the

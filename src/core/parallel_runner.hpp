@@ -26,8 +26,10 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/algorithms.hpp"
+#include "core/equivalence.hpp"
 #include "cpu/cpu.hpp"
 
 namespace goofi::core {
@@ -93,6 +95,35 @@ class ParallelCampaignRunner {
   /// compare equal).
   const ConvergenceStats& prune_stats() const { return prune_stats_; }
 
+  /// Fault-list equivalence classing (core/equivalence): when enabled, the
+  /// committer thread plans every pending experiment's fault list up front,
+  /// partitions the experiments into provably-equivalent classes, dispatches
+  /// one representative per class to the workers and synthesizes the
+  /// remaining members' rows at commit time. Commit order is unchanged, so
+  /// the database stays byte-identical to the undeduplicated run. Eligibility
+  /// mirrors pruning: transient single-flip experiments only; everything
+  /// else stays a singleton class and runs normally.
+  void SetEquivalenceClassing(bool enabled) { equivalence_classing_ = enabled; }
+  bool equivalence_classing() const { return equivalence_classing_; }
+
+  /// Access timeline for window-based classes, shared read-only across the
+  /// run. Optional: without it only past-end and pre-runtime-SWIFI classes
+  /// form.
+  void SetEquivalenceTimeline(
+      std::shared_ptr<const LivenessAnalyzer> timeline) {
+    equivalence_timeline_ = std::move(timeline);
+  }
+
+  /// Spot-check sampling: every n-th multi-member class re-executes one
+  /// synthesized member on the committer's private target after the commit
+  /// loop and verifies StateHasher blob equality of the full row set — the
+  /// collision/logic backstop. A mismatch fails the Run. 0 disables.
+  void SetSpotCheckEvery(int every) { spot_check_every_ = every; }
+
+  /// Dedup counters of the most recent Run (outside stats(), like
+  /// warm_starts(): deduped and plain runs must compare equal on Stats).
+  const EquivalenceStats& dedup_stats() const { return dedup_stats_; }
+
   /// Runs `campaign_name` to completion (technique dispatched from the
   /// stored campaign, as in RunCampaign). On a worker error, experiments
   /// committed so far stay in the database — exactly what a failed serial
@@ -111,6 +142,14 @@ class ParallelCampaignRunner {
   int workers_used() const { return workers_used_; }
 
  private:
+  /// The dedup dispatch path: one work unit per equivalence class, member
+  /// rows synthesized in commit order. `targets` holds one extra target (the
+  /// committer's own) past the worker-owned ones.
+  util::Status RunDeduped(
+      const CampaignData& campaign, const std::vector<int>& pending,
+      std::vector<std::unique_ptr<FaultInjectionAlgorithms>>& targets,
+      const LoggedState& reference_state);
+
   CampaignStore* store_;
   TargetFactory factory_;
   int num_workers_;
@@ -122,6 +161,10 @@ class ParallelCampaignRunner {
   int warm_starts_ = 0;
   bool convergence_pruning_ = false;
   ConvergenceStats prune_stats_;
+  bool equivalence_classing_ = false;
+  std::shared_ptr<const LivenessAnalyzer> equivalence_timeline_;
+  int spot_check_every_ = 4;
+  EquivalenceStats dedup_stats_;
   ProgressMonitor* monitor_ = nullptr;
   FaultInjectionAlgorithms::LivenessFilter liveness_filter_;
   FaultInjectionAlgorithms::Stats stats_;

@@ -88,6 +88,35 @@ bool LivenessAnalyzer::MemoryWordLive(uint32_t address, uint64_t instret) const 
   return LiveAt(it->second, instret);
 }
 
+size_t LivenessAnalyzer::WindowOf(const std::vector<Access>& accesses,
+                                  uint64_t instret) {
+  const auto it = std::upper_bound(
+      accesses.begin(), accesses.end(), instret,
+      [](uint64_t t, const Access& access) { return t < access.instret; });
+  return static_cast<size_t>(it - accesses.begin());
+}
+
+size_t LivenessAnalyzer::RegisterAccessWindow(int reg, uint64_t instret) const {
+  if (reg < 0 || reg >= isa::kNumRegisters) return 0;
+  return WindowOf(register_accesses_[static_cast<size_t>(reg)], instret);
+}
+
+size_t LivenessAnalyzer::MemoryAccessWindow(uint32_t address,
+                                            uint64_t instret) const {
+  const auto it = memory_accesses_.find(address & ~3u);
+  if (it == memory_accesses_.end()) return 0;
+  return WindowOf(it->second, instret);
+}
+
+size_t LivenessAnalyzer::FetchAccessWindow(uint32_t address,
+                                           uint64_t instret) const {
+  const auto it = fetch_accesses_.find(address & ~3u);
+  if (it == fetch_accesses_.end()) return 0;
+  const auto pos =
+      std::upper_bound(it->second.begin(), it->second.end(), instret);
+  return static_cast<size_t>(pos - it->second.begin());
+}
+
 util::Result<std::unique_ptr<LivenessAnalyzer>> LivenessAnalyzer::Build(
     const std::string& workload_name, const cpu::CpuConfig& config,
     uint64_t max_instr, int max_iterations) {
@@ -150,6 +179,13 @@ util::Result<std::unique_ptr<LivenessAnalyzer>> LivenessAnalyzer::BuildFromSpec(
     AccessSet accesses;
     if (decoded.ok()) accesses = AccessesOf(decoded.value(), cpu);
 
+    // The instruction about to retire as number t+1 sits in `ir` already: it
+    // was prefetched at the end of the previous step (or at reset), i.e. at
+    // the current retirement count. Record the fetch there — a flip injected
+    // at this count lands after the prefetch and cannot reach it.
+    analyzer->fetch_accesses_[exec_pc & ~3u].push_back(
+        cpu.instructions_retired());
+
     const cpu::StepOutcome outcome = cpu.Step();
     const uint64_t t = cpu.instructions_retired();
     for (int reg : accesses.reg_reads) {
@@ -198,6 +234,54 @@ util::Result<std::unique_ptr<LivenessAnalyzer>> LivenessAnalyzer::BuildFromSpec(
     }
   }
   return analyzer;
+}
+
+util::Result<std::shared_ptr<const LivenessAnalyzer>> LivenessCache::Get(
+    const std::string& workload_name, const cpu::CpuConfig& config,
+    uint64_t max_instr, int max_iterations) {
+  // The access timeline depends only on the architectural execution of the
+  // fault-free workload, which these fields fully determine.
+  const cpu::EdmConfig& edms = config.edms;
+  const std::string key = util::Format(
+      "%s|%u|%u|%u|%u|%llu|%u|%d%d%d%d%d%d%d%d%d%d|%llu|%d",
+      workload_name.c_str(), config.memory_bytes, config.icache_lines,
+      config.dcache_lines, config.cache_miss_penalty,
+      static_cast<unsigned long long>(config.watchdog_limit),
+      config.stack_limit, edms.illegal_opcode, edms.misaligned_access,
+      edms.out_of_range_access, edms.memory_protection, edms.cache_parity,
+      edms.arithmetic_overflow, edms.watchdog, edms.control_flow,
+      edms.stack_overflow, edms.software_assertion,
+      static_cast<unsigned long long>(max_instr), max_iterations);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  auto built = LivenessAnalyzer::Build(workload_name, config, max_instr,
+                                       max_iterations);
+  if (!built.ok()) return built.status();
+  std::shared_ptr<const LivenessAnalyzer> analyzer = std::move(built).value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = cache_.emplace(key, std::move(analyzer));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;  // another thread built it first; both traces are identical
+  }
+  return it->second;
+}
+
+int LivenessCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int LivenessCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
 }
 
 FaultInjectionAlgorithms::LivenessFilter LivenessAnalyzer::MakeFilter() const {

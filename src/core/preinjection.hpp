@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/algorithms.hpp"
@@ -45,6 +46,31 @@ class LivenessAnalyzer {
   /// Memory-word liveness at injection time `instret`.
   bool MemoryWordLive(uint32_t address, uint64_t instret) const;
 
+  // --- access-window ordinals (core/equivalence) ---------------------------
+  //
+  // Two injection times t1 < t2 into the same location are behaviorally
+  // equivalent iff no access of that location falls in (t1, t2] — the window
+  // ordinal is the number of recorded accesses at or before t, so equal
+  // ordinals mean exactly that. An access recorded at time t is consumed
+  // BEFORE an injection at t: both targets stop (and inject) only after the
+  // step that retires instruction t, including its iteration servicing and
+  // its prefetch of the next instruction.
+
+  /// Ordinal of register `reg`'s access window containing injection time
+  /// `instret`.
+  size_t RegisterAccessWindow(int reg, uint64_t instret) const;
+
+  /// Ordinal of the data-access (LDW/STW + host-exchange) window of the
+  /// word at `address` containing injection time `instret`.
+  size_t MemoryAccessWindow(uint32_t address, uint64_t instret) const;
+
+  /// Ordinal of the instruction-fetch window of the word at `address`.
+  /// Fetches are modeled at prefetch time: the instruction retiring as
+  /// number t was fetched at instret t-1, so a flip injected at t does not
+  /// reach it. Text words are dead to the data timeline but very much alive
+  /// to this one.
+  size_t FetchAccessWindow(uint32_t address, uint64_t instret) const;
+
   /// The filter for FaultInjectionAlgorithms::SetLivenessFilter. The
   /// analyzer must outlive the returned callable. Classification:
   ///   regfile.*  -> register liveness
@@ -65,9 +91,36 @@ class LivenessAnalyzer {
   /// read. Absent further accesses, the location is dead.
   static bool LiveAt(const std::vector<Access>& accesses, uint64_t instret);
 
+  /// Number of accesses in `accesses` at or before `instret`.
+  static size_t WindowOf(const std::vector<Access>& accesses, uint64_t instret);
+
   std::vector<std::vector<Access>> register_accesses_;  // [16]
   std::map<uint32_t, std::vector<Access>> memory_accesses_;
+  /// Instruction-fetch times per text word, kept apart from
+  /// memory_accesses_ so the liveness filter's semantics (fetches do not
+  /// make a word "live" for pre-injection skipping) are unchanged.
+  std::map<uint32_t, std::vector<uint64_t>> fetch_accesses_;
   uint64_t trace_length_ = 0;
+};
+
+/// Memoizes LivenessAnalyzer builds per (workload, CPU config, bounds) so
+/// consecutive campaigns over the same workload in one shell session share a
+/// single fault-free trace instead of re-running it. Thread-safe; the
+/// returned analyzers are immutable and may outlive the cache.
+class LivenessCache {
+ public:
+  util::Result<std::shared_ptr<const LivenessAnalyzer>> Get(
+      const std::string& workload_name, const cpu::CpuConfig& config,
+      uint64_t max_instr = 200000, int max_iterations = 200);
+
+  int hits() const;
+  int misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const LivenessAnalyzer>> cache_;
+  int hits_ = 0;
+  int misses_ = 0;
 };
 
 }  // namespace goofi::core

@@ -184,9 +184,6 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
 
   /// Capture buffer reused across detail-mode scan-chain reads.
   util::BitVec detail_capture_;
-
-  /// Cap on detail-mode rows per experiment, to bound database growth.
-  static constexpr size_t kMaxDetailRows = 20000;
 };
 
 }  // namespace goofi::core

@@ -1,5 +1,6 @@
 #include "tool/shell.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -31,6 +32,7 @@ const char* const kHelpText =
     "  run-parallel <campaign> [workers]      sharded run, deterministic replay\n"
     "  run-warm <campaign> [workers] [interval]  checkpoint fast-forward run\n"
     "  run-pruned <campaign> [workers] [interval]  run-warm + convergence pruning\n"
+    "  run-dedup <campaign> [workers]         run-pruned + equivalence classing\n"
     "  stats                                  counters of the last run command\n"
     "  analyze <campaign>                     classification report (3.4)\n"
     "  report <campaign> <path>               write the report to a file\n"
@@ -49,8 +51,9 @@ Shell::Shell(db::Database* db, core::CampaignStore* store)
 void Shell::AddTarget(const std::string& name,
                       core::FaultInjectionAlgorithms* algorithms,
                       const testcard::TestCard* card,
-                      core::ParallelCampaignRunner::TargetFactory factory) {
-  targets_[name] = Target{algorithms, card, std::move(factory)};
+                      core::ParallelCampaignRunner::TargetFactory factory,
+                      cpu::CpuConfig analyzer_config) {
+  targets_[name] = Target{algorithms, card, std::move(factory), analyzer_config};
 }
 
 util::Result<std::string> Shell::CmdHelp() const { return std::string(kHelpText); }
@@ -351,6 +354,62 @@ util::Result<std::string> Shell::CmdRunPruned(
   return RunWarmOrPruned(args, /*pruned=*/true);
 }
 
+util::Result<std::string> Shell::CmdRunDedup(
+    const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) {
+    return util::InvalidArgument("run-dedup <campaign> [workers]");
+  }
+  int workers = 1;
+  if (args.size() == 2) {
+    const auto parsed = util::ParseInt(args[1]);
+    if (!parsed || *parsed < 1) {
+      return util::InvalidArgument("workers must be a positive number");
+    }
+    workers = static_cast<int>(*parsed);
+  }
+  auto target = FindTargetFor(args[0]);
+  if (!target.ok()) return target.status();
+  if (!target.value().factory) {
+    return util::FailedPrecondition(
+        "target of campaign " + args[0] +
+        " was registered without a parallel target factory");
+  }
+  auto campaign = store_->GetCampaign(args[0]);
+  if (!campaign.ok()) return campaign.status();
+  core::ParallelCampaignRunner runner(store_, target.value().factory, workers);
+  runner.SetForceWarmStart(true);
+  runner.SetConvergencePruning(true);
+  runner.SetEquivalenceClassing(true);
+  // The access timeline for window-based classes: a fault-free run of the
+  // campaign's workload on the target's configuration, memoized across
+  // campaigns. Bound by the campaign's own termination conditions so the
+  // timeline covers the whole golden run.
+  auto timeline = liveness_cache_.Get(
+      campaign.value().workload, target.value().config,
+      std::max<uint64_t>(200000, campaign.value().timeout_cycles),
+      campaign.value().max_iterations);
+  if (!timeline.ok()) return timeline.status();
+  runner.SetEquivalenceTimeline(timeline.value());
+  GOOFI_RETURN_IF_ERROR(runner.Run(args[0]));
+  const auto& stats = runner.stats();
+  last_run_ = LastRun{};
+  last_run_.valid = true;
+  last_run_.campaign = args[0];
+  last_run_.mode = "run-dedup";
+  last_run_.stats = stats;
+  last_run_.warm_starts = runner.warm_starts();
+  last_run_.prune = runner.prune_stats();
+  last_run_.dedup = runner.dedup_stats();
+  return util::Format(
+      "campaign %s: %d experiments run on %d workers (%lld classes, "
+      "%lld synthesized, %lld pruned), %d resumed\n",
+      args[0].c_str(), stats.experiments_run, runner.workers_used(),
+      static_cast<long long>(runner.dedup_stats().classes_formed),
+      static_cast<long long>(runner.dedup_stats().experiments_synthesized),
+      static_cast<long long>(runner.prune_stats().pruned_total()),
+      stats.experiments_resumed);
+}
+
 util::Result<std::string> Shell::RunWarmOrPruned(
     const std::vector<std::string>& args, bool pruned) {
   if (args.empty() || args.size() > 3) {
@@ -440,6 +499,15 @@ util::Result<std::string> Shell::CmdStats() const {
       static_cast<long long>(last_run_.prune.collision_rejects));
   out << util::Format("  memo inserts:             %lld\n",
                       static_cast<long long>(last_run_.prune.memo_inserts));
+  out << util::Format("  equivalence classes:      %lld\n",
+                      static_cast<long long>(last_run_.dedup.classes_formed));
+  out << util::Format(
+      "  experiments synthesized:  %lld\n",
+      static_cast<long long>(last_run_.dedup.experiments_synthesized));
+  out << util::Format(
+      "  spot checks:              %lld run, %lld passed\n",
+      static_cast<long long>(last_run_.dedup.spot_checks_run),
+      static_cast<long long>(last_run_.dedup.spot_checks_passed));
   return out.str();
 }
 
@@ -539,6 +607,7 @@ util::Result<std::string> Shell::Execute(const std::string& line) {
   if (command == "run-parallel") return CmdRunParallel(args);
   if (command == "run-warm") return CmdRunWarm(args);
   if (command == "run-pruned") return CmdRunPruned(args);
+  if (command == "run-dedup") return CmdRunDedup(args);
   if (command == "stats") return CmdStats();
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "report") return CmdReport(args);

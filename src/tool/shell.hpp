@@ -21,6 +21,7 @@
 #include "core/algorithms.hpp"
 #include "core/campaign_store.hpp"
 #include "core/parallel_runner.hpp"
+#include "core/preinjection.hpp"
 #include "db/database.hpp"
 #include "testcard/testcard.hpp"
 
@@ -35,11 +36,14 @@ class Shell {
   /// TargetSystemInterface) must outlive the shell. `card` may be null for
   /// targets without scan-chain access. `factory` (optional) enables
   /// `run-parallel` for campaigns on this target by building worker-owned
-  /// target stacks (see core::MakeSimThorFactory).
+  /// target stacks (see core::MakeSimThorFactory). `analyzer_config` is the
+  /// CPU configuration `run-dedup` rebuilds fault-free access timelines with;
+  /// it must match the configuration the factory's targets simulate.
   void AddTarget(const std::string& name,
                  core::FaultInjectionAlgorithms* algorithms,
                  const testcard::TestCard* card,
-                 core::ParallelCampaignRunner::TargetFactory factory = nullptr);
+                 core::ParallelCampaignRunner::TargetFactory factory = nullptr,
+                 cpu::CpuConfig analyzer_config = {});
 
   /// Executes one command line; returns its printable output.
   util::Result<std::string> Execute(const std::string& line);
@@ -55,6 +59,7 @@ class Shell {
     core::FaultInjectionAlgorithms* algorithms = nullptr;
     const testcard::TestCard* card = nullptr;
     core::ParallelCampaignRunner::TargetFactory factory;
+    cpu::CpuConfig config;  ///< analyzer configuration for run-dedup
   };
 
   util::Result<std::string> CmdHelp() const;
@@ -75,6 +80,12 @@ class Shell {
   /// golden trajectory at a checkpoint boundary terminate early, with the
   /// remaining rows synthesized. Byte-identical database to `run`.
   util::Result<std::string> CmdRunPruned(const std::vector<std::string>& args);
+  /// `run-dedup <campaign> [workers]`: run-pruned plus fault-list equivalence
+  /// classing — experiments whose transient flip provably lands in the same
+  /// access window execute once, with class members synthesized from the
+  /// representative's rows. Byte-identical database to `run`. Access
+  /// timelines are memoized across campaigns in `liveness_cache_`.
+  util::Result<std::string> CmdRunDedup(const std::vector<std::string>& args);
   /// `stats`: counters of the most recent run command, distinguishing
   /// experiments never injected (liveness-dead) from experiments injected but
   /// converged (pruned).
@@ -112,12 +123,16 @@ class Shell {
     core::FaultInjectionAlgorithms::Stats stats;
     int warm_starts = 0;
     core::ConvergenceStats prune;
+    core::EquivalenceStats dedup;
   };
 
   db::Database* db_;
   core::CampaignStore* store_;
   std::map<std::string, Target> targets_;
   LastRun last_run_;
+  /// Fault-free access timelines, memoized across PrepareCampaign calls for
+  /// the same (workload, configuration) within a shell session.
+  core::LivenessCache liveness_cache_;
 };
 
 }  // namespace goofi::tool

@@ -1,0 +1,629 @@
+// Property and semantics tests for fault-list equivalence classing (PR 7).
+//
+// The headline property mirrors convergence_test: a deduplicated campaign —
+// one representative executed per equivalence class, the remaining members'
+// rows synthesized — leaves the database byte-identical to a plain run of
+// the same campaign, with equal Stats, for every technique, log mode and
+// worker count. Classing may only ever change *how fast* a result is
+// produced, never the result.
+#include "core/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/goofi.hpp"
+#include "core/preinjection.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi::core {
+namespace {
+
+CampaignData ThorScifiCampaign(const std::string& name) {
+  CampaignData campaign;
+  campaign.name = name;
+  campaign.target_name = ThorRdTarget::kTargetName;
+  campaign.technique = Technique::kScifi;
+  campaign.num_experiments = 8;
+  campaign.workload = "bubblesort";
+  campaign.locations = {{"internal_regfile", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 1000;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+/// Single register-file cell, many experiments over a narrow window: the
+/// (bit, access-window) birthday campaign that guarantees multi-member
+/// classes actually form.
+CampaignData ThorSingleCellCampaign(const std::string& name) {
+  CampaignData campaign = ThorScifiCampaign(name);
+  campaign.locations = {{"internal_regfile", "regfile.r2"}};
+  campaign.num_experiments = 24;
+  campaign.inject_max_instr = 400;
+  return campaign;
+}
+
+CampaignData SwifiRuntimeCampaign(const std::string& name) {
+  CampaignData campaign;
+  campaign.name = name;
+  campaign.target_name = SwifiSimTarget::kTargetName;
+  campaign.technique = Technique::kSwifiRuntime;
+  campaign.num_experiments = 8;
+  campaign.workload = "fibonacci";
+  campaign.locations = {{"memory.text", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 500;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+CampaignData SwifiPreRuntimeCampaign(const std::string& name) {
+  CampaignData campaign = SwifiRuntimeCampaign(name);
+  campaign.technique = Technique::kSwifiPreRuntime;
+  campaign.workload = "cruise_pi";
+  campaign.locations = {{"memory.data", ""}};
+  campaign.num_experiments = 24;
+  campaign.max_iterations = 40;
+  return campaign;
+}
+
+std::shared_ptr<const LivenessAnalyzer> BuildTimeline(
+    const CampaignData& campaign) {
+  auto analyzer = LivenessAnalyzer::Build(
+      campaign.workload, cpu::CpuConfig(),
+      std::max<uint64_t>(200000, campaign.timeout_cycles),
+      campaign.max_iterations);
+  EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  if (!analyzer.ok()) return nullptr;
+  return std::shared_ptr<const LivenessAnalyzer>(std::move(analyzer).value());
+}
+
+/// Everything a run leaves behind that equivalence is asserted over.
+struct RunResult {
+  util::Status status;
+  std::vector<CampaignStore::ExperimentRow> rows;  ///< insertion order
+  FaultInjectionAlgorithms::Stats stats;
+  EquivalenceStats dedup;
+  std::string db_bytes;  ///< the Save() file, CRC trailer and all
+};
+
+/// One self-contained session: fresh database + store + registered target.
+struct Session {
+  db::Database db;
+  CampaignStore store;
+
+  explicit Session(const CampaignData& campaign) : store(&db) {
+    if (campaign.target_name == ThorRdTarget::kTargetName) {
+      testcard::SimTestCard card;
+      EXPECT_TRUE(store
+                      .PutTargetSystem(ThorRdTarget::DescribeTarget(
+                          card, ThorRdTarget::kTargetName))
+                      .ok());
+    } else {
+      EXPECT_TRUE(store.PutTargetSystem(SwifiSimTarget::Describe()).ok());
+    }
+    EXPECT_TRUE(store.PutCampaign(campaign).ok());
+  }
+
+  RunResult Snapshot(util::Status status,
+                     const FaultInjectionAlgorithms::Stats& stats,
+                     const EquivalenceStats& dedup,
+                     const std::string& campaign_name) {
+    RunResult result;
+    result.status = std::move(status);
+    result.stats = stats;
+    result.dedup = dedup;
+    auto rows = store.ExperimentsOf(campaign_name);
+    if (rows.ok()) result.rows = std::move(rows).value();
+    const std::string path =
+        testing::TempDir() + "goofi_equivalence_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".db";
+    EXPECT_TRUE(db.Save(path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    result.db_bytes = buf.str();
+    std::remove(path.c_str());
+    return result;
+  }
+};
+
+/// Plain serial baseline (no checkpointing, no pruning, no classing).
+RunResult RunCold(const CampaignData& campaign) {
+  Session session(campaign);
+  auto drive = [&](FaultInjectionAlgorithms& target) {
+    util::Status status = target.RunCampaign(campaign.name);
+    return session.Snapshot(std::move(status), target.stats(),
+                            EquivalenceStats{}, campaign.name);
+  };
+  if (campaign.target_name == ThorRdTarget::kTargetName) {
+    testcard::SimTestCard card;
+    ThorRdTarget target(&session.store, &card);
+    return drive(target);
+  }
+  SwifiSimTarget target(&session.store);
+  return drive(target);
+}
+
+/// The run-dedup stack: parallel runner with warm-start, pruning and
+/// equivalence classing engaged, sharing a fault-free access timeline.
+RunResult RunDeduped(const CampaignData& campaign, int workers,
+                     int spot_check_every = 4) {
+  Session session(campaign);
+  const auto factory = campaign.target_name == ThorRdTarget::kTargetName
+                           ? MakeSimThorFactory(&session.store)
+                           : MakeSwifiSimFactory(&session.store);
+  ParallelCampaignRunner runner(&session.store, factory, workers);
+  runner.SetForceWarmStart(true);
+  runner.SetConvergencePruning(true);
+  runner.SetEquivalenceClassing(true);
+  runner.SetSpotCheckEvery(spot_check_every);
+  runner.SetEquivalenceTimeline(BuildTimeline(campaign));
+  util::Status status = runner.Run(campaign.name);
+  return session.Snapshot(std::move(status), runner.stats(),
+                          runner.dedup_stats(), campaign.name);
+}
+
+void ExpectIdentical(const RunResult& cold, const RunResult& deduped) {
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  ASSERT_TRUE(deduped.status.ok()) << deduped.status.ToString();
+  ASSERT_EQ(cold.rows.size(), deduped.rows.size());
+  for (size_t i = 0; i < cold.rows.size(); ++i) {
+    EXPECT_EQ(cold.rows[i].experiment_name, deduped.rows[i].experiment_name)
+        << "row " << i << " out of order";
+    EXPECT_EQ(cold.rows[i].parent_experiment, deduped.rows[i].parent_experiment)
+        << "row " << i;
+    EXPECT_EQ(cold.rows[i].experiment_data, deduped.rows[i].experiment_data)
+        << "row " << i;
+    EXPECT_EQ(cold.rows[i].state.Serialize(), deduped.rows[i].state.Serialize())
+        << "row " << i;
+  }
+  EXPECT_EQ(cold.stats, deduped.stats) << "deduped Stats must equal cold Stats";
+  EXPECT_EQ(cold.db_bytes, deduped.db_bytes)
+      << "database files must be byte-identical";
+  EXPECT_EQ(deduped.dedup.spot_checks_run, deduped.dedup.spot_checks_passed);
+}
+
+FaultInstance TransientScanFault(const std::string& cell, uint32_t chain_bit,
+                                 uint64_t instret) {
+  FaultInstance fault;
+  fault.chain = "internal_regfile";
+  fault.chain_bit = chain_bit;
+  fault.cell_name = cell;
+  fault.inject_instr = instret;
+  return fault;
+}
+
+FaultInstance TransientMemoryFault(uint32_t address, uint32_t bit,
+                                   uint64_t instret) {
+  FaultInstance fault;
+  fault.address = address;
+  fault.bit = bit;
+  fault.inject_instr = instret;
+  return fault;
+}
+
+// ---------------------------------------------------------------------------
+// Classer semantics.
+// ---------------------------------------------------------------------------
+
+TEST(EquivalenceTest, PreRuntimeGroupsByAddressAndBitOnly) {
+  EquivalenceClasser::Config config;
+  config.technique = Technique::kSwifiPreRuntime;
+  EquivalenceClasser classer(nullptr, config);
+  // Identical (address, bit) at wildly different injection times: one class
+  // (pre-runtime injection ignores the time entirely).
+  classer.Add(0, {TransientMemoryFault(0x100, 3, 17)});
+  classer.Add(1, {TransientMemoryFault(0x100, 3, 9999)});
+  classer.Add(2, {TransientMemoryFault(0x100, 4, 17)});   // different bit
+  classer.Add(3, {TransientMemoryFault(0x104, 3, 17)});   // different word
+  ASSERT_EQ(classer.classes().size(), 3u);
+  EXPECT_EQ(classer.class_of(0), classer.class_of(1));
+  EXPECT_NE(classer.class_of(0), classer.class_of(2));
+  EXPECT_NE(classer.class_of(0), classer.class_of(3));
+  EXPECT_EQ(classer.multi_member_classes(), 1);
+  EXPECT_FALSE(classer.classes()[classer.class_of(0)].suffix_filtered)
+      << "pre-runtime member rows are verbatim copies, never suffixes";
+}
+
+TEST(EquivalenceTest, PastGoldenEndInjectionsShareOneClass) {
+  EquivalenceClasser::Config config;
+  config.technique = Technique::kSwifiRuntime;
+  config.has_golden_end = true;
+  config.golden_end_instret = 100;
+  EquivalenceClasser classer(nullptr, config);
+  // Both injections land past the fault-free run's end: never injected, pure
+  // golden result, one class regardless of location.
+  classer.Add(0, {TransientMemoryFault(0x100, 3, 101)});
+  classer.Add(1, {TransientMemoryFault(0x2000, 30, 5000)});
+  // Exactly at the end: the termination-vs-breakpoint order is a target
+  // corner we refuse to reason about. Singleton.
+  classer.Add(2, {TransientMemoryFault(0x100, 3, 100)});
+  // Before the end with no timeline: no window reasoning. Singleton.
+  classer.Add(3, {TransientMemoryFault(0x100, 3, 99)});
+  ASSERT_EQ(classer.classes().size(), 3u);
+  EXPECT_EQ(classer.class_of(0), classer.class_of(1));
+  EXPECT_NE(classer.class_of(0), classer.class_of(2));
+  EXPECT_NE(classer.class_of(2), classer.class_of(3));
+}
+
+TEST(EquivalenceTest, IneligibleModelsAndMultiFlipStaySingletons) {
+  EquivalenceClasser::Config config;
+  config.technique = Technique::kSwifiPreRuntime;
+  config.fault_model = FaultModelKind::kIntermittentBitFlip;
+  EquivalenceClasser intermittent(nullptr, config);
+  intermittent.Add(0, {TransientMemoryFault(0x100, 3, 17)});
+  intermittent.Add(1, {TransientMemoryFault(0x100, 3, 17)});
+  EXPECT_EQ(intermittent.classes().size(), 2u);
+  EXPECT_EQ(intermittent.multi_member_classes(), 0);
+
+  config.fault_model = FaultModelKind::kPermanentStuckAt;
+  EquivalenceClasser permanent(nullptr, config);
+  permanent.Add(0, {TransientMemoryFault(0x100, 3, 17)});
+  permanent.Add(1, {TransientMemoryFault(0x100, 3, 17)});
+  EXPECT_EQ(permanent.classes().size(), 2u);
+
+  config.fault_model = FaultModelKind::kTransientBitFlip;
+  config.faults_per_experiment = 2;
+  EquivalenceClasser multi(nullptr, config);
+  multi.Add(0, {TransientMemoryFault(0x100, 3, 17)});
+  multi.Add(1, {TransientMemoryFault(0x100, 3, 17)});
+  EXPECT_EQ(multi.classes().size(), 2u);
+
+  config.faults_per_experiment = 1;
+  EquivalenceClasser lists(nullptr, config);
+  lists.Add(0, {TransientMemoryFault(0x100, 3, 17),
+                TransientMemoryFault(0x104, 3, 17)});
+  lists.Add(1, {TransientMemoryFault(0x100, 3, 17),
+                TransientMemoryFault(0x104, 3, 17)});
+  EXPECT_EQ(lists.classes().size(), 2u)
+      << "a two-fault list must never class even at faults_per_experiment=1";
+}
+
+TEST(EquivalenceTest, RepresentativeIsEarliestInjection) {
+  EquivalenceClasser::Config config;
+  config.technique = Technique::kSwifiRuntime;
+  config.has_golden_end = true;
+  config.golden_end_instret = 100;
+  EquivalenceClasser classer(nullptr, config);
+  classer.Add(7, {TransientMemoryFault(0, 0, 500)});
+  classer.Add(8, {TransientMemoryFault(4, 1, 300)});
+  classer.Add(9, {TransientMemoryFault(8, 2, 400)});
+  ASSERT_EQ(classer.classes().size(), 1u);
+  const EquivalenceClasser::Class& cls = classer.classes()[0];
+  EXPECT_EQ(cls.members, (std::vector<int>{7, 8, 9}))
+      << "members must stay in Add order (commit order)";
+  EXPECT_EQ(cls.representative, 8)
+      << "the earliest injection is the only member whose rows contain every "
+         "other member's detail suffix";
+}
+
+TEST(EquivalenceTest, ScifiWindowsFollowTheAccessTimeline) {
+  CampaignData campaign = ThorScifiCampaign("eq_windows");
+  auto timeline = BuildTimeline(campaign);
+  ASSERT_NE(timeline, nullptr);
+  // Find a register with at least two distinct access windows inside the
+  // injection range, then assert the classer groups exactly by window.
+  int reg = -1;
+  uint64_t t_same_a = 0, t_same_b = 0, t_other = 0;
+  for (int candidate = 1; candidate < 32 && reg < 0; ++candidate) {
+    t_same_a = t_same_b = t_other = 0;
+    for (uint64_t t = 2; t <= 1000; ++t) {
+      const size_t window = timeline->RegisterAccessWindow(candidate, t);
+      const size_t previous = timeline->RegisterAccessWindow(candidate, t - 1);
+      if (window == previous && t_same_b == 0) {
+        t_same_a = t - 1;
+        t_same_b = t;
+      }
+      if (t_same_b != 0 &&
+          window != timeline->RegisterAccessWindow(candidate, t_same_b)) {
+        t_other = t;
+        reg = candidate;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(reg, 1) << "bubblesort must reuse some register within 1000 instr";
+  ASSERT_GT(t_same_b, 0u);
+
+  EquivalenceClasser::Config config;
+  config.technique = Technique::kScifi;
+  config.has_golden_end = true;
+  config.golden_end_instret = timeline->trace_length();
+  EquivalenceClasser classer(timeline.get(), config);
+  const std::string cell = "regfile.r" + std::to_string(reg);
+  classer.Add(0, {TransientScanFault(cell, 5, t_same_a)});
+  classer.Add(1, {TransientScanFault(cell, 5, t_same_b)});
+  classer.Add(2, {TransientScanFault(cell, 5, t_other)});
+  classer.Add(3, {TransientScanFault(cell, 6, t_same_a)});  // other bit
+  // Non-register cells have no exact access semantics: singleton.
+  classer.Add(4, {TransientScanFault("pc", 1, t_same_a)});
+  EXPECT_EQ(classer.class_of(0), classer.class_of(1))
+      << "same cell, bit and access window must class together";
+  EXPECT_NE(classer.class_of(0), classer.class_of(2))
+      << "an access between the two injection times must split the class";
+  EXPECT_NE(classer.class_of(0), classer.class_of(3));
+  EXPECT_EQ(classer.classes()[classer.class_of(4)].members.size(), 1u);
+}
+
+TEST(EquivalenceTest, WindowAccessorsAreMonotonic) {
+  auto timeline = BuildTimeline(ThorScifiCampaign("eq_monotonic"));
+  ASSERT_NE(timeline, nullptr);
+  for (int reg : {1, 2, 3, 15}) {
+    size_t previous = timeline->RegisterAccessWindow(reg, 0);
+    for (uint64_t t = 1; t <= 2000; ++t) {
+      const size_t window = timeline->RegisterAccessWindow(reg, t);
+      EXPECT_GE(window, previous) << "reg " << reg << " t " << t;
+      previous = window;
+    }
+  }
+}
+
+TEST(EquivalenceTest, SynthesizedRowsAreTheRepresentativeSuffix) {
+  CampaignData campaign = ThorScifiCampaign("eq_synth");
+  std::vector<CampaignStore::ExperimentRow> rep;
+  LoggedState main_state;
+  main_state.halted = true;
+  main_state.instret = 42;
+  rep.push_back({"eq_synth/e000", "", "eq_synth", "rep-data", main_state});
+  for (uint64_t instret : {10ull, 20ull, 30ull}) {
+    LoggedState detail;
+    detail.instret = instret;
+    rep.push_back({"eq_synth/e000/d000000", "eq_synth/e000", "eq_synth",
+                   "detail_step", detail});
+  }
+  const std::vector<FaultInstance> member = {TransientScanFault("regfile.r2", 5, 15)};
+  const auto rows = SynthesizeMemberRows(rep, campaign, 3, member,
+                                         /*suffix_filtered=*/true);
+  // Injection at 15: detail rows at 20 and 30 survive (strictly past the
+  // member's injection time), renumbered under the member's name.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].experiment_name, CampaignStore::ExperimentName("eq_synth", 3));
+  EXPECT_EQ(rows[0].experiment_data,
+            FaultInjectionAlgorithms::ExperimentData(campaign.technique, member));
+  EXPECT_EQ(rows[0].state.Serialize(), main_state.Serialize());
+  EXPECT_EQ(rows[1].experiment_name, rows[0].experiment_name + "/d000000");
+  EXPECT_EQ(rows[1].parent_experiment, rows[0].experiment_name);
+  EXPECT_EQ(rows[1].state.instret, 20u);
+  EXPECT_EQ(rows[2].experiment_name, rows[0].experiment_name + "/d000001");
+  EXPECT_EQ(rows[2].state.instret, 30u);
+
+  // Injection exactly at a logged instret: that row belongs to the member's
+  // fault-free prefix and must NOT be copied.
+  const std::vector<FaultInstance> at_boundary = {
+      TransientScanFault("regfile.r2", 5, 20)};
+  EXPECT_EQ(SynthesizeMemberRows(rep, campaign, 4, at_boundary, true).size(), 2u);
+
+  // Verbatim mode (pre-runtime): every detail row is copied.
+  EXPECT_EQ(SynthesizeMemberRows(rep, campaign, 5, member, false).size(), 4u);
+}
+
+TEST(EquivalenceTest, LivenessCacheMemoizesPerWorkloadAndConfig) {
+  LivenessCache cache;
+  auto first = cache.Get("bubblesort", cpu::CpuConfig());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.Get("bubblesort", cpu::CpuConfig());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get())
+      << "same workload + config must share one analyzer build";
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+
+  auto other_workload = cache.Get("fibonacci", cpu::CpuConfig());
+  ASSERT_TRUE(other_workload.ok());
+  EXPECT_NE(other_workload.value().get(), first.value().get());
+
+  cpu::CpuConfig other_config;
+  other_config.icache_lines = 32;
+  auto other = cache.Get("bubblesort", other_config);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other.value().get(), first.value().get())
+      << "a different CPU configuration is a different trace";
+  EXPECT_EQ(cache.misses(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Deduped == plain, end to end.
+// ---------------------------------------------------------------------------
+
+TEST(EquivalenceTest, ScifiSingleCellDedupMatchesColdAndSynthesizes) {
+  const CampaignData campaign = ThorSingleCellCampaign("eq_scifi_cell");
+  const RunResult cold = RunCold(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const RunResult deduped = RunDeduped(campaign, workers);
+    EXPECT_GT(deduped.dedup.classes_formed, 0)
+        << "24 flips into one register cell must collide in (bit, window)";
+    EXPECT_GT(deduped.dedup.experiments_synthesized, 0);
+    ExpectIdentical(cold, deduped);
+  }
+}
+
+TEST(EquivalenceTest, ScifiBroadCampaignDedupMatchesCold) {
+  const CampaignData campaign = ThorScifiCampaign("eq_scifi");
+  ExpectIdentical(RunCold(campaign), RunDeduped(campaign, 2));
+}
+
+TEST(EquivalenceTest, ScifiDetailModeDedupMatchesCold) {
+  // Detail mode is the hard case: synthesized members must reproduce the
+  // representative's detail-row suffix exactly, renamed and renumbered.
+  CampaignData campaign = ThorSingleCellCampaign("eq_detail");
+  campaign.log_mode = LogMode::kDetail;
+  campaign.num_experiments = 10;
+  campaign.inject_max_instr = 200;
+  const RunResult cold = RunCold(campaign);
+  ASSERT_GT(cold.rows.size(), 10u) << "expected detail rows";
+  for (int workers : {1, 2}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExpectIdentical(cold, RunDeduped(campaign, workers));
+  }
+}
+
+TEST(EquivalenceTest, RuntimeSwifiDedupMatchesCold) {
+  const CampaignData campaign = SwifiRuntimeCampaign("eq_swifi");
+  const RunResult cold = RunCold(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExpectIdentical(cold, RunDeduped(campaign, workers));
+  }
+}
+
+TEST(EquivalenceTest, RuntimeSwifiDataSectionDedupMatchesCold) {
+  CampaignData campaign = SwifiRuntimeCampaign("eq_swifi_data");
+  campaign.locations = {{"memory.data", ""}};
+  campaign.num_experiments = 16;
+  ExpectIdentical(RunCold(campaign), RunDeduped(campaign, 2));
+}
+
+TEST(EquivalenceTest, PreRuntimeSwifiDedupMatchesCold) {
+  const CampaignData campaign = SwifiPreRuntimeCampaign("eq_swifi_pre");
+  const RunResult cold = RunCold(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExpectIdentical(cold, RunDeduped(campaign, workers));
+  }
+}
+
+TEST(EquivalenceTest, PastEndWindowCollapsesToOneClass) {
+  // Injection window entirely past the golden end: every experiment is the
+  // golden run, so exactly one executes and N-1 are synthesized.
+  CampaignData campaign = SwifiRuntimeCampaign("eq_pastend");
+  auto timeline = BuildTimeline(campaign);
+  ASSERT_NE(timeline, nullptr);
+  campaign.inject_min_instr = timeline->trace_length() + 100;
+  campaign.inject_max_instr = timeline->trace_length() + 5000;
+  const RunResult cold = RunCold(campaign);
+  const RunResult deduped = RunDeduped(campaign, 2, /*spot_check_every=*/1);
+  EXPECT_EQ(deduped.dedup.classes_formed, 1);
+  EXPECT_EQ(deduped.dedup.experiments_synthesized, campaign.num_experiments - 1);
+  EXPECT_GT(deduped.dedup.spot_checks_run, 0);
+  ExpectIdentical(cold, deduped);
+}
+
+TEST(EquivalenceTest, InjectionAtGoldenEndStaysSingleton) {
+  // The adversarial boundary: the breakpoint count equals the golden run's
+  // final retirement count. Classify must refuse (conservative singleton)
+  // and the results still match cold exactly.
+  CampaignData campaign = SwifiRuntimeCampaign("eq_boundary");
+  auto timeline = BuildTimeline(campaign);
+  ASSERT_NE(timeline, nullptr);
+  campaign.inject_min_instr = timeline->trace_length();
+  campaign.inject_max_instr = timeline->trace_length();
+  campaign.num_experiments = 4;
+  const RunResult cold = RunCold(campaign);
+  const RunResult deduped = RunDeduped(campaign, 2);
+  EXPECT_EQ(deduped.dedup.experiments_synthesized, 0)
+      << "t == golden end must never class";
+  ExpectIdentical(cold, deduped);
+}
+
+TEST(EquivalenceTest, IntermittentAndPermanentNeverSynthesize) {
+  for (FaultModelKind model : {FaultModelKind::kIntermittentBitFlip,
+                               FaultModelKind::kPermanentStuckAt}) {
+    CampaignData campaign = ThorSingleCellCampaign(
+        model == FaultModelKind::kIntermittentBitFlip ? "eq_int" : "eq_perm");
+    campaign.fault_model = model;
+    campaign.num_experiments = 6;
+    SCOPED_TRACE(FaultModelName(model));
+    const RunResult cold = RunCold(campaign);
+    const RunResult deduped = RunDeduped(campaign, 2);
+    EXPECT_EQ(deduped.dedup.experiments_synthesized, 0);
+    EXPECT_EQ(deduped.dedup.classes_formed, 0);
+    ExpectIdentical(cold, deduped);
+  }
+}
+
+TEST(EquivalenceTest, MultiFlipCampaignNeverSynthesizes) {
+  CampaignData campaign = ThorSingleCellCampaign("eq_multi");
+  campaign.faults_per_experiment = 2;
+  campaign.num_experiments = 6;
+  const RunResult cold = RunCold(campaign);
+  const RunResult deduped = RunDeduped(campaign, 2);
+  EXPECT_EQ(deduped.dedup.experiments_synthesized, 0);
+  ExpectIdentical(cold, deduped);
+}
+
+TEST(EquivalenceTest, DedupWithoutTimelineStillMatchesCold) {
+  // No access timeline: only past-end and pre-runtime classes can form; the
+  // run must degrade gracefully, never fail.
+  const CampaignData campaign = ThorSingleCellCampaign("eq_notimeline");
+  Session session(campaign);
+  ParallelCampaignRunner runner(&session.store,
+                                MakeSimThorFactory(&session.store), 2);
+  runner.SetForceWarmStart(true);
+  runner.SetConvergencePruning(true);
+  runner.SetEquivalenceClassing(true);
+  util::Status status = runner.Run(campaign.name);
+  const RunResult deduped = session.Snapshot(std::move(status), runner.stats(),
+                                             runner.dedup_stats(), campaign.name);
+  ExpectIdentical(RunCold(campaign), deduped);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz tests (run under ASan by scripts/tier1.sh --gtest_filter=*Fuzz*).
+// ---------------------------------------------------------------------------
+
+struct Xorshift {
+  uint64_t state;
+  explicit Xorshift(uint64_t seed) : state(seed | 1) {}
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+TEST(EquivalenceFuzzTest, RandomCampaignsSpotCheckEveryClassAndMatchCold) {
+  // Randomized campaigns with spot_check_every=1: every multi-member class
+  // re-executes one synthesized member and verifies blob equality, so any
+  // window-semantics bug shows up as a hard Internal error (or a DB
+  // mismatch) rather than silently wrong synthesized rows.
+  const struct {
+    const char* workload;
+    Technique technique;
+    const char* chain;
+    const char* prefix;
+  } kSpace[] = {
+      {"bubblesort", Technique::kScifi, "internal_regfile", "regfile.r2"},
+      {"pendulum_pd", Technique::kScifi, "internal_regfile", ""},
+      {"fibonacci", Technique::kSwifiRuntime, "memory.text", ""},
+      {"cruise_pi", Technique::kSwifiPreRuntime, "memory.data", ""},
+  };
+  Xorshift rng(0x600F1);
+  for (int round = 0; round < 4; ++round) {
+    const auto& pick = kSpace[round % 4];
+    CampaignData campaign;
+    campaign.name = "eq_fuzz_" + std::to_string(round);
+    campaign.technique = pick.technique;
+    campaign.target_name = pick.technique == Technique::kScifi
+                               ? ThorRdTarget::kTargetName
+                               : SwifiSimTarget::kTargetName;
+    campaign.workload = pick.workload;
+    campaign.locations = {{pick.chain, pick.prefix}};
+    campaign.num_experiments = 6 + static_cast<int>(rng.Next() % 12);
+    campaign.inject_min_instr = 1 + rng.Next() % 50;
+    campaign.inject_max_instr =
+        campaign.inject_min_instr + 50 + rng.Next() % 500;
+    campaign.seed = rng.Next();
+    campaign.timeout_cycles = 100000;
+    campaign.max_iterations = 40;
+    SCOPED_TRACE(campaign.name + " workload=" + campaign.workload);
+    const RunResult cold = RunCold(campaign);
+    const int workers = 1 + static_cast<int>(rng.Next() % 4);
+    const RunResult deduped =
+        RunDeduped(campaign, workers, /*spot_check_every=*/1);
+    EXPECT_EQ(deduped.dedup.spot_checks_run, deduped.dedup.spot_checks_passed)
+        << "every spot check must reproduce the synthesized blob exactly";
+    ExpectIdentical(cold, deduped);
+  }
+}
+
+}  // namespace
+}  // namespace goofi::core

@@ -41,7 +41,8 @@ class ShellTest : public ::testing::Test {
 
 TEST_F(ShellTest, HelpListsCommands) {
   const std::string help = MustRun("help");
-  for (const char* cmd : {"campaign set", "run", "analyze", "sql", "propagation"}) {
+  for (const char* cmd :
+       {"campaign set", "run", "run-dedup", "analyze", "sql", "propagation"}) {
     EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
   }
 }
@@ -164,6 +165,40 @@ TEST_F(ShellTest, RunPrunedEngagesConvergencePruning) {
   EXPECT_FALSE(Run("run-pruned").ok());
 }
 
+TEST_F(ShellTest, RunDedupEngagesEquivalenceClassing) {
+  MustRun(
+      "campaign set dedup workload=fibonacci locations=internal_regfile "
+      "experiments=6 window=1:80 timeout=50000");
+  // Like run-warm/run-pruned, run-dedup needs a parallel target factory.
+  EXPECT_FALSE(Run("run-dedup dedup").ok());
+  shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store_));
+  const std::string out = MustRun("run-dedup dedup 1");
+  EXPECT_NE(out.find("6 experiments run"), std::string::npos);
+  EXPECT_NE(out.find("classes"), std::string::npos);
+  EXPECT_NE(out.find("synthesized"), std::string::npos);
+  EXPECT_FALSE(Run("run-dedup dedup 0").ok());
+  EXPECT_FALSE(Run("run-dedup dedup x").ok());
+  EXPECT_FALSE(Run("run-dedup").ok());
+  EXPECT_FALSE(Run("run-dedup dedup 1 16").ok())
+      << "run-dedup takes no interval argument";
+  EXPECT_FALSE(Run("run-dedup ghost 1").ok());
+}
+
+TEST_F(ShellTest, RunDedupResultsMatchPlainRun) {
+  MustRun(
+      "campaign set eqcmp workload=fibonacci locations=internal_regfile "
+      "experiments=8 window=1:80 timeout=50000");
+  shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store_));
+  MustRun("run eqcmp");
+  const std::string plain = MustRun("list experiments eqcmp");
+  MustRun("sql DELETE FROM LoggedSystemState");
+  MustRun("run-dedup eqcmp 2");
+  EXPECT_EQ(MustRun("list experiments eqcmp"), plain)
+      << "run-dedup must reproduce the plain run's rows exactly";
+}
+
 TEST_F(ShellTest, StatsFailsBeforeAnyRun) {
   const auto result = Run("stats");
   EXPECT_FALSE(result.ok());
@@ -185,11 +220,31 @@ TEST_F(ShellTest, StatsReportsLastRunCounters) {
   EXPECT_NE(stats.find("injected but converged:"), std::string::npos);
   EXPECT_NE(stats.find("boundary checks:"), std::string::npos);
   EXPECT_NE(stats.find("collision rejects:"), std::string::npos);
+  // Equivalence-classing counters report alongside the prune counters (all
+  // zero for a run-pruned command: classing was not engaged).
+  EXPECT_NE(stats.find("equivalence classes:      0"), std::string::npos);
+  EXPECT_NE(stats.find("experiments synthesized:  0"), std::string::npos);
+  EXPECT_NE(stats.find("spot checks:"), std::string::npos);
   // A plain run resets the counters to its own (unpruned) numbers.
   MustRun("run st");
   const std::string plain = MustRun("stats");
   EXPECT_NE(plain.find("last run: st (run)"), std::string::npos);
   EXPECT_NE(plain.find("injected but converged:   0"), std::string::npos);
+}
+
+TEST_F(ShellTest, StatsReportsEquivalenceCountersAfterRunDedup) {
+  MustRun(
+      "campaign set eqst workload=fibonacci locations=internal_regfile "
+      "experiments=12 window=1:40 timeout=50000");
+  shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store_));
+  MustRun("run-dedup eqst 1");
+  const std::string stats = MustRun("stats");
+  EXPECT_NE(stats.find("last run: eqst (run-dedup)"), std::string::npos);
+  EXPECT_NE(stats.find("experiments run:          12"), std::string::npos);
+  EXPECT_NE(stats.find("equivalence classes:"), std::string::npos);
+  EXPECT_NE(stats.find("experiments synthesized:"), std::string::npos);
+  EXPECT_NE(stats.find("spot checks:"), std::string::npos);
 }
 
 TEST_F(ShellTest, RunUnknownCampaignOrTargetFails) {
