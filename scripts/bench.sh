@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Performance tracking: builds and runs the JSON-emitting benchmarks, leaves
 # one BENCH_<name>.json per benchmark in the build directory, and aggregates
-# them into BENCH_PR7.json at the repo root.
+# them into BENCH_PR8.json at the repo root.
 #
 # Currently covered:
 #   BENCH_checkpoint.json — experiments/sec cold vs warm (checkpoint
@@ -19,6 +19,10 @@
 #   vs equivalence-classed dedup (E17), swept over fault location class
 #   (SCIFI regfile, runtime-SWIFI memory) x sampling density, plus class
 #   and synthesized-experiment counts per cell.
+#   BENCH_archive_io.json — campaign archive I/O (E18): binary columnar
+#   snapshot save/load vs the legacy text format, per-batch WAL group commit
+#   vs full-file rewrite, and snapshot+WAL recovery cost with a byte-identity
+#   self-check.
 #
 # Usage: scripts/bench.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -34,7 +38,8 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_checkpoint_fastforward bench_cpu_throughput \
-             bench_convergence_pruning bench_database bench_equivalence_dedup
+             bench_convergence_pruning bench_database bench_equivalence_dedup \
+             bench_archive_io
 
 "$BUILD_DIR"/bench/bench_checkpoint_fastforward \
     --json "$BUILD_DIR"/BENCH_checkpoint.json
@@ -51,6 +56,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
 "$BUILD_DIR"/bench/bench_equivalence_dedup \
     --json "$BUILD_DIR"/BENCH_equivalence_dedup.json
 
+"$BUILD_DIR"/bench/bench_archive_io \
+    --json "$BUILD_DIR"/BENCH_archive_io.json
+
 # One aggregate file at the repo root: nested objects keyed by benchmark.
 # Each per-bench file is a single flat JSON object on one line.
 {
@@ -59,8 +67,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
   printf '  "cpu_throughput": %s,\n' "$(cat "$BUILD_DIR"/BENCH_cpu_throughput.json)"
   printf '  "convergence_pruning": %s,\n' "$(cat "$BUILD_DIR"/BENCH_convergence_pruning.json)"
   printf '  "database": %s,\n' "$(cat "$BUILD_DIR"/BENCH_database.json)"
-  printf '  "equivalence_dedup": %s\n' "$(cat "$BUILD_DIR"/BENCH_equivalence_dedup.json)"
+  printf '  "equivalence_dedup": %s,\n' "$(cat "$BUILD_DIR"/BENCH_equivalence_dedup.json)"
+  printf '  "archive_io": %s\n' "$(cat "$BUILD_DIR"/BENCH_archive_io.json)"
   printf '}\n'
-} > BENCH_PR7.json
+} > BENCH_PR8.json
 
-echo "bench: OK (BENCH_PR7.json; per-bench JSON in $BUILD_DIR/)"
+echo "bench: OK (BENCH_PR8.json; per-bench JSON in $BUILD_DIR/)"

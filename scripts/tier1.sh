@@ -14,20 +14,21 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence + equivalence) =="
+echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence + equivalence + archive commits) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test equivalence_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test equivalence_test archive_test
 "$TSAN_DIR"/tests/thread_pool_test
 "$TSAN_DIR"/tests/parallel_runner_test
 "$TSAN_DIR"/tests/checkpoint_test
 "$TSAN_DIR"/tests/convergence_test
 "$TSAN_DIR"/tests/equivalence_test
+"$TSAN_DIR"/tests/archive_test --gtest_filter='ArchiveRunnerTest.*'
 
 echo "== tier-1: ASan pass (superblock fast-path differential fuzzer) =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=address
-cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test equivalence_test
+cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test equivalence_test archive_test
 "$ASAN_DIR"/tests/cpu_fastpath_test
 
 echo "== tier-1: ASan pass (state-hash / canonical-memory fuzzers) =="
@@ -38,6 +39,9 @@ echo "== tier-1: ASan pass (equivalence-classing spot-check fuzzer) =="
 
 echo "== tier-1: ASan pass (indexed-vs-scan SQL differential suite) =="
 "$ASAN_DIR"/tests/sql_index_test
+
+echo "== tier-1: ASan pass (archive codec/snapshot/WAL-recovery suite) =="
+"$ASAN_DIR"/tests/archive_test
 
 echo "== tier-1: UBSan pass (superblock fast-path differential fuzzer) =="
 UBSAN_DIR="${BUILD_DIR}-ubsan"
@@ -64,5 +68,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_database
 echo "== tier-1: equivalence classing benchmark (BENCH_equivalence_dedup.json) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_equivalence_dedup
 "$BUILD_DIR"/bench/bench_equivalence_dedup --json "$BUILD_DIR"/BENCH_equivalence_dedup.json
+
+echo "== tier-1: campaign archive I/O benchmark (BENCH_archive_io.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_archive_io
+"$BUILD_DIR"/bench/bench_archive_io --json "$BUILD_DIR"/BENCH_archive_io.json
 
 echo "tier-1: OK"

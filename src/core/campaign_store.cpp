@@ -1,5 +1,6 @@
 #include "core/campaign_store.hpp"
 
+#include "db/archive.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -284,7 +285,13 @@ util::Status CampaignStore::PutExperiments(
                        Value::Text(row.experiment_data),
                        Value::Text(row.state.Serialize())});
   }
-  return database_->InsertBatch("LoggedSystemState", std::move(db_rows));
+  GOOFI_RETURN_IF_ERROR(
+      database_->InsertBatch("LoggedSystemState", std::move(db_rows)));
+  // Durability point: the whole batch becomes one WAL group commit. Under
+  // the runner's GroupCommitScope this is the only flush; with auto-commit
+  // the records are already durable and this is a no-op.
+  if (archive_ != nullptr) return archive_->Commit();
+  return util::Status::Ok();
 }
 
 util::Status CampaignStore::PutExperiment(const std::string& experiment_name,
@@ -300,7 +307,9 @@ util::Status CampaignStore::PutExperiment(const std::string& experiment_name,
        parent_experiment.empty() ? Value::Null() : Value::Text(parent_experiment),
        Value::Text(campaign_name), Value::Text(experiment_data),
        Value::Text(state.Serialize())});
-  return result.status();
+  GOOFI_RETURN_IF_ERROR(result.status());
+  if (archive_ != nullptr) return archive_->Commit();
+  return util::Status::Ok();
 }
 
 util::Result<CampaignStore::ExperimentRow> CampaignStore::GetExperiment(

@@ -17,6 +17,10 @@
 #include "db/database.hpp"
 #include "db/prepared.hpp"
 
+namespace goofi::db {
+class Archive;
+}
+
 namespace goofi::core {
 
 /// Description of a configured target system (the configuration phase,
@@ -43,6 +47,14 @@ class CampaignStore {
   /// The store's prepared-statement cache. The shell routes ad-hoc `sql`
   /// commands through it so repeated queries skip parsing and planning.
   db::StatementCache& statement_cache() const { return cache_; }
+
+  /// Attaches (or with nullptr detaches) the durable archive backing the
+  /// database. While attached, PutExperiment/PutExperiments group-commit its
+  /// WAL after each successful write, so a killed campaign recovers every
+  /// committed batch. The caller owns the archive (and its attachment as the
+  /// database's observer); this is only the commit-point hook.
+  void AttachArchive(db::Archive* archive) { archive_ = archive; }
+  db::Archive* archive() const { return archive_; }
 
   // --- TargetSystemData ----------------------------------------------------
   util::Status PutTargetSystem(const TargetSystemData& target);
@@ -108,6 +120,7 @@ class CampaignStore {
 
   db::Database* database_;
   mutable db::StatementCache cache_;
+  db::Archive* archive_ = nullptr;  ///< not owned
 };
 
 }  // namespace goofi::core

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/swifi_target.hpp"
 #include "core/thor_target.hpp"
 #include "cpu/state_hash.hpp"
+#include "db/archive.hpp"
 #include "testcard/testcard.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -48,6 +50,12 @@ util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
   auto campaign_or = store_->GetCampaign(campaign_name);
   if (!campaign_or.ok()) return campaign_or.status();
   const CampaignData campaign = std::move(campaign_or).value();
+
+  // With a durable archive attached, align its WAL group commits with our
+  // ordered result batches: buffer records across each batch and flush once
+  // per PutExperiments instead of once per row.
+  std::optional<db::Archive::GroupCommitScope> wal_group;
+  if (store_->archive() != nullptr) wal_group.emplace(store_->archive());
 
   // Resume semantics (Fig. 7 restart): experiments already in the database
   // are skipped before dispatch, exactly like the serial driver.

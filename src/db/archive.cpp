@@ -1,0 +1,680 @@
+#include "db/archive.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::db {
+
+namespace {
+
+constexpr uint8_t kSnapshotMagic[4] = {0xB1, 'G', 'D', 'B'};
+constexpr uint8_t kSnapshotVersion = 1;
+// Legacy text files start with this line; their first byte (0x47 'G') never
+// collides with the binary magic's 0xB1.
+constexpr char kLegacyHeader[] = "GOOFIDB 1";
+
+struct PendingTable {
+  Schema schema;
+  std::vector<Row> rows;
+  struct IndexDef {
+    std::string name;
+    IndexKind kind = IndexKind::kHash;
+    std::vector<std::string> columns;
+  };
+  std::vector<IndexDef> indexes;
+};
+
+/// Builds a Database from parsed tables: fixed-point table creation (the
+/// file writes tables alphabetically, so an FK may point forward), plain
+/// table inserts (the rows passed FK checks when first written), then the
+/// persisted index definitions.
+util::Result<Database> AssemblePending(std::vector<PendingTable> pending) {
+  Database fresh;
+  std::vector<bool> created(pending.size(), false);
+  size_t remaining = pending.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (created[i]) continue;
+      if (fresh.CreateTable(pending[i].schema).ok()) {
+        created[i] = true;
+        --remaining;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      return util::ParseError(
+          "could not resolve foreign-key table order on load");
+    }
+  }
+  for (auto& pt : pending) {
+    Table* table = fresh.GetTable(pt.schema.table_name());
+    table->Reserve(pt.rows.size());
+    for (auto& row : pt.rows) {
+      GOOFI_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+    for (const auto& def : pt.indexes) {
+      GOOFI_RETURN_IF_ERROR(fresh.CreateIndex(pt.schema.table_name(), def.name,
+                                              def.columns, def.kind));
+    }
+  }
+  return fresh;
+}
+
+// --- legacy text reader (the pre-archive format, kept loading forever) ------
+
+util::Result<Database> ReadLegacyText(const std::string& path,
+                                      std::string content) {
+  // Split off and verify the CRC trailer.
+  const size_t crc_pos = content.rfind("CRC ");
+  if (crc_pos == std::string::npos) {
+    return util::ParseError("missing CRC trailer");
+  }
+  const std::string crc_text(util::Trim(content.substr(crc_pos + 4)));
+  const std::string body = content.substr(0, crc_pos);
+  const auto stored = util::ParseInt("0x" + crc_text);
+  if (!stored) return util::ParseError("bad CRC trailer");
+  if (static_cast<uint32_t>(*stored) != util::Crc32Of(body)) {
+    return util::IoError("CRC mismatch: database file " + path + " is corrupt");
+  }
+
+  std::vector<std::string> lines = util::Split(body, '\n');
+  size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string> {
+    while (pos < lines.size()) {
+      const std::string& line = lines[pos++];
+      if (!line.empty()) return line;
+    }
+    return std::nullopt;
+  };
+
+  auto header = next_line();
+  if (!header || *header != kLegacyHeader) {
+    return util::ParseError("bad database header");
+  }
+
+  std::vector<PendingTable> pending;
+  for (auto line = next_line(); line.has_value(); line = next_line()) {
+    auto head = util::SplitWhitespace(*line);
+    if (head.size() != 3 || head[0] != "TABLE") {
+      return util::ParseError("expected TABLE, got: " + *line);
+    }
+    const std::string table_name = util::UnescapeField(head[1]);
+    const auto ncols = util::ParseInt(head[2]);
+    if (!ncols || *ncols <= 0) return util::ParseError("bad column count");
+
+    std::vector<Column> columns;
+    std::vector<std::string> primary_key;
+    std::vector<ForeignKey> fks;
+    for (int64_t i = 0; i < *ncols; ++i) {
+      auto col_line = next_line();
+      if (!col_line || !util::StartsWith(*col_line, "COL ")) {
+        return util::ParseError("expected COL line");
+      }
+      auto fields = util::Split(col_line->substr(4), '\t');
+      if (fields.size() != 3) return util::ParseError("bad COL line");
+      Column col;
+      col.name = util::UnescapeField(fields[0]);
+      if (fields[1] == "INTEGER") {
+        col.type = ValueType::kInt;
+      } else if (fields[1] == "REAL") {
+        col.type = ValueType::kReal;
+      } else if (fields[1] == "TEXT") {
+        col.type = ValueType::kText;
+      } else {
+        return util::ParseError("bad column type " + fields[1]);
+      }
+      col.not_null = fields[2] == "1";
+      columns.push_back(std::move(col));
+    }
+
+    // Optional PK / FK lines, then mandatory ROWS.
+    std::optional<std::string> line2 = next_line();
+    while (line2 &&
+           (util::StartsWith(*line2, "PK") || util::StartsWith(*line2, "FK"))) {
+      auto fields = util::Split(*line2, '\t');
+      if (fields[0] == "PK") {
+        for (size_t i = 1; i < fields.size(); ++i) {
+          primary_key.push_back(util::UnescapeField(fields[i]));
+        }
+      } else {
+        if (fields.size() < 3) return util::ParseError("bad FK line");
+        ForeignKey fk;
+        fk.ref_table = util::UnescapeField(fields[1]);
+        const auto n = util::ParseInt(fields[2]);
+        if (!n || fields.size() != 3 + 2 * static_cast<size_t>(*n)) {
+          return util::ParseError("bad FK arity");
+        }
+        for (int64_t i = 0; i < *n; ++i) {
+          fk.local_columns.push_back(
+              util::UnescapeField(fields[3 + static_cast<size_t>(i)]));
+        }
+        for (int64_t i = 0; i < *n; ++i) {
+          fk.ref_columns.push_back(
+              util::UnescapeField(fields[3 + static_cast<size_t>(*n + i)]));
+        }
+        fks.push_back(std::move(fk));
+      }
+      line2 = next_line();
+    }
+    if (!line2 || !util::StartsWith(*line2, "ROWS ")) {
+      return util::ParseError("expected ROWS line");
+    }
+    const auto nrows = util::ParseInt(line2->substr(5));
+    if (!nrows || *nrows < 0) return util::ParseError("bad row count");
+
+    PendingTable pt;
+    pt.schema = Schema(table_name, std::move(columns), std::move(primary_key),
+                       std::move(fks));
+    pt.rows.reserve(static_cast<size_t>(*nrows));
+    for (int64_t r = 0; r < *nrows; ++r) {
+      auto row_line = next_line();
+      if (!row_line) return util::ParseError("unexpected EOF in rows");
+      auto fields = util::Split(*row_line, '\t');
+      if (fields.size() != static_cast<size_t>(*ncols)) {
+        return util::ParseError("row arity mismatch in table " + table_name);
+      }
+      Row row;
+      row.reserve(fields.size());
+      for (const auto& field : fields) {
+        auto v = Value::Deserialize(util::UnescapeField(field));
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v).value());
+      }
+      pt.rows.push_back(std::move(row));
+    }
+    auto end_line = next_line();
+    if (!end_line || *end_line != "END") return util::ParseError("expected END");
+    pending.push_back(std::move(pt));
+  }
+  return AssemblePending(std::move(pending));
+}
+
+// --- binary columnar reader --------------------------------------------------
+
+util::Result<Database> ReadBinarySnapshot(const std::string& path,
+                                          const std::string& content,
+                                          uint64_t* epoch_out) {
+  // Whole-file CRC trailer first: any truncation or flipped byte anywhere
+  // (metadata included) is rejected before parsing.
+  const size_t header_size = sizeof(kSnapshotMagic) + 1 + 8;
+  if (content.size() < header_size + 4) {
+    return util::ParseError("binary snapshot too short");
+  }
+  const std::string_view data(content);
+  const std::string_view body = data.substr(0, data.size() - 4);
+  uint32_t stored_file_crc = 0;
+  {
+    PackedReader trailer(data.substr(data.size() - 4));
+    trailer.U32(&stored_file_crc);
+  }
+  if (util::Crc32Of(body) != stored_file_crc) {
+    return util::IoError("CRC mismatch: database file " + path + " is corrupt");
+  }
+
+  PackedReader r(body);
+  {
+    uint8_t magic[4] = {};
+    for (auto& b : magic) r.U8(&b);
+    uint8_t version = 0;
+    r.U8(&version);
+    if (!r.ok() || std::memcmp(magic, kSnapshotMagic, 4) != 0 ||
+        version != kSnapshotVersion) {
+      return util::ParseError("bad binary snapshot header");
+    }
+  }
+  uint64_t epoch = 0;
+  uint64_t ntables = 0;
+  if (!r.U64(&epoch) || !r.Varint(&ntables)) {
+    return util::ParseError("bad binary snapshot header");
+  }
+
+  std::vector<PendingTable> pending;
+  pending.reserve(static_cast<size_t>(ntables));
+  for (uint64_t t = 0; t < ntables; ++t) {
+    PendingTable pt;
+    if (!DecodeSchema(&r, &pt.schema)) {
+      return util::ParseError("bad table schema in binary snapshot");
+    }
+    const size_t ncols = pt.schema.num_columns();
+    uint64_t nindexes = 0;
+    if (!r.Varint(&nindexes)) return util::ParseError("bad index count");
+    for (uint64_t i = 0; i < nindexes; ++i) {
+      PendingTable::IndexDef def;
+      uint8_t kind = 0;
+      uint64_t def_cols = 0;
+      if (!r.Str(&def.name) || !r.U8(&kind) ||
+          kind > static_cast<uint8_t>(IndexKind::kSorted) ||
+          !r.Varint(&def_cols)) {
+        return util::ParseError("bad index definition");
+      }
+      def.kind = static_cast<IndexKind>(kind);
+      def.columns.resize(static_cast<size_t>(def_cols));
+      for (auto& col : def.columns) {
+        if (!r.Str(&col)) return util::ParseError("bad index column");
+      }
+      pt.indexes.push_back(std::move(def));
+    }
+    uint64_t nrows = 0;
+    if (!r.Varint(&nrows)) return util::ParseError("bad row count");
+    if (nrows > body.size()) return util::ParseError("implausible row count");
+
+    pt.rows.assign(static_cast<size_t>(nrows), Row());
+    for (auto& row : pt.rows) row.resize(ncols);  // default = NULL
+
+    for (size_t c = 0; c < ncols; ++c) {
+      uint32_t seg_len = 0, seg_crc = 0;
+      if (!r.U32(&seg_len) || !r.U32(&seg_crc) ||
+          seg_len > body.size() - r.pos()) {
+        return util::ParseError("bad column segment frame");
+      }
+      const std::string_view segment = body.substr(r.pos(), seg_len);
+      if (util::Crc32Of(segment) != seg_crc) {
+        return util::IoError("segment CRC mismatch in table " +
+                             pt.schema.table_name() + " column " +
+                             pt.schema.columns()[c].name);
+      }
+      PackedReader seg(segment);
+      const size_t bitmap_bytes = (static_cast<size_t>(nrows) + 7) / 8;
+      if (!seg.Skip(bitmap_bytes)) {
+        return util::ParseError("short null bitmap");
+      }
+      // Decode the non-NULL values in row order; NULL cells keep the
+      // default-constructed Value from the resize above.
+      for (uint64_t row = 0; row < nrows; ++row) {
+        const uint8_t bits = static_cast<uint8_t>(segment[row / 8]);
+        if (((bits >> (row % 8)) & 1) == 0) continue;  // NULL
+        Value v;
+        if (!seg.Val(&v)) {
+          return util::ParseError("bad value in table " +
+                                  pt.schema.table_name());
+        }
+        pt.rows[static_cast<size_t>(row)][c] = std::move(v);
+      }
+      if (!seg.AtEnd()) {
+        return util::ParseError("trailing bytes in column segment");
+      }
+      // Advance the outer reader past the segment we parsed out-of-line.
+      r.Skip(seg_len);
+    }
+    pending.push_back(std::move(pt));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return util::ParseError("trailing bytes in binary snapshot");
+  }
+  if (epoch_out != nullptr) *epoch_out = epoch;
+  return AssemblePending(std::move(pending));
+}
+
+}  // namespace
+
+// --- snapshot writer ---------------------------------------------------------
+
+util::Status WriteSnapshotFile(const Database& db, const std::string& path,
+                               uint64_t epoch) {
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::IoError("cannot open " + tmp_path + " for writing");
+
+  // Everything streams through one reusable buffer; the running CRC covers
+  // every byte written before the trailer.
+  util::Crc32 file_crc;
+  std::string buf;
+  const auto emit = [&] {
+    file_crc.Update(buf);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.clear();
+  };
+
+  const std::vector<std::string> table_names = db.TableNames();
+  PackedWriter w(&buf);
+  for (uint8_t b : kSnapshotMagic) w.U8(b);
+  w.U8(kSnapshotVersion);
+  w.U64(epoch);
+  w.Varint(table_names.size());
+  emit();
+
+  std::string segment;  // reused across columns
+  for (const std::string& name : table_names) {
+    const Table* table = db.GetTable(name);
+    const Schema& schema = table->schema();
+    EncodeSchema(&w, schema);
+    w.Varint(table->indexes().size());
+    for (const auto& index : table->indexes()) {
+      w.Str(index->name);
+      w.U8(static_cast<uint8_t>(index->kind));
+      w.Varint(index->columns.size());
+      for (size_t col : index->columns) w.Str(schema.columns()[col].name);
+    }
+    const std::vector<Row>& slots = table->slots();
+    const std::vector<bool>& live = table->live();
+    const size_t nrows = table->size();
+    w.Varint(nrows);
+    emit();
+
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      segment.clear();
+      PackedWriter sw(&segment);
+      // Null bitmap over live rows in slot order, LSB-first.
+      segment.assign((nrows + 7) / 8, '\0');
+      size_t row = 0;
+      for (size_t slot = 0; slot < slots.size(); ++slot) {
+        if (!live[slot]) continue;
+        if (!slots[slot][c].is_null()) {
+          segment[row / 8] = static_cast<char>(
+              static_cast<uint8_t>(segment[row / 8]) | (1u << (row % 8)));
+        }
+        ++row;
+      }
+      for (size_t slot = 0; slot < slots.size(); ++slot) {
+        if (!live[slot]) continue;
+        if (!slots[slot][c].is_null()) sw.Val(slots[slot][c]);
+      }
+      w.U32(static_cast<uint32_t>(segment.size()));
+      w.U32(util::Crc32Of(segment));
+      emit();
+      file_crc.Update(segment);
+      out.write(segment.data(), static_cast<std::streamsize>(segment.size()));
+    }
+  }
+
+  w.U32(file_crc.Value());
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  out.flush();
+  if (!out) return util::IoError("write failed for " + tmp_path);
+  out.close();
+
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return util::IoError("cannot rename " + tmp_path + " to " + path + ": " +
+                         ec.message());
+  }
+  return util::Status::Ok();
+}
+
+util::Result<LoadedSnapshot> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::IoError("cannot open " + path);
+  std::ostringstream stream;
+  stream << in.rdbuf();
+  std::string content = stream.str();
+
+  LoadedSnapshot loaded;
+  if (!content.empty() &&
+      static_cast<uint8_t>(content[0]) == kSnapshotMagic[0]) {
+    auto db = ReadBinarySnapshot(path, content, &loaded.epoch);
+    if (!db.ok()) return db.status();
+    loaded.db = std::move(db).value();
+    return loaded;
+  }
+  auto db = ReadLegacyText(path, std::move(content));
+  if (!db.ok()) return db.status();
+  loaded.db = std::move(db).value();
+  loaded.legacy_text = true;
+  loaded.epoch = 0;
+  return loaded;
+}
+
+// --- Archive -----------------------------------------------------------------
+
+Archive::Archive(Database* db, std::string path, ArchiveOptions options)
+    : db_(db), path_(std::move(path)), options_(options) {
+  auto_commit_ = options_.auto_commit;
+}
+
+util::Result<std::unique_ptr<Archive>> Archive::Open(Database* db,
+                                                     const std::string& path,
+                                                     ArchiveOptions options) {
+  std::unique_ptr<Archive> archive(new Archive(db, path, options));
+  std::error_code ec;
+  const bool exists = std::filesystem::exists(path, ec);
+
+  uint64_t epoch = 0;
+  if (exists) {
+    bool legacy = false;
+    GOOFI_RETURN_IF_ERROR(db->Load(path, &epoch, &legacy));
+    archive->stats_.loaded_legacy_text = legacy;
+    if (legacy) {
+      // Convert in place: the WAL's epoch scheme needs a binary snapshot,
+      // and later opens should skip the text parser. A legacy file cannot
+      // have a live WAL, so any leftover one is foreign — drop it.
+      GOOFI_RETURN_IF_ERROR(WriteSnapshotFile(*db, path, epoch));
+      std::filesystem::remove(path + ".wal", ec);
+    }
+  } else {
+    // Fresh archive: the initial snapshot is the database as it stands, and
+    // any leftover WAL (from a deleted snapshot) belongs to nothing now.
+    GOOFI_RETURN_IF_ERROR(WriteSnapshotFile(*db, path, epoch));
+    std::filesystem::remove(path + ".wal", ec);
+  }
+  const auto size = std::filesystem::file_size(path, ec);
+  archive->stats_.snapshot_bytes = ec ? 0 : size;
+
+  // Replay the WAL into the database before attaching as observer (replay
+  // must not re-log itself).
+  auto wal_result = archive->wal_.Open(path + ".wal", epoch, db);
+  if (!wal_result.ok()) return wal_result.status();
+  const Wal::OpenResult& recovered = wal_result.value();
+  archive->epoch_ = epoch;
+  archive->stats_.epoch = epoch;
+  archive->stats_.wal_records_replayed = recovered.records_replayed;
+  archive->stats_.wal_bytes_truncated = recovered.bytes_truncated;
+  archive->stats_.recovered_torn_tail = recovered.torn_tail;
+  archive->stats_.stale_wal_discarded = recovered.stale_discarded;
+  archive->stats_.wal_bytes = archive->wal_.bytes();
+
+  db->SetObserver(archive.get());
+  archive->attached_ = true;
+  return archive;
+}
+
+Archive::~Archive() { (void)Close(); }
+
+util::Status Archive::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Status st = util::Status::Ok();
+  if (attached_) {
+    st = CommitLocked();
+    db_->SetObserver(nullptr);
+    attached_ = false;
+  }
+  return st;
+}
+
+util::Status Archive::Commit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CommitLocked();
+}
+
+util::Status Archive::CommitLocked() {
+  if (!error_.ok()) return error_;
+  const bool had_pending = wal_.pending_bytes() > 0;
+  GOOFI_RETURN_IF_ERROR(wal_.Flush());
+  if (had_pending) ++stats_.wal_commits;
+  stats_.wal_bytes = wal_.bytes();
+  if (options_.auto_checkpoint) {
+    const uint64_t threshold = std::max<uint64_t>(
+        options_.min_fold_bytes,
+        static_cast<uint64_t>(options_.fold_ratio *
+                              static_cast<double>(stats_.snapshot_bytes)));
+    if (wal_.bytes() > threshold) return CheckpointLocked();
+  }
+  return util::Status::Ok();
+}
+
+util::Status Archive::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GOOFI_RETURN_IF_ERROR(CommitLocked());
+  return CheckpointLocked();
+}
+
+util::Status Archive::CheckpointLocked() {
+  // Fold: snapshot the whole database under the next epoch (atomic rename),
+  // then reset the WAL. The unreachable middle state — new-epoch snapshot,
+  // old-epoch WAL — is exactly what Open discards as stale, so a crash
+  // between the two steps recovers to the checkpointed image.
+  const uint64_t next_epoch = epoch_ + 1;
+  GOOFI_RETURN_IF_ERROR(WriteSnapshotFile(*db_, path_, next_epoch));
+  GOOFI_RETURN_IF_ERROR(wal_.Reset(next_epoch));
+  epoch_ = next_epoch;
+  stats_.epoch = next_epoch;
+  ++stats_.checkpoints_folded;
+  stats_.wal_bytes = wal_.bytes();
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  stats_.snapshot_bytes = ec ? 0 : size;
+  return util::Status::Ok();
+}
+
+void Archive::SetAutoCommit(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto_commit_ = on;
+}
+
+ArchiveStats Archive::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ArchiveStats copy = stats_;
+  copy.wal_records_appended = wal_.records_appended();
+  return copy;
+}
+
+void Archive::AppendLocked(WalOp op, const std::string& body) {
+  wal_.Append(op, body);
+  if (auto_commit_) {
+    const util::Status st = CommitLocked();
+    if (!st.ok() && error_.ok()) {
+      error_ = st;
+      util::Log::Error("archive " + path_ + ": " + st.ToString());
+    }
+  }
+}
+
+void Archive::OnInsert(const Table& table, const Row& row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_batch_) {
+    PackedWriter w(&batch_rows_);
+    w.RowData(row);
+    ++batch_count_;
+    return;
+  }
+  std::string body;
+  PackedWriter w(&body);
+  w.Str(table.schema().table_name());
+  w.RowData(row);
+  AppendLocked(WalOp::kInsert, body);
+}
+
+void Archive::OnDelete(const Table& table, const std::vector<Row>& removed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Deletes inside a batch bracket are the rollback of rows whose inserts
+  // are also in the bracket; the batch record is dropped, so net zero.
+  if (in_batch_) return;
+  std::string body;
+  PackedWriter w(&body);
+  w.Str(table.schema().table_name());
+  w.Varint(removed.size());
+  for (const Row& row : removed) w.RowData(row);
+  AppendLocked(WalOp::kDelete, body);
+}
+
+void Archive::OnUpdate(const Table& table,
+                       const std::vector<std::pair<Row, Row>>& changes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body;
+  PackedWriter w(&body);
+  w.Str(table.schema().table_name());
+  w.Varint(changes.size());
+  for (const auto& [old_row, new_row] : changes) {
+    w.RowData(old_row);
+    w.RowData(new_row);
+  }
+  AppendLocked(WalOp::kUpdate, body);
+}
+
+void Archive::OnInsertBatchBegin(const Table& table) {
+  (void)table;
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_batch_ = true;
+  batch_rows_.clear();
+  batch_count_ = 0;
+}
+
+void Archive::OnInsertBatchEnd(const Table& table, bool committed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_batch_ = false;
+  if (!committed || batch_count_ == 0) {
+    batch_rows_.clear();
+    return;
+  }
+  std::string body;
+  body.reserve(batch_rows_.size() + table.schema().table_name().size() + 16);
+  PackedWriter w(&body);
+  w.Str(table.schema().table_name());
+  w.Varint(batch_count_);
+  body.append(batch_rows_);
+  batch_rows_.clear();
+  AppendLocked(WalOp::kInsertBatch, body);
+}
+
+void Archive::OnCreateTable(const Schema& schema) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body;
+  PackedWriter w(&body);
+  EncodeSchema(&w, schema);
+  AppendLocked(WalOp::kCreateTable, body);
+}
+
+void Archive::OnDropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body;
+  PackedWriter w(&body);
+  w.Str(name);
+  AppendLocked(WalOp::kDropTable, body);
+}
+
+void Archive::OnCreateIndex(const Table& table, const std::string& name,
+                            const std::vector<std::string>& columns,
+                            IndexKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body;
+  PackedWriter w(&body);
+  w.Str(table.schema().table_name());
+  w.Str(name);
+  w.Varint(columns.size());
+  for (const std::string& col : columns) w.Str(col);
+  w.U8(static_cast<uint8_t>(kind));
+  AppendLocked(WalOp::kCreateIndex, body);
+}
+
+void Archive::OnDropIndex(const Table& table, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string body;
+  PackedWriter w(&body);
+  w.Str(table.schema().table_name());
+  w.Str(name);
+  AppendLocked(WalOp::kDropIndex, body);
+}
+
+Archive::GroupCommitScope::GroupCommitScope(Archive* archive)
+    : archive_(archive) {
+  std::lock_guard<std::mutex> lock(archive_->mutex_);
+  previous_ = archive_->auto_commit_;
+  archive_->auto_commit_ = false;
+}
+
+Archive::GroupCommitScope::~GroupCommitScope() {
+  // Errors stay latched in the archive and surface on the next Commit().
+  (void)archive_->Commit();
+  std::lock_guard<std::mutex> lock(archive_->mutex_);
+  archive_->auto_commit_ = previous_;
+}
+
+}  // namespace goofi::db

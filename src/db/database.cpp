@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "db/archive.hpp"
 #include "util/crc32.hpp"
 #include "util/strings.hpp"
 
@@ -38,8 +39,12 @@ util::Status Database::CreateTable(Schema schema) {
       }
     }
   }
-  tables_.emplace(key, std::make_unique<Table>(std::move(schema)));
+  auto table = std::make_unique<Table>(std::move(schema));
+  table->SetObserver(observer_);
+  const Table* created = table.get();
+  tables_.emplace(key, std::move(table));
   ++schema_version_;
+  if (observer_ != nullptr) observer_->OnCreateTable(created->schema());
   return util::Status::Ok();
 }
 
@@ -56,8 +61,10 @@ util::Status Database::DropTable(const std::string& name) {
       }
     }
   }
+  const std::string declared_name = it->second->schema().table_name();
   tables_.erase(it);
   ++schema_version_;
+  if (observer_ != nullptr) observer_->OnDropTable(declared_name);
   return util::Status::Ok();
 }
 
@@ -69,6 +76,7 @@ util::Status Database::CreateIndex(const std::string& table,
   if (t == nullptr) return util::NotFound("no table " + table);
   GOOFI_RETURN_IF_ERROR(t->CreateIndex(name, columns, kind));
   ++schema_version_;
+  if (observer_ != nullptr) observer_->OnCreateIndex(*t, name, columns, kind);
   return util::Status::Ok();
 }
 
@@ -78,7 +86,13 @@ util::Status Database::DropIndex(const std::string& table,
   if (t == nullptr) return util::NotFound("no table " + table);
   GOOFI_RETURN_IF_ERROR(t->DropIndex(name));
   ++schema_version_;
+  if (observer_ != nullptr) observer_->OnDropIndex(*t, name);
   return util::Status::Ok();
+}
+
+void Database::SetObserver(DatabaseObserver* observer) {
+  observer_ = observer;
+  for (const auto& [key, table] : tables_) table->SetObserver(observer);
 }
 
 bool Database::HasTable(const std::string& name) const {
@@ -173,9 +187,11 @@ util::Status Database::InsertBatch(const std::string& table_name,
 
   // Insert in order; a row may reference an earlier row of the same batch
   // because FK checks run against the table as it grows.
+  table->Reserve(table->slots().size() + rows.size());
   std::vector<Row> inserted_keys;
   const bool has_pk = !schema.primary_key_indices().empty();
   if (has_pk) inserted_keys.reserve(rows.size());
+  if (observer_ != nullptr) observer_->OnInsertBatchBegin(*table);
   util::Status error = util::Status::Ok();
   for (Row& row : rows) {
     error = schema.CheckRow(row);
@@ -211,7 +227,10 @@ util::Status Database::InsertBatch(const std::string& table_name,
       if (!error.ok()) break;
     }
   }
-  if (error.ok()) return error;
+  if (error.ok()) {
+    if (observer_ != nullptr) observer_->OnInsertBatchEnd(*table, true);
+    return error;
+  }
 
   // All-or-nothing: undo this batch's inserts (possible only with a primary
   // key to identify them; all GOOFI tables declare one).
@@ -226,6 +245,7 @@ util::Status Database::InsertBatch(const std::string& table_name,
       return doomed.contains(key);
     });
   }
+  if (observer_ != nullptr) observer_->OnInsertBatchEnd(*table, false);
   return error;
 }
 
@@ -271,221 +291,85 @@ util::Status Database::Delete(const std::string& table_name,
 }
 
 // ---------------------------------------------------------------------------
-// Persistence. Line-oriented text with tab-separated escaped fields and a
-// CRC32 trailer so a truncated or corrupted file is rejected on load.
+// Persistence. Save/Load speak the binary columnar snapshot format
+// (db/archive); SaveLegacyText keeps the original line-oriented text format
+// as a writer, and Load sniffs the first byte so both formats keep loading.
 // ---------------------------------------------------------------------------
 
 util::Status Database::Save(const std::string& path) const {
-  std::ostringstream body;
-  body << "GOOFIDB 1\n";
-  for (const auto& [key, table] : tables_) {
-    const Schema& schema = table->schema();
-    body << "TABLE " << util::EscapeField(schema.table_name()) << " "
-         << schema.num_columns() << "\n";
-    for (const Column& col : schema.columns()) {
-      body << "COL " << util::EscapeField(col.name) << "\t"
-           << ValueTypeName(col.type) << "\t" << (col.not_null ? 1 : 0) << "\n";
-    }
-    if (!schema.primary_key().empty()) {
-      body << "PK";
-      for (const auto& col : schema.primary_key()) body << "\t" << util::EscapeField(col);
-      body << "\n";
-    }
-    for (const ForeignKey& fk : schema.foreign_keys()) {
-      body << "FK\t" << util::EscapeField(fk.ref_table) << "\t"
-           << fk.local_columns.size();
-      for (const auto& col : fk.local_columns) body << "\t" << util::EscapeField(col);
-      for (const auto& col : fk.ref_columns) body << "\t" << util::EscapeField(col);
-      body << "\n";
-    }
-    body << "ROWS " << table->size() << "\n";
-    table->ForEach([&body](const Row& row) {
-      for (size_t i = 0; i < row.size(); ++i) {
-        if (i > 0) body << "\t";
-        body << util::EscapeField(row[i].Serialize());
-      }
-      body << "\n";
-    });
-    body << "END\n";
-  }
-  const std::string content = body.str();
+  return WriteSnapshotFile(*this, path, /*epoch=*/0);
+}
+
+util::Status Database::SaveLegacyText(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return util::IoError("cannot open " + path + " for writing");
-  out << content;
-  out << "CRC " << util::Format("%08x", util::Crc32Of(content)) << "\n";
+  // Stream through one reusable buffer, CRC'ing incrementally, instead of
+  // materializing the whole archive as a single string.
+  util::Crc32 crc;
+  std::string buf;
+  const auto emit = [&] {
+    crc.Update(buf);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.clear();
+  };
+  buf += "GOOFIDB 1\n";
+  for (const auto& [key, table] : tables_) {
+    const Schema& schema = table->schema();
+    buf += "TABLE " + util::EscapeField(schema.table_name()) + " " +
+           std::to_string(schema.num_columns()) + "\n";
+    for (const Column& col : schema.columns()) {
+      buf += "COL " + util::EscapeField(col.name) + "\t" +
+             ValueTypeName(col.type) + "\t" + (col.not_null ? "1" : "0") + "\n";
+    }
+    if (!schema.primary_key().empty()) {
+      buf += "PK";
+      for (const auto& col : schema.primary_key()) {
+        buf += "\t" + util::EscapeField(col);
+      }
+      buf += "\n";
+    }
+    for (const ForeignKey& fk : schema.foreign_keys()) {
+      buf += "FK\t" + util::EscapeField(fk.ref_table) + "\t" +
+             std::to_string(fk.local_columns.size());
+      for (const auto& col : fk.local_columns) {
+        buf += "\t" + util::EscapeField(col);
+      }
+      for (const auto& col : fk.ref_columns) {
+        buf += "\t" + util::EscapeField(col);
+      }
+      buf += "\n";
+    }
+    buf += "ROWS " + std::to_string(table->size()) + "\n";
+    emit();
+    table->ForEach([&](const Row& row) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) buf += "\t";
+        buf += util::EscapeField(row[i].Serialize());
+      }
+      buf += "\n";
+      if (buf.size() >= 64 * 1024) emit();
+    });
+    buf += "END\n";
+    emit();
+  }
+  buf += "CRC " + util::Format("%08x", crc.Value()) + "\n";
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   out.flush();
   if (!out) return util::IoError("write failed for " + path);
   return util::Status::Ok();
 }
 
-util::Status Database::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::IoError("cannot open " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string content = buf.str();
-
-  // Split off and verify the CRC trailer.
-  const size_t crc_pos = content.rfind("CRC ");
-  if (crc_pos == std::string::npos) return util::ParseError("missing CRC trailer");
-  const std::string crc_text(util::Trim(content.substr(crc_pos + 4)));
-  const std::string body = content.substr(0, crc_pos);
-  const auto stored = util::ParseInt("0x" + crc_text);
-  if (!stored) return util::ParseError("bad CRC trailer");
-  if (static_cast<uint32_t>(*stored) != util::Crc32Of(body)) {
-    return util::IoError("CRC mismatch: database file " + path + " is corrupt");
-  }
-
-  std::vector<std::string> lines = util::Split(body, '\n');
-  size_t pos = 0;
-  auto next_line = [&]() -> std::optional<std::string> {
-    while (pos < lines.size()) {
-      const std::string& line = lines[pos++];
-      if (!line.empty()) return line;
-    }
-    return std::nullopt;
-  };
-
-  auto header = next_line();
-  if (!header || *header != "GOOFIDB 1") {
-    return util::ParseError("bad database header");
-  }
-
-  // Two-phase load: create all tables first without FK validation against
-  // load order, then insert rows (FK checks need referenced tables present;
-  // our file writes tables alphabetically so a forward reference is possible).
-  struct PendingTable {
-    Schema schema;
-    std::vector<Row> rows;
-  };
-  std::vector<PendingTable> pending;
-
-  for (auto line = next_line(); line.has_value(); line = next_line()) {
-    auto head = util::SplitWhitespace(*line);
-    if (head.size() != 3 || head[0] != "TABLE") {
-      return util::ParseError("expected TABLE, got: " + *line);
-    }
-    const std::string table_name = util::UnescapeField(head[1]);
-    const auto ncols = util::ParseInt(head[2]);
-    if (!ncols || *ncols <= 0) return util::ParseError("bad column count");
-
-    std::vector<Column> columns;
-    std::vector<std::string> primary_key;
-    std::vector<ForeignKey> fks;
-    for (int64_t i = 0; i < *ncols; ++i) {
-      auto col_line = next_line();
-      if (!col_line || !util::StartsWith(*col_line, "COL ")) {
-        return util::ParseError("expected COL line");
-      }
-      auto fields = util::Split(col_line->substr(4), '\t');
-      if (fields.size() != 3) return util::ParseError("bad COL line");
-      Column col;
-      col.name = util::UnescapeField(fields[0]);
-      if (fields[1] == "INTEGER") {
-        col.type = ValueType::kInt;
-      } else if (fields[1] == "REAL") {
-        col.type = ValueType::kReal;
-      } else if (fields[1] == "TEXT") {
-        col.type = ValueType::kText;
-      } else {
-        return util::ParseError("bad column type " + fields[1]);
-      }
-      col.not_null = fields[2] == "1";
-      columns.push_back(std::move(col));
-    }
-
-    // Optional PK / FK lines, then mandatory ROWS.
-    std::optional<std::string> line2 = next_line();
-    while (line2 && (util::StartsWith(*line2, "PK") || util::StartsWith(*line2, "FK"))) {
-      auto fields = util::Split(*line2, '\t');
-      if (fields[0] == "PK") {
-        for (size_t i = 1; i < fields.size(); ++i) {
-          primary_key.push_back(util::UnescapeField(fields[i]));
-        }
-      } else {
-        if (fields.size() < 3) return util::ParseError("bad FK line");
-        ForeignKey fk;
-        fk.ref_table = util::UnescapeField(fields[1]);
-        const auto n = util::ParseInt(fields[2]);
-        if (!n || fields.size() != 3 + 2 * static_cast<size_t>(*n)) {
-          return util::ParseError("bad FK arity");
-        }
-        for (int64_t i = 0; i < *n; ++i) {
-          fk.local_columns.push_back(util::UnescapeField(fields[3 + static_cast<size_t>(i)]));
-        }
-        for (int64_t i = 0; i < *n; ++i) {
-          fk.ref_columns.push_back(
-              util::UnescapeField(fields[3 + static_cast<size_t>(*n + i)]));
-        }
-        fks.push_back(std::move(fk));
-      }
-      line2 = next_line();
-    }
-    if (!line2 || !util::StartsWith(*line2, "ROWS ")) {
-      return util::ParseError("expected ROWS line");
-    }
-    const auto nrows = util::ParseInt(line2->substr(5));
-    if (!nrows || *nrows < 0) return util::ParseError("bad row count");
-
-    PendingTable pt;
-    pt.schema = Schema(table_name, std::move(columns), std::move(primary_key),
-                       std::move(fks));
-    for (int64_t r = 0; r < *nrows; ++r) {
-      auto row_line = next_line();
-      if (!row_line) return util::ParseError("unexpected EOF in rows");
-      auto fields = util::Split(*row_line, '\t');
-      if (fields.size() != static_cast<size_t>(*ncols)) {
-        return util::ParseError("row arity mismatch in table " + table_name);
-      }
-      Row row;
-      row.reserve(fields.size());
-      for (const auto& field : fields) {
-        auto v = Value::Deserialize(util::UnescapeField(field));
-        if (!v.ok()) return v.status();
-        row.push_back(std::move(v).value());
-      }
-      pt.rows.push_back(std::move(row));
-    }
-    auto end_line = next_line();
-    if (!end_line || *end_line != "END") return util::ParseError("expected END");
-    pending.push_back(std::move(pt));
-  }
-
-  // Commit: build a fresh database, then swap.
-  Database fresh;
-  // Create tables ignoring FK-target ordering by creating all schemas with
-  // FKs deferred, then re-attaching. Simpler: create in an order where
-  // references resolve; fall back to direct table creation bypassing the FK
-  // target check by creating referenced tables first via fixed-point loop.
-  std::vector<bool> created(pending.size(), false);
-  size_t remaining = pending.size();
-  while (remaining > 0) {
-    bool progress = false;
-    for (size_t i = 0; i < pending.size(); ++i) {
-      if (created[i]) continue;
-      if (fresh.CreateTable(pending[i].schema).ok()) {
-        created[i] = true;
-        --remaining;
-        progress = true;
-      }
-    }
-    if (!progress) {
-      return util::ParseError("could not resolve foreign-key table order on load");
-    }
-  }
-  // Insert rows with plain table inserts (data already passed FK checks when
-  // first written; re-checking would require reference-order row sorting).
-  for (auto& pt : pending) {
-    Table* table = fresh.GetTable(pt.schema.table_name());
-    for (auto& row : pt.rows) {
-      GOOFI_RETURN_IF_ERROR(table->Insert(std::move(row)));
-    }
-  }
-  // Indexes are in-memory only; callers that rely on automatic indexes
-  // (core::CampaignStore::EnsureSchema) must re-create them after Load. The
-  // version bump below invalidates every cached plan either way.
+util::Status Database::Load(const std::string& path, uint64_t* epoch_out,
+                            bool* legacy_out) {
+  auto loaded = ReadSnapshotFile(path);
+  if (!loaded.ok()) return loaded.status();
+  if (epoch_out != nullptr) *epoch_out = loaded.value().epoch;
+  if (legacy_out != nullptr) *legacy_out = loaded.value().legacy_text;
+  // Monotonic against this database's own history so every plan cached
+  // before the load invalidates (the fresh database's internal counter is
+  // unrelated and could alias an already-seen version).
   const uint64_t version = schema_version_;
-  *this = std::move(fresh);
+  *this = std::move(loaded.value().db);
   schema_version_ = version + 1;
   return util::Status::Ok();
 }

@@ -15,6 +15,25 @@
 
 namespace goofi::db {
 
+/// Extends the table-level observer with DDL and batch bracketing events.
+/// db::Archive implements this to mirror every mutation into its WAL.
+class DatabaseObserver : public TableObserver {
+ public:
+  /// Brackets around InsertBatch: the per-row OnInsert callbacks in between
+  /// belong to one all-or-nothing batch. `committed` is false when the batch
+  /// failed and was rolled back (the rollback's delete events are part of
+  /// the bracket too and carry no net effect).
+  virtual void OnInsertBatchBegin(const Table& table) = 0;
+  virtual void OnInsertBatchEnd(const Table& table, bool committed) = 0;
+
+  virtual void OnCreateTable(const Schema& schema) = 0;
+  virtual void OnDropTable(const std::string& name) = 0;
+  virtual void OnCreateIndex(const Table& table, const std::string& name,
+                             const std::vector<std::string>& columns,
+                             IndexKind kind) = 0;
+  virtual void OnDropIndex(const Table& table, const std::string& name) = 0;
+};
+
 class Database {
  public:
   Database() = default;
@@ -71,11 +90,28 @@ class Database {
                       const std::function<bool(const Row&)>& predicate,
                       size_t* deleted = nullptr);
 
-  /// Saves every table to `<path>`: a single text file with a CRC32 trailer.
+  /// Saves every table to `<path>` in the binary columnar snapshot format
+  /// (per-segment CRC32, temp file + atomic rename; see db/archive).
   util::Status Save(const std::string& path) const;
 
-  /// Loads a database previously written by Save. Replaces current contents.
-  util::Status Load(const std::string& path);
+  /// Saves in the pre-archive line-oriented text format. Kept for
+  /// compatibility tests and for producing files older tools can read.
+  util::Status SaveLegacyText(const std::string& path) const;
+
+  /// Loads a database written by Save (binary) or SaveLegacyText — the first
+  /// byte discriminates. Replaces current contents; persisted index
+  /// definitions are recreated and schema_version is bumped so stale
+  /// prepared plans invalidate. `epoch_out`/`legacy_out` (optional) receive
+  /// the snapshot epoch and whether the file was legacy text.
+  util::Status Load(const std::string& path, uint64_t* epoch_out = nullptr,
+                    bool* legacy_out = nullptr);
+
+  /// Attaches (or with nullptr detaches) a mutation observer, propagating it
+  /// to every current and future table. At most one; caller keeps ownership.
+  /// Load drops the attachment (the observed tables are destroyed wholesale,
+  /// not mutated row by row) — reattach afterwards if still wanted.
+  void SetObserver(DatabaseObserver* observer);
+  DatabaseObserver* observer() const { return observer_; }
 
  private:
   /// Checks the FK constraints of `row` about to enter `table`.
@@ -88,6 +124,7 @@ class Database {
   // Keyed by lowercase name; Table keeps the declared-case name.
   std::map<std::string, std::unique_ptr<Table>> tables_;
   uint64_t schema_version_ = 0;
+  DatabaseObserver* observer_ = nullptr;  ///< not owned
 };
 
 }  // namespace goofi::db

@@ -87,7 +87,14 @@ util::Status Table::Insert(Row row) {
   live_.push_back(true);
   ++live_count_;
   if (!indexes_.empty()) AddToIndexes(rows_.size() - 1);
+  if (observer_ != nullptr) observer_->OnInsert(*this, rows_.back());
   return util::Status::Ok();
+}
+
+void Table::Reserve(size_t total_slots) {
+  rows_.reserve(total_slots);
+  live_.reserve(total_slots);
+  if (!schema_.primary_key_indices().empty()) pk_index_.reserve(total_slots);
 }
 
 std::optional<size_t> Table::FindByPrimaryKey(const Row& key) const {
@@ -131,8 +138,10 @@ bool Table::ExistsWhere(const std::vector<size_t>& column_indices,
 
 size_t Table::DeleteWhere(const std::function<bool(const Row&)>& predicate) {
   size_t deleted = 0;
+  std::vector<Row> removed;  // row images for the observer, copied pre-clear
   for (size_t slot = 0; slot < rows_.size(); ++slot) {
     if (!live_[slot] || !predicate(rows_[slot])) continue;
+    if (observer_ != nullptr) removed.push_back(rows_[slot]);
     if (!schema_.primary_key_indices().empty()) {
       pk_index_.erase(ExtractKey(rows_[slot]));
     }
@@ -142,6 +151,9 @@ size_t Table::DeleteWhere(const std::function<bool(const Row&)>& predicate) {
     ++deleted;
   }
   live_count_ -= deleted;
+  if (observer_ != nullptr && !removed.empty()) {
+    observer_->OnDelete(*this, removed);
+  }
   return deleted;
 }
 
@@ -149,6 +161,12 @@ util::Status Table::UpdateWhere(
     const std::function<bool(const Row&)>& predicate,
     const std::function<void(Row&)>& mutate, size_t* updated) {
   size_t count = 0;
+  std::vector<std::pair<Row, Row>> changes;  // (old, new) for the observer
+  const auto notify = [&] {
+    if (observer_ != nullptr && !changes.empty()) {
+      observer_->OnUpdate(*this, changes);
+    }
+  };
   for (size_t slot = 0; slot < rows_.size(); ++slot) {
     if (!live_[slot] || !predicate(rows_[slot])) continue;
     Row candidate = rows_[slot];
@@ -156,6 +174,7 @@ util::Status Table::UpdateWhere(
     const util::Status st = schema_.CheckRow(candidate);
     if (!st.ok()) {
       if (updated != nullptr) *updated = count;
+      notify();
       return st;
     }
     if (!schema_.primary_key_indices().empty()) {
@@ -165,6 +184,7 @@ util::Status Table::UpdateWhere(
         const auto it = pk_index_.find(new_key);
         if (it != pk_index_.end() && it->second != slot) {
           if (updated != nullptr) *updated = count;
+          notify();
           return util::ConstraintViolation(
               "table " + schema_.table_name() +
               ": update would duplicate primary key");
@@ -173,12 +193,14 @@ util::Status Table::UpdateWhere(
         pk_index_.emplace(std::move(new_key), slot);
       }
     }
+    if (observer_ != nullptr) changes.emplace_back(rows_[slot], candidate);
     if (!indexes_.empty()) RemoveFromIndexes(slot);
     rows_[slot] = std::move(candidate);
     if (!indexes_.empty()) AddToIndexes(slot);
     ++count;
   }
   if (updated != nullptr) *updated = count;
+  notify();
   return util::Status::Ok();
 }
 

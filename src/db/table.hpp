@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "db/schema.hpp"
@@ -20,6 +21,28 @@
 namespace goofi::db {
 
 using Row = std::vector<Value>;
+
+class Table;
+
+/// Receives row-level mutation events from a Table, after the mutation
+/// succeeded. The WAL (db/archive) uses this to record logical operations.
+/// Callbacks run on the mutating thread and must not mutate the table.
+class TableObserver {
+ public:
+  virtual ~TableObserver() = default;
+
+  /// `row` is the stored row (post-insert).
+  virtual void OnInsert(const Table& table, const Row& row) = 0;
+  /// Full images of the rows one DeleteWhere call removed, in slot order.
+  virtual void OnDelete(const Table& table,
+                        const std::vector<Row>& removed) = 0;
+  /// (old, new) images of the rows one UpdateWhere call changed, in slot
+  /// order. Emitted even when the call later failed mid-scan: rows updated
+  /// before the failure stay updated (SQL-without-transactions semantics)
+  /// and must be logged.
+  virtual void OnUpdate(const Table& table,
+                        const std::vector<std::pair<Row, Row>>& changes) = 0;
+};
 
 /// Hash/equality over a vector of key values.
 struct KeyHash {
@@ -81,6 +104,15 @@ class Table {
   /// Inserts a row. Fails on type/NOT NULL mismatch or duplicate primary key.
   /// (Foreign keys are enforced one level up, by Database.)
   util::Status Insert(Row row);
+
+  /// Pre-sizes the row storage (and PK index) for `total_slots` slots; used
+  /// by batch inserts and snapshot loading.
+  void Reserve(size_t total_slots);
+
+  /// Attaches (or with nullptr detaches) the mutation observer. At most one
+  /// observer; the caller keeps ownership and must outlive the attachment.
+  void SetObserver(TableObserver* observer) { observer_ = observer; }
+  TableObserver* observer() const { return observer_; }
 
   /// Finds a live row by primary key; returns its slot or nullopt.
   /// Precondition: the schema declares a primary key.
@@ -165,6 +197,7 @@ class Table {
   std::unordered_map<Row, size_t, KeyHash, KeyEq> pk_index_;
   // unique_ptr for pointer stability: query plans cache SecondaryIndex*.
   std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+  TableObserver* observer_ = nullptr;  ///< not owned
 };
 
 }  // namespace goofi::db

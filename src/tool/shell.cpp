@@ -41,6 +41,9 @@ const char* const kHelpText =
     "  sql <statement>                        raw SQL against the database\n"
     "  explain <select>                       show the query plan for a SELECT\n"
     "  save <path> | load <path>              database persistence\n"
+    "  archive open <path>                    WAL-backed durable persistence\n"
+    "  archive checkpoint                     fold the WAL into a snapshot\n"
+    "  archive status | close                 recovery counters / detach\n"
     "  echo <text>                            print text (for scripts)\n";
 
 }  // namespace
@@ -471,10 +474,33 @@ util::Result<std::string> Shell::RunWarmOrPruned(
 }
 
 util::Result<std::string> Shell::CmdStats() const {
-  if (!last_run_.valid) {
+  if (!last_run_.valid && archive_ == nullptr) {
     return util::FailedPrecondition("no run command has executed yet");
   }
   std::ostringstream out;
+  if (archive_ != nullptr) {
+    const db::ArchiveStats s = archive_->stats();
+    out << "archive: " << archive_->path() << "\n";
+    out << util::Format("  epoch:                    %llu\n",
+                        static_cast<unsigned long long>(s.epoch));
+    out << util::Format("  wal records replayed:     %llu\n",
+                        static_cast<unsigned long long>(s.wal_records_replayed));
+    out << util::Format("  wal records appended:     %llu\n",
+                        static_cast<unsigned long long>(s.wal_records_appended));
+    out << util::Format("  wal group commits:        %llu\n",
+                        static_cast<unsigned long long>(s.wal_commits));
+    out << util::Format("  wal bytes:                %llu\n",
+                        static_cast<unsigned long long>(s.wal_bytes));
+    out << util::Format("  checkpoints folded:       %llu\n",
+                        static_cast<unsigned long long>(s.checkpoints_folded));
+    if (s.recovered_torn_tail) {
+      out << util::Format("  torn tail truncated:      %llu bytes\n",
+                          static_cast<unsigned long long>(s.wal_bytes_truncated));
+    }
+    if (s.stale_wal_discarded) out << "  stale wal discarded\n";
+    if (s.loaded_legacy_text) out << "  loaded from legacy text format\n";
+  }
+  if (!last_run_.valid) return out.str();
   out << "last run: " << last_run_.campaign << " (" << last_run_.mode << ")\n";
   out << util::Format("  experiments run:          %d\n",
                       last_run_.stats.experiments_run);
@@ -586,10 +612,84 @@ util::Result<std::string> Shell::CmdSave(
 
 util::Result<std::string> Shell::CmdLoad(const std::vector<std::string>& args) {
   if (args.size() != 1) return util::InvalidArgument("load <path>");
+  std::string note;
+  if (archive_ != nullptr) {
+    // Load replaces the database wholesale, which would leave the archive
+    // observing a database it never snapshotted. Commit and close it first.
+    store_->AttachArchive(nullptr);
+    GOOFI_RETURN_IF_ERROR(archive_->Close());
+    archive_.reset();
+    note = " (open archive closed)";
+  }
   GOOFI_RETURN_IF_ERROR(db_->Load(args[0]));
-  // Persistence stores rows only; re-create the store's secondary indexes.
+  // Legacy text archives store rows only; re-create any missing secondary
+  // indexes. Binary snapshots persist index definitions, so this is a no-op
+  // for them.
   GOOFI_RETURN_IF_ERROR(store_->EnsureSchema());
-  return "loaded database from " + args[0] + "\n";
+  return "loaded database from " + args[0] + note + "\n";
+}
+
+util::Result<std::string> Shell::CmdArchive(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return util::InvalidArgument("archive open|checkpoint|status|close");
+  }
+  if (args[0] == "open") {
+    if (args.size() != 2) return util::InvalidArgument("archive open <path>");
+    if (archive_ != nullptr) {
+      store_->AttachArchive(nullptr);
+      GOOFI_RETURN_IF_ERROR(archive_->Close());
+      archive_.reset();
+    }
+    auto opened = db::Archive::Open(db_, args[1]);
+    if (!opened.ok()) return opened.status();
+    archive_ = std::move(opened).value();
+    // An existing archive replaced the database contents. Re-create any
+    // secondary indexes a legacy or pre-index snapshot lacks — with the
+    // archive already observing, the definitions land in the WAL too.
+    const auto ensured = store_->EnsureSchema();
+    if (!ensured.ok()) {
+      store_->AttachArchive(nullptr);
+      (void)archive_->Close();
+      archive_.reset();
+      return ensured;
+    }
+    store_->AttachArchive(archive_.get());
+    const db::ArchiveStats s = archive_->stats();
+    std::string out = util::Format(
+        "opened archive %s (epoch %llu, %llu WAL records replayed)\n",
+        args[1].c_str(), static_cast<unsigned long long>(s.epoch),
+        static_cast<unsigned long long>(s.wal_records_replayed));
+    if (s.recovered_torn_tail) {
+      out += util::Format("truncated torn WAL tail (%llu bytes)\n",
+                          static_cast<unsigned long long>(s.wal_bytes_truncated));
+    }
+    if (s.stale_wal_discarded) out += "discarded stale WAL\n";
+    if (s.loaded_legacy_text) out += "converted legacy text archive\n";
+    return out;
+  }
+  if (archive_ == nullptr) {
+    return util::FailedPrecondition("no archive open (archive open <path>)");
+  }
+  if (args[0] == "checkpoint") {
+    GOOFI_RETURN_IF_ERROR(archive_->Checkpoint());
+    const db::ArchiveStats s = archive_->stats();
+    return util::Format(
+        "checkpointed archive (epoch %llu, snapshot %llu bytes)\n",
+        static_cast<unsigned long long>(s.epoch),
+        static_cast<unsigned long long>(s.snapshot_bytes));
+  }
+  if (args[0] == "status") {
+    // `stats` prints the archive block whenever one is open; reuse it.
+    return CmdStats();
+  }
+  if (args[0] == "close") {
+    store_->AttachArchive(nullptr);
+    GOOFI_RETURN_IF_ERROR(archive_->Close());
+    const std::string path = archive_->path();
+    archive_.reset();
+    return "closed archive " + path + "\n";
+  }
+  return util::InvalidArgument("unknown archive subcommand: " + args[0]);
 }
 
 util::Result<std::string> Shell::Execute(const std::string& line) {
@@ -623,6 +723,7 @@ util::Result<std::string> Shell::Execute(const std::string& line) {
   }
   if (command == "save") return CmdSave(args);
   if (command == "load") return CmdLoad(args);
+  if (command == "archive") return CmdArchive(args);
   if (command == "echo") {
     return util::Join(args, " ") + "\n";
   }

@@ -16,12 +16,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/algorithms.hpp"
 #include "core/campaign_store.hpp"
 #include "core/parallel_runner.hpp"
 #include "core/preinjection.hpp"
+#include "db/archive.hpp"
 #include "db/database.hpp"
 #include "testcard/testcard.hpp"
 
@@ -103,6 +105,11 @@ class Shell {
   util::Result<std::string> CmdExplain(const std::string& rest);
   util::Result<std::string> CmdSave(const std::vector<std::string>& args) const;
   util::Result<std::string> CmdLoad(const std::vector<std::string>& args);
+  /// `archive open|checkpoint|status|close`: durable write-ahead-logged
+  /// persistence. While an archive is open every committed experiment batch
+  /// appends a group-committed WAL record, so a killed run resumes from the
+  /// last commit instead of the last explicit `save`.
+  util::Result<std::string> CmdArchive(const std::vector<std::string>& args);
 
   /// Applies one key=value assignment to a campaign.
   util::Status ApplyCampaignField(core::CampaignData* campaign,
@@ -129,6 +136,10 @@ class Shell {
   db::Database* db_;
   core::CampaignStore* store_;
   std::map<std::string, Target> targets_;
+  /// Open campaign archive, if any (`archive open`). Owns the WAL attachment;
+  /// destroyed (committing pending records) when the shell goes away or the
+  /// archive is closed / replaced by `load`.
+  std::unique_ptr<db::Archive> archive_;
   LastRun last_run_;
   /// Fault-free access timelines, memoized across PrepareCampaign calls for
   /// the same (workload, configuration) within a shell session.

@@ -1,34 +1,67 @@
 #include "util/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace goofi::util {
 
 namespace {
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+
+// Slice-by-8: eight derived tables let the hot loop fold 8 input bytes per
+// iteration instead of 1. Same IEEE 802.3 polynomial, same resulting CRC as
+// the classic byte-at-a-time loop — only the walk order differs.
+using SliceTables = std::array<std::array<uint32_t, 256>, 8>;
+
+SliceTables MakeTables() {
+  SliceTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (size_t t = 1; t < 8; ++t) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[t][i] = c;
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = MakeTable();
-  return table;
+const SliceTables& Tables() {
+  static const SliceTables tables = MakeTables();
+  return tables;
 }
+
 }  // namespace
 
 void Crc32::Update(const void* data, size_t size) {
   const auto* bytes = static_cast<const unsigned char*>(data);
-  const auto& table = Table();
-  for (size_t i = 0; i < size; ++i) {
-    state_ = table[(state_ ^ bytes[i]) & 0xFFu] ^ (state_ >> 8);
+  const auto& t = Tables();
+  uint32_t state = state_;
+  // The 8-byte fold reads the input as two little-endian words; on a
+  // big-endian host fall back to the (table[0]-only) tail loop below.
+  while (std::endian::native == std::endian::little && size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, bytes, 4);
+    std::memcpy(&hi, bytes + 4, 4);
+    lo ^= state;
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+            t[5][(lo >> 16) & 0xFFu] ^ t[4][(lo >> 24) & 0xFFu] ^
+            t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+            t[1][(hi >> 16) & 0xFFu] ^ t[0][(hi >> 24) & 0xFFu];
+    bytes += 8;
+    size -= 8;
   }
+  for (size_t i = 0; i < size; ++i) {
+    state = t[0][(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  state_ = state;
 }
 
 void Crc32::UpdateWord(uint32_t word) {

@@ -1,0 +1,803 @@
+// Tests for the campaign archive: packed codecs, binary columnar snapshots,
+// WAL replay, crash recovery (torn tails, stale WALs) and the differential
+// property the whole design hangs on — a database recovered from snapshot +
+// WAL is byte-identical (row order included) to the one that never crashed.
+#include "db/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <sstream>
+
+#include "core/goofi.hpp"
+#include "db/wal.hpp"
+
+namespace goofi::db {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& suffix) {
+  return testing::TempDir() + "goofi_archive_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         "_" + suffix;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Canonical dump for equality checks: the legacy text format is stable,
+/// human-diffable, and independent of the binary encoder under test.
+std::string Dump(const Database& db) {
+  const std::string path = TempPath("dump.tmp");
+  EXPECT_TRUE(db.SaveLegacyText(path).ok());
+  std::string bytes = FileBytes(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+/// A small two-table schema with a foreign key, shared by several tests.
+void MakeParentChild(Database* db) {
+  ASSERT_TRUE(db->CreateTable(Schema("parent",
+                                     {{"id", ValueType::kInt, true},
+                                      {"label", ValueType::kText, false},
+                                      {"weight", ValueType::kReal, false}},
+                                     {"id"}))
+                  .ok());
+  ASSERT_TRUE(db->CreateTable(Schema("child",
+                                     {{"cid", ValueType::kInt, true},
+                                      {"pid", ValueType::kInt, false},
+                                      {"note", ValueType::kText, false}},
+                                     {"cid"}, {{{"pid"}, "parent", {"id"}}}))
+                  .ok());
+}
+
+// --- packed codec ------------------------------------------------------------
+
+TEST(PackedCodec, IntegerRoundTrips) {
+  std::string buf;
+  PackedWriter w(&buf);
+  const int64_t ints[] = {0,  1,  -1, 63, 64, -64, -65,
+                          std::numeric_limits<int64_t>::min(),
+                          std::numeric_limits<int64_t>::max()};
+  const uint64_t uints[] = {0, 1, 127, 128, 16383, 16384,
+                            std::numeric_limits<uint64_t>::max()};
+  for (int64_t v : ints) w.SVarint(v);
+  for (uint64_t v : uints) w.Varint(v);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+
+  PackedReader r(buf);
+  for (int64_t v : ints) {
+    int64_t got = 0;
+    ASSERT_TRUE(r.SVarint(&got));
+    EXPECT_EQ(got, v);
+  }
+  for (uint64_t v : uints) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.Varint(&got));
+    EXPECT_EQ(got, v);
+  }
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(r.U32(&u32));
+  ASSERT_TRUE(r.U64(&u64));
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(PackedCodec, ValueRoundTripsPreserveTypeAndBits) {
+  std::string buf;
+  PackedWriter w(&buf);
+  const Row row = {Value::Null(),
+                   Value::Int(-42),
+                   Value::Real(3.25),
+                   Value::Real(-0.0),
+                   Value::Real(std::numeric_limits<double>::infinity()),
+                   Value::Real(std::numeric_limits<double>::denorm_min()),
+                   // An INT stored in a REAL column keeps its concrete type.
+                   Value::Int(7),
+                   Value::Text(std::string("nul\0tab\tend", 11)),
+                   Value::Text("")};
+  w.RowData(row);
+
+  PackedReader r(buf);
+  Row got;
+  ASSERT_TRUE(r.RowData(&got));
+  ASSERT_EQ(got.size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(got[i].type(), row[i].type()) << "value " << i;
+    EXPECT_EQ(got[i].Compare(row[i]), 0) << "value " << i;
+  }
+  EXPECT_EQ(got[7].as_text(), std::string("nul\0tab\tend", 11));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(PackedCodec, ReaderRejectsMalformedInput) {
+  // Truncated string: declared length exceeds the remaining bytes.
+  {
+    std::string buf;
+    PackedWriter w(&buf);
+    w.Varint(100);
+    buf += "short";
+    PackedReader r(buf);
+    std::string s;
+    EXPECT_FALSE(r.Str(&s));
+    EXPECT_FALSE(r.ok());
+  }
+  // Varint overflow: ten bytes of continuation with high bits set.
+  {
+    std::string buf(10, '\xFF');
+    PackedReader r(buf);
+    uint64_t v = 0;
+    EXPECT_FALSE(r.Varint(&v));
+    EXPECT_FALSE(r.ok());
+  }
+  // Unknown value tag.
+  {
+    std::string buf(1, '\x09');
+    PackedReader r(buf);
+    Value v;
+    EXPECT_FALSE(r.Val(&v));
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+// --- snapshot ----------------------------------------------------------------
+
+class SnapshotTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
+  std::string path_ = TempPath("snap.db");
+};
+
+TEST_F(SnapshotTest, BinaryRoundTripIsExact) {
+  Database db;
+  MakeParentChild(&db);
+  // A table without a primary key must survive too.
+  ASSERT_TRUE(db.CreateTable(Schema("log", {{"msg", ValueType::kText, false}}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("parent", {Value::Int(1),
+                                   Value::Text("tab\tnl\nbs\\q\"end"),
+                                   Value::Real(2.5)})
+                  .ok());
+  ASSERT_TRUE(
+      db.Insert("parent", {Value::Int(2), Value::Null(), Value::Int(3)}).ok());
+  ASSERT_TRUE(
+      db.Insert("child", {Value::Int(10), Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(db.Insert("log", {Value::Text("free-floating")}).ok());
+  ASSERT_TRUE(db.Save(path_).ok());
+
+  Database loaded;
+  uint64_t epoch = 99;
+  bool legacy = true;
+  ASSERT_TRUE(loaded.Load(path_, &epoch, &legacy).ok());
+  EXPECT_EQ(epoch, 0u);
+  EXPECT_FALSE(legacy);
+  EXPECT_EQ(Dump(loaded), Dump(db));
+  // The INT-in-REAL-column widening survived with its concrete type.
+  const Table* parent = loaded.GetTable("parent");
+  ASSERT_NE(parent, nullptr);
+  const auto slot = parent->FindByPrimaryKey({Value::Int(2)});
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(parent->slots()[*slot][2].type(), ValueType::kInt);
+  // FK metadata survived.
+  EXPECT_FALSE(
+      loaded.Insert("child", {Value::Int(11), Value::Int(99), Value::Null()})
+          .ok());
+}
+
+TEST_F(SnapshotTest, IndexDefinitionsPersistAndPlansInvalidate) {
+  Database db;
+  MakeParentChild(&db);
+  ASSERT_TRUE(
+      db.CreateIndex("child", "idx_pid", {"pid"}, IndexKind::kHash).ok());
+  ASSERT_TRUE(
+      db.CreateIndex("parent", "idx_label", {"label"}, IndexKind::kSorted)
+          .ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db.Insert("parent", {Value::Int(i),
+                                     Value::Text("p" + std::to_string(i % 5)),
+                                     Value::Null()})
+                    .ok());
+    ASSERT_TRUE(db.Insert("child", {Value::Int(100 + i), Value::Int(i),
+                                    Value::Null()})
+                    .ok());
+  }
+  ASSERT_TRUE(db.Save(path_).ok());
+
+  Database loaded;
+  const uint64_t version_before = loaded.schema_version();
+  ASSERT_TRUE(loaded.Load(path_).ok());
+  EXPECT_GT(loaded.schema_version(), version_before);
+  const Table* child = loaded.GetTable("child");
+  const Table* parent = loaded.GetTable("parent");
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(parent, nullptr);
+  const SecondaryIndex* idx_pid = child->FindIndex("idx_pid");
+  const SecondaryIndex* idx_label = parent->FindIndex("idx_label");
+  ASSERT_NE(idx_pid, nullptr);
+  ASSERT_NE(idx_label, nullptr);
+  EXPECT_EQ(idx_pid->kind, IndexKind::kHash);
+  EXPECT_EQ(idx_label->kind, IndexKind::kSorted);
+  std::string error;
+  EXPECT_TRUE(child->ValidateIndexes(&error)) << error;
+  EXPECT_TRUE(parent->ValidateIndexes(&error)) << error;
+  EXPECT_EQ(child->IndexEqualSlots(*idx_pid, {Value::Int(3)}).size(), 1u);
+}
+
+TEST_F(SnapshotTest, EveryFlippedByteIsRejected) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(Schema("t", {{"a", ValueType::kInt, false}})).ok());
+  ASSERT_TRUE(db.Insert("t", {Value::Int(7)}).ok());
+  ASSERT_TRUE(db.Save(path_).ok());
+  const std::string pristine = FileBytes(path_);
+  ASSERT_GT(pristine.size(), 10u);
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::string corrupt = pristine;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    WriteBytes(path_, corrupt);
+    Database loaded;
+    EXPECT_FALSE(loaded.Load(path_).ok()) << "flip at byte " << i;
+  }
+}
+
+TEST_F(SnapshotTest, LegacyTextStillLoads) {
+  Database db;
+  MakeParentChild(&db);
+  ASSERT_TRUE(db.Insert("parent", {Value::Int(1), Value::Text("legacy"),
+                                   Value::Real(1.5)})
+                  .ok());
+  ASSERT_TRUE(db.SaveLegacyText(path_).ok());
+
+  Database loaded;
+  uint64_t epoch = 99;
+  bool legacy = false;
+  ASSERT_TRUE(loaded.Load(path_, &epoch, &legacy).ok());
+  EXPECT_EQ(epoch, 0u);
+  EXPECT_TRUE(legacy);
+  EXPECT_EQ(Dump(loaded), Dump(db));
+}
+
+// --- archive (WAL + recovery) ------------------------------------------------
+
+class ArchiveTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+  /// Opens the archive at path_ into a fresh database and returns the dump
+  /// (closing the archive again), plus the recovery stats via `stats_out`.
+  std::string Recover(ArchiveStats* stats_out = nullptr) {
+    Database db;
+    auto archive = Archive::Open(&db, path_);
+    EXPECT_TRUE(archive.ok()) << archive.status().ToString();
+    if (!archive.ok()) return {};
+    if (stats_out != nullptr) *stats_out = archive.value()->stats();
+    std::string dump = Dump(db);
+    EXPECT_TRUE(archive.value()->Close().ok());
+    return dump;
+  }
+
+  std::string path_ = TempPath("arch.db");
+};
+
+TEST_F(ArchiveTest, WalReplaysEveryOperationKind) {
+  Database db;      // archive-backed
+  Database mirror;  // same operations, no archive
+  MakeParentChild(&db);
+  MakeParentChild(&mirror);
+
+  auto archive = Archive::Open(&db, path_);
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+
+  auto both = [&](auto&& op) {
+    ASSERT_TRUE(op(&db).ok());
+    ASSERT_TRUE(op(&mirror).ok());
+  };
+  both([](Database* d) {
+    return d->Insert("parent", {Value::Int(1), Value::Text("a"), Value::Null()});
+  });
+  both([](Database* d) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 5; ++i) {
+      rows.push_back({Value::Int(10 + i), Value::Int(1),
+                      i % 2 == 0 ? Value::Null() : Value::Text("n")});
+    }
+    return d->InsertBatch("child", std::move(rows));
+  });
+  both([](Database* d) {
+    return d->Delete("child",
+                     [](const Row& r) { return r[0].as_int() == 12; });
+  });
+  both([](Database* d) {
+    size_t updated = 0;
+    return d->GetTable("child")->UpdateWhere(
+        [](const Row& r) { return r[0].as_int() == 13; },
+        [](Row& r) { r[2] = Value::Text("updated"); }, &updated);
+  });
+  both([](Database* d) {
+    return d->CreateTable(Schema("extra", {{"x", ValueType::kInt, false}}));
+  });
+  both([](Database* d) { return d->Insert("extra", {Value::Int(5)}); });
+  both([](Database* d) { return d->DropTable("extra"); });
+  both([](Database* d) {
+    return d->CreateIndex("child", "idx_pid", {"pid"}, IndexKind::kHash);
+  });
+  both([](Database* d) {
+    return d->CreateIndex("child", "idx_note", {"note"}, IndexKind::kSorted);
+  });
+  both([](Database* d) { return d->DropIndex("child", "idx_note"); });
+  ASSERT_TRUE(archive.value()->Close().ok());
+
+  ArchiveStats stats;
+  EXPECT_EQ(Recover(&stats), Dump(mirror));
+  EXPECT_GT(stats.wal_records_replayed, 0u);
+  EXPECT_FALSE(stats.recovered_torn_tail);
+
+  // Recovered index definitions are live, not just present.
+  Database again;
+  auto reopened = Archive::Open(&again, path_);
+  ASSERT_TRUE(reopened.ok());
+  const Table* child = again.GetTable("child");
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(child->FindIndex("idx_pid"), nullptr);
+  EXPECT_EQ(child->FindIndex("idx_note"), nullptr);
+  std::string error;
+  EXPECT_TRUE(child->ValidateIndexes(&error)) << error;
+  EXPECT_TRUE(reopened.value()->Close().ok());
+}
+
+TEST_F(ArchiveTest, FailedBatchLeavesNoTrace) {
+  Database db;
+  Database mirror;
+  MakeParentChild(&db);
+  MakeParentChild(&mirror);
+  auto archive = Archive::Open(&db, path_);
+  ASSERT_TRUE(archive.ok());
+  for (Database* d : {&db, &mirror}) {
+    ASSERT_TRUE(
+        d->Insert("parent", {Value::Int(1), Value::Null(), Value::Null()})
+            .ok());
+  }
+  // Second row violates the FK; the whole batch rolls back.
+  std::vector<Row> bad;
+  bad.push_back({Value::Int(10), Value::Int(1), Value::Null()});
+  bad.push_back({Value::Int(11), Value::Int(999), Value::Null()});
+  ASSERT_FALSE(db.InsertBatch("child", std::move(bad)).ok());
+  ASSERT_TRUE(archive.value()->Close().ok());
+  EXPECT_EQ(Recover(), Dump(mirror));
+}
+
+TEST_F(ArchiveTest, TornTailTruncatesAtEveryByteOffset) {
+  // Build an archive whose WAL holds 4 single-insert commits, remembering
+  // the durable WAL size after each commit.
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(Schema("t", {{"a", ValueType::kInt, false},
+                                  {"b", ValueType::kText, false}}))
+          .ok());
+  std::vector<uint64_t> size_after;  // WAL bytes after commit i
+  std::string dump_after_3;          // state with the last record dropped
+  {
+    auto archive = Archive::Open(&db, path_);
+    ASSERT_TRUE(archive.ok());
+    for (int i = 0; i < 4; ++i) {
+      if (i == 3) dump_after_3 = Dump(db);
+      ASSERT_TRUE(
+          db.Insert("t", {Value::Int(i), Value::Text("row" + std::to_string(i))})
+              .ok());
+      size_after.push_back(archive.value()->stats().wal_bytes);
+    }
+    ASSERT_TRUE(archive.value()->Close().ok());
+  }
+  const std::string full_dump = Dump(db);
+  const std::string wal_path = path_ + ".wal";
+  const std::string snapshot = FileBytes(path_);
+  const std::string wal = FileBytes(wal_path);
+  ASSERT_EQ(wal.size(), size_after[3]);
+
+  // Truncating anywhere strictly inside the last record must recover exactly
+  // the first three commits; truncating at the record boundary loses nothing.
+  for (uint64_t len = size_after[2]; len <= size_after[3]; ++len) {
+    WriteBytes(path_, snapshot);
+    WriteBytes(wal_path, wal.substr(0, len));
+    ArchiveStats stats;
+    const std::string dump = Recover(&stats);
+    if (len == size_after[2] || len == size_after[3]) {
+      EXPECT_FALSE(stats.recovered_torn_tail) << "len " << len;
+      EXPECT_EQ(dump, len == size_after[3] ? full_dump : dump_after_3)
+          << "len " << len;
+    } else {
+      EXPECT_TRUE(stats.recovered_torn_tail) << "len " << len;
+      EXPECT_EQ(stats.wal_bytes_truncated, len - size_after[2]) << "len " << len;
+      EXPECT_EQ(dump, dump_after_3) << "len " << len;
+    }
+  }
+}
+
+TEST_F(ArchiveTest, CorruptRecordDropsItAndTheTail) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(Schema("t", {{"a", ValueType::kInt, false}})).ok());
+  std::vector<uint64_t> size_after;
+  std::string dump_after_1;
+  {
+    auto archive = Archive::Open(&db, path_);
+    ASSERT_TRUE(archive.ok());
+    for (int i = 0; i < 3; ++i) {
+      if (i == 1) dump_after_1 = Dump(db);
+      ASSERT_TRUE(db.Insert("t", {Value::Int(i)}).ok());
+      size_after.push_back(archive.value()->stats().wal_bytes);
+    }
+    ASSERT_TRUE(archive.value()->Close().ok());
+  }
+  // Flip a byte inside the payload of record 2 (of 3): replay keeps record 1,
+  // drops the corrupt record and everything after it.
+  const std::string wal_path = path_ + ".wal";
+  std::string wal = FileBytes(wal_path);
+  const uint64_t target = size_after[0] + 8;  // past the record frame
+  ASSERT_LT(target, size_after[1]);
+  wal[target] = static_cast<char>(wal[target] ^ 0xFF);
+  WriteBytes(wal_path, wal);
+
+  ArchiveStats stats;
+  EXPECT_EQ(Recover(&stats), dump_after_1);
+  EXPECT_TRUE(stats.recovered_torn_tail);
+  EXPECT_EQ(stats.wal_records_replayed, 1u);
+  EXPECT_EQ(stats.wal_bytes_truncated, size_after[2] - size_after[0]);
+}
+
+TEST_F(ArchiveTest, StaleWalFromCheckpointCrashIsDiscarded) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(Schema("t", {{"a", ValueType::kInt, false}})).ok());
+  {
+    auto archive = Archive::Open(&db, path_);
+    ASSERT_TRUE(archive.ok());
+    ASSERT_TRUE(db.Insert("t", {Value::Int(1)}).ok());
+    ASSERT_TRUE(archive.value()->Close().ok());
+  }
+  // Simulate a crash between Checkpoint's snapshot rename and WAL reset: the
+  // snapshot advances to epoch 1 (folding the record in), the WAL stays at
+  // epoch 0. Its records must not be replayed twice.
+  ASSERT_TRUE(WriteSnapshotFile(db, path_, /*epoch=*/1).ok());
+  ArchiveStats stats;
+  EXPECT_EQ(Recover(&stats), Dump(db));
+  EXPECT_TRUE(stats.stale_wal_discarded);
+  EXPECT_EQ(stats.wal_records_replayed, 0u);
+  EXPECT_EQ(stats.epoch, 1u);
+}
+
+TEST_F(ArchiveTest, AutoCheckpointFoldsWalIntoSnapshot) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(Schema("t", {{"a", ValueType::kInt, false},
+                                  {"b", ValueType::kText, false}}))
+          .ok());
+  ArchiveOptions options;
+  options.min_fold_bytes = 1;  // fold as soon as the WAL outgrows the snapshot
+  auto archive = Archive::Open(&db, path_, options);
+  ASSERT_TRUE(archive.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        db.Insert("t", {Value::Int(i), Value::Text(std::string(64, 'x'))})
+            .ok());
+  }
+  const ArchiveStats stats = archive.value()->stats();
+  EXPECT_GT(stats.checkpoints_folded, 0u);
+  EXPECT_GT(stats.epoch, 0u);
+  ASSERT_TRUE(archive.value()->Close().ok());
+  EXPECT_EQ(Recover(), Dump(db));
+}
+
+TEST_F(ArchiveTest, ExplicitCheckpointResetsWal) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(Schema("t", {{"a", ValueType::kInt, false}})).ok());
+  auto archive = Archive::Open(&db, path_);
+  ASSERT_TRUE(archive.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value::Int(i)}).ok());
+  }
+  const uint64_t wal_before = archive.value()->stats().wal_bytes;
+  ASSERT_TRUE(archive.value()->Checkpoint().ok());
+  const ArchiveStats stats = archive.value()->stats();
+  EXPECT_LT(stats.wal_bytes, wal_before);
+  EXPECT_EQ(stats.epoch, 1u);
+  // More appends after the fold land in the new epoch's WAL.
+  ASSERT_TRUE(db.Insert("t", {Value::Int(100)}).ok());
+  ASSERT_TRUE(archive.value()->Close().ok());
+  ArchiveStats recovered;
+  EXPECT_EQ(Recover(&recovered), Dump(db));
+  EXPECT_EQ(recovered.epoch, 1u);
+  EXPECT_EQ(recovered.wal_records_replayed, 1u);
+}
+
+TEST_F(ArchiveTest, GroupCommitBuffersUntilScopeEnds) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(Schema("t", {{"a", ValueType::kInt, false}})).ok());
+  auto archive = Archive::Open(&db, path_);
+  ASSERT_TRUE(archive.ok());
+  const uint64_t commits_before = archive.value()->stats().wal_commits;
+  {
+    Archive::GroupCommitScope scope(archive.value().get());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db.Insert("t", {Value::Int(i)}).ok());
+    }
+    // Nothing durable yet: all 50 records sit in the commit buffer.
+    EXPECT_EQ(archive.value()->stats().wal_commits, commits_before);
+  }
+  EXPECT_EQ(archive.value()->stats().wal_commits, commits_before + 1);
+  ASSERT_TRUE(archive.value()->Close().ok());
+  EXPECT_EQ(Recover(), Dump(db));
+}
+
+TEST_F(ArchiveTest, RandomizedDifferentialAgainstMirror) {
+  // Fixed-seed fuzz: a random mutation stream applied to an archive-backed
+  // database and to a plain mirror, with periodic close/reopen of the
+  // archive. After every reopen the recovered database must dump identically
+  // to the mirror that never left memory.
+  std::mt19937 rng(0x600F1u);
+  Database mirror;
+  MakeParentChild(&mirror);
+  ASSERT_TRUE(
+      mirror.Insert("parent", {Value::Int(0), Value::Null(), Value::Null()})
+          .ok());
+
+  auto db = std::make_unique<Database>();
+  MakeParentChild(db.get());
+  ASSERT_TRUE(
+      db->Insert("parent", {Value::Int(0), Value::Null(), Value::Null()}).ok());
+  ArchiveOptions options;
+  options.min_fold_bytes = 4096;  // exercise mid-stream checkpoint folds too
+  auto archive = Archive::Open(db.get(), path_, options);
+  ASSERT_TRUE(archive.ok());
+
+  int next_parent = 1;
+  int next_child = 1000;
+  for (int step = 0; step < 300; ++step) {
+    const int op = static_cast<int>(rng() % 100);
+    auto on_both = [&](auto&& fn) {
+      const auto a = fn(db.get());
+      const auto b = fn(&mirror);
+      ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+    };
+    if (op < 30) {
+      const int id = next_parent++;
+      const bool with_label = rng() % 2 == 0;
+      on_both([&](Database* d) {
+        return d->Insert("parent",
+                         {Value::Int(id),
+                          with_label ? Value::Text("p" + std::to_string(id))
+                                     : Value::Null(),
+                          Value::Real(static_cast<double>(id) / 3.0)});
+      });
+    } else if (op < 60) {
+      const int parent = static_cast<int>(rng() % next_parent);
+      std::vector<Row> rows;
+      const int n = 1 + static_cast<int>(rng() % 4);
+      for (int i = 0; i < n; ++i) {
+        rows.push_back({Value::Int(next_child++), Value::Int(parent),
+                        rng() % 2 == 0 ? Value::Null() : Value::Text("c")});
+      }
+      on_both([&](Database* d) { return d->InsertBatch("child", rows); });
+    } else if (op < 75) {
+      const int victim = 1000 + static_cast<int>(rng() % (next_child - 1000 + 1));
+      on_both([&](Database* d) {
+        return d->Delete("child", [&](const Row& r) {
+          return r[0].as_int() == victim;
+        });
+      });
+    } else if (op < 90) {
+      const int victim = 1000 + static_cast<int>(rng() % (next_child - 1000 + 1));
+      const std::string note = "u" + std::to_string(step);
+      on_both([&](Database* d) {
+        size_t updated = 0;
+        return d->GetTable("child")->UpdateWhere(
+            [&](const Row& r) { return r[0].as_int() == victim; },
+            [&](Row& r) { r[2] = Value::Text(note); }, &updated);
+      });
+    } else {
+      // FK-violating insert: must fail identically on both sides.
+      on_both([&](Database* d) {
+        return d->Insert("child", {Value::Int(next_child + 7777),
+                                   Value::Int(999999), Value::Null()});
+      });
+    }
+
+    if (step % 60 == 59) {
+      ASSERT_TRUE(archive.value()->Close().ok());
+      archive.value().reset();
+      db = std::make_unique<Database>();
+      archive = Archive::Open(db.get(), path_, options);
+      ASSERT_TRUE(archive.ok()) << "step " << step;
+      ASSERT_EQ(Dump(*db), Dump(mirror)) << "reopen at step " << step;
+    }
+  }
+  ASSERT_TRUE(archive.value()->Close().ok());
+  EXPECT_EQ(Recover(), Dump(mirror));
+}
+
+// --- campaign runner integration ---------------------------------------------
+
+core::CampaignData SmallCampaign(int num_experiments = 8) {
+  core::CampaignData campaign;
+  campaign.name = "arch_swifi";
+  campaign.target_name = core::SwifiSimTarget::kTargetName;
+  campaign.technique = core::Technique::kSwifiPreRuntime;
+  campaign.num_experiments = num_experiments;
+  campaign.workload = "fibonacci";
+  campaign.locations = {{"memory.text", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 500;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+class ArchiveRunnerTest : public testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_ = TempPath("runner.db");
+};
+
+/// Reference: the same campaign run with no archive at all.
+std::string ReferenceDump(const core::CampaignData& campaign, int workers) {
+  Database db;
+  core::CampaignStore store(&db);
+  EXPECT_TRUE(store.PutTargetSystem(core::SwifiSimTarget::Describe()).ok());
+  EXPECT_TRUE(store.PutCampaign(campaign).ok());
+  core::ParallelCampaignRunner runner(&store, core::MakeSwifiSimFactory(&store),
+                                      workers);
+  EXPECT_TRUE(runner.Run(campaign.name).ok());
+  return Dump(db);
+}
+
+TEST_F(ArchiveRunnerTest, ParallelRunRecoversByteIdentical) {
+  const core::CampaignData campaign = SmallCampaign();
+  const std::string reference = ReferenceDump(campaign, 3);
+
+  // The archived run: every runner batch group-commits the WAL.
+  {
+    Database db;
+    core::CampaignStore store(&db);
+    ASSERT_TRUE(store.PutTargetSystem(core::SwifiSimTarget::Describe()).ok());
+    ASSERT_TRUE(store.PutCampaign(campaign).ok());
+    auto archive = Archive::Open(&db, path_);
+    ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+    store.AttachArchive(archive.value().get());
+    core::ParallelCampaignRunner runner(&store,
+                                        core::MakeSwifiSimFactory(&store), 3);
+    ASSERT_TRUE(runner.Run(campaign.name).ok());
+    EXPECT_EQ(Dump(db), reference);
+    EXPECT_GT(archive.value()->stats().wal_commits, 0u);
+    store.AttachArchive(nullptr);
+    ASSERT_TRUE(archive.value()->Close().ok());
+  }
+
+  // Recovery without any rerun: snapshot + WAL alone reproduce the bytes.
+  Database recovered;
+  auto archive = Archive::Open(&recovered, path_);
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+  EXPECT_EQ(Dump(recovered), reference);
+  ASSERT_TRUE(archive.value()->Close().ok());
+}
+
+TEST_F(ArchiveRunnerTest, KilledRunResumesToIdenticalBytes) {
+  // More experiments than one 64-row commit batch, so tearing the last WAL
+  // record loses only the final batch and the rerun genuinely resumes.
+  const core::CampaignData campaign = SmallCampaign(80);
+  const std::string reference = ReferenceDump(campaign, 3);
+
+  {
+    Database db;
+    core::CampaignStore store(&db);
+    ASSERT_TRUE(store.PutTargetSystem(core::SwifiSimTarget::Describe()).ok());
+    ASSERT_TRUE(store.PutCampaign(campaign).ok());
+    auto archive = Archive::Open(&db, path_);
+    ASSERT_TRUE(archive.ok());
+    store.AttachArchive(archive.value().get());
+    core::ParallelCampaignRunner runner(&store,
+                                        core::MakeSwifiSimFactory(&store), 3);
+    ASSERT_TRUE(runner.Run(campaign.name).ok());
+    store.AttachArchive(nullptr);
+    ASSERT_TRUE(archive.value()->Close().ok());
+  }
+
+  // "Kill" the process mid-append: tear the last WAL record. Recovery drops
+  // the final committed batch; rerunning the campaign resumes the completed
+  // experiments and re-executes only the lost ones.
+  const std::string wal_path = path_ + ".wal";
+  const uint64_t wal_size = fs::file_size(wal_path);
+  ASSERT_GT(wal_size, 3u);
+  fs::resize_file(wal_path, wal_size - 3);
+
+  Database db;
+  auto archive = Archive::Open(&db, path_);
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+  EXPECT_TRUE(archive.value()->stats().recovered_torn_tail);
+  core::CampaignStore store(&db);
+  store.AttachArchive(archive.value().get());
+  core::ParallelCampaignRunner runner(&store, core::MakeSwifiSimFactory(&store),
+                                      3);
+  ASSERT_TRUE(runner.Run(campaign.name).ok());
+  EXPECT_GT(runner.stats().experiments_resumed, 0);
+  EXPECT_EQ(Dump(db), reference);
+  store.AttachArchive(nullptr);
+  ASSERT_TRUE(archive.value()->Close().ok());
+
+  // And the recovered-plus-resumed archive itself reopens byte-identical.
+  Database again;
+  auto reopened = Archive::Open(&again, path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Dump(again), reference);
+  ASSERT_TRUE(reopened.value()->Close().ok());
+}
+
+TEST_F(ArchiveRunnerTest, PreparedStatementsSurviveRecovery) {
+  const core::CampaignData campaign = SmallCampaign();
+  {
+    Database db;
+    core::CampaignStore store(&db);
+    ASSERT_TRUE(store.PutTargetSystem(core::SwifiSimTarget::Describe()).ok());
+    ASSERT_TRUE(store.PutCampaign(campaign).ok());
+    auto archive = Archive::Open(&db, path_);
+    ASSERT_TRUE(archive.ok());
+    store.AttachArchive(archive.value().get());
+    core::ParallelCampaignRunner runner(&store,
+                                        core::MakeSwifiSimFactory(&store), 2);
+    ASSERT_TRUE(runner.Run(campaign.name).ok());
+    store.AttachArchive(nullptr);
+    ASSERT_TRUE(archive.value()->Close().ok());
+  }
+
+  Database db;
+  core::CampaignStore store(&db);
+  // Plan the statement against the pre-recovery (empty-schema) database...
+  const std::string sql =
+      "SELECT COUNT(*) FROM LoggedSystemState WHERE campaignName = 'arch_swifi'";
+  auto before = store.statement_cache().Execute(db, sql);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // ...then let recovery replace every table. The cached plan must replan
+  // (schema_version moved on), not dereference dead Table pointers.
+  auto archive = Archive::Open(&db, path_);
+  ASSERT_TRUE(archive.ok());
+  auto after = store.statement_cache().Execute(db, sql);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after.value().rows.size(), 1u);
+  // 8 experiments + the reference run's row.
+  EXPECT_EQ(after.value().rows[0][0].as_int(), 9);
+  ASSERT_TRUE(archive.value()->Close().ok());
+}
+
+}  // namespace
+}  // namespace goofi::db

@@ -322,7 +322,8 @@ TEST_F(PersistenceTest, LoadRejectsCorruptFile) {
     std::ifstream in(path_, std::ios::binary);
     content.assign(std::istreambuf_iterator<char>(in), {});
   }
-  content[content.find("I1")] = 'I' + 1;
+  ASSERT_GT(content.size(), 8u);
+  content[content.size() / 2] ^= 0xFF;
   {
     std::ofstream out(path_, std::ios::binary | std::ios::trunc);
     out << content;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "core/goofi.hpp"
@@ -358,6 +359,122 @@ TEST_F(ShellTest, ScriptTranscriptAndErrorStop) {
   EXPECT_NE(transcript.find("goofi> run s"), std::string::npos);
   EXPECT_NE(transcript.find("error:"), std::string::npos);
   EXPECT_EQ(transcript.find("never reached"), std::string::npos);
+}
+
+TEST_F(ShellTest, ArchiveOpenStatsAndClose) {
+  const std::string help = MustRun("help");
+  EXPECT_NE(help.find("archive open"), std::string::npos);
+  EXPECT_NE(help.find("archive checkpoint"), std::string::npos);
+
+  // Subcommands other than open require an open archive.
+  EXPECT_FALSE(Run("archive status").ok());
+  EXPECT_FALSE(Run("archive checkpoint").ok());
+  EXPECT_FALSE(Run("archive bogus").ok());
+
+  const std::string path = testing::TempDir() + "shell_archive_basic.db";
+  MustRun("archive open " + path);
+  // With an archive open, `stats` reports its counters even before any run.
+  const std::string stats = MustRun("stats");
+  EXPECT_NE(stats.find("archive: " + path), std::string::npos);
+  EXPECT_NE(stats.find("wal records replayed"), std::string::npos);
+  EXPECT_EQ(MustRun("archive status"), stats);
+
+  MustRun("campaign set arc workload=matmul experiments=3");
+  const std::string checkpointed = MustRun("archive checkpoint");
+  EXPECT_NE(checkpointed.find("epoch 1"), std::string::npos);
+  MustRun("archive close");
+  EXPECT_FALSE(Run("archive status").ok()) << "closed archive is detached";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST_F(ShellTest, ArchiveKillAndResumeAcrossSessions) {
+  shell_.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store_));
+  // More experiments than one 64-row commit batch, so a torn final WAL
+  // record loses only the tail of the campaign.
+  MustRun(
+      "campaign set arc workload=fibonacci locations=internal_regfile "
+      "experiments=70 window=1:80 timeout=50000");
+  const std::string path = testing::TempDir() + "shell_archive_resume.db";
+  MustRun("archive open " + path);
+  MustRun("run-parallel arc 2");
+  const std::string reference = MustRun("list experiments arc");
+  // One more committed record after the run: a fold may have emptied the WAL
+  // at the final batch commit, and tearing bytes must hit a real record, not
+  // the file header.
+  MustRun("campaign set arc seed=7");
+  MustRun("archive close");
+
+  // "Kill" the process mid-append: tear the last WAL record on disk.
+  const std::string wal = path + ".wal";
+  std::filesystem::resize_file(wal, std::filesystem::file_size(wal) - 3);
+
+  // A second session recovers the valid prefix and resumes the campaign.
+  db::Database db2;
+  core::CampaignStore store2(&db2);
+  Shell shell2(&db2, &store2);
+  shell2.AddTarget(core::ThorRdTarget::kTargetName, &target_, &card_,
+                   core::MakeSimThorFactory(&store2));
+  auto opened = shell2.Execute("archive open " + path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_NE(opened.value().find("WAL records replayed"), std::string::npos);
+  EXPECT_NE(opened.value().find("truncated torn WAL tail"), std::string::npos);
+  auto stats = shell2.Execute("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("torn tail truncated"), std::string::npos);
+
+  auto rerun = shell2.Execute("run-parallel arc 2");
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun.value().find(" 0 resumed"), std::string::npos)
+      << "the recovered prefix must be resumed, not re-run: " << rerun.value();
+  auto listing = shell2.Execute("list experiments arc");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.value(), reference);
+  ASSERT_TRUE(shell2.Execute("archive close").ok());
+  std::remove(path.c_str());
+  std::remove(wal.c_str());
+}
+
+TEST_F(ShellTest, LegacyTextArchivesStillLoad) {
+  MustRun("campaign set oldstyle workload=matmul experiments=9");
+  const std::string path = testing::TempDir() + "shell_legacy.db";
+  ASSERT_TRUE(db_.SaveLegacyText(path).ok());
+
+  db::Database db2;
+  core::CampaignStore store2(&db2);
+  Shell shell2(&db2, &store2);
+  auto loaded = shell2.Execute("load " + path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(store2.GetCampaign("oldstyle").ok());
+
+  // Opening a legacy file as an archive converts it in place.
+  db::Database db3;
+  core::CampaignStore store3(&db3);
+  Shell shell3(&db3, &store3);
+  auto opened = shell3.Execute("archive open " + path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_NE(opened.value().find("converted legacy text archive"),
+            std::string::npos);
+  EXPECT_TRUE(store3.GetCampaign("oldstyle").ok());
+  ASSERT_TRUE(shell3.Execute("archive close").ok());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+TEST_F(ShellTest, LoadClosesOpenArchiveFirst) {
+  const std::string plain = testing::TempDir() + "shell_plain.db";
+  const std::string arch = testing::TempDir() + "shell_arch.db";
+  MustRun("campaign set keepme workload=matmul experiments=2");
+  MustRun("save " + plain);
+  MustRun("archive open " + arch);
+  const std::string out = MustRun("load " + plain);
+  EXPECT_NE(out.find("open archive closed"), std::string::npos);
+  EXPECT_FALSE(Run("archive status").ok());
+  EXPECT_TRUE(store_.GetCampaign("keepme").ok());
+  std::remove(plain.c_str());
+  std::remove(arch.c_str());
+  std::remove((arch + ".wal").c_str());
 }
 
 TEST_F(ShellTest, CampaignMergeViaShell) {
