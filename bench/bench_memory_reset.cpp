@@ -1,0 +1,220 @@
+// E19 — zero-copy experiment reset: throughput of the per-experiment memory
+// reset cycle under COW paging vs the flat-model reference (what the
+// pre-paging Memory did: memset the full array, re-download word by word,
+// copy the whole image into the baseline), plus the knock-on effects the
+// paging exists for — experiments/sec of a setup-dominated campaign and
+// per-worker resident memory with the golden image interned once.
+//
+// Two reset flavors are timed:
+//
+//   power-cycle — Reset() + full image re-download (the cold-experiment
+//                 prologue; COW adopts golden pages by memcmp + repoint);
+//   restore     — RestoreDelta back to the baseline (the warm-start path;
+//                 COW repoints dirty pages, flat copies the whole baseline).
+//
+// `--json <path>` additionally writes the headline metrics as a flat JSON
+// object (see scripts/bench.sh).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cpu/memory.hpp"
+
+namespace goofi::bench {
+namespace {
+
+constexpr uint32_t kMemoryBytes = 1u << 20;  // the simulated target's 1 MiB
+constexpr size_t kImageWords = 16 * 1024;    // 64 KiB workload image
+constexpr int kDirtyPages = 16;              // per-experiment working set
+constexpr int kResetIterations = 2000;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<uint32_t> WorkloadImage() {
+  std::vector<uint32_t> image(kImageWords);
+  std::mt19937 rng(0x600F1);
+  for (uint32_t& word : image) word = rng();
+  return image;
+}
+
+/// Word indices one experiment dirties (spread across the address space).
+std::vector<uint32_t> DirtySet() {
+  std::vector<uint32_t> words;
+  std::mt19937 rng(1234);
+  for (int i = 0; i < kDirtyPages; ++i) {
+    const uint32_t page = rng() % (kMemoryBytes / 4 / cpu::Memory::kPageWords);
+    words.push_back(page * cpu::Memory::kPageWords +
+                    rng() % cpu::Memory::kPageWords);
+  }
+  return words;
+}
+
+/// The COW power-cycle loop: dirty the working set, Reset (table repoint),
+/// re-download the image (golden adoption), ready for the next experiment.
+double CowPowerCycle(const std::vector<uint32_t>& image,
+                     const std::vector<uint32_t>& dirty) {
+  cpu::Memory memory(kMemoryBytes);
+  if (!memory.HostWriteRange(0, image.data(), image.size()).ok()) std::abort();
+  memory.MarkCleanBaseline();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kResetIterations; ++i) {
+    for (uint32_t w : dirty) (void)memory.Write(w * 4, i + w);
+    memory.Reset();
+    if (!memory.HostWriteRange(0, image.data(), image.size()).ok()) {
+      std::abort();
+    }
+  }
+  const double elapsed = SecondsSince(start);
+  if (memory.counters().golden_adoptions == 0) std::abort();  // sanity
+  return kResetIterations / elapsed;
+}
+
+/// The COW warm-restore loop: dirty the working set, RestoreDelta back to
+/// the baseline (repoint only).
+double CowRestore(const std::vector<uint32_t>& image,
+                  const std::vector<uint32_t>& dirty) {
+  cpu::Memory memory(kMemoryBytes);
+  if (!memory.HostWriteRange(0, image.data(), image.size()).ok()) std::abort();
+  memory.MarkCleanBaseline();
+  const cpu::Memory::Delta baseline;  // empty delta == pristine baseline
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kResetIterations; ++i) {
+    for (uint32_t w : dirty) (void)memory.Write(w * 4, i + w);
+    memory.RestoreDelta(baseline);
+  }
+  return kResetIterations / SecondsSince(start);
+}
+
+/// The flat reference: full-size memset, word-loop re-download, whole-image
+/// baseline copy — the historical Memory's power cycle.
+double FlatPowerCycle(const std::vector<uint32_t>& image,
+                      const std::vector<uint32_t>& dirty) {
+  std::vector<uint32_t> words(kMemoryBytes / 4, 0);
+  std::vector<uint32_t> baseline;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kResetIterations; ++i) {
+    for (uint32_t w : dirty) words[w] = i + w;
+    std::fill(words.begin(), words.end(), 0u);
+    for (size_t w = 0; w < image.size(); ++w) words[w] = image[w];
+    baseline = words;
+  }
+  const double elapsed = SecondsSince(start);
+  if (baseline.empty()) std::abort();  // keep the copy observable
+  return kResetIterations / elapsed;
+}
+
+/// The flat warm restore: copy the whole baseline back.
+double FlatRestore(const std::vector<uint32_t>& image,
+                   const std::vector<uint32_t>& dirty) {
+  std::vector<uint32_t> words(kMemoryBytes / 4, 0);
+  std::copy(image.begin(), image.end(), words.begin());
+  const std::vector<uint32_t> baseline = words;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kResetIterations; ++i) {
+    for (uint32_t w : dirty) words[w] = i + w;
+    std::memcpy(words.data(), baseline.data(),
+                baseline.size() * sizeof(uint32_t));
+  }
+  return kResetIterations / SecondsSince(start);
+}
+
+/// A setup-dominated campaign (short injection window, small workload): the
+/// per-experiment reset cycle is a large share of the runtime, so E19's
+/// repoint-based reset shows up directly in experiments/sec. Also reports
+/// the runner's memory aggregation — the golden image must be resident once
+/// regardless of worker count.
+void CampaignSection(JsonReport* json) {
+  core::CampaignData campaign = BaseCampaign("mem_reset_epc", "bubblesort");
+  campaign.num_experiments = 120;
+  campaign.inject_max_instr = 200;
+  campaign.timeout_cycles = 100000;
+
+  std::printf("\n%-8s %10s %16s %14s %15s %14s\n", "workers", "time [s]",
+              "experiments/sec", "resident/tgt", "golden bytes", "golden imgs");
+  for (int workers : {1, 2, 4, 8}) {
+    db::Database db;
+    core::CampaignStore store(&db);
+    testcard::SimTestCard card;
+    if (!store
+             .PutTargetSystem(core::ThorRdTarget::DescribeTarget(
+                 card, core::ThorRdTarget::kTargetName))
+             .ok()) {
+      std::abort();
+    }
+    campaign.name = "mem_reset_epc_w" + std::to_string(workers);
+    if (!store.PutCampaign(campaign).ok()) std::abort();
+    core::ParallelCampaignRunner runner(&store,
+                                        core::MakeSimThorFactory(&store),
+                                        workers);
+    const auto start = std::chrono::steady_clock::now();
+    if (auto st = runner.Run(campaign.name); !st.ok()) {
+      std::fprintf(stderr, "run: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    const double elapsed = SecondsSince(start);
+    const cpu::MemoryUsageAggregator::Totals& memory = runner.memory_usage();
+    const uint64_t resident_per_target =
+        memory.targets == 0
+            ? 0
+            : memory.resident_bytes / static_cast<uint64_t>(memory.targets);
+    std::printf("%-8d %10.3f %16.1f %14llu %15llu %14d\n", workers, elapsed,
+                campaign.num_experiments / elapsed,
+                static_cast<unsigned long long>(resident_per_target),
+                static_cast<unsigned long long>(memory.golden_image_bytes),
+                memory.golden_images);
+    const std::string suffix = "_w" + std::to_string(workers);
+    json->Add("campaign_eps" + suffix, campaign.num_experiments / elapsed);
+    json->Add("resident_bytes_per_target" + suffix, resident_per_target);
+    json->Add("golden_image_bytes" + suffix, memory.golden_image_bytes);
+    json->Add("golden_images" + suffix, memory.golden_images);
+  }
+}
+
+void Main(int argc, char** argv) {
+  JsonReport json;
+  const std::vector<uint32_t> image = WorkloadImage();
+  const std::vector<uint32_t> dirty = DirtySet();
+  std::printf(
+      "Zero-copy experiment reset (E19): %u KiB memory, %zu KiB image, "
+      "%d dirty pages per experiment, %d reset cycles\n\n",
+      kMemoryBytes / 1024, kImageWords * 4 / 1024, kDirtyPages,
+      kResetIterations);
+  json.Add("memory_bytes", static_cast<uint64_t>(kMemoryBytes));
+  json.Add("dirty_pages", kDirtyPages);
+
+  const double flat_power = FlatPowerCycle(image, dirty);
+  const double cow_power = CowPowerCycle(image, dirty);
+  const double flat_restore = FlatRestore(image, dirty);
+  const double cow_restore = CowRestore(image, dirty);
+
+  std::printf("%-14s %16s %16s %9s\n", "reset flavor", "flat resets/s",
+              "cow resets/s", "speedup");
+  std::printf("%-14s %16.1f %16.1f %8.2fx\n", "power-cycle", flat_power,
+              cow_power, cow_power / flat_power);
+  std::printf("%-14s %16.1f %16.1f %8.2fx\n", "restore", flat_restore,
+              cow_restore, cow_restore / flat_restore);
+  json.Add("flat_power_cycle_rps", flat_power);
+  json.Add("cow_power_cycle_rps", cow_power);
+  json.Add("power_cycle_speedup", cow_power / flat_power);
+  json.Add("flat_restore_rps", flat_restore);
+  json.Add("cow_restore_rps", cow_restore);
+  json.Add("restore_speedup", cow_restore / flat_restore);
+
+  CampaignSection(&json);
+
+  if (const char* path = JsonOutputPath(argc, argv)) json.Write(path);
+}
+
+}  // namespace
+}  // namespace goofi::bench
+
+int main(int argc, char** argv) {
+  goofi::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Performance tracking: builds and runs the JSON-emitting benchmarks, leaves
 # one BENCH_<name>.json per benchmark in the build directory, and aggregates
-# them into BENCH_PR8.json at the repo root.
+# them into BENCH_PR9.json at the repo root.
 #
 # Currently covered:
 #   BENCH_checkpoint.json — experiments/sec cold vs warm (checkpoint
@@ -23,6 +23,10 @@
 #   snapshot save/load vs the legacy text format, per-batch WAL group commit
 #   vs full-file rewrite, and snapshot+WAL recovery cost with a byte-identity
 #   self-check.
+#   BENCH_memory_reset.json — zero-copy experiment reset (E19): COW paged
+#   memory reset/restore throughput vs the flat full-copy reference,
+#   setup-dominated campaign experiments/sec, and per-worker resident bytes
+#   with the golden workload image interned once per campaign.
 #
 # Usage: scripts/bench.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -39,7 +43,7 @@ fi
 cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_checkpoint_fastforward bench_cpu_throughput \
              bench_convergence_pruning bench_database bench_equivalence_dedup \
-             bench_archive_io
+             bench_archive_io bench_memory_reset
 
 "$BUILD_DIR"/bench/bench_checkpoint_fastforward \
     --json "$BUILD_DIR"/BENCH_checkpoint.json
@@ -59,6 +63,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
 "$BUILD_DIR"/bench/bench_archive_io \
     --json "$BUILD_DIR"/BENCH_archive_io.json
 
+"$BUILD_DIR"/bench/bench_memory_reset \
+    --json "$BUILD_DIR"/BENCH_memory_reset.json
+
 # One aggregate file at the repo root: nested objects keyed by benchmark.
 # Each per-bench file is a single flat JSON object on one line.
 {
@@ -68,8 +75,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
   printf '  "convergence_pruning": %s,\n' "$(cat "$BUILD_DIR"/BENCH_convergence_pruning.json)"
   printf '  "database": %s,\n' "$(cat "$BUILD_DIR"/BENCH_database.json)"
   printf '  "equivalence_dedup": %s,\n' "$(cat "$BUILD_DIR"/BENCH_equivalence_dedup.json)"
-  printf '  "archive_io": %s\n' "$(cat "$BUILD_DIR"/BENCH_archive_io.json)"
+  printf '  "archive_io": %s,\n' "$(cat "$BUILD_DIR"/BENCH_archive_io.json)"
+  printf '  "memory_reset": %s\n' "$(cat "$BUILD_DIR"/BENCH_memory_reset.json)"
   printf '}\n'
-} > BENCH_PR8.json
+} > BENCH_PR9.json
 
-echo "bench: OK (BENCH_PR8.json; per-bench JSON in $BUILD_DIR/)"
+echo "bench: OK (BENCH_PR9.json; per-bench JSON in $BUILD_DIR/)"

@@ -14,22 +14,26 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence + equivalence + archive commits) =="
+echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence + equivalence + archive commits + COW golden sharing) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test equivalence_test archive_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test equivalence_test archive_test memory_cow_test
 "$TSAN_DIR"/tests/thread_pool_test
 "$TSAN_DIR"/tests/parallel_runner_test
 "$TSAN_DIR"/tests/checkpoint_test
 "$TSAN_DIR"/tests/convergence_test
 "$TSAN_DIR"/tests/equivalence_test
 "$TSAN_DIR"/tests/archive_test --gtest_filter='ArchiveRunnerTest.*'
+"$TSAN_DIR"/tests/memory_cow_test --gtest_filter='MemoryCowRunnerTest.*'
 
 echo "== tier-1: ASan pass (superblock fast-path differential fuzzer) =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=address
-cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test equivalence_test archive_test
+cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test equivalence_test archive_test memory_cow_test
 "$ASAN_DIR"/tests/cpu_fastpath_test
+
+echo "== tier-1: ASan pass (COW paged memory differential fuzzer) =="
+"$ASAN_DIR"/tests/memory_cow_test
 
 echo "== tier-1: ASan pass (state-hash / canonical-memory fuzzers) =="
 "$ASAN_DIR"/tests/convergence_test --gtest_filter='*Fuzz*'
@@ -72,5 +76,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_equivalence_dedup
 echo "== tier-1: campaign archive I/O benchmark (BENCH_archive_io.json) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_archive_io
 "$BUILD_DIR"/bench/bench_archive_io --json "$BUILD_DIR"/BENCH_archive_io.json
+
+echo "== tier-1: zero-copy experiment reset benchmark (BENCH_memory_reset.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_memory_reset
+"$BUILD_DIR"/bench/bench_memory_reset --json "$BUILD_DIR"/BENCH_memory_reset.json
 
 echo "tier-1: OK"

@@ -37,6 +37,10 @@
 #include "core/types.hpp"
 #include "util/rng.hpp"
 
+namespace goofi::cpu {
+class Memory;
+}
+
 namespace goofi::core {
 
 /// One enumerable fault location on the target (before an injection time is
@@ -188,6 +192,11 @@ class FaultInjectionAlgorithms {
   /// Experiments that started from a checkpoint instead of from reset.
   /// Deliberately outside Stats: warm and cold runs must compare equal.
   int warm_starts() const { return warm_starts_; }
+
+  /// The target's simulated main memory, for copy-on-write residency and
+  /// write-barrier counters (aggregated by the parallel runner, reported by
+  /// the shell `stats` command). Null for targets without simulated memory.
+  virtual const cpu::Memory* TargetMemory() const { return nullptr; }
 
   /// Whether this target implements BuildGoldenRun/RestoreCheckpoint.
   virtual bool SupportsCheckpoints() const { return false; }

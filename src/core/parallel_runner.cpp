@@ -47,6 +47,7 @@ util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
   warm_starts_ = 0;
   prune_stats_ = ConvergenceStats{};
   dedup_stats_ = EquivalenceStats{};
+  memory_usage_ = cpu::MemoryUsageAggregator::Totals{};
   auto campaign_or = store_->GetCampaign(campaign_name);
   if (!campaign_or.ok()) return campaign_or.status();
   const CampaignData campaign = std::move(campaign_or).value();
@@ -242,10 +243,15 @@ util::Status ParallelCampaignRunner::Run(const std::string& campaign_name) {
   cancel.store(true, std::memory_order_relaxed);
   pool.Shutdown();
 
+  cpu::MemoryUsageAggregator memory_usage;
   for (const auto& target : targets) {
     warm_starts_ += target->warm_starts();
     prune_stats_ += target->prune_stats();
+    if (const cpu::Memory* memory = target->TargetMemory()) {
+      memory_usage.Add(*memory);
+    }
   }
+  memory_usage_ = memory_usage.totals();
 
   // Commit what completed in order before reporting any error — the same
   // prefix a serial run that failed at this experiment would have logged.
@@ -475,10 +481,15 @@ util::Status ParallelCampaignRunner::RunDeduped(
     }
   }
 
+  cpu::MemoryUsageAggregator memory_usage;
   for (const auto& target : targets) {
     warm_starts_ += target->warm_starts();
     prune_stats_ += target->prune_stats();
+    if (const cpu::Memory* memory = target->TargetMemory()) {
+      memory_usage.Add(*memory);
+    }
   }
+  memory_usage_ = memory_usage.totals();
 
   const util::Status flush_status = flush();
   if (!error.ok()) return error;
@@ -498,16 +509,28 @@ ParallelCampaignRunner::TargetFactory MakeSimThorFactory(
    private:
     std::unique_ptr<testcard::SimTestCard> card_;
   };
-  return [store, config]() -> std::unique_ptr<FaultInjectionAlgorithms> {
+  // One golden-image registry per factory: every worker target built from
+  // this factory interns its memory baseline in the same pool, so a
+  // campaign's workload image is stored once, not once per worker.
+  cpu::CpuConfig shared_config = config;
+  if (shared_config.golden_registry == nullptr) {
+    shared_config.golden_registry = std::make_shared<cpu::GoldenRegistry>();
+  }
+  return [store, shared_config]() -> std::unique_ptr<FaultInjectionAlgorithms> {
     return std::make_unique<OwnedThorStack>(
-        store, std::make_unique<testcard::SimTestCard>(config));
+        store, std::make_unique<testcard::SimTestCard>(shared_config));
   };
 }
 
 ParallelCampaignRunner::TargetFactory MakeSwifiSimFactory(
     CampaignStore* store, const cpu::CpuConfig& config) {
-  return [store, config]() -> std::unique_ptr<FaultInjectionAlgorithms> {
-    return std::make_unique<SwifiSimTarget>(store, config);
+  // Same golden-image sharing as MakeSimThorFactory.
+  cpu::CpuConfig shared_config = config;
+  if (shared_config.golden_registry == nullptr) {
+    shared_config.golden_registry = std::make_shared<cpu::GoldenRegistry>();
+  }
+  return [store, shared_config]() -> std::unique_ptr<FaultInjectionAlgorithms> {
+    return std::make_unique<SwifiSimTarget>(store, shared_config);
   };
 }
 

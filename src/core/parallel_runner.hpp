@@ -124,6 +124,14 @@ class ParallelCampaignRunner {
   /// warm_starts(): deduped and plain runs must compare equal on Stats).
   const EquivalenceStats& dedup_stats() const { return dedup_stats_; }
 
+  /// Copy-on-write memory residency/counters of the most recent Run,
+  /// aggregated over all worker targets at the end of the run. Each distinct
+  /// golden image is counted once — with factory-installed registries all
+  /// workers of a campaign share one physical workload image.
+  const cpu::MemoryUsageAggregator::Totals& memory_usage() const {
+    return memory_usage_;
+  }
+
   /// Runs `campaign_name` to completion (technique dispatched from the
   /// stored campaign, as in RunCampaign). On a worker error, experiments
   /// committed so far stay in the database — exactly what a failed serial
@@ -165,6 +173,7 @@ class ParallelCampaignRunner {
   std::shared_ptr<const LivenessAnalyzer> equivalence_timeline_;
   int spot_check_every_ = 4;
   EquivalenceStats dedup_stats_;
+  cpu::MemoryUsageAggregator::Totals memory_usage_;
   ProgressMonitor* monitor_ = nullptr;
   FaultInjectionAlgorithms::LivenessFilter liveness_filter_;
   FaultInjectionAlgorithms::Stats stats_;

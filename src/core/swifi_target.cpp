@@ -102,6 +102,13 @@ util::Status SwifiSimTarget::LoadWorkload() {
   GOOFI_RETURN_IF_ERROR(
       cpu_->LoadProgram(program_.base_address, program_.words, text_bytes));
   if (environment_) environment_->Reset();
+  if (golden_image_workload_ != campaign_.workload) {
+    // Declare the pristine downloaded image as the shared golden page set,
+    // once per workload (pre-runtime image mutations land as private pages
+    // on top). See ThorRdTarget::LoadWorkload for the sharing rationale.
+    cpu_->MarkMemoryBaseline();
+    golden_image_workload_ = campaign_.workload;
+  }
   return util::Status::Ok();
 }
 

@@ -59,6 +59,11 @@ class SwifiSimTarget : public FrameworkTarget {
                               GoldenTrace* trace) override;
   util::Status PrepareGoldenBaseline() override { return EnsureWarmBaseline(); }
 
+  /// COW memory observability: the simulated CPU's main memory.
+  const cpu::Memory* TargetMemory() const override {
+    return cpu_ != nullptr ? &cpu_->memory() : nullptr;
+  }
+
  protected:
   util::Status RestoreCheckpoint(const Checkpoint& checkpoint) override;
 
@@ -154,6 +159,10 @@ class SwifiSimTarget : public FrameworkTarget {
 
   /// Workload the memory baseline was established for; empty = none yet.
   std::string warm_ready_workload_;
+
+  /// Workload whose downloaded image was declared the shared golden set
+  /// (once per workload, at first LoadWorkload); empty = none yet.
+  std::string golden_image_workload_;
 };
 
 }  // namespace goofi::core

@@ -110,6 +110,16 @@ util::Status ThorRdTarget::LoadWorkload() {
   GOOFI_RETURN_IF_ERROR(EnsureWorkload());
   GOOFI_RETURN_IF_ERROR(card_->LoadWorkload(program_));
   if (environment_) environment_->Reset();
+  if (golden_image_workload_ != campaign_.workload) {
+    // Declare the downloaded image as the shared golden page set, once per
+    // workload: every later download of the same image repoints at it
+    // (golden adoption) instead of copying, and sibling workers intern the
+    // identical image through the factory's registry. Purely a
+    // memory-sharing declaration — results are unaffected, and warm paths
+    // re-baseline after WriteMemory (EnsureWarmBaseline) as before.
+    GOOFI_RETURN_IF_ERROR(card_->MarkMemoryBaseline());
+    golden_image_workload_ = campaign_.workload;
+  }
   return util::Status::Ok();
 }
 

@@ -46,6 +46,11 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
                               GoldenTrace* trace) override;
   util::Status PrepareGoldenBaseline() override { return EnsureWarmBaseline(); }
 
+  /// COW memory observability: the simulated CPU's main memory.
+  const cpu::Memory* TargetMemory() const override {
+    return &card_->cpu().memory();
+  }
+
  protected:
   util::Status RestoreCheckpoint(const Checkpoint& checkpoint) override;
 
@@ -181,6 +186,10 @@ class ThorRdTarget : public FaultInjectionAlgorithms {
 
   /// Workload the memory baseline was established for; empty = none yet.
   std::string warm_ready_workload_;
+
+  /// Workload whose downloaded image was declared the shared golden set
+  /// (once per workload, at first LoadWorkload); empty = none yet.
+  std::string golden_image_workload_;
 
   /// Capture buffer reused across detail-mode scan-chain reads.
   util::BitVec detail_capture_;

@@ -19,7 +19,7 @@ constexpr uint64_t kMaxBurst = 1u << 15;
 
 Cpu::Cpu(const CpuConfig& config)
     : config_(config),
-      memory_(config.memory_bytes),
+      memory_(config.memory_bytes, config.golden_registry),
       icache_(config.icache_lines, kAddressBits, EdmType::kCacheParityInstr),
       dcache_(config.dcache_lines, kAddressBits, EdmType::kCacheParityData) {}
 
@@ -27,10 +27,11 @@ util::Status Cpu::LoadProgram(uint32_t base, const std::vector<uint32_t>& words,
                               uint32_t text_bytes) {
   const uint32_t image_bytes = static_cast<uint32_t>(words.size()) * 4;
   if (text_bytes == 0 || text_bytes > image_bytes) text_bytes = image_bytes;
-  for (size_t i = 0; i < words.size(); ++i) {
-    GOOFI_RETURN_IF_ERROR(
-        memory_.HostWrite(base + static_cast<uint32_t>(i) * 4, words[i]));
-  }
+  // Bulk download: one range write instead of a word loop. After the first
+  // experiment's baseline is interned, the repeated PowerCycle+LoadProgram
+  // prologue adopts the golden image's pages without copying.
+  GOOFI_RETURN_IF_ERROR(
+      memory_.HostWriteRange(base, words.data(), words.size()));
   memory_.ClearProtection();
   text_start_ = base;
   text_end_ = base + text_bytes;

@@ -34,6 +34,11 @@ struct CpuConfig {
   uint64_t watchdog_limit = 0;       ///< cycles between watchdog kicks; 0 = off
   uint32_t stack_limit = 0;          ///< sp below this trips kStackOverflow; 0 = off
   EdmConfig edms;
+  /// Golden-image intern pool shared between CPUs (see cpu/memory.hpp):
+  /// targets built from the same config instance share one physical baseline
+  /// image per workload. Null keeps baselines target-local. Purely a
+  /// memory-sharing knob — simulation results are unaffected.
+  std::shared_ptr<GoldenRegistry> golden_registry;
 };
 
 /// Outcome of one Step().

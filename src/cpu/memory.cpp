@@ -2,58 +2,171 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "cpu/state_hash.hpp"
 
 namespace goofi::cpu {
 
-Memory::Memory(uint32_t size_bytes) : words_((size_bytes + 3) / 4, 0) {}
+namespace {
 
-MemAccess Memory::Read(uint32_t address) const {
-  MemAccess out;
-  if (address % 4 != 0) {
-    out.violation = EdmType::kMisalignedAccess;
-    return out;
+// The process-wide shared zero page: every page table points here after
+// Reset(). Never written — the write barrier materializes a private copy
+// before any store lands.
+alignas(64) uint32_t kZeroPage[Memory::kPageWords] = {};
+
+uint64_t HashWords(const std::vector<uint32_t>& words) {
+  // FNV-1a over the word stream; collisions are harmless (the registry
+  // memcmp-verifies every candidate before sharing).
+  uint64_t hash = 14695981039346656037ull;
+  for (uint32_t word : words) {
+    hash = (hash ^ word) * 1099511628211ull;
   }
-  if (address >= size_bytes()) {
-    out.violation = EdmType::kOutOfRangeAccess;
-    return out;
-  }
-  out.value = words_[address / 4];
-  return out;
+  return hash;
 }
 
-MemAccess Memory::Write(uint32_t address, uint32_t value) {
-  MemAccess out;
-  if (address % 4 != 0) {
-    out.violation = EdmType::kMisalignedAccess;
-    return out;
+}  // namespace
+
+GoldenImage::GoldenImage(std::vector<uint32_t> words)
+    : words_(std::move(words)) {
+  assert(words_.size() % Memory::kPageWords == 0 &&
+         "golden images are whole pages");
+  const size_t pages = words_.size() / Memory::kPageWords;
+  zero_.assign(pages, 0);
+  for (size_t page = 0; page < pages; ++page) {
+    const uint32_t* begin = words_.data() + page * Memory::kPageWords;
+    zero_[page] = std::all_of(begin, begin + Memory::kPageWords,
+                              [](uint32_t w) { return w == 0; })
+                      ? 1
+                      : 0;
   }
-  if (address >= size_bytes()) {
-    out.violation = EdmType::kOutOfRangeAccess;
-    return out;
-  }
-  if (IsProtected(address)) {
-    out.violation = EdmType::kMemoryProtection;
-    return out;
-  }
-  words_[address / 4] = value;
-  MarkDirty(address / 4);
-  return out;
+  hash_ = HashWords(words_);
 }
 
-util::Status Memory::HostWrite(uint32_t address, uint32_t value) {
+const uint32_t* GoldenImage::page(size_t page_index) const {
+  return words_.data() + page_index * Memory::kPageWords;
+}
+
+std::shared_ptr<const GoldenImage> GoldenRegistry::Intern(
+    std::vector<uint32_t> words) {
+  const uint64_t hash = HashWords(words);
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t live = 0;
+  std::shared_ptr<const GoldenImage> found;
+  for (auto& entry : images_) {
+    std::shared_ptr<const GoldenImage> image = entry.second.lock();
+    if (image == nullptr) continue;  // expired; compacted below
+    images_[live++] = {entry.first, entry.second};
+    if (found == nullptr && entry.first == hash &&
+        image->word_count() == words.size() &&
+        std::memcmp(image->page(0), words.data(),
+                    words.size() * sizeof(uint32_t)) == 0) {
+      found = std::move(image);
+    }
+  }
+  images_.resize(live);
+  if (found != nullptr) {
+    ++stats_.shared_hits;
+    return found;
+  }
+  auto image = std::make_shared<const GoldenImage>(std::move(words));
+  images_.emplace_back(hash, image);
+  ++stats_.images_interned;
+  return image;
+}
+
+GoldenRegistry::Stats GoldenRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Memory::Memory(uint32_t size_bytes, std::shared_ptr<GoldenRegistry> registry)
+    : word_count_((size_bytes + 3) / 4), registry_(std::move(registry)) {
+  size_bytes_ = static_cast<uint32_t>(word_count_ * 4);
+  num_pages_ = (word_count_ + kPageWords - 1) / kPageWords;
+  pages_.assign(num_pages_, kZeroPage);
+  state_.assign(num_pages_, kZero);
+  private_pages_.resize(num_pages_);
+}
+
+void Memory::MaterializePage(uint32_t page) {
+  std::unique_ptr<uint32_t[]> copy;
+  if (!pool_.empty()) {
+    copy = std::move(pool_.back());
+    pool_.pop_back();
+  } else {
+    copy = std::make_unique<uint32_t[]>(kPageWords);
+  }
+  std::memcpy(copy.get(), pages_[page], kPageWords * sizeof(uint32_t));
+  pages_[page] = copy.get();
+  private_pages_[page] = std::move(copy);
+  state_[page] = kPrivate;
+  ++counters_.cow_faults;
+}
+
+void Memory::ReleasePrivate(uint32_t page, const uint32_t* target_ptr,
+                            uint8_t target_state) {
+  if (state_[page] == kPrivate) {
+    pool_.push_back(std::move(private_pages_[page]));
+    ++counters_.pages_recycled;
+  }
+  // The table is only written through the barrier while a page is private;
+  // shared entries are read-only views into immutable storage.
+  pages_[page] = const_cast<uint32_t*>(target_ptr);
+  state_[page] = target_state;
+}
+
+bool Memory::PageEqualsGolden(uint32_t page) const {
+  if (state_[page] == kGolden) return true;
+  if (state_[page] == kZero) return golden_->page_zero(page);
+  return std::memcmp(pages_[page], golden_->page(page),
+                     PageWordCount(page) * sizeof(uint32_t)) == 0;
+}
+
+util::Status Memory::HostWriteRange(uint32_t address, const uint32_t* words,
+                                    size_t count) {
   if (address % 4 != 0) return util::InvalidArgument("misaligned host write");
-  if (address >= size_bytes()) return util::OutOfRange("host write out of range");
-  words_[address / 4] = value;
-  MarkDirty(address / 4);
+  if (static_cast<uint64_t>(address) + count * 4 >
+      static_cast<uint64_t>(size_bytes_)) {
+    return util::OutOfRange("host write range out of range");
+  }
+  uint32_t w = address / 4;
+  size_t done = 0;
+  while (done < count) {
+    const uint32_t page = w >> kPageShift;
+    const uint32_t offset = w & kPageMask;
+    const size_t chunk = std::min<size_t>(count - done, kPageWords - offset);
+    const uint32_t* src = words + done;
+    const size_t chunk_bytes = chunk * sizeof(uint32_t);
+    if (std::memcmp(pages_[page] + offset, src, chunk_bytes) == 0) {
+      // Already present (typically: re-download over a golden page after a
+      // repointing Reset) — the page stays shared.
+      counters_.bulk_words_skipped += chunk;
+    } else if (golden_ != nullptr &&
+               std::memcmp(golden_->page(page) + offset, src, chunk_bytes) ==
+                   0 &&
+               std::memcmp(pages_[page], golden_->page(page),
+                           offset * sizeof(uint32_t)) == 0 &&
+               std::memcmp(pages_[page] + offset + chunk,
+                           golden_->page(page) + offset + chunk,
+                           (PageWordCount(page) - offset - chunk) *
+                               sizeof(uint32_t)) == 0) {
+      // The write leaves the whole page equal to the baseline image (the
+      // written run matches golden and the untouched remainder already did
+      // — after a repointing Reset the remainder is zero, like the golden
+      // page's padding): adopt the golden page instead of copying. This is
+      // what makes the per-experiment re-download of a sub-page workload
+      // image copy-free, not just page-aligned full-page images.
+      ReleasePrivate(page, golden_->page(page), kGolden);
+      ++counters_.golden_adoptions;
+    } else {
+      if (state_[page] != kPrivate) MaterializePage(page);
+      std::memcpy(pages_[page] + offset, src, chunk_bytes);
+    }
+    done += chunk;
+    w += static_cast<uint32_t>(chunk);
+  }
   return util::Status::Ok();
-}
-
-util::Result<uint32_t> Memory::HostRead(uint32_t address) const {
-  if (address % 4 != 0) return util::InvalidArgument("misaligned host read");
-  if (address >= size_bytes()) return util::OutOfRange("host read out of range");
-  return words_[address / 4];
 }
 
 void Memory::Protect(uint32_t start, uint32_t length) {
@@ -62,43 +175,42 @@ void Memory::Protect(uint32_t start, uint32_t length) {
 
 void Memory::ClearProtection() { protected_ranges_.clear(); }
 
-bool Memory::IsProtected(uint32_t address) const {
-  for (const Range& range : protected_ranges_) {
-    if (address >= range.start && address < range.end) return true;
-  }
-  return false;
-}
-
 void Memory::Reset() {
-  std::fill(words_.begin(), words_.end(), 0u);
+  for (uint32_t page = 0; page < num_pages_; ++page) {
+    if (state_[page] != kZero) ReleasePrivate(page, kZeroPage, kZero);
+  }
   protected_ranges_.clear();
-  // Every page now potentially differs from the baseline image.
-  std::fill(dirty_.begin(), dirty_.end(), static_cast<uint8_t>(1));
 }
 
 void Memory::MarkCleanBaseline() {
-  baseline_ = words_;
-  dirty_.assign((words_.size() + kPageWords - 1) / kPageWords, 0);
+  // Build the padded image from the current page table. Private-page tails
+  // past word_count_ are always zero (pages are only ever filled from other
+  // zero-padded pages), so whole-page copies keep the padding canonical.
+  std::vector<uint32_t> words(num_pages_ * kPageWords, 0);
+  for (uint32_t page = 0; page < num_pages_; ++page) {
+    if (state_[page] == kZero) continue;
+    std::memcpy(words.data() + static_cast<size_t>(page) * kPageWords,
+                pages_[page], kPageWords * sizeof(uint32_t));
+  }
+  golden_ = registry_ != nullptr
+                ? registry_->Intern(std::move(words))
+                : std::make_shared<const GoldenImage>(std::move(words));
+  for (uint32_t page = 0; page < num_pages_; ++page) {
+    ReleasePrivate(page, golden_->page(page), kGolden);
+  }
 }
 
 Memory::Delta Memory::CaptureDelta() const {
-  assert(!baseline_.empty() && "MarkCleanBaseline() must precede CaptureDelta");
   Delta delta;
-  for (size_t page = 0; page < dirty_.size(); ++page) {
-    if (!dirty_[page]) continue;
-    const size_t begin = page * kPageWords;
-    const size_t end = std::min(begin + kPageWords, words_.size());
-    // Writes that re-stored the baseline value leave the page marked dirty;
-    // skip pages that in fact still match so deltas stay tight.
-    if (std::equal(words_.begin() + static_cast<ptrdiff_t>(begin),
-                   words_.begin() + static_cast<ptrdiff_t>(end),
-                   baseline_.begin() + static_cast<ptrdiff_t>(begin))) {
-      continue;
-    }
+  // Without a declared baseline the delta is protection-ranges only — the
+  // historical (flat dirty-bitmap) behavior pre-MarkCleanBaseline, which
+  // snapshot users without checkpointing rely on.
+  for (uint32_t page = 0; golden_ != nullptr && page < num_pages_; ++page) {
+    if (state_[page] == kGolden) continue;
+    if (PageEqualsGolden(page)) continue;
     Delta::Page out;
-    out.index = static_cast<uint32_t>(page);
-    out.words.assign(words_.begin() + static_cast<ptrdiff_t>(begin),
-                     words_.begin() + static_cast<ptrdiff_t>(end));
+    out.index = page;
+    out.words.assign(pages_[page], pages_[page] + PageWordCount(page));
     delta.pages.push_back(std::move(out));
   }
   delta.protected_ranges.reserve(protected_ranges_.size());
@@ -109,23 +221,20 @@ Memory::Delta Memory::CaptureDelta() const {
 }
 
 void Memory::RestoreDelta(const Delta& delta) {
-  assert(!baseline_.empty() && "MarkCleanBaseline() must precede RestoreDelta");
-  // Revert everything dirtied since the baseline, then lay the delta's pages
-  // on top. Clean pages already equal the baseline by invariant.
-  for (size_t page = 0; page < dirty_.size(); ++page) {
-    if (!dirty_[page]) continue;
-    const size_t begin = page * kPageWords;
-    const size_t end = std::min(begin + kPageWords, words_.size());
-    std::copy(baseline_.begin() + static_cast<ptrdiff_t>(begin),
-              baseline_.begin() + static_cast<ptrdiff_t>(end),
-              words_.begin() + static_cast<ptrdiff_t>(begin));
-    dirty_[page] = 0;
+  // Repoint everything diverged from the baseline back at the golden image,
+  // then materialize only the delta's pages on top. Golden pages already
+  // equal the baseline by invariant — the loop is a byte scan plus O(#dirty)
+  // repoints, never a content copy. Without a baseline there is nothing to
+  // revert (pre-baseline deltas carry no pages), matching the historical
+  // empty-dirty-bitmap behavior.
+  for (uint32_t page = 0; golden_ != nullptr && page < num_pages_; ++page) {
+    if (state_[page] == kGolden) continue;
+    ReleasePrivate(page, golden_->page(page), kGolden);
   }
   for (const Delta::Page& page : delta.pages) {
-    const size_t begin = static_cast<size_t>(page.index) * kPageWords;
-    std::copy(page.words.begin(), page.words.end(),
-              words_.begin() + static_cast<ptrdiff_t>(begin));
-    dirty_[page.index] = 1;
+    MaterializePage(page.index);
+    std::memcpy(pages_[page.index], page.words.data(),
+                page.words.size() * sizeof(uint32_t));
   }
   protected_ranges_.clear();
   protected_ranges_.reserve(delta.protected_ranges.size());
@@ -135,25 +244,71 @@ void Memory::RestoreDelta(const Delta& delta) {
 }
 
 void Memory::HashCanonicalState(StateHasher* hasher, bool scrub_clean_pages) {
-  assert(!baseline_.empty() &&
-         "MarkCleanBaseline() must precede HashCanonicalState");
-  for (size_t page = 0; page < dirty_.size(); ++page) {
-    if (!dirty_[page]) continue;
-    const size_t begin = page * kPageWords;
-    const size_t end = std::min(begin + kPageWords, words_.size());
-    if (std::equal(words_.begin() + static_cast<ptrdiff_t>(begin),
-                   words_.begin() + static_cast<ptrdiff_t>(end),
-                   baseline_.begin() + static_cast<ptrdiff_t>(begin))) {
-      if (scrub_clean_pages) dirty_[page] = 0;
+  for (uint32_t page = 0; golden_ != nullptr && page < num_pages_; ++page) {
+    if (state_[page] == kGolden) continue;
+    if (PageEqualsGolden(page)) {
+      // Zero pages prove equality through the image's memoized zero flags;
+      // private pages by content compare. Scrubbing releases the private
+      // copy back to the shared image so the next hash skips it for free.
+      if (scrub_clean_pages && state_[page] == kPrivate) {
+        ReleasePrivate(page, golden_->page(page), kGolden);
+      }
       continue;
     }
-    hasher->U32(static_cast<uint32_t>(page));
-    hasher->Words(words_.data() + begin, end - begin);
+    hasher->U32(page);
+    hasher->Words(pages_[page], PageWordCount(page));
   }
   hasher->U64(protected_ranges_.size());
   for (const Range& range : protected_ranges_) {
     hasher->U32(range.start);
     hasher->U32(range.end);
+  }
+}
+
+Memory::Residency Memory::residency() const {
+  Residency out;
+  out.total_pages = num_pages_;
+  for (uint32_t page = 0; page < num_pages_; ++page) {
+    switch (state_[page]) {
+      case kZero: ++out.zero_pages; break;
+      case kGolden: ++out.golden_pages; break;
+      default: ++out.private_pages; break;
+    }
+  }
+  out.pool_pages = pool_.size();
+  out.resident_bytes = pages_.capacity() * sizeof(uint32_t*) +
+                       state_.capacity() +
+                       private_pages_.capacity() * sizeof(void*) +
+                       pool_.capacity() * sizeof(void*) +
+                       (out.private_pages + out.pool_pages) * kPageWords *
+                           sizeof(uint32_t) +
+                       protected_ranges_.capacity() * sizeof(Range);
+  if (golden_ != nullptr) {
+    out.golden_image_bytes = golden_->MemoryBytes();
+    out.golden_image_refs = golden_.use_count();
+  }
+  return out;
+}
+
+void MemoryUsageAggregator::Add(const Memory& memory) {
+  const Memory::Residency residency = memory.residency();
+  const Memory::Counters& counters = memory.counters();
+  ++totals_.targets;
+  totals_.golden_pages += residency.golden_pages;
+  totals_.zero_pages += residency.zero_pages;
+  totals_.private_pages += residency.private_pages;
+  totals_.pool_pages += residency.pool_pages;
+  totals_.cow_faults += counters.cow_faults;
+  totals_.golden_adoptions += counters.golden_adoptions;
+  totals_.pages_recycled += counters.pages_recycled;
+  totals_.resident_bytes += residency.resident_bytes;
+  const GoldenImage* image = memory.golden().get();
+  if (image != nullptr &&
+      std::find(seen_images_.begin(), seen_images_.end(), image) ==
+          seen_images_.end()) {
+    seen_images_.push_back(image);
+    ++totals_.golden_images;
+    totals_.golden_image_bytes += image->MemoryBytes();
   }
 }
 

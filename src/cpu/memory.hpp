@@ -1,17 +1,41 @@
-// Target main memory with protection ranges.
+// Target main memory with protection ranges — copy-on-write paged storage.
 //
 // Word-addressable backing store. The text segment is marked read-only once
 // the workload is downloaded (pre-runtime SWIFI writes it *before* marking),
 // so stray stores caused by injected faults trip the memory-protection EDM.
 //
-// Dirty-page tracking: checkpoints must not store full 1 MiB images, so the
-// memory keeps a per-page dirty bitmap against a host-declared baseline (the
-// downloaded workload image). A snapshot captures only the pages that differ
-// from the baseline; restore reverts every page dirtied since to the baseline
-// and re-applies the snapshot's deltas.
+// Layout: the memory is a page table of raw word pointers (1 KiB pages).
+// Each page is in one of three states:
+//
+//   zero    — points at the process-wide all-zeros page (post-Reset state);
+//   golden  — points into the immutable, refcounted GoldenImage declared by
+//             MarkCleanBaseline (the downloaded workload image);
+//   private — points at a page owned by this Memory, materialized by the
+//             write barrier on the first CPU/host store to the page.
+//
+// Shared pages are never written: every mutation path funnels through the
+// ownership check in Write/HostWrite/HostWriteRange, which copies the page
+// before the store. This makes the per-experiment reset cycle O(#dirty
+// pages) instead of O(memory size):
+//
+//   Reset()          — repoint every page at the zero page (no memset);
+//   MarkCleanBaseline— intern the contents as a GoldenImage and repoint;
+//   RestoreDelta     — repoint non-golden pages at the golden image, then
+//                      materialize only the delta's pages;
+//   CaptureDelta /   — enumerate privately-owned pages directly; golden
+//   HashCanonicalState pages are skipped by pointer identity and zero pages
+//                      by the image's memoized per-page zero classification.
+//
+// A GoldenRegistry (shared through CpuConfig by the parallel runner's
+// target factories) interns baseline images by content, so N worker targets
+// running the same workload share one physical golden image instead of
+// carrying a full copy each. Retired private pages are recycled through a
+// per-Memory pool, keeping steady-state experiment loops allocation-free.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cpu/edm.hpp"
@@ -29,13 +53,64 @@ struct MemAccess {
   bool ok() const { return violation == EdmType::kNone; }
 };
 
+/// Immutable snapshot of a full memory image, shared read-only across every
+/// Memory whose baseline has the same contents. Built once per workload by
+/// MarkCleanBaseline; page pointers handed to the page tables of all sharing
+/// Memories. Never mutated after construction.
+class GoldenImage {
+ public:
+  /// `words` must be padded to a whole number of pages (Memory pads).
+  explicit GoldenImage(std::vector<uint32_t> words);
+
+  const uint32_t* page(size_t page_index) const;
+  /// Memoized per-page classification: true when the page is all zeros —
+  /// lets zero-state pages skip content compares against the baseline.
+  bool page_zero(size_t page_index) const { return zero_[page_index] != 0; }
+  size_t num_pages() const { return zero_.size(); }
+  size_t word_count() const { return words_.size(); }
+  /// Content digest, for registry interning (memcmp-verified on use).
+  uint64_t content_hash() const { return hash_; }
+  size_t MemoryBytes() const {
+    return words_.capacity() * sizeof(uint32_t) + zero_.capacity();
+  }
+
+ private:
+  std::vector<uint32_t> words_;
+  std::vector<uint8_t> zero_;  ///< per-page all-zeros flag
+  uint64_t hash_ = 0;
+};
+
+/// Thread-safe intern pool for golden images: baselines with identical
+/// contents resolve to one shared GoldenImage. The parallel runner's target
+/// factories install one registry per factory (CpuConfig::golden_registry),
+/// so all worker targets of a campaign share a single physical workload
+/// image. Entries are held weakly — an image dies with its last Memory.
+class GoldenRegistry {
+ public:
+  std::shared_ptr<const GoldenImage> Intern(std::vector<uint32_t> words);
+
+  struct Stats {
+    uint64_t images_interned = 0;  ///< distinct images created
+    uint64_t shared_hits = 0;      ///< Intern calls resolved to an existing image
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<uint64_t, std::weak_ptr<const GoldenImage>>> images_;
+  Stats stats_;
+};
+
 class Memory {
  public:
-  /// Dirty-tracking granularity: 256 words == 1 KiB per page.
+  /// Page granularity: 256 words == 1 KiB per page.
   static constexpr uint32_t kPageWords = 256;
+  static constexpr uint32_t kPageShift = 8;  ///< log2(kPageWords)
+  static constexpr uint32_t kPageMask = kPageWords - 1;
 
-  /// Memory contents relative to the baseline image: only dirty pages are
-  /// stored, so an idle checkpoint costs a few KiB instead of a full copy.
+  /// Memory contents relative to the baseline image: only pages differing
+  /// from the baseline are stored, so an idle checkpoint costs a few KiB
+  /// instead of a full copy.
   struct Delta {
     struct Page {
       uint32_t index;               ///< page number (word index / kPageWords)
@@ -49,83 +124,238 @@ class Memory {
     };
     std::vector<Range> protected_ranges;
 
-    /// Approximate heap footprint, for checkpoint-store accounting.
+    /// Heap footprint for checkpoint-store accounting: counts the actual
+    /// capacity of every heap block reachable from the delta (page vector,
+    /// per-page word buffers, range vector), not just the nominal payload.
     size_t MemoryBytes() const {
-      size_t bytes = pages.size() * (sizeof(Page) + kPageWords * 4) +
-                     protected_ranges.size() * sizeof(Range);
+      size_t bytes = pages.capacity() * sizeof(Page) +
+                     protected_ranges.capacity() * sizeof(Range);
+      for (const Page& page : pages) {
+        bytes += page.words.capacity() * sizeof(uint32_t);
+      }
       return bytes;
     }
   };
 
-  /// `size_bytes` is rounded up to a whole word count.
-  explicit Memory(uint32_t size_bytes);
+  /// Cumulative write-barrier / bulk-write activity since construction.
+  struct Counters {
+    uint64_t cow_faults = 0;       ///< private pages materialized by a store
+    uint64_t pages_recycled = 0;   ///< private pages released back to the pool
+    uint64_t golden_adoptions = 0; ///< bulk writes repointed at the golden page
+    uint64_t bulk_words_skipped = 0; ///< HostWriteRange words already equal
+  };
 
-  uint32_t size_bytes() const { return static_cast<uint32_t>(words_.size()) * 4; }
+  /// Instantaneous page-table occupancy and footprint.
+  struct Residency {
+    size_t total_pages = 0;
+    size_t golden_pages = 0;   ///< shared with the golden image
+    size_t zero_pages = 0;     ///< shared all-zeros page
+    size_t private_pages = 0;  ///< privately owned (copied on write)
+    size_t pool_pages = 0;     ///< recycled private pages awaiting reuse
+    size_t resident_bytes = 0; ///< table + state + private + pooled pages
+    size_t golden_image_bytes = 0;  ///< shared image footprint (whole image)
+    long golden_image_refs = 0;     ///< Memories sharing the golden image
+  };
+
+  /// `size_bytes` is rounded up to a whole word count. `registry`, when
+  /// non-null, interns MarkCleanBaseline images for cross-target sharing.
+  explicit Memory(uint32_t size_bytes,
+                  std::shared_ptr<GoldenRegistry> registry = nullptr);
+
+  uint32_t size_bytes() const { return size_bytes_; }
 
   /// Checked word read at a byte address (alignment + range).
-  MemAccess Read(uint32_t address) const;
+  MemAccess Read(uint32_t address) const {
+    MemAccess out;
+    if (address % 4 != 0) {
+      out.violation = EdmType::kMisalignedAccess;
+      return out;
+    }
+    if (address >= size_bytes_) {
+      out.violation = EdmType::kOutOfRangeAccess;
+      return out;
+    }
+    const uint32_t w = address / 4;
+    out.value = pages_[w >> kPageShift][w & kPageMask];
+    return out;
+  }
 
-  /// Checked word write (alignment + range + protection).
-  MemAccess Write(uint32_t address, uint32_t value);
+  /// Checked word write (alignment + range + protection). The COW barrier is
+  /// the single ownership check below — the only cost the CPU store path
+  /// pays over a flat array.
+  MemAccess Write(uint32_t address, uint32_t value) {
+    MemAccess out;
+    if (address % 4 != 0) {
+      out.violation = EdmType::kMisalignedAccess;
+      return out;
+    }
+    if (address >= size_bytes_) {
+      out.violation = EdmType::kOutOfRangeAccess;
+      return out;
+    }
+    if (IsProtected(address)) {
+      out.violation = EdmType::kMemoryProtection;
+      return out;
+    }
+    const uint32_t w = address / 4;
+    const uint32_t page = w >> kPageShift;
+    if (state_[page] != kPrivate) MaterializePage(page);
+    pages_[page][w & kPageMask] = value;
+    return out;
+  }
 
   /// Unchecked accessors for the host side (workload download, test-card
   /// readMemory/writeMemory, pre-runtime SWIFI mutation). These bypass
   /// protection — the host talks to memory through the test logic, not
   /// through the CPU's load/store path. Out-of-range still fails.
-  util::Status HostWrite(uint32_t address, uint32_t value);
-  util::Result<uint32_t> HostRead(uint32_t address) const;
+  /// Stores of the already-present value are dropped before the write
+  /// barrier, so re-downloads over a shared page keep it shared.
+  util::Status HostWrite(uint32_t address, uint32_t value) {
+    if (address % 4 != 0) return util::InvalidArgument("misaligned host write");
+    if (address >= size_bytes_) {
+      return util::OutOfRange("host write out of range");
+    }
+    const uint32_t w = address / 4;
+    const uint32_t page = w >> kPageShift;
+    if (pages_[page][w & kPageMask] == value) return util::Status::Ok();
+    if (state_[page] != kPrivate) MaterializePage(page);
+    pages_[page][w & kPageMask] = value;
+    return util::Status::Ok();
+  }
+  util::Result<uint32_t> HostRead(uint32_t address) const {
+    if (address % 4 != 0) return util::InvalidArgument("misaligned host read");
+    if (address >= size_bytes_) {
+      return util::OutOfRange("host read out of range");
+    }
+    const uint32_t w = address / 4;
+    return pages_[w >> kPageShift][w & kPageMask];
+  }
+
+  /// Bulk host write of `count` words starting at byte address `address`
+  /// (the workload-download path). Validates alignment and range up front —
+  /// on error nothing is written. Writes that leave a page equal to the
+  /// golden image adopt its page by repointing (zero copies, zero
+  /// allocations — this covers sub-page workload images re-downloaded after
+  /// a Reset, not just full-page runs), runs equal to the current contents
+  /// are skipped, everything else goes through the ordinary write barrier
+  /// one page chunk at a time.
+  util::Status HostWriteRange(uint32_t address, const uint32_t* words,
+                              size_t count);
 
   /// Marks [start, start+length) read-only for CPU stores.
   void Protect(uint32_t start, uint32_t length);
   void ClearProtection();
-  bool IsProtected(uint32_t address) const;
+  bool IsProtected(uint32_t address) const {
+    for (const Range& range : protected_ranges_) {
+      if (address >= range.start && address < range.end) return true;
+    }
+    return false;
+  }
 
-  /// Zeroes all contents, keeps protection ranges cleared. Marks everything
-  /// dirty relative to any previously declared baseline.
+  /// Zeroes all contents, keeps protection ranges cleared. O(#pages) table
+  /// repoint at the shared zero page; private pages return to the pool.
   void Reset();
 
   /// Declares the current contents as the checkpoint baseline (call after
-  /// the workload image is downloaded). Clears the dirty bitmap.
+  /// the workload image is downloaded): interns the image (through the
+  /// registry when one is installed) and repoints the whole table at it.
   void MarkCleanBaseline();
 
   /// Pages currently differing from the baseline, plus protection ranges.
+  /// Before MarkCleanBaseline() the delta carries protection ranges only.
   Delta CaptureDelta() const;
 
-  /// Restores contents to baseline + `delta`. Pages dirtied since the
-  /// baseline but absent from the delta revert to their baseline words.
-  /// Precondition: MarkCleanBaseline() was called and the delta was captured
-  /// from this memory size.
+  /// Restores contents to baseline + `delta`: non-golden pages repoint at
+  /// the golden image, then the delta's pages materialize on top. The delta
+  /// must have been captured from this memory size and baseline.
   void RestoreDelta(const Delta& delta);
 
   /// Hashes the canonical memory state: every page that differs from the
   /// baseline (index + full contents, in page order) plus the protection
   /// ranges. "Canonical" means the digest is a function of the *contents*
-  /// only — dirty pages whose words happen to equal the baseline are skipped,
-  /// so a cold run (all pages dirty after Reset) and a checkpoint-restored
-  /// run hash identically when their memories are equal.
+  /// only — golden pages are skipped by pointer identity, zero pages by the
+  /// image's memoized per-page zero flags, and private pages whose words
+  /// happen to equal the baseline by content compare — so a cold run and a
+  /// checkpoint-restored run hash identically when their memories are equal.
   ///
-  /// With `scrub_clean_pages`, pages verified equal to the baseline get their
-  /// dirty bit cleared. This keeps repeated boundary hashes proportional to
-  /// the truly-dirty working set instead of rescanning an all-dirty bitmap
-  /// every time. Safe because "clean" means exactly "equals baseline", the
-  /// invariant CaptureDelta/RestoreDelta rely on.
-  /// Precondition: MarkCleanBaseline() was called.
+  /// With `scrub_clean_pages`, private pages verified equal to the baseline
+  /// are released back to the golden image (repoint + recycle). This keeps
+  /// repeated boundary hashes proportional to the truly-dirty working set
+  /// and shrinks residency. Safe because "golden" means exactly "equals
+  /// baseline", the invariant CaptureDelta/RestoreDelta rely on. Before
+  /// MarkCleanBaseline() only the protection ranges are digested.
   void HashCanonicalState(StateHasher* hasher, bool scrub_clean_pages);
 
+  // --- observability -------------------------------------------------------
+
+  const Counters& counters() const { return counters_; }
+  Residency residency() const;
+  /// The interned baseline image; null before MarkCleanBaseline.
+  const std::shared_ptr<const GoldenImage>& golden() const { return golden_; }
+
  private:
+  // Page states. kPrivate is the only state the write barrier lets through.
+  static constexpr uint8_t kZero = 0;
+  static constexpr uint8_t kGolden = 1;
+  static constexpr uint8_t kPrivate = 2;
+
   struct Range {
     uint32_t start;
     uint32_t end;  // exclusive
   };
 
-  void MarkDirty(uint32_t word_index) {
-    if (!dirty_.empty()) dirty_[word_index / kPageWords] = 1;
+  /// Valid (in-range) words of `page` — only the last page can be partial.
+  uint32_t PageWordCount(uint32_t page) const {
+    const size_t begin = static_cast<size_t>(page) * kPageWords;
+    const size_t remain = word_count_ - begin;
+    return remain < kPageWords ? static_cast<uint32_t>(remain) : kPageWords;
   }
 
-  std::vector<uint32_t> words_;
+  /// COW fault: gives `page` a private copy of its current contents.
+  void MaterializePage(uint32_t page);
+  /// Releases a private page back to the pool and repoints at `target_ptr`.
+  void ReleasePrivate(uint32_t page, const uint32_t* target_ptr,
+                      uint8_t target_state);
+  /// True when the page's current contents equal the golden page.
+  bool PageEqualsGolden(uint32_t page) const;
+
+  uint32_t size_bytes_ = 0;
+  size_t word_count_ = 0;
+  size_t num_pages_ = 0;
+  std::vector<uint32_t*> pages_;  ///< read view; write-safe only when private
+  std::vector<uint8_t> state_;    ///< kZero / kGolden / kPrivate per page
+  std::vector<std::unique_ptr<uint32_t[]>> private_pages_;  ///< slot per page
+  std::vector<std::unique_ptr<uint32_t[]>> pool_;  ///< recycled private pages
+  std::shared_ptr<const GoldenImage> golden_;  ///< null until baseline set
+  std::shared_ptr<GoldenRegistry> registry_;
   std::vector<Range> protected_ranges_;
-  std::vector<uint32_t> baseline_;  ///< empty until MarkCleanBaseline
-  std::vector<uint8_t> dirty_;      ///< per-page; empty until baseline set
+  Counters counters_;
+};
+
+/// Aggregates per-Memory residency/counter stats across the targets of a
+/// run, counting each distinct golden image once (the point of sharing).
+class MemoryUsageAggregator {
+ public:
+  struct Totals {
+    int targets = 0;
+    uint64_t golden_pages = 0;
+    uint64_t zero_pages = 0;
+    uint64_t private_pages = 0;
+    uint64_t pool_pages = 0;
+    uint64_t cow_faults = 0;
+    uint64_t golden_adoptions = 0;
+    uint64_t pages_recycled = 0;
+    uint64_t resident_bytes = 0;      ///< sum of per-target residency
+    uint64_t golden_image_bytes = 0;  ///< distinct images, counted once
+    int golden_images = 0;            ///< distinct images seen
+  };
+
+  void Add(const Memory& memory);
+  const Totals& totals() const { return totals_; }
+
+ private:
+  Totals totals_;
+  std::vector<const GoldenImage*> seen_images_;
 };
 
 }  // namespace goofi::cpu

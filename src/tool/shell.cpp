@@ -306,6 +306,11 @@ util::Result<std::string> Shell::CmdRun(const std::vector<std::string>& args) {
   last_run_.stats = stats;
   last_run_.warm_starts = target.value().algorithms->warm_starts();
   last_run_.prune = target.value().algorithms->prune_stats();
+  cpu::MemoryUsageAggregator memory_usage;
+  if (const cpu::Memory* memory = target.value().algorithms->TargetMemory()) {
+    memory_usage.Add(*memory);
+  }
+  last_run_.memory = memory_usage.totals();
   return util::Format("campaign %s: %d experiments run, %d resumed\n",
                       args[0].c_str(), stats.experiments_run,
                       stats.experiments_resumed);
@@ -341,6 +346,7 @@ util::Result<std::string> Shell::CmdRunParallel(
   last_run_.stats = stats;
   last_run_.warm_starts = runner.warm_starts();
   last_run_.prune = runner.prune_stats();
+  last_run_.memory = runner.memory_usage();
   return util::Format(
       "campaign %s: %d experiments run on %d workers, %d resumed\n",
       args[0].c_str(), stats.experiments_run, runner.workers_used(),
@@ -403,6 +409,7 @@ util::Result<std::string> Shell::CmdRunDedup(
   last_run_.warm_starts = runner.warm_starts();
   last_run_.prune = runner.prune_stats();
   last_run_.dedup = runner.dedup_stats();
+  last_run_.memory = runner.memory_usage();
   return util::Format(
       "campaign %s: %d experiments run on %d workers (%lld classes, "
       "%lld synthesized, %lld pruned), %d resumed\n",
@@ -456,6 +463,7 @@ util::Result<std::string> Shell::RunWarmOrPruned(
   last_run_.stats = stats;
   last_run_.warm_starts = runner.warm_starts();
   last_run_.prune = runner.prune_stats();
+  last_run_.memory = runner.memory_usage();
   if (pruned) {
     return util::Format(
         "campaign %s: %d experiments run on %d workers (%d warm starts, "
@@ -534,6 +542,34 @@ util::Result<std::string> Shell::CmdStats() const {
       "  spot checks:              %lld run, %lld passed\n",
       static_cast<long long>(last_run_.dedup.spot_checks_run),
       static_cast<long long>(last_run_.dedup.spot_checks_passed));
+  // Copy-on-write memory: how the run's targets shared the workload image
+  // (golden pages by pointer, one physical image for all workers) and how
+  // much was privately materialized by the write barrier.
+  const cpu::MemoryUsageAggregator::Totals& memory = last_run_.memory;
+  if (memory.targets > 0) {
+    out << util::Format("memory (COW paging, %d target%s):\n", memory.targets,
+                        memory.targets == 1 ? "" : "s");
+    out << util::Format(
+        "  shared pages:             %llu golden, %llu zero\n",
+        static_cast<unsigned long long>(memory.golden_pages),
+        static_cast<unsigned long long>(memory.zero_pages));
+    out << util::Format("  private pages:            %llu (+%llu pooled)\n",
+                        static_cast<unsigned long long>(memory.private_pages),
+                        static_cast<unsigned long long>(memory.pool_pages));
+    out << util::Format(
+        "  cow page copies:          %llu (%llu golden adoptions)\n",
+        static_cast<unsigned long long>(memory.cow_faults),
+        static_cast<unsigned long long>(memory.golden_adoptions));
+    out << util::Format(
+        "  resident bytes/target:    %llu\n",
+        static_cast<unsigned long long>(
+            memory.resident_bytes /
+            static_cast<uint64_t>(memory.targets)));
+    out << util::Format(
+        "  golden images:            %d shared (%llu bytes total)\n",
+        memory.golden_images,
+        static_cast<unsigned long long>(memory.golden_image_bytes));
+  }
   return out.str();
 }
 

@@ -131,6 +131,9 @@ class Shell {
     int warm_starts = 0;
     core::ConvergenceStats prune;
     core::EquivalenceStats dedup;
+    /// COW memory residency/counters over the run's targets (serial: the
+    /// registered target; parallel: every worker, golden images deduped).
+    cpu::MemoryUsageAggregator::Totals memory;
   };
 
   db::Database* db_;

@@ -1,0 +1,573 @@
+// Differential suite for the copy-on-write paged cpu::Memory.
+//
+// The headline property: COW paging is an invisible optimization. A flat
+// word-vector reference model (the historical implementation: full-size
+// baseline copy + per-page dirty bitmap) is driven through randomized
+// store / bulk-write / reset / baseline / snapshot / restore / hash
+// sequences in lockstep with the real Memory, comparing word-for-word
+// contents, captured deltas, and canonical state hashes (hash + capture
+// blob) at every step. On top sit targeted tests for the sharing machinery
+// (golden-image interning, cross-Memory isolation, zero-copy adoption,
+// scrub recycling, atomic bulk-write validation, delta heap accounting) and
+// a runner-level check that campaign databases stay byte-identical across
+// cold / warm / pruned / dedup runs at 1-8 workers.
+#include "cpu/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "core/goofi.hpp"
+#include "core/parallel_runner.hpp"
+#include "cpu/state_hash.hpp"
+#include "db/database.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi::cpu {
+namespace {
+
+// --- the flat reference model ----------------------------------------------
+
+/// The pre-COW Memory semantics, verbatim: flat word vector, full baseline
+/// copy, per-page dirty bitmap (empty until MarkCleanBaseline), content
+/// compares to keep deltas and hashes canonical.
+class FlatMemory {
+ public:
+  static constexpr uint32_t kPageWords = Memory::kPageWords;
+
+  explicit FlatMemory(uint32_t size_bytes) : words_((size_bytes + 3) / 4, 0) {}
+
+  uint32_t size_bytes() const {
+    return static_cast<uint32_t>(words_.size()) * 4;
+  }
+
+  MemAccess Read(uint32_t address) const {
+    MemAccess out;
+    if (address % 4 != 0) {
+      out.violation = EdmType::kMisalignedAccess;
+      return out;
+    }
+    if (address >= size_bytes()) {
+      out.violation = EdmType::kOutOfRangeAccess;
+      return out;
+    }
+    out.value = words_[address / 4];
+    return out;
+  }
+
+  MemAccess Write(uint32_t address, uint32_t value) {
+    MemAccess out;
+    if (address % 4 != 0) {
+      out.violation = EdmType::kMisalignedAccess;
+      return out;
+    }
+    if (address >= size_bytes()) {
+      out.violation = EdmType::kOutOfRangeAccess;
+      return out;
+    }
+    if (IsProtected(address)) {
+      out.violation = EdmType::kMemoryProtection;
+      return out;
+    }
+    words_[address / 4] = value;
+    MarkDirty(address / 4);
+    return out;
+  }
+
+  bool HostWrite(uint32_t address, uint32_t value) {
+    if (address % 4 != 0 || address >= size_bytes()) return false;
+    words_[address / 4] = value;
+    MarkDirty(address / 4);
+    return true;
+  }
+
+  bool HostWriteRange(uint32_t address, const uint32_t* range_words,
+                      size_t count) {
+    if (address % 4 != 0) return false;
+    if (static_cast<uint64_t>(address) + count * 4 >
+        static_cast<uint64_t>(size_bytes())) {
+      return false;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      words_[address / 4 + i] = range_words[i];
+      MarkDirty(address / 4 + static_cast<uint32_t>(i));
+    }
+    return true;
+  }
+
+  bool HostRead(uint32_t address, uint32_t* value) const {
+    if (address % 4 != 0 || address >= size_bytes()) return false;
+    *value = words_[address / 4];
+    return true;
+  }
+
+  void Protect(uint32_t start, uint32_t length) {
+    protected_.push_back({start, start + length});
+  }
+  void ClearProtection() { protected_.clear(); }
+  bool IsProtected(uint32_t address) const {
+    for (const auto& range : protected_) {
+      if (address >= range.first && address < range.second) return true;
+    }
+    return false;
+  }
+
+  void Reset() {
+    std::fill(words_.begin(), words_.end(), 0u);
+    protected_.clear();
+    std::fill(dirty_.begin(), dirty_.end(), static_cast<uint8_t>(1));
+  }
+
+  void MarkCleanBaseline() {
+    baseline_ = words_;
+    dirty_.assign((words_.size() + kPageWords - 1) / kPageWords, 0);
+  }
+
+  Memory::Delta CaptureDelta() const {
+    Memory::Delta delta;
+    for (size_t page = 0; page < dirty_.size(); ++page) {
+      if (!dirty_[page]) continue;
+      const size_t begin = page * kPageWords;
+      const size_t end = std::min(begin + kPageWords, words_.size());
+      if (std::equal(words_.begin() + static_cast<ptrdiff_t>(begin),
+                     words_.begin() + static_cast<ptrdiff_t>(end),
+                     baseline_.begin() + static_cast<ptrdiff_t>(begin))) {
+        continue;
+      }
+      Memory::Delta::Page out;
+      out.index = static_cast<uint32_t>(page);
+      out.words.assign(words_.begin() + static_cast<ptrdiff_t>(begin),
+                       words_.begin() + static_cast<ptrdiff_t>(end));
+      delta.pages.push_back(std::move(out));
+    }
+    for (const auto& range : protected_) {
+      delta.protected_ranges.push_back({range.first, range.second});
+    }
+    return delta;
+  }
+
+  void RestoreDelta(const Memory::Delta& delta) {
+    for (size_t page = 0; page < dirty_.size(); ++page) {
+      if (!dirty_[page]) continue;
+      const size_t begin = page * kPageWords;
+      const size_t end = std::min(begin + kPageWords, words_.size());
+      std::copy(baseline_.begin() + static_cast<ptrdiff_t>(begin),
+                baseline_.begin() + static_cast<ptrdiff_t>(end),
+                words_.begin() + static_cast<ptrdiff_t>(begin));
+      dirty_[page] = 0;
+    }
+    for (const Memory::Delta::Page& page : delta.pages) {
+      const size_t begin = static_cast<size_t>(page.index) * kPageWords;
+      std::copy(page.words.begin(), page.words.end(),
+                words_.begin() + static_cast<ptrdiff_t>(begin));
+      dirty_[page.index] = 1;
+    }
+    protected_.clear();
+    for (const Memory::Delta::Range& range : delta.protected_ranges) {
+      protected_.push_back({range.start, range.end});
+    }
+  }
+
+  void HashCanonicalState(StateHasher* hasher, bool scrub_clean_pages) {
+    for (size_t page = 0; page < dirty_.size(); ++page) {
+      if (!dirty_[page]) continue;
+      const size_t begin = page * kPageWords;
+      const size_t end = std::min(begin + kPageWords, words_.size());
+      if (std::equal(words_.begin() + static_cast<ptrdiff_t>(begin),
+                     words_.begin() + static_cast<ptrdiff_t>(end),
+                     baseline_.begin() + static_cast<ptrdiff_t>(begin))) {
+        if (scrub_clean_pages) dirty_[page] = 0;
+        continue;
+      }
+      hasher->U32(static_cast<uint32_t>(page));
+      hasher->Words(words_.data() + begin, end - begin);
+    }
+    hasher->U64(protected_.size());
+    for (const auto& range : protected_) {
+      hasher->U32(range.first);
+      hasher->U32(range.second);
+    }
+  }
+
+  const std::vector<uint32_t>& words() const { return words_; }
+  const std::vector<uint32_t>& baseline() const { return baseline_; }
+  bool has_baseline() const { return !baseline_.empty(); }
+
+ private:
+  void MarkDirty(uint32_t word_index) {
+    if (!dirty_.empty()) dirty_[word_index / kPageWords] = 1;
+  }
+
+  std::vector<uint32_t> words_;
+  std::vector<std::pair<uint32_t, uint32_t>> protected_;
+  std::vector<uint32_t> baseline_;
+  std::vector<uint8_t> dirty_;
+};
+
+// --- lockstep helpers -------------------------------------------------------
+
+void ExpectSameContents(const Memory& cow, const FlatMemory& flat,
+                        const std::string& context) {
+  for (uint32_t address = 0; address < flat.size_bytes(); address += 4) {
+    auto value = cow.HostRead(address);
+    ASSERT_TRUE(value.ok()) << context;
+    ASSERT_EQ(value.value(), flat.words()[address / 4])
+        << context << " at address " << address;
+  }
+}
+
+void ExpectSameDelta(const Memory::Delta& a, const Memory::Delta& b,
+                     const std::string& context) {
+  ASSERT_EQ(a.pages.size(), b.pages.size()) << context;
+  for (size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].index, b.pages[i].index) << context;
+    EXPECT_EQ(a.pages[i].words, b.pages[i].words) << context;
+  }
+  ASSERT_EQ(a.protected_ranges.size(), b.protected_ranges.size()) << context;
+  for (size_t i = 0; i < a.protected_ranges.size(); ++i) {
+    EXPECT_EQ(a.protected_ranges[i].start, b.protected_ranges[i].start)
+        << context;
+    EXPECT_EQ(a.protected_ranges[i].end, b.protected_ranges[i].end) << context;
+  }
+}
+
+void ExpectSameHash(Memory& cow, FlatMemory& flat, bool scrub,
+                    const std::string& context) {
+  StateHasher cow_hash(/*capture=*/true);
+  StateHasher flat_hash(/*capture=*/true);
+  cow.HashCanonicalState(&cow_hash, scrub);
+  flat.HashCanonicalState(&flat_hash, scrub);
+  EXPECT_EQ(cow_hash.hash(), flat_hash.hash()) << context;
+  EXPECT_EQ(cow_hash.blob(), flat_hash.blob()) << context;
+}
+
+// --- the differential fuzzer ------------------------------------------------
+
+TEST(MemoryCowFuzz, RandomOpSequencesMatchFlatModel) {
+  constexpr uint32_t kSizeBytes = 32 * 1024;  // 32 pages
+  for (uint32_t seed = 1; seed <= 12; ++seed) {
+    std::mt19937 rng(seed);
+    auto registry = std::make_shared<GoldenRegistry>();
+    Memory cow(kSizeBytes, registry);
+    FlatMemory flat(kSizeBytes);
+    // Captured (cow, flat) delta pairs available for restore.
+    std::vector<std::pair<Memory::Delta, Memory::Delta>> snapshots;
+
+    auto random_address = [&]() {
+      // Mostly valid aligned addresses, with misaligned and out-of-range
+      // probes mixed in to exercise the checked paths.
+      const uint32_t roll = rng() % 100;
+      if (roll < 90) return (rng() % (kSizeBytes / 4)) * 4;
+      if (roll < 95) return rng() % kSizeBytes;  // possibly misaligned
+      return kSizeBytes + (rng() % 64) * 4;      // out of range
+    };
+
+    const std::string ctx_seed = "seed " + std::to_string(seed);
+    for (int op = 0; op < 4000; ++op) {
+      const std::string context =
+          ctx_seed + " op " + std::to_string(op);
+      switch (rng() % 12) {
+        case 0:
+        case 1:
+        case 2: {  // CPU store
+          const uint32_t address = random_address();
+          const uint32_t value = rng();
+          const MemAccess a = cow.Write(address, value);
+          const MemAccess b = flat.Write(address, value);
+          ASSERT_EQ(a.violation, b.violation) << context;
+          break;
+        }
+        case 3:
+        case 4: {  // host store
+          const uint32_t address = random_address();
+          const uint32_t value = rng() % 4 == 0 ? 0 : rng();
+          const bool a = cow.HostWrite(address, value).ok();
+          const bool b = flat.HostWrite(address, value);
+          ASSERT_EQ(a, b) << context;
+          break;
+        }
+        case 5: {  // bulk host store; sometimes baseline content (adoption)
+          const uint32_t address = random_address();
+          const size_t count = rng() % (3 * Memory::kPageWords);
+          std::vector<uint32_t> data(count);
+          if (flat.has_baseline() && rng() % 2 == 0 &&
+              address + count * 4 <= kSizeBytes && address % 4 == 0) {
+            for (size_t i = 0; i < count; ++i) {
+              data[i] = flat.baseline()[address / 4 + i];
+            }
+          } else {
+            for (uint32_t& word : data) word = rng();
+          }
+          const bool a = cow.HostWriteRange(address, data.data(), count).ok();
+          const bool b = flat.HostWriteRange(address, data.data(), count);
+          ASSERT_EQ(a, b) << context;
+          break;
+        }
+        case 6: {  // reads
+          const uint32_t address = random_address();
+          const MemAccess a = cow.Read(address);
+          const MemAccess b = flat.Read(address);
+          ASSERT_EQ(a.violation, b.violation) << context;
+          ASSERT_EQ(a.value, b.value) << context;
+          break;
+        }
+        case 7: {  // protection
+          if (rng() % 4 == 0) {
+            cow.ClearProtection();
+            flat.ClearProtection();
+          } else {
+            const uint32_t start = (rng() % (kSizeBytes / 4)) * 4;
+            const uint32_t length = (rng() % 512) * 4;
+            cow.Protect(start, length);
+            flat.Protect(start, length);
+          }
+          break;
+        }
+        case 8: {  // power-cycle reset
+          cow.Reset();
+          flat.Reset();
+          break;
+        }
+        case 9: {  // re-baseline (also resets which snapshots stay valid)
+          cow.MarkCleanBaseline();
+          flat.MarkCleanBaseline();
+          snapshots.clear();
+          break;
+        }
+        case 10: {  // snapshot / restore
+          if (flat.has_baseline()) {
+            if (!snapshots.empty() && rng() % 2 == 0) {
+              const auto& pair = snapshots[rng() % snapshots.size()];
+              cow.RestoreDelta(pair.first);
+              flat.RestoreDelta(pair.second);
+            } else {
+              Memory::Delta a = cow.CaptureDelta();
+              Memory::Delta b = flat.CaptureDelta();
+              ExpectSameDelta(a, b, context);
+              snapshots.emplace_back(std::move(a), std::move(b));
+            }
+          }
+          break;
+        }
+        default: {  // canonical hash (+ occasional scrub)
+          if (flat.has_baseline()) {
+            ExpectSameHash(cow, flat, rng() % 2 == 0, context);
+          }
+          break;
+        }
+      }
+      if (op % 500 == 499) ExpectSameContents(cow, flat, context);
+    }
+    ExpectSameContents(cow, flat, ctx_seed + " final");
+    if (flat.has_baseline()) {
+      ExpectSameHash(cow, flat, /*scrub=*/true, ctx_seed + " final");
+      ExpectSameDelta(cow.CaptureDelta(), flat.CaptureDelta(),
+                      ctx_seed + " final");
+    }
+  }
+}
+
+// --- sharing machinery ------------------------------------------------------
+
+TEST(MemoryCowTest, RegistryInternsSharedGoldenImages) {
+  auto registry = std::make_shared<GoldenRegistry>();
+  Memory a(16 * 1024, registry);
+  Memory b(16 * 1024, registry);
+  for (uint32_t i = 0; i < 1024; ++i) {
+    ASSERT_TRUE(a.HostWrite(i * 4, i * 2654435761u).ok());
+    ASSERT_TRUE(b.HostWrite(i * 4, i * 2654435761u).ok());
+  }
+  a.MarkCleanBaseline();
+  b.MarkCleanBaseline();
+  // Identical contents resolve to one physical image.
+  ASSERT_NE(a.golden(), nullptr);
+  EXPECT_EQ(a.golden().get(), b.golden().get());
+  EXPECT_EQ(registry->stats().images_interned, 1u);
+  EXPECT_EQ(registry->stats().shared_hits, 1u);
+  EXPECT_EQ(a.residency().golden_image_refs, 2);
+
+  // Writes through one Memory must never leak into the other (the write
+  // barrier materializes a private copy before the store lands).
+  ASSERT_TRUE(a.HostWrite(0, 0xdeadbeef).ok());
+  EXPECT_EQ(a.HostRead(0).value(), 0xdeadbeefu);
+  EXPECT_EQ(b.HostRead(0).value(), 0u);
+  a.Reset();
+  EXPECT_EQ(b.HostRead(4).value(), 2654435761u);
+
+  // Different contents stay distinct.
+  Memory c(16 * 1024, registry);
+  ASSERT_TRUE(c.HostWrite(0, 7).ok());
+  c.MarkCleanBaseline();
+  EXPECT_NE(c.golden().get(), b.golden().get());
+  EXPECT_EQ(registry->stats().images_interned, 2u);
+}
+
+TEST(MemoryCowTest, RedownloadAdoptsGoldenPagesWithoutCopying) {
+  Memory memory(16 * 1024);
+  std::vector<uint32_t> image(2 * Memory::kPageWords);
+  for (size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<uint32_t>(i) | 0x5a000000u;
+  }
+  // Download, declare baseline, power-cycle, re-download: the second
+  // download must repoint at the golden image instead of materializing.
+  ASSERT_TRUE(memory.HostWriteRange(0, image.data(), image.size()).ok());
+  memory.MarkCleanBaseline();
+  memory.Reset();
+  EXPECT_EQ(memory.residency().zero_pages, memory.residency().total_pages);
+  const uint64_t faults_before = memory.counters().cow_faults;
+  ASSERT_TRUE(memory.HostWriteRange(0, image.data(), image.size()).ok());
+  EXPECT_EQ(memory.counters().cow_faults, faults_before);
+  EXPECT_EQ(memory.counters().golden_adoptions, 2u);
+  EXPECT_EQ(memory.residency().private_pages, 0u);
+  EXPECT_EQ(memory.HostRead(4).value(), image[1]);
+}
+
+TEST(MemoryCowTest, ScrubReleasesCleanPrivatePagesToGolden) {
+  Memory memory(16 * 1024);
+  ASSERT_TRUE(memory.HostWrite(0, 41).ok());
+  memory.MarkCleanBaseline();
+  // Dirty a page, then write the baseline value back: content is clean but
+  // the page is privately owned until a scrubbing hash releases it.
+  ASSERT_TRUE(memory.Write(0, 1234).ok());
+  ASSERT_TRUE(memory.Write(0, 41).ok());
+  EXPECT_EQ(memory.residency().private_pages, 1u);
+  StateHasher hasher;
+  memory.HashCanonicalState(&hasher, /*scrub_clean_pages=*/true);
+  EXPECT_EQ(memory.residency().private_pages, 0u);
+  EXPECT_GE(memory.counters().pages_recycled, 1u);
+  EXPECT_EQ(memory.HostRead(0).value(), 41u);
+}
+
+TEST(MemoryCowTest, HostWriteRangeValidatesBeforeWriting) {
+  Memory memory(4 * 1024);
+  std::vector<uint32_t> data(16, 0x11111111u);
+  // Misaligned: rejected outright.
+  EXPECT_FALSE(memory.HostWriteRange(2, data.data(), data.size()).ok());
+  // Tail out of range: nothing is written, not even the in-range prefix.
+  EXPECT_FALSE(
+      memory.HostWriteRange(4 * 1024 - 8, data.data(), data.size()).ok());
+  for (uint32_t address = 0; address < 4 * 1024; address += 4) {
+    EXPECT_EQ(memory.HostRead(address).value(), 0u);
+  }
+}
+
+TEST(MemoryCowTest, DeltaMemoryBytesCountsHeapCapacity) {
+  Memory memory(16 * 1024);
+  memory.MarkCleanBaseline();
+  ASSERT_TRUE(memory.Write(0, 1).ok());
+  ASSERT_TRUE(memory.Write(4096, 2).ok());
+  memory.Protect(0, 64);
+  const Memory::Delta delta = memory.CaptureDelta();
+  ASSERT_EQ(delta.pages.size(), 2u);
+  // The accounting must cover the per-page word buffers (the dominant term)
+  // plus the page and range vectors' actual capacities.
+  size_t expected = delta.pages.capacity() * sizeof(Memory::Delta::Page) +
+                    delta.protected_ranges.capacity() *
+                        sizeof(Memory::Delta::Range);
+  for (const auto& page : delta.pages) {
+    expected += page.words.capacity() * sizeof(uint32_t);
+  }
+  EXPECT_EQ(delta.MemoryBytes(), expected);
+  EXPECT_GE(delta.MemoryBytes(), 2 * Memory::kPageWords * sizeof(uint32_t));
+}
+
+// --- runner-level database identity ----------------------------------------
+
+core::CampaignData SmallScifiCampaign() {
+  core::CampaignData campaign;
+  campaign.name = "cow_scifi";
+  campaign.target_name = core::ThorRdTarget::kTargetName;
+  campaign.technique = core::Technique::kScifi;
+  campaign.fault_model = core::FaultModelKind::kTransientBitFlip;
+  campaign.num_experiments = 8;
+  campaign.workload = "bubblesort";
+  campaign.locations = {{"internal_regfile", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 1000;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+struct RunArtifacts {
+  util::Status status;
+  std::string db_bytes;
+};
+
+/// Runs the campaign in a fresh session and returns the saved database file.
+template <typename Configure>
+RunArtifacts RunWith(const core::CampaignData& campaign, Configure configure) {
+  db::Database db;
+  core::CampaignStore store(&db);
+  testcard::SimTestCard card;
+  EXPECT_TRUE(store
+                  .PutTargetSystem(core::ThorRdTarget::DescribeTarget(
+                      card, core::ThorRdTarget::kTargetName))
+                  .ok());
+  EXPECT_TRUE(store.PutCampaign(campaign).ok());
+  RunArtifacts artifacts;
+  artifacts.status = configure(store);
+  const std::string path =
+      testing::TempDir() + "goofi_memory_cow_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".db";
+  EXPECT_TRUE(db.Save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  artifacts.db_bytes = buffer.str();
+  std::remove(path.c_str());
+  return artifacts;
+}
+
+TEST(MemoryCowRunnerTest, ColdWarmPrunedDedupDatabasesMatchSerial) {
+  const core::CampaignData campaign = SmallScifiCampaign();
+
+  const RunArtifacts serial = RunWith(campaign, [&](core::CampaignStore& s) {
+    testcard::SimTestCard card;
+    core::ThorRdTarget target(&s, &card);
+    return target.RunCampaign(campaign.name);
+  });
+  ASSERT_TRUE(serial.status.ok()) << serial.status.ToString();
+  ASSERT_FALSE(serial.db_bytes.empty());
+
+  for (int workers : {1, 2, 4, 8}) {
+    for (int mode = 0; mode < 4; ++mode) {
+      const std::string context = "workers " + std::to_string(workers) +
+                                  " mode " + std::to_string(mode);
+      const RunArtifacts parallel =
+          RunWith(campaign, [&](core::CampaignStore& s) {
+            core::ParallelCampaignRunner runner(
+                &s, core::MakeSimThorFactory(&s), workers);
+            switch (mode) {
+              case 0:  // cold: defaults, no checkpoint fast-forward
+                break;
+              case 1:  // warm
+                runner.SetForceWarmStart(true);
+                break;
+              case 2:  // pruned
+                runner.SetForceWarmStart(true);
+                runner.SetConvergencePruning(true);
+                break;
+              default:  // dedup
+                runner.SetForceWarmStart(true);
+                runner.SetConvergencePruning(true);
+                runner.SetEquivalenceClassing(true);
+                runner.SetSpotCheckEvery(1);
+                break;
+            }
+            return runner.Run(campaign.name);
+          });
+      ASSERT_TRUE(parallel.status.ok())
+          << context << ": " << parallel.status.ToString();
+      EXPECT_EQ(serial.db_bytes, parallel.db_bytes)
+          << context << ": database must be byte-identical to serial";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace goofi::cpu
