@@ -41,6 +41,14 @@ std::string ExperimentName(int i) {
   return buf;
 }
 
+/// `prefix + std::to_string(n)` without the rvalue operator+ that trips
+/// GCC 12's -Wrestrict false positive (PR105329).
+std::string Tagged(const char* prefix, uint64_t n) {
+  std::string out = prefix;
+  out += std::to_string(n);
+  return out;
+}
+
 /// 100k logged-state rows spread over 32 campaigns on one target. Rows are
 /// chained (each names its predecessor as parentExperiment) except every
 /// 100th, which is a top-level experiment with a NULL parent.
@@ -52,21 +60,22 @@ Database MakeCampaignArchive() {
   if (!store.PutTargetSystem(target).ok()) std::abort();
   for (int c = 0; c < kCampaigns; ++c) {
     core::CampaignData campaign;
-    campaign.name = "c" + std::to_string(c);
+    campaign.name = Tagged("c", static_cast<uint64_t>(c));
     campaign.target_name = "t";
     campaign.workload = "w";
     if (!store.PutCampaign(campaign).ok()) std::abort();
   }
   db::Table* table = database.GetTable("LoggedSystemState");
   for (int i = 0; i < kRows; ++i) {
-    const std::string campaign = "c" + std::to_string(i % kCampaigns);
+    const std::string campaign =
+        Tagged("c", static_cast<uint64_t>(i % kCampaigns));
     const Value parent = (i % 100 == 0 || i == 0)
                              ? Value::Null()
                              : Value::Text(ExperimentName(i - 1));
     const auto st = table->Insert(
         {Value::Text(ExperimentName(i)), parent, Value::Text(campaign),
          Value::Text(i % 3 == 0 ? "faults=a" : "faults=b"),
-         Value::Text("state:" + std::to_string(i * 2654435761u))});
+         Value::Text(Tagged("state:", i * 2654435761u))});
     if (!st.ok()) {
       std::fprintf(stderr, "populate: %s\n", st.ToString().c_str());
       std::abort();

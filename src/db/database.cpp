@@ -312,34 +312,52 @@ util::Status Database::SaveLegacyText(const std::string& path) const {
     out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     buf.clear();
   };
+  // Fields are appended one at a time: chained `"lit" + EscapeField(...)`
+  // builds a temporary per join and trips GCC 12's -Wrestrict false positive
+  // (PR105329) on the rvalue operator+; plain += does neither.
   buf += "GOOFIDB 1\n";
   for (const auto& [key, table] : tables_) {
     const Schema& schema = table->schema();
-    buf += "TABLE " + util::EscapeField(schema.table_name()) + " " +
-           std::to_string(schema.num_columns()) + "\n";
+    buf += "TABLE ";
+    buf += util::EscapeField(schema.table_name());
+    buf += " ";
+    buf += std::to_string(schema.num_columns());
+    buf += "\n";
     for (const Column& col : schema.columns()) {
-      buf += "COL " + util::EscapeField(col.name) + "\t" +
-             ValueTypeName(col.type) + "\t" + (col.not_null ? "1" : "0") + "\n";
+      buf += "COL ";
+      buf += util::EscapeField(col.name);
+      buf += "\t";
+      buf += ValueTypeName(col.type);
+      buf += "\t";
+      buf += col.not_null ? "1" : "0";
+      buf += "\n";
     }
     if (!schema.primary_key().empty()) {
       buf += "PK";
       for (const auto& col : schema.primary_key()) {
-        buf += "\t" + util::EscapeField(col);
+        buf += "\t";
+        buf += util::EscapeField(col);
       }
       buf += "\n";
     }
     for (const ForeignKey& fk : schema.foreign_keys()) {
-      buf += "FK\t" + util::EscapeField(fk.ref_table) + "\t" +
-             std::to_string(fk.local_columns.size());
+      buf += "FK\t";
+      buf += util::EscapeField(fk.ref_table);
+      buf += "\t";
+      buf += std::to_string(fk.local_columns.size());
       for (const auto& col : fk.local_columns) {
-        buf += "\t" + util::EscapeField(col);
+        buf += "\t";
+        buf += util::EscapeField(col);
       }
       for (const auto& col : fk.ref_columns) {
-        buf += "\t" + util::EscapeField(col);
+        buf += "\t";
+        buf += util::EscapeField(col);
       }
       buf += "\n";
     }
-    buf += "ROWS " + std::to_string(table->size()) + "\n";
+    buf += "ROWS ";
+    buf += std::to_string(table->size());
+    buf += "\n";
     emit();
     table->ForEach([&](const Row& row) {
       for (size_t i = 0; i < row.size(); ++i) {
@@ -352,7 +370,9 @@ util::Status Database::SaveLegacyText(const std::string& path) const {
     buf += "END\n";
     emit();
   }
-  buf += "CRC " + util::Format("%08x", crc.Value()) + "\n";
+  buf += "CRC ";
+  buf += util::Format("%08x", crc.Value());
+  buf += "\n";
   out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   out.flush();
   if (!out) return util::IoError("write failed for " + path);

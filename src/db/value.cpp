@@ -121,15 +121,24 @@ std::string Value::ToString() const {
 }
 
 std::string Value::Serialize() const {
+  // Built as tag-then-append: `"I" + std::to_string(...)` trips GCC 12's
+  // -Wrestrict false positive (PR105329) once the rvalue operator+ inlines.
+  std::string out;
   switch (type()) {
     case ValueType::kNull:
       return "N";
     case ValueType::kInt:
-      return "I" + std::to_string(as_int());
+      out = "I";
+      out += std::to_string(as_int());
+      return out;
     case ValueType::kReal:
-      return "R" + util::Format("%.17g", as_real());
+      out = "R";
+      out += util::Format("%.17g", as_real());
+      return out;
     case ValueType::kText:
-      return "T" + as_text();
+      out = "T";
+      out += as_text();
+      return out;
   }
   return "N";
 }

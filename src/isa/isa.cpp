@@ -180,7 +180,11 @@ std::optional<std::string> RegisterName(int reg) {
   if (reg < 0 || reg >= kNumRegisters) return std::nullopt;
   if (reg == kLinkRegister) return "lr";
   if (reg == kStackPointer) return "sp";
-  return "r" + std::to_string(reg);
+  // Tag-then-append: `"r" + std::to_string(reg)` trips GCC 12's -Wrestrict
+  // false positive (PR105329) when the rvalue operator+ inlines.
+  std::string name = "r";
+  name += std::to_string(reg);
+  return name;
 }
 
 std::optional<int> ParseRegister(std::string_view name) {
