@@ -1,0 +1,203 @@
+// E20 — static fault-space pruning: run-static (equivalence classes from the
+// CFG/dataflow analysis alone, no fault-free pre-run) vs a cold run and vs
+// PR 7's timeline-driven run-dedup, single worker.
+//
+// Two cells on the sparse_table workload, each picking the location class one
+// mechanism is strongest on:
+//
+//   dense regfile — every flip lands in a register the program provably never
+//     touches (regfile.r12). Convergence pruning never fires (the flip stays
+//     in every boundary hash), so cold executes the full run per experiment;
+//     both dedup and static collapse the campaign to at most one class per
+//     chain bit. Static matches dedup here while skipping the golden pre-run.
+//
+//   sparse memory — flips spread over the data section, ~80% landing in the
+//     52-word never-read table tail. Dedup's windows are per (address, bit):
+//     two tail flips in different words never share a class, so almost
+//     nothing is synthesized. The static predicate merges the whole tail
+//     into ONE class regardless of address, bit or time — this cell is where
+//     static classing beats access-window classing structurally.
+//
+// `--json <path>` writes the headline metrics (scripts/bench.sh ->
+// BENCH_PR10.json). Acceptance: static_prune_rate_regfile_dense >= 0.9 and
+// static_speedup_vs_dedup_memory_sparse >= 1.5x.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/preinjection.hpp"
+#include "core/static_analysis.hpp"
+
+namespace goofi::bench {
+namespace {
+
+struct Cell {
+  const char* location;  ///< location class label
+  const char* density;   ///< sampling density label
+  core::Technique technique;
+  core::FaultLocationSelector selector;
+  int experiments;
+};
+
+core::CampaignData Campaign(const std::string& name, const Cell& cell) {
+  core::CampaignData campaign;
+  campaign.name = name;
+  campaign.technique = cell.technique;
+  campaign.target_name = cell.technique == core::Technique::kScifi
+                             ? core::ThorRdTarget::kTargetName
+                             : core::SwifiSimTarget::kTargetName;
+  campaign.workload = "sparse_table";
+  campaign.num_experiments = cell.experiments;
+  campaign.locations = {cell.selector};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 80;
+  campaign.timeout_cycles = 100000000;
+  return campaign;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+enum class Mode { kPlain, kDedup, kStatic };
+
+double RunOnce(const core::CampaignData& campaign, Mode mode,
+               const std::shared_ptr<const core::LivenessAnalyzer>& timeline,
+               const std::shared_ptr<const core::StaticAnalysis>& analysis,
+               core::EquivalenceStats* dedup) {
+  db::Database db;
+  core::CampaignStore store(&db);
+  if (campaign.target_name == core::ThorRdTarget::kTargetName) {
+    testcard::SimTestCard card;
+    if (!store
+             .PutTargetSystem(core::ThorRdTarget::DescribeTarget(
+                 card, core::ThorRdTarget::kTargetName))
+             .ok()) {
+      std::abort();
+    }
+  } else if (!store.PutTargetSystem(core::SwifiSimTarget::Describe()).ok()) {
+    std::abort();
+  }
+  if (!store.PutCampaign(campaign).ok()) std::abort();
+  const auto factory = campaign.target_name == core::ThorRdTarget::kTargetName
+                           ? core::MakeSimThorFactory(&store)
+                           : core::MakeSwifiSimFactory(&store);
+  core::ParallelCampaignRunner runner(&store, factory, /*workers=*/1);
+  if (mode != Mode::kPlain) {
+    runner.SetForceWarmStart(true);
+    runner.SetConvergencePruning(true);
+    runner.SetEquivalenceClassing(true);
+  }
+  if (mode == Mode::kDedup) runner.SetEquivalenceTimeline(timeline);
+  if (mode == Mode::kStatic) runner.SetStaticAnalysis(analysis);
+  const auto start = std::chrono::steady_clock::now();
+  if (auto st = runner.Run(campaign.name); !st.ok()) {
+    std::fprintf(stderr, "run %s: %s\n", campaign.name.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  const double elapsed = SecondsSince(start);
+  if (dedup != nullptr) *dedup = runner.dedup_stats();
+  return elapsed;
+}
+
+void Main(int argc, char** argv) {
+  JsonReport json;
+  std::printf(
+      "Static fault-space pruning (E20): run-static vs cold vs run-dedup, "
+      "1 worker, sparse_table\n\n");
+
+  // Preparation costs, reported side by side: dedup needs a full fault-free
+  // execution (the access timeline); static needs one CFG + dataflow pass.
+  auto build_start = std::chrono::steady_clock::now();
+  auto timeline_built = core::LivenessAnalyzer::Build(
+      "sparse_table", cpu::CpuConfig(), 100000000, 200);
+  if (!timeline_built.ok()) std::abort();
+  const double timeline_s = SecondsSince(build_start);
+  const std::shared_ptr<const core::LivenessAnalyzer> timeline(
+      std::move(timeline_built).value());
+
+  build_start = std::chrono::steady_clock::now();
+  auto analysis_built = core::StaticAnalysis::Build("sparse_table");
+  if (!analysis_built.ok()) std::abort();
+  const double static_s = SecondsSince(build_start);
+  const std::shared_ptr<const core::StaticAnalysis> analysis(
+      std::move(analysis_built).value());
+  std::printf("preparation: timeline (golden pre-run) %.6fs, static analysis "
+              "%.6fs\n\n", timeline_s, static_s);
+  json.Add("timeline_build_s", timeline_s);
+  json.Add("static_build_s", static_s);
+
+  const std::vector<Cell> cells = {
+      {"regfile", "dense", core::Technique::kScifi,
+       {"internal_regfile", "regfile.r12"}, 320},
+      {"memory", "sparse", core::Technique::kSwifiRuntime,
+       {"memory.data", ""}, 320},
+  };
+
+  std::printf("%-8s %-7s %-7s %10s %16s %9s %8s %7s\n", "location", "density",
+              "mode", "time [s]", "experiments/sec", "speedup", "classes",
+              "synth");
+  for (const Cell& cell : cells) {
+    const std::string base =
+        std::string("sp_") + cell.location + "_" + cell.density;
+    const std::string suffix =
+        std::string("_") + cell.location + "_" + cell.density;
+
+    core::CampaignData campaign = Campaign(base + "_plain", cell);
+    const double plain_s =
+        RunOnce(campaign, Mode::kPlain, nullptr, nullptr, nullptr);
+    std::printf("%-8s %-7s %-7s %10.3f %16.1f %9s %8s %7s\n", cell.location,
+                cell.density, "plain", plain_s, cell.experiments / plain_s,
+                "1.00x", "-", "-");
+    json.Add("plain_eps" + suffix, cell.experiments / plain_s);
+
+    campaign.name = base + "_dedup";
+    core::EquivalenceStats dedup;
+    const double dedup_s =
+        RunOnce(campaign, Mode::kDedup, timeline, nullptr, &dedup);
+    std::printf("%-8s %-7s %-7s %10.3f %16.1f %8.2fx %8lld %7lld\n",
+                cell.location, cell.density, "dedup", dedup_s,
+                cell.experiments / dedup_s, plain_s / dedup_s,
+                static_cast<long long>(dedup.classes_formed),
+                static_cast<long long>(dedup.experiments_synthesized));
+    json.Add("dedup_eps" + suffix, cell.experiments / dedup_s);
+
+    campaign.name = base + "_static";
+    core::EquivalenceStats spruned;
+    const double sprune_s =
+        RunOnce(campaign, Mode::kStatic, nullptr, analysis, &spruned);
+    std::printf("%-8s %-7s %-7s %10.3f %16.1f %8.2fx %8lld %7lld\n",
+                cell.location, cell.density, "static", sprune_s,
+                cell.experiments / sprune_s, plain_s / sprune_s,
+                static_cast<long long>(spruned.classes_formed),
+                static_cast<long long>(spruned.static_synthesized));
+    const double prune_rate =
+        static_cast<double>(spruned.static_synthesized) / cell.experiments;
+    json.Add("static_eps" + suffix, cell.experiments / sprune_s);
+    json.Add("static_speedup_vs_plain" + suffix, plain_s / sprune_s);
+    json.Add("static_speedup_vs_dedup" + suffix, dedup_s / sprune_s);
+    json.Add("static_prune_rate" + suffix, prune_rate);
+    json.Add("static_classes" + suffix,
+             static_cast<uint64_t>(spruned.classes_formed));
+    json.Add("static_synthesized" + suffix,
+             static_cast<uint64_t>(spruned.static_synthesized));
+  }
+  std::printf(
+      "\nHeadline: static_prune_rate_regfile_dense (target >= 0.9) and "
+      "static_speedup_vs_dedup_memory_sparse (target >= 1.5x).\n");
+
+  if (const char* path = JsonOutputPath(argc, argv)) json.Write(path);
+}
+
+}  // namespace
+}  // namespace goofi::bench
+
+int main(int argc, char** argv) {
+  goofi::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Performance tracking: builds and runs the JSON-emitting benchmarks, leaves
 # one BENCH_<name>.json per benchmark in the build directory, and aggregates
-# them into BENCH_PR9.json at the repo root.
+# them into BENCH_PR10.json at the repo root.
 #
 # Currently covered:
 #   BENCH_checkpoint.json — experiments/sec cold vs warm (checkpoint
@@ -27,6 +27,11 @@
 #   memory reset/restore throughput vs the flat full-copy reference,
 #   setup-dominated campaign experiments/sec, and per-worker resident bytes
 #   with the golden workload image interned once per campaign.
+#   BENCH_static_prune.json — static fault-space pruning (E20): run-static
+#   (no-effect classes from CFG + dataflow analysis alone, no golden pre-run)
+#   vs cold and vs timeline-driven run-dedup, on a dense never-accessed
+#   register cell and a sparse never-read memory cell, plus prune rates and
+#   the timeline-vs-static preparation cost.
 #
 # Usage: scripts/bench.sh [build-dir]     (default: build)
 set -euo pipefail
@@ -43,7 +48,7 @@ fi
 cmake --build "$BUILD_DIR" -j "$JOBS" \
     --target bench_checkpoint_fastforward bench_cpu_throughput \
              bench_convergence_pruning bench_database bench_equivalence_dedup \
-             bench_archive_io bench_memory_reset
+             bench_archive_io bench_memory_reset bench_static_prune
 
 "$BUILD_DIR"/bench/bench_checkpoint_fastforward \
     --json "$BUILD_DIR"/BENCH_checkpoint.json
@@ -66,6 +71,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
 "$BUILD_DIR"/bench/bench_memory_reset \
     --json "$BUILD_DIR"/BENCH_memory_reset.json
 
+"$BUILD_DIR"/bench/bench_static_prune \
+    --json "$BUILD_DIR"/BENCH_static_prune.json
+
 # One aggregate file at the repo root: nested objects keyed by benchmark.
 # Each per-bench file is a single flat JSON object on one line.
 {
@@ -76,8 +84,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" \
   printf '  "database": %s,\n' "$(cat "$BUILD_DIR"/BENCH_database.json)"
   printf '  "equivalence_dedup": %s,\n' "$(cat "$BUILD_DIR"/BENCH_equivalence_dedup.json)"
   printf '  "archive_io": %s,\n' "$(cat "$BUILD_DIR"/BENCH_archive_io.json)"
-  printf '  "memory_reset": %s\n' "$(cat "$BUILD_DIR"/BENCH_memory_reset.json)"
+  printf '  "memory_reset": %s,\n' "$(cat "$BUILD_DIR"/BENCH_memory_reset.json)"
+  printf '  "static_prune": %s\n' "$(cat "$BUILD_DIR"/BENCH_static_prune.json)"
   printf '}\n'
-} > BENCH_PR9.json
+} > BENCH_PR10.json
 
-echo "bench: OK (BENCH_PR9.json; per-bench JSON in $BUILD_DIR/)"
+echo "bench: OK (BENCH_PR10.json; per-bench JSON in $BUILD_DIR/)"

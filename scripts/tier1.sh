@@ -9,15 +9,26 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== tier-1: standard build + ctest =="
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+echo "== tier-1: standard build (-Werror) + ctest =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence + equivalence + archive commits + COW golden sharing) =="
+echo "== tier-1: clang-tidy over src/ (see .clang-tidy) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The standard build exports compile_commands.json (CMakeLists.txt sets
+  # CMAKE_EXPORT_COMPILE_COMMANDS); run the tuned check set over every
+  # source file in src/.
+  find src -name '*.cpp' -print0 \
+    | xargs -0 -n 8 -P "$JOBS" clang-tidy -p "$BUILD_DIR" --quiet
+else
+  echo "clang-tidy not installed; skipping lint stanza (gcc -Werror still ran)"
+fi
+
+echo "== tier-1: ThreadSanitizer pass (parallel runner + thread pool + checkpoints + convergence + equivalence + archive commits + COW golden sharing + static pruning) =="
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=thread
-cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test equivalence_test archive_test memory_cow_test
+cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_test checkpoint_test convergence_test equivalence_test archive_test memory_cow_test static_analysis_test
 "$TSAN_DIR"/tests/thread_pool_test
 "$TSAN_DIR"/tests/parallel_runner_test
 "$TSAN_DIR"/tests/checkpoint_test
@@ -25,11 +36,12 @@ cmake --build "$TSAN_DIR" -j "$JOBS" --target thread_pool_test parallel_runner_t
 "$TSAN_DIR"/tests/equivalence_test
 "$TSAN_DIR"/tests/archive_test --gtest_filter='ArchiveRunnerTest.*'
 "$TSAN_DIR"/tests/memory_cow_test --gtest_filter='MemoryCowRunnerTest.*'
+"$TSAN_DIR"/tests/static_analysis_test --gtest_filter='RunStaticTest.*'
 
 echo "== tier-1: ASan pass (superblock fast-path differential fuzzer) =="
 ASAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGOOFI_SANITIZE=address
-cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test equivalence_test archive_test memory_cow_test
+cmake --build "$ASAN_DIR" -j "$JOBS" --target cpu_fastpath_test convergence_test sql_index_test equivalence_test archive_test memory_cow_test static_analysis_test
 "$ASAN_DIR"/tests/cpu_fastpath_test
 
 echo "== tier-1: ASan pass (COW paged memory differential fuzzer) =="
@@ -40,6 +52,9 @@ echo "== tier-1: ASan pass (state-hash / canonical-memory fuzzers) =="
 
 echo "== tier-1: ASan pass (equivalence-classing spot-check fuzzer) =="
 "$ASAN_DIR"/tests/equivalence_test --gtest_filter='*Fuzz*'
+
+echo "== tier-1: ASan pass (static analyzer differential + run-static identity) =="
+"$ASAN_DIR"/tests/static_analysis_test
 
 echo "== tier-1: ASan pass (indexed-vs-scan SQL differential suite) =="
 "$ASAN_DIR"/tests/sql_index_test
@@ -80,5 +95,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_archive_io
 echo "== tier-1: zero-copy experiment reset benchmark (BENCH_memory_reset.json) =="
 cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_memory_reset
 "$BUILD_DIR"/bench/bench_memory_reset --json "$BUILD_DIR"/BENCH_memory_reset.json
+
+echo "== tier-1: static fault-space pruning benchmark (BENCH_static_prune.json) =="
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_static_prune
+"$BUILD_DIR"/bench/bench_static_prune --json "$BUILD_DIR"/BENCH_static_prune.json
 
 echo "tier-1: OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/algorithms.hpp"
+#include "core/static_analysis.hpp"
 #include "isa/isa.hpp"
 #include "util/strings.hpp"
 
@@ -30,8 +31,15 @@ std::optional<EquivalenceClasser::Key> EquivalenceClasser::Classify(
   if (config_.technique == Technique::kSwifiPreRuntime) {
     // Pre-runtime SWIFI mutates the image before the workload runs and
     // ignores inject_instr entirely: identical (address, bit) means an
-    // identical experiment, no timeline needed.
+    // identical experiment, no timeline needed. A word the static analysis
+    // proves never-read is stronger still: the mutated image executes
+    // exactly like the golden one, whatever the address or bit — one class
+    // for all of them.
     if (fault.IsScanFault()) return std::nullopt;
+    if (config_.static_analysis != nullptr &&
+        config_.static_analysis->MemoryWordNeverRead(fault.address)) {
+      return Key{7, 0, 0, 0, 0};
+    }
     return Key{3, fault.address, fault.bit, 0, 0};
   }
 
@@ -54,6 +62,27 @@ std::optional<EquivalenceClasser::Key> EquivalenceClasser::Classify(
     // whatever the location. One class for all of them.
     return Key{4, 0, 0, 0, 0};
   }
+  // Static no-effect classes (t < end established above). A flip into a
+  // register no reachable instruction touches stays in place untouched: the
+  // final scan image is golden ^ flip for every injection time, so one class
+  // per (register, chain bit). A flip into a memory word that is never
+  // loaded, fetched or host-read is invisible outright — memory is not part
+  // of the logged state — so every such (address, bit, time) collapses into
+  // a single class. Neither needs the execution timeline.
+  if (config_.static_analysis != nullptr) {
+    if (config_.technique == Technique::kScifi && fault.IsScanFault() &&
+        util::StartsWith(fault.cell_name, "regfile.")) {
+      const auto reg = isa::ParseRegister(fault.cell_name.substr(8));
+      if (reg && config_.static_analysis->RegisterNeverAccessed(*reg)) {
+        return Key{5, static_cast<uint32_t>(*reg), fault.chain_bit, 0, 0};
+      }
+    }
+    if (config_.technique == Technique::kSwifiRuntime && !fault.IsScanFault() &&
+        config_.static_analysis->MemoryWordNeverRead(fault.address)) {
+      return Key{6, 0, 0, 0, 0};
+    }
+  }
+
   if (timeline_ == nullptr || timeline_->trace_length() < end) {
     // No (or truncated) access timeline: no window reasoning.
     return std::nullopt;
@@ -106,7 +135,8 @@ void EquivalenceClasser::Add(int id, const std::vector<FaultInstance>& faults) {
   Class cls;
   cls.members = {id};
   cls.representative = id;
-  cls.suffix_filtered = !key || key->kind != 3;
+  cls.suffix_filtered = !key || (key->kind != 3 && key->kind != 7);
+  cls.static_no_effect = key && key->kind >= 5;
   classes_.push_back(std::move(cls));
   representative_time_.push_back(time);
 }

@@ -24,18 +24,24 @@
 
 namespace goofi::core {
 
+class StaticAnalysis;
+
 /// Dedup observability counters. Deliberately outside
 /// FaultInjectionAlgorithms::Stats — deduped and plain runs must compare
 /// equal on Stats.
 struct EquivalenceStats {
   int64_t classes_formed = 0;          ///< classes with >= 2 members
   int64_t experiments_synthesized = 0; ///< member rows rewritten, not run
+  /// Of experiments_synthesized: members of static no-effect classes (key
+  /// kinds 5-7), which needed no golden-run timeline at all.
+  int64_t static_synthesized = 0;
   int64_t spot_checks_run = 0;
   int64_t spot_checks_passed = 0;
 
   EquivalenceStats& operator+=(const EquivalenceStats& other) {
     classes_formed += other.classes_formed;
     experiments_synthesized += other.experiments_synthesized;
+    static_synthesized += other.static_synthesized;
     spot_checks_run += other.spot_checks_run;
     spot_checks_passed += other.spot_checks_passed;
     return *this;
@@ -55,6 +61,11 @@ class EquivalenceClasser {
     /// experiments stay singletons.
     bool has_golden_end = false;
     uint64_t golden_end_instret = 0;
+    /// Optional static workload analysis (core/static_analysis). Enables the
+    /// static no-effect classes — flips into statically never-accessed
+    /// registers (kind 5) and never-read memory words (kinds 6/7) — which
+    /// need no execution timeline. Must outlive the classer.
+    const StaticAnalysis* static_analysis = nullptr;
   };
 
   struct Class {
@@ -69,6 +80,10 @@ class EquivalenceClasser {
     /// member's injection time (runtime injection) or a verbatim copy
     /// (pre-runtime SWIFI, which ignores injection times entirely).
     bool suffix_filtered = true;
+    /// Formed from a static no-effect key (kinds 5-7): the flip is provably
+    /// invisible, so members synthesize from a golden-identical
+    /// representative. Counted separately in EquivalenceStats.
+    bool static_no_effect = false;
   };
 
   /// `timeline` may be null: only past-end and pre-runtime classes form
@@ -92,7 +107,10 @@ class EquivalenceClasser {
 
  private:
   struct Key {
-    int kind = 0;           // 1 reg window, 2 mem window, 3 pre-runtime, 4 past-end
+    // 1 reg window, 2 mem window, 3 pre-runtime, 4 past-end,
+    // 5 static never-accessed register, 6 static never-read word (runtime),
+    // 7 static never-read word (pre-runtime)
+    int kind = 0;
     uint32_t location = 0;  // register index or byte address
     uint32_t bit = 0;       // chain bit or word bit
     uint64_t window = 0;    // data-access window ordinal

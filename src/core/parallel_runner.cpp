@@ -315,6 +315,7 @@ util::Status ParallelCampaignRunner::RunDeduped(
   config.faults_per_experiment = campaign.faults_per_experiment;
   config.has_golden_end = true;
   config.golden_end_instret = reference_state.instret;
+  config.static_analysis = equivalence_static_.get();
   EquivalenceClasser classer(equivalence_timeline_.get(), config);
   for (size_t pos = 0; pos < pending.size(); ++pos) {
     classer.Add(static_cast<int>(pos), plans[pos]);
@@ -410,6 +411,7 @@ util::Status ParallelCampaignRunner::RunDeduped(
                                   pending[pos], plans[pos],
                                   cls.suffix_filtered);
       ++dedup_stats_.experiments_synthesized;
+      if (cls.static_no_effect) ++dedup_stats_.static_synthesized;
     }
     const LoggedState last_state = rows.front().state;
     for (CampaignStore::ExperimentRow& row : rows) {

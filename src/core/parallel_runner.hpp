@@ -114,6 +114,15 @@ class ParallelCampaignRunner {
     equivalence_timeline_ = std::move(timeline);
   }
 
+  /// Static workload analysis (core/static_analysis) for the no-effect
+  /// classes — flips into statically never-accessed registers or never-read
+  /// memory words. Optional and independent of the timeline: `run-static`
+  /// passes only this, skipping the golden pre-run entirely. Shared
+  /// read-only across the run.
+  void SetStaticAnalysis(std::shared_ptr<const StaticAnalysis> analysis) {
+    equivalence_static_ = std::move(analysis);
+  }
+
   /// Spot-check sampling: every n-th multi-member class re-executes one
   /// synthesized member on the committer's private target after the commit
   /// loop and verifies StateHasher blob equality of the full row set — the
@@ -171,6 +180,7 @@ class ParallelCampaignRunner {
   ConvergenceStats prune_stats_;
   bool equivalence_classing_ = false;
   std::shared_ptr<const LivenessAnalyzer> equivalence_timeline_;
+  std::shared_ptr<const StaticAnalysis> equivalence_static_;
   int spot_check_every_ = 4;
   EquivalenceStats dedup_stats_;
   cpu::MemoryUsageAggregator::Totals memory_usage_;

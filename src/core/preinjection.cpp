@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cpu/access.hpp"
 #include "env/environment.hpp"
 #include "util/strings.hpp"
 
@@ -19,47 +20,19 @@ struct AccessSet {
 };
 
 AccessSet AccessesOf(const isa::Instruction& ins, const cpu::Cpu& cpu) {
-  using isa::Opcode;
+  // The architectural classification is shared with the static analyzer
+  // (cpu/access.hpp) so the static-dead ⊆ dynamic-dead invariant compares
+  // identical semantics; only the address needs live register values.
+  const cpu::InstructionAccess access = cpu::ClassifyAccess(ins);
   AccessSet out;
-  const isa::OpcodeInfo& info = isa::GetOpcodeInfo(ins.op);
-  switch (info.format) {
-    case isa::Format::kR:
-      if (ins.op == Opcode::kJr) {
-        out.reg_reads.push_back(ins.rs1);
-        break;
-      }
-      out.reg_reads.push_back(ins.rs1);
-      out.reg_reads.push_back(ins.rs2);
-      out.reg_writes.push_back(ins.rd);
-      break;
-    case isa::Format::kI:
-      if (ins.op == Opcode::kLdw) {
-        out.reg_reads.push_back(ins.rs1);
-        out.reg_writes.push_back(ins.rd);
-        out.mem_read = true;
-        out.mem_address = cpu.reg(ins.rs1) + static_cast<uint32_t>(ins.imm);
-      } else if (ins.op == Opcode::kStw) {
-        out.reg_reads.push_back(ins.rs1);
-        out.reg_reads.push_back(ins.rd);
-        out.mem_write = true;
-        out.mem_address = cpu.reg(ins.rs1) + static_cast<uint32_t>(ins.imm);
-      } else if (ins.op >= Opcode::kBeq && ins.op <= Opcode::kBgeu) {
-        out.reg_reads.push_back(ins.rd);
-        out.reg_reads.push_back(ins.rs1);
-      } else if (ins.op == Opcode::kLui) {
-        out.reg_writes.push_back(ins.rd);
-      } else if (ins.op == Opcode::kTrap) {
-        // no register traffic
-      } else {
-        out.reg_reads.push_back(ins.rs1);
-        out.reg_writes.push_back(ins.rd);
-      }
-      break;
-    case isa::Format::kJ:
-      if (ins.op == Opcode::kJal) out.reg_writes.push_back(isa::kLinkRegister);
-      break;
-    case isa::Format::kNone:
-      break;
+  for (uint8_t i = 0; i < access.read_count; ++i) {
+    out.reg_reads.push_back(access.reads[i]);
+  }
+  if (access.writes_reg) out.reg_writes.push_back(access.write_reg);
+  out.mem_read = access.mem_read;
+  out.mem_write = access.mem_write;
+  if (access.mem_read || access.mem_write) {
+    out.mem_address = cpu.reg(ins.rs1) + static_cast<uint32_t>(ins.imm);
   }
   return out;
 }
@@ -86,6 +59,22 @@ bool LivenessAnalyzer::MemoryWordLive(uint32_t address, uint64_t instret) const 
   const auto it = memory_accesses_.find(address & ~3u);
   if (it == memory_accesses_.end()) return false;
   return LiveAt(it->second, instret);
+}
+
+bool LivenessAnalyzer::RegisterEverAccessed(int reg) const {
+  if (reg < 0 || reg >= isa::kNumRegisters) return false;
+  return !register_accesses_[static_cast<size_t>(reg)].empty();
+}
+
+bool LivenessAnalyzer::MemoryWordEverRead(uint32_t address) const {
+  const auto it = memory_accesses_.find(address & ~3u);
+  if (it == memory_accesses_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [](const Access& access) { return access.is_read; });
+}
+
+bool LivenessAnalyzer::MemoryWordEverFetched(uint32_t address) const {
+  return fetch_accesses_.count(address & ~3u) > 0;
 }
 
 size_t LivenessAnalyzer::WindowOf(const std::vector<Access>& accesses,

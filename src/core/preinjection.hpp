@@ -71,6 +71,23 @@ class LivenessAnalyzer {
   /// to this one.
   size_t FetchAccessWindow(uint32_t address, uint64_t instret) const;
 
+  // --- whole-trace access queries (core/static_analysis differential) ------
+  //
+  // The static analyzer's prune predicates must be subsets of these dynamic
+  // facts: a statically never-accessed register was never accessed in the
+  // fault-free run, and a statically never-read memory word was never read,
+  // fetched or host-read in it.
+
+  /// Whether the fault-free run ever read or wrote register `reg`.
+  bool RegisterEverAccessed(int reg) const;
+
+  /// Whether the fault-free run ever read the word at `address` — LDW,
+  /// host-side actuator reads, or the final host read of the result words.
+  bool MemoryWordEverRead(uint32_t address) const;
+
+  /// Whether the word at `address` was ever fetched as an instruction.
+  bool MemoryWordEverFetched(uint32_t address) const;
+
   /// The filter for FaultInjectionAlgorithms::SetLivenessFilter. The
   /// analyzer must outlive the returned callable. Classification:
   ///   regfile.*  -> register liveness

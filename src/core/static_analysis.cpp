@@ -1,0 +1,915 @@
+#include "core/static_analysis.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "cpu/access.hpp"
+#include "util/strings.hpp"
+
+namespace goofi::core {
+
+namespace {
+
+using isa::Opcode;
+
+// --- interval domain ---------------------------------------------------------
+//
+// Each register holds an interval of its *uint32 value* ([0, 2^32)). Any
+// operation whose result could wrap, or whose signed reinterpretation could
+// differ from the unsigned one, goes straight to Top — precision only has to
+// survive the address arithmetic the workloads actually use (lui/li bases,
+// addi/add/slli/mul-by-constant indexing, branch-guarded loop counters).
+
+constexpr int64_t kUMax = 0xFFFFFFFF;
+constexpr int64_t kSMax = 0x7FFFFFFF;
+/// Joins at one block before widening kicks in (then bounds jump to 0/kUMax).
+constexpr int kWidenAfter = 8;
+/// A bounded load/store window wider than this degrades instead of marking.
+constexpr int64_t kMaxAccessSpanBytes = 1 << 16;
+
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = kUMax;
+
+  bool IsConst() const { return lo == hi; }
+  bool operator==(const Interval&) const = default;
+};
+
+constexpr Interval TopI() { return {0, kUMax}; }
+constexpr Interval ConstI(int64_t v) { return {v, v}; }
+
+/// Interval from raw bounds; wrap-capable results degrade to Top.
+Interval ClampI(int64_t lo, int64_t hi) {
+  if (lo < 0 || hi > kUMax || lo > hi) return TopI();
+  return {lo, hi};
+}
+
+struct IntervalState {
+  bool bottom = true;  ///< no path reaches this point
+  std::array<Interval, isa::kNumRegisters> regs{};
+
+  bool operator==(const IntervalState&) const = default;
+};
+
+Interval RegOf(const IntervalState& state, int reg) {
+  if (reg == 0) return ConstI(0);  // hardwired zero
+  return state.regs[static_cast<size_t>(reg)];
+}
+
+void SetReg(IntervalState* state, int reg, const Interval& value) {
+  if (reg == 0) return;  // writes to r0 are discarded
+  state->regs[static_cast<size_t>(reg)] = value;
+}
+
+/// Abstract transfer of one decoded instruction (address needed for JAL).
+void ApplyInstruction(IntervalState* state, const isa::CfgInstruction& ci) {
+  if (ci.decoded.fault != isa::PredecodeFault::kNone) return;  // no access
+  const isa::Instruction& ins = ci.decoded.ins;
+  const Interval a = RegOf(*state, ins.rs1);
+  const Interval b = RegOf(*state, ins.rs2);
+  const int64_t imm = ins.imm;
+  switch (ins.op) {
+    case Opcode::kAdd:
+      SetReg(state, ins.rd, ClampI(a.lo + b.lo, a.hi + b.hi));
+      break;
+    case Opcode::kSub:
+      SetReg(state, ins.rd, ClampI(a.lo - b.hi, a.hi - b.lo));
+      break;
+    case Opcode::kMul: {
+      // Nonnegative signed operands, product within int32: no wrap, and the
+      // extremes are the products of the bounds.
+      int64_t lo = 0;
+      int64_t hi = 0;
+      if (a.hi <= kSMax && b.hi <= kSMax &&
+          !__builtin_mul_overflow(a.lo, b.lo, &lo) &&
+          !__builtin_mul_overflow(a.hi, b.hi, &hi) && hi <= kSMax) {
+        SetReg(state, ins.rd, {lo, hi});
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    }
+    case Opcode::kDiv:
+      if (b.IsConst() && b.lo > 0 && a.hi <= kSMax) {
+        SetReg(state, ins.rd, {a.lo / b.lo, a.hi / b.lo});
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    case Opcode::kAnd:
+      if (a.IsConst() && b.IsConst()) {
+        SetReg(state, ins.rd, ConstI(a.lo & b.lo));
+      } else {
+        SetReg(state, ins.rd, {0, std::min(a.hi, b.hi)});
+      }
+      break;
+    case Opcode::kOr:
+      if (a.IsConst() && b.IsConst()) {
+        SetReg(state, ins.rd, ConstI(a.lo | b.lo));
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    case Opcode::kXor:
+      if (a.IsConst() && b.IsConst()) {
+        SetReg(state, ins.rd, ConstI(a.lo ^ b.lo));
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kSra:
+      SetReg(state, ins.rd, TopI());  // register-count shifts: not tracked
+      break;
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+    case Opcode::kSlti:
+      SetReg(state, ins.rd, {0, 1});
+      break;
+    case Opcode::kAddi:
+      SetReg(state, ins.rd, ClampI(a.lo + imm, a.hi + imm));
+      break;
+    case Opcode::kAndi:
+      if (a.IsConst()) {
+        SetReg(state, ins.rd,
+               ConstI(static_cast<uint32_t>(a.lo) & static_cast<uint32_t>(imm)));
+      } else if (imm >= 0) {
+        SetReg(state, ins.rd, {0, std::min(a.hi, imm)});
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    case Opcode::kOri:
+      if (a.IsConst()) {
+        SetReg(state, ins.rd,
+               ConstI(static_cast<uint32_t>(a.lo) | static_cast<uint32_t>(imm)));
+      } else if (imm == 0) {
+        SetReg(state, ins.rd, a);
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    case Opcode::kXori:
+      if (a.IsConst()) {
+        SetReg(state, ins.rd,
+               ConstI(static_cast<uint32_t>(a.lo) ^ static_cast<uint32_t>(imm)));
+      } else if (imm == 0) {
+        SetReg(state, ins.rd, a);
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    case Opcode::kSlli: {
+      const int64_t shift = imm & 31;
+      if (a.hi <= (kUMax >> shift)) {
+        SetReg(state, ins.rd, {a.lo << shift, a.hi << shift});
+      } else {
+        SetReg(state, ins.rd, TopI());
+      }
+      break;
+    }
+    case Opcode::kSrli: {
+      const int64_t shift = imm & 31;
+      SetReg(state, ins.rd, {a.lo >> shift, a.hi >> shift});
+      break;
+    }
+    case Opcode::kLui:
+      SetReg(state, ins.rd, ConstI(static_cast<uint32_t>(ins.imm) << 14));
+      break;
+    case Opcode::kLdw:
+      SetReg(state, ins.rd, TopI());  // loaded values are not tracked
+      break;
+    case Opcode::kJal:
+      SetReg(state, isa::kLinkRegister, ConstI(ci.address + 4));
+      break;
+    default:
+      break;  // stores, branches, jumps, nop, halt, trap: no register write
+  }
+}
+
+bool IsBranchOp(Opcode op) {
+  return op >= Opcode::kBeq && op <= Opcode::kBgeu;
+}
+
+/// Narrows `state` along a branch edge. `taken` selects the branch-taken
+/// condition; infeasible edges return bottom. Signed compares refine only
+/// when both operands provably lie in [0, 2^31), where the signed and
+/// unsigned orders agree with the interval model.
+IntervalState RefineBranch(const IntervalState& state,
+                           const isa::Instruction& ins, bool taken) {
+  Interval lhs = RegOf(state, ins.rd);
+  Interval rhs = RegOf(state, ins.rs1);
+  const bool is_signed = ins.op == Opcode::kBlt || ins.op == Opcode::kBge;
+  if (is_signed && (lhs.hi > kSMax || rhs.hi > kSMax)) return state;
+
+  enum class Rel { kEq, kNe, kLt, kGe };
+  Rel rel;
+  switch (ins.op) {
+    case Opcode::kBeq:
+      rel = taken ? Rel::kEq : Rel::kNe;
+      break;
+    case Opcode::kBne:
+      rel = taken ? Rel::kNe : Rel::kEq;
+      break;
+    case Opcode::kBlt:
+    case Opcode::kBltu:
+      rel = taken ? Rel::kLt : Rel::kGe;
+      break;
+    default:  // kBge / kBgeu
+      rel = taken ? Rel::kGe : Rel::kLt;
+      break;
+  }
+
+  switch (rel) {
+    case Rel::kEq:
+      lhs = {std::max(lhs.lo, rhs.lo), std::min(lhs.hi, rhs.hi)};
+      rhs = lhs;
+      break;
+    case Rel::kNe:
+      // Only const-vs-boundary exclusion is expressible with intervals.
+      if (rhs.IsConst()) {
+        if (lhs.IsConst() && lhs.lo == rhs.lo) {
+          lhs = {1, 0};  // empty
+        } else if (lhs.lo == rhs.lo) {
+          ++lhs.lo;
+        } else if (lhs.hi == rhs.lo) {
+          --lhs.hi;
+        }
+      } else if (lhs.IsConst()) {
+        if (rhs.lo == lhs.lo) {
+          ++rhs.lo;
+        } else if (rhs.hi == lhs.lo) {
+          --rhs.hi;
+        }
+      }
+      break;
+    case Rel::kLt:  // lhs < rhs
+      lhs.hi = std::min(lhs.hi, rhs.hi - 1);
+      rhs.lo = std::max(rhs.lo, lhs.lo + 1);
+      break;
+    case Rel::kGe:  // lhs >= rhs
+      lhs.lo = std::max(lhs.lo, rhs.lo);
+      rhs.hi = std::min(rhs.hi, lhs.hi);
+      break;
+  }
+  if (lhs.lo > lhs.hi || rhs.lo > rhs.hi) return IntervalState{};  // bottom
+  IntervalState out = state;
+  SetReg(&out, ins.rd, lhs);
+  SetReg(&out, ins.rs1, rhs);
+  return out;
+}
+
+class IntervalClient {
+ public:
+  using State = IntervalState;
+
+  explicit IntervalClient(const isa::Cfg& cfg) : cfg_(cfg) {
+    // Widening points: blocks entered by an address-order back edge. Every
+    // CFG cycle contains at least one (a cycle must jump backwards in address
+    // space somewhere), which is all termination needs — widening at every
+    // join would also destroy branch-guard refinements of loop *bodies* (the
+    // refined interval re-joins the widened one and gets widened again).
+    loop_head_.resize(cfg.blocks().size(), false);
+    for (size_t b = 0; b < cfg.blocks().size(); ++b) {
+      for (size_t p : cfg.blocks()[b].predecessors) {
+        if (cfg.blocks()[p].begin_addr >= cfg.blocks()[b].begin_addr) {
+          loop_head_[b] = true;
+        }
+      }
+    }
+  }
+
+  bool forward() const { return true; }
+  State Bottom() const { return State{}; }
+
+  State Initial(size_t) const {
+    // Reset() zeroes r1..r14 and points sp at the top of memory; sp is left
+    // at Top so the analysis needs no memory-size parameter (stack traffic
+    // then degrades, which sp-free workloads never notice).
+    State state;
+    state.bottom = false;
+    state.regs.fill(ConstI(0));
+    state.regs[isa::kStackPointer] = TopI();
+    return state;
+  }
+
+  State Transfer(size_t block, const State& input) const {
+    if (input.bottom) return input;
+    State state = input;
+    for (const isa::CfgInstruction& ci : cfg_.blocks()[block].instructions) {
+      ApplyInstruction(&state, ci);
+    }
+    return state;
+  }
+
+  bool Join(State* into, const State& from, size_t block, int visits) const {
+    if (from.bottom) return false;
+    if (into->bottom) {
+      *into = from;
+      return true;
+    }
+    bool changed = false;
+    for (size_t r = 0; r < into->regs.size(); ++r) {
+      Interval merged = {std::min(into->regs[r].lo, from.regs[r].lo),
+                         std::max(into->regs[r].hi, from.regs[r].hi)};
+      if (visits >= kWidenAfter && loop_head_[block]) {
+        if (merged.lo < into->regs[r].lo) merged.lo = 0;
+        if (merged.hi > into->regs[r].hi) merged.hi = kUMax;
+      }
+      if (merged != into->regs[r]) {
+        into->regs[r] = merged;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  State EdgeState(size_t from, const isa::CfgEdge& edge,
+                  const State& state) const {
+    if (state.bottom) return state;
+    const isa::BasicBlock& block = cfg_.blocks()[from];
+    if (block.instructions.empty()) return state;
+    const isa::CfgInstruction& last = block.instructions.back();
+    if (last.decoded.fault != isa::PredecodeFault::kNone ||
+        !IsBranchOp(last.decoded.ins.op)) {
+      return state;
+    }
+    if (edge.kind == isa::CfgEdgeKind::kBranchTaken) {
+      return RefineBranch(state, last.decoded.ins, /*taken=*/true);
+    }
+    if (edge.kind == isa::CfgEdgeKind::kFallthrough) {
+      return RefineBranch(state, last.decoded.ins, /*taken=*/false);
+    }
+    return state;
+  }
+
+ private:
+  const isa::Cfg& cfg_;
+  std::vector<bool> loop_head_;
+};
+
+// --- register liveness (backward) --------------------------------------------
+
+uint16_t ReadMaskOf(const cpu::InstructionAccess& access) {
+  uint16_t mask = 0;
+  for (uint8_t i = 0; i < access.read_count; ++i) {
+    mask |= static_cast<uint16_t>(1u << access.reads[i]);
+  }
+  return mask;
+}
+
+class LivenessClient {
+ public:
+  using State = uint16_t;
+
+  explicit LivenessClient(const isa::Cfg& cfg) : cfg_(cfg) {}
+
+  bool forward() const { return false; }
+  State Bottom() const { return 0; }
+  /// Nothing is architecturally live past a terminator. (The final scan
+  /// image does observe every register; the prune predicate therefore uses
+  /// never-*accessed*, not liveness — this client feeds the report + lint.)
+  State Initial(size_t) const { return 0; }
+
+  State Transfer(size_t block, const State& output) const {
+    State live = output;
+    const std::vector<isa::CfgInstruction>& instructions =
+        cfg_.blocks()[block].instructions;
+    for (auto it = instructions.rbegin(); it != instructions.rend(); ++it) {
+      if (it->decoded.fault != isa::PredecodeFault::kNone) continue;
+      const cpu::InstructionAccess access = cpu::ClassifyAccess(it->decoded.ins);
+      if (access.writes_reg) {
+        live = static_cast<State>(live & ~(1u << access.write_reg));
+      }
+      live |= ReadMaskOf(access);
+    }
+    return live;
+  }
+
+  bool Join(State* into, const State& from, size_t, int) const {
+    const State merged = *into | from;
+    if (merged == *into) return false;
+    *into = merged;
+    return true;
+  }
+
+  State EdgeState(size_t, const isa::CfgEdge&, const State& state) const {
+    return state;
+  }
+
+ private:
+  const isa::Cfg& cfg_;
+};
+
+// --- reaching definitions (forward) ------------------------------------------
+
+struct DefSite {
+  size_t block = 0;
+  size_t ins_index = 0;
+  int reg = 0;
+  uint32_t address = 0;
+  bool lint_eligible = true;  ///< JAL's lr write is bookkeeping, not data
+};
+
+class ReachingDefsClient {
+ public:
+  using State = std::vector<uint64_t>;
+
+  ReachingDefsClient(const isa::Cfg& cfg, std::vector<DefSite> defs)
+      : cfg_(cfg), defs_(std::move(defs)) {
+    words_ = (defs_.size() + 63) / 64;
+    reg_masks_.fill(State(words_, 0));
+    def_of_.resize(cfg.blocks().size());
+    for (size_t d = 0; d < defs_.size(); ++d) {
+      reg_masks_[static_cast<size_t>(defs_[d].reg)][d / 64] |= 1ull << (d % 64);
+      def_of_[defs_[d].block][defs_[d].ins_index] = d;
+    }
+  }
+
+  bool forward() const { return true; }
+  State Bottom() const { return State(words_, 0); }
+  State Initial(size_t) const { return State(words_, 0); }
+
+  State Transfer(size_t block, const State& input) const {
+    State state = input;
+    const std::vector<isa::CfgInstruction>& instructions =
+        cfg_.blocks()[block].instructions;
+    for (size_t i = 0; i < instructions.size(); ++i) {
+      ApplyDef(block, i, instructions[i], &state);
+    }
+    return state;
+  }
+
+  bool Join(State* into, const State& from, size_t, int) const {
+    bool changed = false;
+    for (size_t w = 0; w < words_; ++w) {
+      const uint64_t merged = (*into)[w] | from[w];
+      if (merged != (*into)[w]) {
+        (*into)[w] = merged;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  State EdgeState(size_t, const isa::CfgEdge&, const State& state) const {
+    return state;
+  }
+
+  /// Kill/gen of one instruction, shared with the post-fixpoint use pass.
+  void ApplyDef(size_t block, size_t ins_index, const isa::CfgInstruction& ci,
+                State* state) const {
+    if (ci.decoded.fault != isa::PredecodeFault::kNone) return;
+    const cpu::InstructionAccess access = cpu::ClassifyAccess(ci.decoded.ins);
+    if (!access.writes_reg || access.write_reg == 0) return;
+    const auto it = def_of_[block].find(ins_index);
+    if (it == def_of_[block].end()) return;
+    const State& kill = reg_masks_[access.write_reg];
+    for (size_t w = 0; w < words_; ++w) (*state)[w] &= ~kill[w];
+    (*state)[it->second / 64] |= 1ull << (it->second % 64);
+  }
+
+  const std::vector<DefSite>& defs() const { return defs_; }
+  const State& reg_mask(int reg) const {
+    return reg_masks_[static_cast<size_t>(reg)];
+  }
+  size_t words() const { return words_; }
+
+ private:
+  const isa::Cfg& cfg_;
+  std::vector<DefSite> defs_;
+  size_t words_ = 0;
+  std::array<State, isa::kNumRegisters> reg_masks_;
+  std::vector<std::map<size_t, size_t>> def_of_;  ///< per block: ins -> def id
+};
+
+}  // namespace
+
+// --- construction ------------------------------------------------------------
+
+util::Result<std::unique_ptr<StaticAnalysis>> StaticAnalysis::Build(
+    const std::string& workload_name) {
+  auto spec = env::GetWorkload(workload_name);
+  if (!spec.ok()) return spec.status();
+  return BuildFromSpec(spec.value());
+}
+
+util::Result<std::unique_ptr<StaticAnalysis>> StaticAnalysis::BuildFromSpec(
+    const env::WorkloadSpec& workload) {
+  auto assembled = isa::Assemble(workload.source);
+  if (!assembled.ok()) return assembled.status();
+  auto cfg = isa::Cfg::Build(assembled.value());
+  if (!cfg.ok()) return cfg.status();
+
+  std::unique_ptr<StaticAnalysis> analysis(new StaticAnalysis());
+  analysis->workload_name_ = workload.name;
+  analysis->program_ = std::move(assembled).value();
+  analysis->cfg_ = std::move(cfg).value();
+  analysis->notes_ = analysis->cfg_.notes();
+
+  analysis->AnalyzeRegisters();
+  analysis->AnalyzeMemory(workload);
+  analysis->LintUnreachable();
+  analysis->LintDeadWrites();
+  return analysis;
+}
+
+void StaticAnalysis::AnalyzeRegisters() {
+  const std::vector<isa::BasicBlock>& blocks = cfg_.blocks();
+  const bool degraded =
+      std::any_of(blocks.begin(), blocks.end(),
+                  [](const isa::BasicBlock& b) { return b.degraded; });
+  if (degraded) {
+    registers_degraded_ = true;
+    reg_accessed_ = 0xFFFF;
+    live_in_.assign(blocks.size(), 0xFFFF);
+    live_out_.assign(blocks.size(), 0xFFFF);
+    return;
+  }
+
+  for (const isa::BasicBlock& block : blocks) {
+    if (!block.reachable) continue;
+    for (const isa::CfgInstruction& ci : block.instructions) {
+      if (ci.decoded.fault != isa::PredecodeFault::kNone) continue;
+      const cpu::InstructionAccess access = cpu::ClassifyAccess(ci.decoded.ins);
+      reg_accessed_ |= ReadMaskOf(access);
+      if (access.writes_reg) {
+        reg_accessed_ |= static_cast<uint16_t>(1u << access.write_reg);
+      }
+    }
+  }
+
+  const LivenessClient client(cfg_);
+  const auto flow = SolveDataflow(cfg_, client);
+  solver_steps_ += flow.steps;
+  if (!flow.converged) {
+    // Unreachable for a finite lattice, but never risk an unsound report.
+    registers_degraded_ = true;
+    reg_accessed_ = 0xFFFF;
+    live_in_.assign(blocks.size(), 0xFFFF);
+    live_out_.assign(blocks.size(), 0xFFFF);
+    notes_.push_back("liveness solver did not converge: registers degraded");
+    return;
+  }
+  live_in_ = flow.in;
+  live_out_ = flow.out;
+}
+
+void StaticAnalysis::AnalyzeMemory(const env::WorkloadSpec& workload) {
+  const size_t image_words = program_.words.size();
+  word_read_.assign(image_words, false);
+  word_written_.assign(image_words, false);
+
+  const auto degrade_everything = [&](const std::string& why) {
+    notes_.push_back(why);
+    memory_degraded_ = true;
+    registers_degraded_ = true;
+    reg_accessed_ = 0xFFFF;
+    std::fill(live_in_.begin(), live_in_.end(), 0xFFFF);
+    std::fill(live_out_.begin(), live_out_.end(), 0xFFFF);
+    word_read_.assign(image_words, true);
+    word_written_.assign(image_words, true);
+  };
+  const auto degrade_memory = [&](const std::string& why) {
+    notes_.push_back(why);
+    memory_degraded_ = true;
+    word_read_.assign(image_words, true);
+    word_written_.assign(image_words, true);
+  };
+  // Marks every word a byte in [lo, hi] can belong to, clamped to the image
+  // (accesses outside it — e.g. the stack — have no image word to classify).
+  const auto mark = [&](std::vector<bool>* set, int64_t lo, int64_t hi) {
+    const int64_t base = program_.base_address;
+    lo = std::max(lo, base);
+    hi = std::min(hi, base + static_cast<int64_t>(image_words) * 4 - 1);
+    for (int64_t w = lo >> 2; w <= hi >> 2; ++w) {
+      (*set)[static_cast<size_t>(w - (base >> 2))] = true;
+    }
+  };
+
+  // Host-side traffic first (independent of the CFG): the experiment reads
+  // result words at the end, and control campaigns read actuator words and
+  // write sensor words every iteration.
+  if (!workload.result_symbol.empty()) {
+    auto symbol = program_.Symbol(workload.result_symbol);
+    if (symbol.ok()) {
+      mark(&word_read_, symbol.value(),
+           symbol.value() + static_cast<int64_t>(workload.result_words) * 4 - 1);
+    }
+  }
+  if (workload.infinite_loop && !workload.input_symbol.empty()) {
+    auto symbol = program_.Symbol(workload.input_symbol);
+    if (symbol.ok()) {
+      const int64_t input = symbol.value();
+      const int64_t output = input + static_cast<int64_t>(workload.input_words) * 4;
+      mark(&word_written_, input, output - 1);
+      mark(&word_read_, output,
+           output + static_cast<int64_t>(workload.output_words) * 4 - 1);
+    }
+  }
+
+  if (registers_degraded_) {
+    degrade_memory("CFG degraded: memory classification unavailable");
+    return;
+  }
+
+  const IntervalClient client(cfg_);
+  const auto flow = SolveDataflow(cfg_, client);
+  solver_steps_ += flow.steps;
+  if (!flow.converged) {
+    degrade_memory("interval solver did not converge: memory degraded");
+    return;
+  }
+
+  for (size_t b = 0; b < cfg_.blocks().size(); ++b) {
+    const isa::BasicBlock& block = cfg_.blocks()[b];
+    if (!block.reachable) continue;
+    // Every reachable instruction word may be fetched.
+    mark(&word_read_, block.begin_addr, static_cast<int64_t>(block.end_addr) - 1);
+    IntervalState state = flow.in[b];
+    if (state.bottom) continue;  // no feasible path: no loads/stores execute
+    for (const isa::CfgInstruction& ci : block.instructions) {
+      if (ci.decoded.fault == isa::PredecodeFault::kNone &&
+          (ci.decoded.ins.op == Opcode::kLdw ||
+           ci.decoded.ins.op == Opcode::kStw)) {
+        const isa::Instruction& ins = ci.decoded.ins;
+        const Interval base = RegOf(state, ins.rs1);
+        const int64_t lo = base.lo + ins.imm;
+        const int64_t hi = base.hi + ins.imm;
+        const bool unbounded =
+            base == TopI() || lo < 0 || hi > kUMax ||
+            hi - lo > kMaxAccessSpanBytes;
+        if (ins.op == Opcode::kLdw) {
+          if (unbounded) {
+            degrade_memory(util::Format(
+                "load at 0x%x has unbounded address: memory degraded",
+                ci.address));
+            return;
+          }
+          mark(&word_read_, lo, hi);
+        } else if (cfg_.has_text_segment()) {
+          // Text is store-protected: a stray store cannot rewrite code, so
+          // an unbounded store only forfeits the read-only lint.
+          if (unbounded) {
+            notes_.push_back(util::Format(
+                "store at 0x%x has unbounded address: read-only lint degraded",
+                ci.address));
+            word_written_.assign(image_words, true);
+          } else {
+            mark(&word_written_, lo, hi);
+          }
+        } else if (unbounded ||
+                   (hi >= cfg_.text_begin() && lo < cfg_.text_end())) {
+          // No _etext: nothing is write-protected, so this store could
+          // rewrite instructions — the program analyzed is not the program
+          // executed. Everything degrades.
+          degrade_everything(util::Format(
+              "store at 0x%x may modify unprotected text: analysis degraded",
+              ci.address));
+          return;
+        } else {
+          mark(&word_written_, lo, hi);
+        }
+      }
+      ApplyInstruction(&state, ci);
+    }
+  }
+}
+
+void StaticAnalysis::LintUnreachable() {
+  for (const size_t b : cfg_.UnreachableBlocks()) {
+    const isa::BasicBlock& block = cfg_.blocks()[b];
+    lint_.push_back({LintFinding::Kind::kUnreachableBlock, block.begin_addr,
+                     util::Format("block at 0x%04x is unreachable from entry",
+                                  block.begin_addr)});
+  }
+}
+
+void StaticAnalysis::LintDeadWrites() {
+  if (registers_degraded_) return;  // no lint on a degraded graph
+
+  std::vector<DefSite> defs;
+  for (size_t b = 0; b < cfg_.blocks().size(); ++b) {
+    const isa::BasicBlock& block = cfg_.blocks()[b];
+    if (!block.reachable) continue;
+    for (size_t i = 0; i < block.instructions.size(); ++i) {
+      const isa::CfgInstruction& ci = block.instructions[i];
+      if (ci.decoded.fault != isa::PredecodeFault::kNone) continue;
+      const cpu::InstructionAccess access = cpu::ClassifyAccess(ci.decoded.ins);
+      if (!access.writes_reg || access.write_reg == 0) continue;
+      defs.push_back({b, i, access.write_reg, ci.address,
+                      ci.decoded.ins.op != Opcode::kJal});
+    }
+  }
+  if (defs.empty()) return;
+
+  const ReachingDefsClient client(cfg_, std::move(defs));
+  const auto flow = SolveDataflow(cfg_, client);
+  solver_steps_ += flow.steps;
+  if (!flow.converged) return;  // finite lattice; do not lint if it happens
+
+  std::vector<uint64_t> used(client.words(), 0);
+  for (size_t b = 0; b < cfg_.blocks().size(); ++b) {
+    const isa::BasicBlock& block = cfg_.blocks()[b];
+    if (!block.reachable) continue;
+    std::vector<uint64_t> reaching = flow.in[b];
+    for (size_t i = 0; i < block.instructions.size(); ++i) {
+      const isa::CfgInstruction& ci = block.instructions[i];
+      if (ci.decoded.fault == isa::PredecodeFault::kNone) {
+        const cpu::InstructionAccess access =
+            cpu::ClassifyAccess(ci.decoded.ins);
+        for (uint8_t r = 0; r < access.read_count; ++r) {
+          if (access.reads[r] == 0) continue;
+          const std::vector<uint64_t>& of_reg = client.reg_mask(access.reads[r]);
+          for (size_t w = 0; w < used.size(); ++w) {
+            used[w] |= reaching[w] & of_reg[w];
+          }
+        }
+      }
+      client.ApplyDef(b, i, ci, &reaching);
+    }
+  }
+
+  for (size_t d = 0; d < client.defs().size(); ++d) {
+    const DefSite& def = client.defs()[d];
+    if (!def.lint_eligible) continue;
+    if ((used[d / 64] >> (d % 64)) & 1) continue;
+    lint_.push_back(
+        {LintFinding::Kind::kWriteNeverRead, def.address,
+         util::Format("write to r%d at 0x%04x is never read", def.reg,
+                      def.address)});
+  }
+  std::sort(lint_.begin(), lint_.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              return a.address < b.address;
+            });
+}
+
+// --- predicates / counts -----------------------------------------------------
+
+bool StaticAnalysis::RegisterNeverAccessed(int reg) const {
+  if (reg <= 0 || reg >= isa::kNumRegisters) return false;
+  if (registers_degraded_) return false;
+  return (reg_accessed_ & (1u << reg)) == 0;
+}
+
+bool StaticAnalysis::MemoryWordNeverRead(uint32_t address) const {
+  if (memory_degraded_) return false;
+  const uint32_t word = address & ~3u;
+  if (word < program_.base_address) return false;
+  const size_t index = (word - program_.base_address) / 4;
+  if (index >= word_read_.size()) return false;
+  return !word_read_[index];
+}
+
+bool StaticAnalysis::MemoryWordReadOnly(uint32_t address) const {
+  if (memory_degraded_) return false;
+  const uint32_t word = address & ~3u;
+  if (word < program_.base_address) return false;
+  const size_t index = (word - program_.base_address) / 4;
+  if (index >= word_written_.size()) return false;
+  return !word_written_[index];
+}
+
+int StaticAnalysis::NeverAccessedRegisterCount() const {
+  int count = 0;
+  for (int r = 1; r < isa::kNumRegisters; ++r) {
+    if (RegisterNeverAccessed(r)) ++count;
+  }
+  return count;
+}
+
+size_t StaticAnalysis::NeverReadWordCount() const {
+  if (memory_degraded_) return 0;
+  return static_cast<size_t>(
+      std::count(word_read_.begin(), word_read_.end(), false));
+}
+
+size_t StaticAnalysis::ReadOnlyWordCount() const {
+  if (memory_degraded_) return 0;
+  return static_cast<size_t>(
+      std::count(word_written_.begin(), word_written_.end(), false));
+}
+
+// --- report / filter ---------------------------------------------------------
+
+namespace {
+
+std::string RegisterSetString(uint16_t mask) {
+  if (mask == 0xFFFF) return "all";
+  std::string out;
+  for (int r = 0; r < isa::kNumRegisters; ++r) {
+    if (!(mask & (1u << r))) continue;
+    if (!out.empty()) out += ",";
+    out += util::Format("r%d", r);
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+std::string StaticAnalysis::Report() const {
+  std::string out = util::Format("static analysis: %s\n", workload_name_.c_str());
+  out += util::Format(
+      "  text [0x%04x,0x%04x)%s  image %zu words  %zu blocks\n",
+      cfg_.text_begin(), cfg_.text_end(),
+      cfg_.has_text_segment() ? "" : " (no _etext: whole image executable)",
+      ImageWordCount(), cfg_.blocks().size());
+  out += util::Format("  degraded: registers=%s memory=%s\n",
+                      registers_degraded_ ? "yes" : "no",
+                      memory_degraded_ ? "yes" : "no");
+  for (const std::string& note : notes_) {
+    out += util::Format("  note: %s\n", note.c_str());
+  }
+
+  out += "per-block liveness:\n";
+  for (size_t b = 0; b < cfg_.blocks().size(); ++b) {
+    const isa::BasicBlock& block = cfg_.blocks()[b];
+    std::string succs;
+    for (const isa::CfgEdge& edge : block.successors) {
+      if (!succs.empty()) succs += ",";
+      succs += util::Format("%zu", edge.to);
+    }
+    out += util::Format(
+        "  block %zu [0x%04x,0x%04x)%s  live-in {%s}  live-out {%s}  -> {%s}\n",
+        b, block.begin_addr, block.end_addr,
+        block.reachable ? "" : " (unreachable)",
+        RegisterSetString(live_in_[b]).c_str(),
+        RegisterSetString(live_out_[b]).c_str(),
+        succs.empty() ? "-" : succs.c_str());
+  }
+
+  out += "lint:\n";
+  if (lint_.empty()) out += "  clean\n";
+  for (const LintFinding& finding : lint_) {
+    out += util::Format("  %s\n", finding.message.c_str());
+  }
+
+  std::string never;
+  for (int r = 1; r < isa::kNumRegisters; ++r) {
+    if (!RegisterNeverAccessed(r)) continue;
+    if (!never.empty()) never += ",";
+    never += util::Format("r%d", r);
+  }
+  out += "prune eligibility:\n";
+  out += util::Format("  registers never accessed: %d/15%s%s\n",
+                      NeverAccessedRegisterCount(), never.empty() ? "" : "  ",
+                      never.c_str());
+  out += util::Format("  memory words never read:  %zu/%zu\n",
+                      NeverReadWordCount(), ImageWordCount());
+  out += util::Format("  memory words read-only:   %zu/%zu\n",
+                      ReadOnlyWordCount(), ImageWordCount());
+  return out;
+}
+
+FaultInjectionAlgorithms::LivenessFilter StaticAnalysis::MakeFilter() const {
+  return [this](const FaultCandidate& candidate, uint64_t) {
+    if (!candidate.scan) {
+      return !MemoryWordNeverRead(candidate.address);
+    }
+    if (util::StartsWith(candidate.cell_name, "regfile.")) {
+      const auto reg = isa::ParseRegister(candidate.cell_name.substr(8));
+      if (!reg) return true;
+      return !RegisterNeverAccessed(*reg);
+    }
+    return true;  // pc/ir/pipeline/caches/watchdog: conservatively live
+  };
+}
+
+// --- cache -------------------------------------------------------------------
+
+util::Result<std::shared_ptr<const StaticAnalysis>> StaticAnalysisCache::Get(
+    const std::string& workload_name) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(workload_name);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  auto built = StaticAnalysis::Build(workload_name);
+  if (!built.ok()) return built.status();
+  std::shared_ptr<const StaticAnalysis> analysis = std::move(built).value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = cache_.emplace(workload_name, std::move(analysis));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;  // another thread built it first; the analyses are identical
+  }
+  return it->second;
+}
+
+int StaticAnalysisCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+int StaticAnalysisCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace goofi::core

@@ -1,0 +1,269 @@
+// Static workload analyzer: CFG + dataflow engine for pre-execution
+// fault-space pruning (DESIGN.md "Static analysis invariants").
+//
+// GOOFI's dynamic pre-injection analysis (core/preinjection) and the
+// equivalence classer's access timelines both need a fault-free *execution*
+// before a single fault list can be pruned. This module prunes with zero
+// golden-run cost: it decodes the workload into a CFG (isa/cfg) and runs a
+// generic worklist dataflow solver with three clients —
+//
+//   1. backward register liveness       (per-block report + dead-store lint)
+//   2. forward reaching definitions     (write-never-read lint)
+//   3. memory-word classification       (never-read / read-only words, built
+//      on a forward interval analysis of load/store addresses)
+//
+// — yielding two conservative prune predicates consumed by the equivalence
+// classer (core/equivalence, key kinds 5-7):
+//
+//   RegisterNeverAccessed(r): no conservatively-reachable instruction reads
+//     or writes r. A transient flip into r's scan cell is then invisible at
+//     every injection time before the golden end — execution never consumes
+//     or refreshes r, and the final observed value is initial ^ flip
+//     regardless of when the flip landed.
+//   MemoryWordNeverRead(a): no reachable load can address a, a is never
+//     fetched, and the host never reads it (result words, actuator words).
+//     Writes are irrelevant: memory content is never part of the logged
+//     state, so a flip that is never read is invisible.
+//
+// Conservatism rules: any unanalyzable CFG edge (unresolved indirect jump,
+// control transfer outside text) degrades every block to "everything live";
+// an unbounded load address degrades the whole memory classification; a
+// store that could reach unprotected text degrades everything (possible
+// self-modifying code). With the text segment write-protected (the loader
+// protects [base, _etext) whenever _etext exists) stores cannot rewrite
+// code, so fetch sets stay valid without a store analysis.
+//
+// The static predicates must be subsets of the dynamic facts
+// (LivenessAnalyzer::RegisterEverAccessed / MemoryWordEverRead /
+// MemoryWordEverFetched) — tests/static_analysis_test.cpp asserts that
+// differentially, and the parallel runner's spot checks re-verify pruned
+// members at runtime via the StateHasher capture-blob comparison.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "env/workloads.hpp"
+#include "isa/cfg.hpp"
+
+namespace goofi::core {
+
+// --- generic worklist solver ------------------------------------------------
+//
+// A Client defines the lattice and the flow:
+//   using State;
+//   bool forward() const;
+//   State Bottom() const;                       // join identity
+//   State Initial(size_t block) const;          // boundary contribution
+//   State Transfer(size_t block, const State&) const;
+//   /// Accumulate `from` into `*into`; `visits` counts prior joins at this
+//   /// block (for widening). Returns whether *into changed.
+//   bool Join(State* into, const State& from, size_t block, int visits) const;
+//   /// Per-edge refinement of the source block's flow-out state (e.g. branch
+//   /// condition narrowing). Return `state` unchanged when not applicable.
+//   State EdgeState(size_t from, const isa::CfgEdge& edge,
+//                   const State& state) const;
+//
+// Forward: in[entry] ⊒ Initial; in[b] = ⊔ EdgeState(p→b, out[p]);
+//          out[b] = Transfer(b, in[b]).
+// Backward: out[b] ⊒ Initial for blocks without successors;
+//           out[b] = ⊔ in[s]; in[b] = Transfer(b, out[b]).
+// Only reachable blocks participate. Monotone clients reach a fixpoint;
+// `steps` counts block evaluations and `converged` is false if `max_steps`
+// ran out first (callers must then degrade).
+
+template <typename Client>
+struct DataflowResult {
+  std::vector<typename Client::State> in;
+  std::vector<typename Client::State> out;
+  size_t steps = 0;
+  bool converged = true;
+};
+
+template <typename Client>
+DataflowResult<Client> SolveDataflow(const isa::Cfg& cfg, const Client& client,
+                                     size_t max_steps = 1u << 20) {
+  const std::vector<isa::BasicBlock>& blocks = cfg.blocks();
+  DataflowResult<Client> result;
+  result.in.assign(blocks.size(), client.Bottom());
+  result.out.assign(blocks.size(), client.Bottom());
+  std::vector<int> visits(blocks.size(), 0);
+  std::vector<bool> queued(blocks.size(), false);
+  std::vector<size_t> worklist;
+  const bool forward = client.forward();
+
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (!blocks[b].reachable) continue;
+    if (forward) {
+      if (b == cfg.entry_block()) {
+        client.Join(&result.in[b], client.Initial(b), b, 0);
+      }
+    } else if (blocks[b].successors.empty()) {
+      client.Join(&result.out[b], client.Initial(b), b, 0);
+    }
+    worklist.push_back(b);
+    queued[b] = true;
+  }
+  // Process forward problems in block order and backward problems in
+  // reverse: near-topological for the reducible CFGs the assembler emits.
+  if (!forward) std::reverse(worklist.begin(), worklist.end());
+
+  while (!worklist.empty()) {
+    if (++result.steps > max_steps) {
+      result.converged = false;
+      break;
+    }
+    const size_t b = worklist.front();
+    worklist.erase(worklist.begin());
+    queued[b] = false;
+    if (forward) {
+      result.out[b] = client.Transfer(b, result.in[b]);
+      for (const isa::CfgEdge& edge : blocks[b].successors) {
+        const typename Client::State refined =
+            client.EdgeState(b, edge, result.out[b]);
+        if (client.Join(&result.in[edge.to], refined, edge.to,
+                        visits[edge.to]++) &&
+            !queued[edge.to]) {
+          worklist.push_back(edge.to);
+          queued[edge.to] = true;
+        }
+      }
+    } else {
+      result.in[b] = client.Transfer(b, result.out[b]);
+      for (const size_t p : blocks[b].predecessors) {
+        if (client.Join(&result.out[p], result.in[b], p, visits[p]++) &&
+            !queued[p]) {
+          worklist.push_back(p);
+          queued[p] = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+// --- analysis results -------------------------------------------------------
+
+struct LintFinding {
+  enum class Kind { kUnreachableBlock, kWriteNeverRead };
+  Kind kind = Kind::kUnreachableBlock;
+  uint32_t address = 0;  ///< block start / writing instruction
+  std::string message;
+
+  bool operator==(const LintFinding&) const = default;
+};
+
+class StaticAnalysis {
+ public:
+  /// Analyzes a built-in workload by name.
+  static util::Result<std::unique_ptr<StaticAnalysis>> Build(
+      const std::string& workload_name);
+
+  /// Analyzes an arbitrary workload spec (assembles its source).
+  static util::Result<std::unique_ptr<StaticAnalysis>> BuildFromSpec(
+      const env::WorkloadSpec& workload);
+
+  // --- prune predicates (conservative: false unless proven) ----------------
+
+  /// No reachable instruction reads or writes `reg`. Always false for r0
+  /// (hardwired zero, not injectable) and on a degraded graph.
+  bool RegisterNeverAccessed(int reg) const;
+
+  /// The word at `address` is never loaded, never fetched and never
+  /// host-read. False outside the image or on a degraded classification.
+  bool MemoryWordNeverRead(uint32_t address) const;
+
+  /// The word at `address` is inside the image, never written by a reachable
+  /// store and never host-written (read-only data / code in the lint sense).
+  bool MemoryWordReadOnly(uint32_t address) const;
+
+  // --- prune-eligibility counts (the `analyze` report) ---------------------
+
+  /// Injectable registers (r1..r15) proven never-accessed.
+  int NeverAccessedRegisterCount() const;
+  /// Image words proven never-read.
+  size_t NeverReadWordCount() const;
+  /// Image words proven read-only.
+  size_t ReadOnlyWordCount() const;
+  size_t ImageWordCount() const { return word_read_.size(); }
+
+  // --- degradation ---------------------------------------------------------
+
+  bool registers_degraded() const { return registers_degraded_; }
+  bool memory_degraded() const { return memory_degraded_; }
+  /// Every conservative decision taken (CFG notes + analysis-level ones).
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  // --- structure / per-block results ---------------------------------------
+
+  const isa::Cfg& cfg() const { return cfg_; }
+  /// Bitmask (bit r = register r) of registers live at block entry/exit.
+  uint16_t LiveIn(size_t block) const { return live_in_[block]; }
+  uint16_t LiveOut(size_t block) const { return live_out_[block]; }
+  const std::vector<LintFinding>& lint() const { return lint_; }
+
+  /// Total block evaluations over all solver runs (fixpoint telemetry).
+  size_t solver_steps() const { return solver_steps_; }
+
+  /// The per-block liveness report + lint findings + prune-eligibility
+  /// counts, as printed by the shell `analyze <workload>` command.
+  std::string Report() const;
+
+  /// Pre-execution fault-space filter for
+  /// FaultInjectionAlgorithms::SetLivenessFilter: statically never-accessed
+  /// registers and never-read memory words are dead at every injection time.
+  /// The analysis must outlive the returned callable.
+  FaultInjectionAlgorithms::LivenessFilter MakeFilter() const;
+
+  const std::string& workload_name() const { return workload_name_; }
+
+ private:
+  StaticAnalysis() = default;
+
+  void AnalyzeRegisters();
+  void AnalyzeMemory(const env::WorkloadSpec& workload);
+  void LintUnreachable();
+  void LintDeadWrites();
+
+  std::string workload_name_;
+  isa::AssembledProgram program_;
+  isa::Cfg cfg_;
+
+  uint16_t reg_accessed_ = 0;  ///< bit r set: some reachable instr touches r
+  std::vector<bool> word_read_;     ///< per image word (loads+fetch+host)
+  std::vector<bool> word_written_;  ///< per image word (stores+host writes)
+  bool registers_degraded_ = false;
+  bool memory_degraded_ = false;
+
+  std::vector<uint16_t> live_in_;
+  std::vector<uint16_t> live_out_;
+  std::vector<LintFinding> lint_;
+  std::vector<std::string> notes_;
+  size_t solver_steps_ = 0;
+};
+
+/// Memoizes StaticAnalysis builds per workload name — the analysis depends
+/// only on the assembled program and the workload's host I/O metadata, not
+/// on any CPU configuration. Thread-safe; returned analyses are immutable
+/// and may outlive the cache.
+class StaticAnalysisCache {
+ public:
+  util::Result<std::shared_ptr<const StaticAnalysis>> Get(
+      const std::string& workload_name);
+
+  int hits() const;
+  int misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const StaticAnalysis>> cache_;
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace goofi::core

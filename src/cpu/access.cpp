@@ -1,0 +1,54 @@
+#include "cpu/access.hpp"
+
+namespace goofi::cpu {
+
+InstructionAccess ClassifyAccess(const isa::Instruction& ins) {
+  using isa::Opcode;
+  InstructionAccess out;
+  const auto read = [&out](uint8_t reg) { out.reads[out.read_count++] = reg; };
+  const auto write = [&out](uint8_t reg) {
+    out.writes_reg = true;
+    out.write_reg = reg;
+  };
+  const isa::OpcodeInfo& info = isa::GetOpcodeInfo(ins.op);
+  switch (info.format) {
+    case isa::Format::kR:
+      if (ins.op == Opcode::kJr) {
+        read(ins.rs1);
+        break;
+      }
+      read(ins.rs1);
+      read(ins.rs2);
+      write(ins.rd);
+      break;
+    case isa::Format::kI:
+      if (ins.op == Opcode::kLdw) {
+        read(ins.rs1);
+        write(ins.rd);
+        out.mem_read = true;
+      } else if (ins.op == Opcode::kStw) {
+        read(ins.rs1);
+        read(ins.rd);
+        out.mem_write = true;
+      } else if (ins.op >= Opcode::kBeq && ins.op <= Opcode::kBgeu) {
+        read(ins.rd);
+        read(ins.rs1);
+      } else if (ins.op == Opcode::kLui) {
+        write(ins.rd);
+      } else if (ins.op == Opcode::kTrap) {
+        // no register traffic
+      } else {
+        read(ins.rs1);
+        write(ins.rd);
+      }
+      break;
+    case isa::Format::kJ:
+      if (ins.op == Opcode::kJal) write(isa::kLinkRegister);
+      break;
+    case isa::Format::kNone:
+      break;
+  }
+  return out;
+}
+
+}  // namespace goofi::cpu

@@ -1,0 +1,42 @@
+// Architectural read/write classification of one TRD32 instruction.
+//
+// Both the dynamic pre-injection analyzer (core/preinjection, which walks a
+// fault-free execution) and the static workload analyzer
+// (core/static_analysis, which walks the CFG) need to know which registers
+// an instruction reads and writes and whether it touches data memory. The
+// two must agree exactly — the static-dead ⊆ dynamic-dead invariant is
+// checked against this very classification — so it lives here, next to the
+// CPU that defines the semantics, instead of being duplicated per analyzer.
+//
+// The classification is purely architectural: addresses (which need register
+// values) are left to the caller. Register lists preserve the operand order
+// of the execution path (reads before writes; rs1 before rs2) so dynamic
+// access timelines are stable.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace goofi::cpu {
+
+struct InstructionAccess {
+  /// Registers read, in operand order. Valid entries: [0, read_count).
+  uint8_t reads[2] = {0, 0};
+  uint8_t read_count = 0;
+  /// Register written, when writes_reg is set. r0 writes are architecturally
+  /// discarded but still classified as writes (matching the dynamic
+  /// analyzer, which records them the same way).
+  bool writes_reg = false;
+  uint8_t write_reg = 0;
+  /// LDW / STW data-memory traffic; the address is regs[rs1] + imm.
+  bool mem_read = false;
+  bool mem_write = false;
+};
+
+/// Classification of a decoded instruction. Words that fail Predecode have
+/// no access at all (the CPU raises/ignores the illegal-opcode EDM without
+/// executing anything) — callers handle that case before decoding.
+InstructionAccess ClassifyAccess(const isa::Instruction& ins);
+
+}  // namespace goofi::cpu

@@ -416,6 +416,54 @@ loop_end:
 _etext:
 )";
 
+const char* const kSparseTable = R"(
+; Sums the first N entries of an over-provisioned 64-word table, PASSES
+; times over, into `result`. The table tail (words N..63) is never read and
+; registers r9..r15 are never touched, so the static analyzer
+; (core/static_analysis) can prove both — this is the demonstration workload
+; for static fault-space pruning, and the pass loop makes each experiment
+; expensive enough (~5.5k instructions) that pruning pays in wall-clock, not
+; just in counters. Both loop guards are *unsigned* branches on purpose:
+; signed-branch interval refinement bails once widening pushes a counter
+; past 2^31, but bgeu/bltu refine any interval, keeping the table loads
+; bounded. The first `addi r8` is a deliberate dead write exercising the
+; write-never-read lint.
+.equ N, 12
+.equ PASSES, 64
+_start:
+    li   r1, table
+    li   r2, N
+    addi r4, r0, 0          ; acc
+    addi r7, r0, 0          ; pass counter
+    addi r8, r0, 77         ; dead write: overwritten below, never read
+    li   r8, PASSES
+outer:
+    addi r3, r0, 0          ; index
+tloop:
+    bgeu r3, r2, tnext
+    slli r5, r3, 2
+    add  r5, r5, r1
+    ldw  r6, [r5]
+    add  r4, r4, r6
+    addi r3, r3, 1
+    jmp  tloop
+tnext:
+    addi r7, r7, 1
+    bltu r7, r8, outer
+    li   r5, result
+    stw  r4, [r5]
+    halt
+_etext:
+table:
+    .word 12, 7, 3, 900, 41, 5, 27, 63, 8, 19, 250, 11
+    .word 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+    .word 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+    .word 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+    .word 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+result:
+    .word 0
+)";
+
 WorkloadSpec Batch(const char* name, const char* description, const char* source,
                    uint32_t result_words) {
   WorkloadSpec spec;
@@ -452,6 +500,9 @@ std::vector<WorkloadSpec> BuildAll() {
   all.push_back(Batch("checksum", "rotate-xor checksum of 32 words", kChecksum, 1));
   all.push_back(Batch("strsearch", "naive 4-word needle search", kStrSearch, 1));
   all.push_back(Batch("queue", "stack push/pop with call chain", kQueue, 1));
+  all.push_back(Batch("sparse_table",
+                      "sum 12 of 64 table words (static-prune demo)",
+                      kSparseTable, 1));
   all.push_back(Control("pendulum_pd", "PD control of inverted pendulum",
                         kPendulumPd, "inverted_pendulum", 2, 1));
   all.push_back(Control("pendulum_pd_assert",

@@ -48,6 +48,8 @@ util::Result<WorkloadSpec> GetWorkload(const std::string& name);
 //   "checksum"    - rotate-xor checksum over a 32-word block
 //   "strsearch"   - naive multi-word substring search
 //   "queue"       - stack push/pop through a call chain (sp/lr faults)
+//   "sparse_table"- sums 12 of 64 table words; the never-read tail and the
+//                   untouched upper registers demonstrate static pruning
 // Control workloads (infinite loop + environment):
 //   "pendulum_pd"         - PD controller for the inverted pendulum
 //   "pendulum_pd_assert"  - same, with executable assertions that clamp the

@@ -1,0 +1,255 @@
+#include "isa/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace goofi::isa {
+
+namespace {
+
+bool IsBranch(Opcode op) { return op >= Opcode::kBeq && op <= Opcode::kBgeu; }
+
+/// Whether `ins` ends a basic block (transfers or may end control flow).
+bool EndsBlock(const Predecoded& decoded) {
+  if (decoded.fault != PredecodeFault::kNone) return false;  // illegal: NOP-like
+  switch (decoded.ins.op) {
+    case Opcode::kJmp:
+    case Opcode::kJal:
+    case Opcode::kJr:
+    case Opcode::kHalt:
+      return true;
+    case Opcode::kTrap:
+      // TRAP n (n != 0) raises the software-assertion EDM, but with that EDM
+      // disabled execution continues — both a terminator and a fall-through.
+      return decoded.ins.imm != 0;
+    default:
+      return IsBranch(decoded.ins.op);
+  }
+}
+
+}  // namespace
+
+size_t Cfg::BlockAt(uint32_t addr) const {
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    if (addr >= blocks_[b].begin_addr && addr < blocks_[b].end_addr) return b;
+  }
+  return npos;
+}
+
+std::vector<size_t> Cfg::UnreachableBlocks() const {
+  std::vector<size_t> out;
+  if (unresolved_indirect_) return out;
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    if (!blocks_[b].reachable) out.push_back(b);
+  }
+  return out;
+}
+
+util::Result<Cfg> Cfg::Build(const AssembledProgram& program) {
+  if (program.words.empty()) {
+    return util::InvalidArgument("cfg: empty program image");
+  }
+  Cfg cfg;
+  cfg.text_begin_ = program.base_address;
+  cfg.text_end_ = program.base_address + program.size_bytes();
+  const auto etext = program.symbols.find("_etext");
+  if (etext != program.symbols.end() && etext->second > program.base_address &&
+      etext->second <= cfg.text_end_) {
+    cfg.text_end_ = etext->second;
+    cfg.has_text_segment_ = true;
+  } else {
+    cfg.notes_.push_back(
+        "no _etext symbol: whole image treated as executable text");
+  }
+  if (program.entry < cfg.text_begin_ || program.entry >= cfg.text_end_ ||
+      program.entry % 4 != 0) {
+    return util::InvalidArgument("cfg: entry point outside the text segment");
+  }
+
+  const auto word_at = [&](uint32_t addr) {
+    return program.words[(addr - program.base_address) / 4];
+  };
+  const auto in_text = [&](uint32_t addr) {
+    return addr >= cfg.text_begin_ && addr < cfg.text_end_ && addr % 4 == 0;
+  };
+
+  // --- indirect-jump resolution (link-register discipline) -----------------
+  //
+  // Decode every text word once, recording JAL return sites and whether any
+  // non-JAL instruction can write lr. Scanning *all* text words (not just
+  // reachable ones) over-approximates both sets, which is the safe
+  // direction for resolving JR lr.
+  std::vector<Predecoded> decoded;
+  decoded.reserve((cfg.text_end_ - cfg.text_begin_) / 4);
+  std::vector<uint32_t> return_sites;
+  bool lr_only_written_by_jal = true;
+  bool undecodable_words = false;
+  for (uint32_t addr = cfg.text_begin_; addr < cfg.text_end_; addr += 4) {
+    const Predecoded d = Predecode(word_at(addr));
+    decoded.push_back(d);
+    if (d.fault != PredecodeFault::kNone) {
+      undecodable_words = true;
+      continue;
+    }
+    const Opcode op = d.ins.op;
+    if (op == Opcode::kJal) return_sites.push_back(addr + 4);
+    // Writes to lr by anything but JAL break the return-site discipline.
+    const OpcodeInfo& info = GetOpcodeInfo(op);
+    const bool writes_rd =
+        (info.format == Format::kR && op != Opcode::kJr) ||
+        (info.format == Format::kI && !IsBranch(op) && op != Opcode::kStw &&
+         op != Opcode::kTrap);
+    if (writes_rd && d.ins.rd == kLinkRegister) lr_only_written_by_jal = false;
+  }
+  if (undecodable_words) {
+    cfg.notes_.push_back(
+        "text contains words that do not decode (treated as no-access "
+        "fall-through)");
+  }
+
+  // --- leaders -------------------------------------------------------------
+  std::set<uint32_t> leaders;
+  leaders.insert(program.entry);
+  bool degrade_all = false;
+  const auto note_degrade = [&](const std::string& why) {
+    if (!degrade_all) cfg.notes_.push_back(why);
+    degrade_all = true;
+  };
+  for (uint32_t addr = cfg.text_begin_; addr < cfg.text_end_; addr += 4) {
+    const Predecoded& d = decoded[(addr - cfg.text_begin_) / 4];
+    if (d.fault != PredecodeFault::kNone) continue;
+    const Opcode op = d.ins.op;
+    if (IsBranch(op)) {
+      const uint32_t target =
+          addr + 4 + static_cast<uint32_t>(d.ins.imm) * 4;
+      if (in_text(target)) {
+        leaders.insert(target);
+      } else {
+        note_degrade(util::Format(
+            "branch at 0x%x targets 0x%x outside text: unanalyzable edge",
+            addr, target));
+      }
+      leaders.insert(addr + 4);
+    } else if (op == Opcode::kJmp || op == Opcode::kJal) {
+      const uint32_t target = static_cast<uint32_t>(d.ins.imm) * 4;
+      if (in_text(target)) {
+        leaders.insert(target);
+      } else {
+        note_degrade(util::Format(
+            "jump at 0x%x targets 0x%x outside text: unanalyzable edge", addr,
+            target));
+      }
+      if (addr + 4 < cfg.text_end_) leaders.insert(addr + 4);
+    } else if (op == Opcode::kJr) {
+      if (d.ins.rs1 == kLinkRegister && lr_only_written_by_jal) {
+        for (uint32_t site : return_sites) {
+          if (in_text(site)) leaders.insert(site);
+        }
+      } else {
+        cfg.unresolved_indirect_ = true;
+        note_degrade(util::Format(
+            "indirect jump at 0x%x (jr r%d) has no static target set", addr,
+            d.ins.rs1));
+      }
+      if (addr + 4 < cfg.text_end_) leaders.insert(addr + 4);
+    } else if (op == Opcode::kHalt ||
+               (op == Opcode::kTrap && d.ins.imm != 0)) {
+      if (addr + 4 < cfg.text_end_) leaders.insert(addr + 4);
+    }
+  }
+
+  // --- blocks --------------------------------------------------------------
+  std::map<uint32_t, size_t> block_of_leader;
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    const uint32_t begin = *it;
+    const auto next = std::next(it);
+    const uint32_t limit = next != leaders.end() ? *next : cfg.text_end_;
+    BasicBlock block;
+    block.begin_addr = begin;
+    uint32_t addr = begin;
+    for (; addr < limit; addr += 4) {
+      const Predecoded& d = decoded[(addr - cfg.text_begin_) / 4];
+      block.instructions.push_back({addr, word_at(addr), d});
+      if (EndsBlock(d)) {
+        addr += 4;
+        break;
+      }
+    }
+    block.end_addr = addr;
+    block_of_leader[begin] = cfg.blocks_.size();
+    cfg.blocks_.push_back(std::move(block));
+  }
+  cfg.entry_block_ = block_of_leader.at(program.entry);
+
+  // --- edges ---------------------------------------------------------------
+  const auto add_edge = [&](size_t from, uint32_t to_addr, CfgEdgeKind kind) {
+    const auto it = block_of_leader.find(to_addr);
+    if (it == block_of_leader.end()) return;  // outside text: noted above
+    cfg.blocks_[from].successors.push_back({it->second, kind});
+    cfg.blocks_[it->second].predecessors.push_back(from);
+  };
+  for (size_t b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& block = cfg.blocks_[b];
+    if (block.instructions.empty()) continue;
+    const CfgInstruction& last = block.instructions.back();
+    const Predecoded& d = last.decoded;
+    const uint32_t next_addr = last.address + 4;
+    if (d.fault != PredecodeFault::kNone) {
+      add_edge(b, next_addr, CfgEdgeKind::kFallthrough);
+      continue;
+    }
+    const Opcode op = d.ins.op;
+    if (IsBranch(op)) {
+      add_edge(b, last.address + 4 + static_cast<uint32_t>(d.ins.imm) * 4,
+               CfgEdgeKind::kBranchTaken);
+      add_edge(b, next_addr, CfgEdgeKind::kFallthrough);
+    } else if (op == Opcode::kJmp) {
+      add_edge(b, static_cast<uint32_t>(d.ins.imm) * 4, CfgEdgeKind::kJump);
+    } else if (op == Opcode::kJal) {
+      add_edge(b, static_cast<uint32_t>(d.ins.imm) * 4, CfgEdgeKind::kCall);
+    } else if (op == Opcode::kJr) {
+      if (d.ins.rs1 == kLinkRegister && lr_only_written_by_jal) {
+        for (uint32_t site : return_sites) {
+          add_edge(b, site, CfgEdgeKind::kReturn);
+        }
+      }
+      // Unresolved JR: no edges — degrade_all below marks everything
+      // reachable instead.
+    } else if (op == Opcode::kHalt ||
+               (op == Opcode::kTrap && d.ins.imm != 0)) {
+      if (op == Opcode::kTrap) {
+        // Assertion EDM may be disabled: conservative fall-through.
+        add_edge(b, next_addr, CfgEdgeKind::kFallthrough);
+      }
+    } else {
+      add_edge(b, next_addr, CfgEdgeKind::kFallthrough);
+    }
+  }
+
+  // --- reachability --------------------------------------------------------
+  if (degrade_all) {
+    for (BasicBlock& block : cfg.blocks_) {
+      block.reachable = true;
+      block.degraded = true;
+    }
+    return cfg;
+  }
+  std::vector<size_t> worklist = {cfg.entry_block_};
+  cfg.blocks_[cfg.entry_block_].reachable = true;
+  while (!worklist.empty()) {
+    const size_t b = worklist.back();
+    worklist.pop_back();
+    for (const CfgEdge& edge : cfg.blocks_[b].successors) {
+      if (!cfg.blocks_[edge.to].reachable) {
+        cfg.blocks_[edge.to].reachable = true;
+        worklist.push_back(edge.to);
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace goofi::isa

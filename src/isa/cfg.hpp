@@ -1,0 +1,116 @@
+// Control-flow graph over an assembled TRD32 workload.
+//
+// The static workload analyzer (core/static_analysis) needs the program's
+// structure *before* any execution: basic blocks, the edges between them and
+// a conservative account of everything the decoder cannot pin down. This
+// module builds exactly that from an isa::AssembledProgram, reusing the
+// Predecode() tables so the CFG sees the same instruction semantics as the
+// CPU's decode path.
+//
+// Conservatism contract (DESIGN.md "Static analysis invariants"):
+//   - Direct branches/jumps have exact, assemble-time targets.
+//   - JR is indirect. The builder resolves it only under the link-register
+//     discipline: when rs1 is lr and no instruction in the text segment
+//     other than JAL can write lr, the possible targets are the return
+//     sites of every JAL (a superset of the dynamically possible ones).
+//     Any other JR leaves the graph `unresolved_indirect`, and every block
+//     is conservatively marked reachable and degraded.
+//   - A direct control transfer outside the text segment (executing data)
+//     also degrades the whole graph: the instruction stream past that edge
+//     is unknowable.
+//   - Words in the text range that do not predecode (data interleaved with
+//     code) execute as an illegal instruction: no register or memory
+//     traffic, and — with the illegal-opcode EDM disabled — a fall-through.
+//     The CFG models them that way, which is conservative for both cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "util/status.hpp"
+
+namespace goofi::isa {
+
+/// Why a successor edge exists.
+enum class CfgEdgeKind : uint8_t {
+  kFallthrough,  ///< next instruction (incl. branch-not-taken, trap continue)
+  kBranchTaken,  ///< conditional branch target
+  kJump,         ///< JMP target
+  kCall,         ///< JAL target
+  kReturn,       ///< JR resolved via the link-register discipline
+};
+
+struct CfgEdge {
+  size_t to = 0;  ///< index into Cfg::blocks()
+  CfgEdgeKind kind = CfgEdgeKind::kFallthrough;
+};
+
+/// One decoded instruction of a basic block.
+struct CfgInstruction {
+  uint32_t address = 0;  ///< byte address
+  uint32_t word = 0;     ///< raw machine word
+  Predecoded decoded;    ///< Predecode(word); fault != kNone for data words
+};
+
+struct BasicBlock {
+  uint32_t begin_addr = 0;  ///< byte address of the first instruction
+  uint32_t end_addr = 0;    ///< one past the last instruction's address
+  std::vector<CfgInstruction> instructions;
+  std::vector<CfgEdge> successors;
+  std::vector<size_t> predecessors;
+  /// Reachable from the entry block (or from an unanalyzable edge — an
+  /// unresolved graph marks everything reachable).
+  bool reachable = false;
+  /// Reachable via an unanalyzable edge: dataflow clients must treat the
+  /// block's state as "everything live".
+  bool degraded = false;
+};
+
+class Cfg {
+ public:
+  /// Builds the CFG of `program`'s text segment ([base_address, _etext), or
+  /// the whole image when no _etext symbol exists). Fails only on malformed
+  /// inputs (empty image, text range outside the image).
+  static util::Result<Cfg> Build(const AssembledProgram& program);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  size_t entry_block() const { return entry_block_; }
+
+  uint32_t text_begin() const { return text_begin_; }
+  uint32_t text_end() const { return text_end_; }
+  /// Whether the text segment is distinct from data (an _etext symbol past
+  /// the base). Without it the whole image executes and nothing is
+  /// write-protected, so self-modifying stores are possible.
+  bool has_text_segment() const { return has_text_segment_; }
+
+  /// At least one indirect jump could not be bounded; every block is marked
+  /// reachable + degraded.
+  bool unresolved_indirect() const { return unresolved_indirect_; }
+
+  /// Human-readable notes on every conservative decision taken (unresolved
+  /// JR, control transfer outside text, undecodable words, ...).
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  /// Block index containing byte address `addr`, or npos.
+  size_t BlockAt(uint32_t addr) const;
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  /// Blocks in the text segment never reached from the entry — the
+  /// unreachable-code lint. Empty when the graph is unresolved (everything
+  /// is conservatively reachable then).
+  std::vector<size_t> UnreachableBlocks() const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  size_t entry_block_ = 0;
+  uint32_t text_begin_ = 0;
+  uint32_t text_end_ = 0;
+  bool has_text_segment_ = false;
+  bool unresolved_indirect_ = false;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace goofi::isa

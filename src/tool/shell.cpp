@@ -33,8 +33,10 @@ const char* const kHelpText =
     "  run-warm <campaign> [workers] [interval]  checkpoint fast-forward run\n"
     "  run-pruned <campaign> [workers] [interval]  run-warm + convergence pruning\n"
     "  run-dedup <campaign> [workers]         run-pruned + equivalence classing\n"
+    "  run-static <campaign> [workers]        run-pruned + static no-effect classes\n"
     "  stats                                  counters of the last run command\n"
     "  analyze <campaign>                     classification report (3.4)\n"
+    "  analyze <workload>                     static CFG/liveness/prune report\n"
     "  report <campaign> <path>               write the report to a file\n"
     "  rerun-detail <experiment>              detail-mode re-run (2.3)\n"
     "  propagation <experiment>               error-propagation analysis (3.3)\n"
@@ -420,6 +422,60 @@ util::Result<std::string> Shell::CmdRunDedup(
       stats.experiments_resumed);
 }
 
+util::Result<std::string> Shell::CmdRunStatic(
+    const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) {
+    return util::InvalidArgument("run-static <campaign> [workers]");
+  }
+  int workers = 1;
+  if (args.size() == 2) {
+    const auto parsed = util::ParseInt(args[1]);
+    if (!parsed || *parsed < 1) {
+      return util::InvalidArgument("workers must be a positive number");
+    }
+    workers = static_cast<int>(*parsed);
+  }
+  auto target = FindTargetFor(args[0]);
+  if (!target.ok()) return target.status();
+  if (!target.value().factory) {
+    return util::FailedPrecondition(
+        "target of campaign " + args[0] +
+        " was registered without a parallel target factory");
+  }
+  auto campaign = store_->GetCampaign(args[0]);
+  if (!campaign.ok()) return campaign.status();
+  core::ParallelCampaignRunner runner(store_, target.value().factory, workers);
+  runner.SetForceWarmStart(true);
+  runner.SetConvergencePruning(true);
+  runner.SetEquivalenceClassing(true);
+  // Unlike run-dedup, no fault-free pre-run happens here: the only class
+  // source beyond the always-available past-end/pre-runtime keys is the
+  // static workload analysis, built from the program text alone.
+  auto analysis = static_cache_.Get(campaign.value().workload);
+  if (!analysis.ok()) return analysis.status();
+  runner.SetStaticAnalysis(analysis.value());
+  GOOFI_RETURN_IF_ERROR(runner.Run(args[0]));
+  const auto& stats = runner.stats();
+  last_run_ = LastRun{};
+  last_run_.valid = true;
+  last_run_.campaign = args[0];
+  last_run_.mode = "run-static";
+  last_run_.stats = stats;
+  last_run_.warm_starts = runner.warm_starts();
+  last_run_.prune = runner.prune_stats();
+  last_run_.dedup = runner.dedup_stats();
+  last_run_.memory = runner.memory_usage();
+  return util::Format(
+      "campaign %s: %d experiments run on %d workers (%lld classes, "
+      "%lld synthesized, %lld static no-effect, %lld pruned), %d resumed\n",
+      args[0].c_str(), stats.experiments_run, runner.workers_used(),
+      static_cast<long long>(runner.dedup_stats().classes_formed),
+      static_cast<long long>(runner.dedup_stats().experiments_synthesized),
+      static_cast<long long>(runner.dedup_stats().static_synthesized),
+      static_cast<long long>(runner.prune_stats().pruned_total()),
+      stats.experiments_resumed);
+}
+
 util::Result<std::string> Shell::RunWarmOrPruned(
     const std::vector<std::string>& args, bool pruned) {
   if (args.empty() || args.size() > 3) {
@@ -536,8 +592,9 @@ util::Result<std::string> Shell::CmdStats() const {
   out << util::Format("  equivalence classes:      %lld\n",
                       static_cast<long long>(last_run_.dedup.classes_formed));
   out << util::Format(
-      "  experiments synthesized:  %lld\n",
-      static_cast<long long>(last_run_.dedup.experiments_synthesized));
+      "  experiments synthesized:  %lld (%lld static no-effect)\n",
+      static_cast<long long>(last_run_.dedup.experiments_synthesized),
+      static_cast<long long>(last_run_.dedup.static_synthesized));
   out << util::Format(
       "  spot checks:              %lld run, %lld passed\n",
       static_cast<long long>(last_run_.dedup.spot_checks_run),
@@ -575,9 +632,20 @@ util::Result<std::string> Shell::CmdStats() const {
 
 util::Result<std::string> Shell::CmdAnalyze(
     const std::vector<std::string>& args) const {
-  if (args.size() != 1) return util::InvalidArgument("analyze <campaign>");
+  if (args.size() != 1) {
+    return util::InvalidArgument("analyze <campaign|workload>");
+  }
   auto report = core::AnalyzeCampaign(*store_, args[0]);
-  if (!report.ok()) return report.status();
+  if (!report.ok()) {
+    // Not a campaign — a workload name gets the static-analysis report
+    // (per-block liveness, lint, prune-eligibility counts).
+    if (env::GetWorkload(args[0]).ok()) {
+      auto analysis = static_cache_.Get(args[0]);
+      if (!analysis.ok()) return analysis.status();
+      return analysis.value()->Report();
+    }
+    return report.status();
+  }
   std::string out = report.value().ToString();
   auto by_group = core::AnalyzeByLocationGroup(*store_, args[0]);
   if (by_group.ok() && by_group.value().size() > 1) {
@@ -744,6 +812,7 @@ util::Result<std::string> Shell::Execute(const std::string& line) {
   if (command == "run-warm") return CmdRunWarm(args);
   if (command == "run-pruned") return CmdRunPruned(args);
   if (command == "run-dedup") return CmdRunDedup(args);
+  if (command == "run-static") return CmdRunStatic(args);
   if (command == "stats") return CmdStats();
   if (command == "analyze") return CmdAnalyze(args);
   if (command == "report") return CmdReport(args);

@@ -23,6 +23,7 @@
 #include "core/campaign_store.hpp"
 #include "core/parallel_runner.hpp"
 #include "core/preinjection.hpp"
+#include "core/static_analysis.hpp"
 #include "db/archive.hpp"
 #include "db/database.hpp"
 #include "testcard/testcard.hpp"
@@ -88,10 +89,21 @@ class Shell {
   /// representative's rows. Byte-identical database to `run`. Access
   /// timelines are memoized across campaigns in `liveness_cache_`.
   util::Result<std::string> CmdRunDedup(const std::vector<std::string>& args);
+  /// `run-static <campaign> [workers]`: run-pruned plus equivalence classing
+  /// driven by the *static* workload analysis alone — no fault-free pre-run
+  /// is executed. Flips into statically never-accessed registers and
+  /// never-read memory words collapse into no-effect classes whose members
+  /// are synthesized from one representative. Byte-identical database to
+  /// `run`. Analyses are memoized across campaigns in `static_cache_`.
+  util::Result<std::string> CmdRunStatic(const std::vector<std::string>& args);
   /// `stats`: counters of the most recent run command, distinguishing
   /// experiments never injected (liveness-dead) from experiments injected but
   /// converged (pruned).
   util::Result<std::string> CmdStats() const;
+  /// `analyze <campaign|workload>`: for a campaign, the §3.4 classification
+  /// report; for a workload name, the static-analysis report (per-block
+  /// liveness, unreachable-code and write-never-read lint, prune-eligibility
+  /// counts). Campaigns win name collisions.
   util::Result<std::string> CmdAnalyze(const std::vector<std::string>& args) const;
   /// `report <campaign> <path>`: writes the analyze output to a file — the
   /// paper's "where to store the results" menu (§3.4).
@@ -147,6 +159,10 @@ class Shell {
   /// Fault-free access timelines, memoized across PrepareCampaign calls for
   /// the same (workload, configuration) within a shell session.
   core::LivenessCache liveness_cache_;
+  /// Static workload analyses, memoized per workload name (`analyze` and
+  /// `run-static`). Mutable: `analyze` is logically const but may populate
+  /// the cache.
+  mutable core::StaticAnalysisCache static_cache_;
 };
 
 }  // namespace goofi::tool

@@ -91,7 +91,7 @@ TEST(CruiseTest, StuckActuatorFailsAfterSettling) {
 
 TEST(WorkloadTest, RegistryListsAllWorkloads) {
   const auto names = WorkloadNames();
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 11u);
   for (const std::string& name : names) {
     EXPECT_TRUE(GetWorkload(name).ok()) << name;
   }

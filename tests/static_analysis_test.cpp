@@ -1,0 +1,817 @@
+// Tests for the static workload analyzer (PR 10): CFG construction, the
+// generic worklist solver, the lint passes, and the two prune predicates.
+//
+// Two headline properties:
+//   1. Static-dead ⊆ dynamic-dead: every register the analyzer proves
+//      never-accessed (and every memory word it proves never-read) must also
+//      be never-accessed/never-read in the fault-free *execution* recorded by
+//      core/preinjection — asserted differentially over every built-in
+//      workload and over randomized synthetic programs.
+//   2. run-static == cold: a campaign run with static no-effect equivalence
+//      classes (core/equivalence key kinds 5-7) leaves the database
+//      byte-identical to a plain run, with equal Stats, across techniques,
+//      log modes and worker counts.
+#include "core/static_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/goofi.hpp"
+#include "core/preinjection.hpp"
+#include "db/database.hpp"
+#include "isa/assembler.hpp"
+#include "isa/cfg.hpp"
+#include "testcard/testcard.hpp"
+
+namespace goofi::core {
+namespace {
+
+env::WorkloadSpec Spec(const char* name, const std::string& source) {
+  env::WorkloadSpec spec;
+  spec.name = name;
+  spec.source = source;
+  spec.result_symbol = "result";
+  spec.result_words = 1;
+  return spec;
+}
+
+isa::Cfg BuildCfg(const std::string& source) {
+  auto program = isa::Assemble(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto cfg = isa::Cfg::Build(program.value());
+  EXPECT_TRUE(cfg.ok()) << cfg.status().ToString();
+  return std::move(cfg).value();
+}
+
+uint32_t SymbolOf(const std::string& source, const std::string& name) {
+  auto program = isa::Assemble(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  auto symbol = program.value().Symbol(name);
+  EXPECT_TRUE(symbol.ok()) << symbol.status().ToString();
+  return symbol.ok() ? symbol.value() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// CFG construction.
+// ---------------------------------------------------------------------------
+
+const char* const kStraightLine = R"(
+_start:
+    addi r1, r0, 5
+    addi r2, r1, 7
+    li   r3, result
+    stw  r2, [r3]
+    halt
+_etext:
+result:
+    .word 0
+)";
+
+TEST(CfgTest, StraightLineIsOneBlock) {
+  const isa::Cfg cfg = BuildCfg(kStraightLine);
+  ASSERT_EQ(cfg.blocks().size(), 1u);
+  const isa::BasicBlock& block = cfg.blocks()[0];
+  EXPECT_TRUE(block.reachable);
+  EXPECT_FALSE(block.degraded);
+  EXPECT_TRUE(block.successors.empty()) << "halt terminates the block";
+  EXPECT_TRUE(cfg.has_text_segment());
+  EXPECT_FALSE(cfg.unresolved_indirect());
+  EXPECT_EQ(cfg.entry_block(), 0u);
+}
+
+const char* const kDiamond = R"(
+_start:
+    addi r1, r0, 3
+    beq  r1, r0, else_
+    addi r2, r0, 1
+    jmp  join
+else_:
+    addi r2, r0, 2
+join:
+    li   r3, result
+    stw  r2, [r3]
+    halt
+_etext:
+result:
+    .word 0
+)";
+
+TEST(CfgTest, DiamondHasBranchFallthroughAndJumpEdges) {
+  const isa::Cfg cfg = BuildCfg(kDiamond);
+  ASSERT_EQ(cfg.blocks().size(), 4u);
+  const size_t b_else = cfg.BlockAt(SymbolOf(kDiamond, "else_"));
+  const size_t b_join = cfg.BlockAt(SymbolOf(kDiamond, "join"));
+  ASSERT_NE(b_else, isa::Cfg::npos);
+  ASSERT_NE(b_join, isa::Cfg::npos);
+
+  const isa::BasicBlock& head = cfg.blocks()[cfg.entry_block()];
+  ASSERT_EQ(head.successors.size(), 2u);
+  bool saw_taken = false, saw_fallthrough = false;
+  for (const isa::CfgEdge& edge : head.successors) {
+    if (edge.kind == isa::CfgEdgeKind::kBranchTaken) {
+      EXPECT_EQ(edge.to, b_else);
+      saw_taken = true;
+    }
+    if (edge.kind == isa::CfgEdgeKind::kFallthrough) saw_fallthrough = true;
+  }
+  EXPECT_TRUE(saw_taken);
+  EXPECT_TRUE(saw_fallthrough);
+
+  // The then-arm ends in `jmp join`; the else-arm falls through into join.
+  int join_preds = 0;
+  for (const isa::BasicBlock& block : cfg.blocks()) {
+    for (const isa::CfgEdge& edge : block.successors) {
+      if (edge.to == b_join) {
+        ++join_preds;
+        EXPECT_TRUE(edge.kind == isa::CfgEdgeKind::kJump ||
+                    edge.kind == isa::CfgEdgeKind::kFallthrough);
+      }
+    }
+  }
+  EXPECT_EQ(join_preds, 2);
+  // Predecessor lists mirror successor edges.
+  EXPECT_EQ(cfg.blocks()[b_join].predecessors.size(), 2u);
+  for (const isa::BasicBlock& block : cfg.blocks()) {
+    EXPECT_TRUE(block.reachable);
+    EXPECT_FALSE(block.degraded);
+  }
+}
+
+const char* const kLoop = R"(
+_start:
+    addi r1, r0, 0
+    addi r2, r0, 10
+head:
+    bgeu r1, r2, done
+    addi r1, r1, 1
+    jmp  head
+done:
+    li   r3, result
+    stw  r1, [r3]
+    halt
+_etext:
+result:
+    .word 0
+)";
+
+TEST(CfgTest, LoopHasBackEdge) {
+  const isa::Cfg cfg = BuildCfg(kLoop);
+  const size_t b_head = cfg.BlockAt(SymbolOf(kLoop, "head"));
+  ASSERT_NE(b_head, isa::Cfg::npos);
+  bool back_edge = false;
+  for (const isa::BasicBlock& block : cfg.blocks()) {
+    for (const isa::CfgEdge& edge : block.successors) {
+      if (edge.to == b_head &&
+          block.begin_addr >= cfg.blocks()[b_head].begin_addr) {
+        back_edge = true;
+      }
+    }
+  }
+  EXPECT_TRUE(back_edge);
+  for (const isa::BasicBlock& block : cfg.blocks()) {
+    EXPECT_TRUE(block.reachable);
+  }
+  EXPECT_TRUE(cfg.UnreachableBlocks().empty());
+}
+
+const char* const kIndirect = R"(
+_start:
+    li   r3, target
+    jr   r3
+target:
+    halt
+_etext:
+result:
+    .word 0
+)";
+
+TEST(CfgTest, UnresolvedIndirectJumpDegradesEveryBlock) {
+  const isa::Cfg cfg = BuildCfg(kIndirect);
+  EXPECT_TRUE(cfg.unresolved_indirect());
+  EXPECT_FALSE(cfg.notes().empty());
+  for (const isa::BasicBlock& block : cfg.blocks()) {
+    EXPECT_TRUE(block.reachable)
+        << "an unresolved graph must mark everything reachable";
+    EXPECT_TRUE(block.degraded);
+  }
+  EXPECT_TRUE(cfg.UnreachableBlocks().empty())
+      << "no unreachable-code lint on an unresolved graph";
+}
+
+TEST(StaticAnalysisTest, UnresolvedIndirectJumpPrunesNothing) {
+  auto analysis = StaticAnalysis::BuildFromSpec(Spec("indirect", kIndirect));
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_TRUE(analysis.value()->registers_degraded());
+  EXPECT_TRUE(analysis.value()->memory_degraded());
+  for (int reg = 0; reg < 16; ++reg) {
+    EXPECT_FALSE(analysis.value()->RegisterNeverAccessed(reg)) << "r" << reg;
+  }
+  EXPECT_EQ(analysis.value()->NeverReadWordCount(), 0u);
+  EXPECT_FALSE(
+      analysis.value()->MemoryWordNeverRead(SymbolOf(kIndirect, "result")));
+}
+
+const char* const kCallChain = R"(
+_start:
+    addi r1, r0, 0
+    call func
+    call func
+    li   r3, result
+    stw  r1, [r3]
+    halt
+func:
+    addi r1, r1, 1
+    ret
+_etext:
+result:
+    .word 0
+)";
+
+TEST(CfgTest, LinkRegisterDisciplineResolvesReturns) {
+  const isa::Cfg cfg = BuildCfg(kCallChain);
+  EXPECT_FALSE(cfg.unresolved_indirect())
+      << "jr lr with JAL-only lr writes must resolve via return sites";
+  const size_t b_func = cfg.BlockAt(SymbolOf(kCallChain, "func"));
+  ASSERT_NE(b_func, isa::Cfg::npos);
+  // The function body ends in `ret` (jr lr): its successors are the return
+  // sites of both calls, as kReturn edges.
+  size_t returns = 0;
+  for (const isa::CfgEdge& edge : cfg.blocks()[b_func].successors) {
+    if (edge.kind == isa::CfgEdgeKind::kReturn) ++returns;
+  }
+  EXPECT_EQ(returns, 2u);
+  for (const isa::BasicBlock& block : cfg.blocks()) {
+    EXPECT_TRUE(block.reachable);
+    EXPECT_FALSE(block.degraded);
+  }
+}
+
+// No _etext: nothing is write-protected, and the bounded store below lands
+// inside the executing range — possible self-modifying code, so the whole
+// analysis must degrade.
+const char* const kSelfModifying = R"(
+_start:
+    li   r1, patch
+    addi r2, r0, 0
+    stw  r2, [r1]
+patch:
+    addi r3, r0, 1
+    halt
+result:
+    .word 0
+)";
+
+TEST(StaticAnalysisTest, PossiblySelfModifyingStoreDegradesEverything) {
+  auto analysis =
+      StaticAnalysis::BuildFromSpec(Spec("selfmod", kSelfModifying));
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_FALSE(analysis.value()->cfg().has_text_segment());
+  EXPECT_TRUE(analysis.value()->registers_degraded());
+  EXPECT_TRUE(analysis.value()->memory_degraded());
+  EXPECT_EQ(analysis.value()->NeverAccessedRegisterCount(), 0);
+  EXPECT_EQ(analysis.value()->NeverReadWordCount(), 0u);
+}
+
+const char* const kDeadCode = R"(
+_start:
+    jmp  over
+dead:
+    addi r1, r0, 9
+over:
+    addi r2, r0, 4
+    li   r3, result
+    stw  r2, [r3]
+    halt
+_etext:
+result:
+    .word 0
+)";
+
+TEST(StaticAnalysisTest, UnreachableBlockLint) {
+  auto analysis = StaticAnalysis::BuildFromSpec(Spec("deadcode", kDeadCode));
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  const uint32_t dead_addr = SymbolOf(kDeadCode, "dead");
+  bool found = false;
+  for (const LintFinding& finding : analysis.value()->lint()) {
+    if (finding.kind == LintFinding::Kind::kUnreachableBlock &&
+        finding.address == dead_addr) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << analysis.value()->Report();
+  EXPECT_FALSE(analysis.value()->cfg().UnreachableBlocks().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Generic worklist solver.
+// ---------------------------------------------------------------------------
+
+/// Toy forward client: "reachable from entry" as a dataflow fact (state is
+/// int, not bool — vector<bool> has no addressable elements). Its fixpoint
+/// must agree with the CFG's own BFS reachability.
+struct ReachClient {
+  using State = int;
+  bool forward() const { return true; }
+  State Bottom() const { return 0; }
+  State Initial(size_t) const { return 1; }
+  State Transfer(size_t, const State& in) const { return in; }
+  bool Join(State* into, const State& from, size_t, int) const {
+    if (*into != 0 || from == 0) return false;
+    *into = 1;
+    return true;
+  }
+  State EdgeState(size_t, const isa::CfgEdge&, const State& state) const {
+    return state;
+  }
+};
+
+TEST(SolverTest, FixpointMatchesBfsReachability) {
+  const isa::Cfg cfg = BuildCfg(kDeadCode);
+  const auto result = SolveDataflow(cfg, ReachClient{});
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.steps, 0u);
+  ASSERT_EQ(result.in.size(), cfg.blocks().size());
+  const size_t b_dead = cfg.BlockAt(SymbolOf(kDeadCode, "dead"));
+  for (size_t b = 0; b < cfg.blocks().size(); ++b) {
+    if (b == b_dead) {
+      EXPECT_FALSE(result.in[b]) << "unreachable block must stay Bottom";
+    } else {
+      EXPECT_TRUE(result.in[b]) << "block " << b;
+    }
+  }
+}
+
+TEST(SolverTest, StepBudgetExhaustionReportsNonConvergence) {
+  const isa::Cfg cfg = BuildCfg(kLoop);
+  const auto result = SolveDataflow(cfg, ReachClient{}, /*max_steps=*/1);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(SolverTest, LoopLivenessReachesFixpoint) {
+  // In kLoop, r1 and r2 are live around the loop (head reads both), and the
+  // liveness solver must push that through the back edge.
+  auto analysis = StaticAnalysis::BuildFromSpec(Spec("loop", kLoop));
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  const StaticAnalysis& sa = *analysis.value();
+  const size_t b_head = sa.cfg().BlockAt(SymbolOf(kLoop, "head"));
+  ASSERT_NE(b_head, isa::Cfg::npos);
+  EXPECT_TRUE(sa.LiveIn(b_head) & (1u << 1)) << "r1 live into the loop head";
+  EXPECT_TRUE(sa.LiveIn(b_head) & (1u << 2)) << "r2 live into the loop head";
+  EXPECT_GT(sa.solver_steps(), sa.cfg().blocks().size())
+      << "the back edge must force revisits";
+}
+
+// ---------------------------------------------------------------------------
+// sparse_table: the designed-for-pruning workload.
+// ---------------------------------------------------------------------------
+
+TEST(StaticAnalysisTest, SparseTableProvesTailAndUpperRegisters) {
+  auto built = StaticAnalysis::Build("sparse_table");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const StaticAnalysis& sa = *built.value();
+  EXPECT_FALSE(sa.registers_degraded());
+  EXPECT_FALSE(sa.memory_degraded()) << sa.Report();
+
+  // Registers: r9..r15 are never touched; everything the program uses
+  // (r1..r8) and r0 must stay unprunable.
+  EXPECT_EQ(sa.NeverAccessedRegisterCount(), 7);
+  for (int reg : {9, 10, 11, 12, 13, 14, 15}) {
+    EXPECT_TRUE(sa.RegisterNeverAccessed(reg)) << "r" << reg;
+  }
+  for (int reg : {0, 1, 2, 3, 4, 5, 6, 7, 8}) {
+    EXPECT_FALSE(sa.RegisterNeverAccessed(reg)) << "r" << reg;
+  }
+
+  // Memory: the 52-word table tail is never read; the used head, the text
+  // and the host-read result word are not prunable.
+  const auto spec = env::GetWorkload("sparse_table");
+  ASSERT_TRUE(spec.ok());
+  const uint32_t table = SymbolOf(spec.value().source, "table");
+  const uint32_t result = SymbolOf(spec.value().source, "result");
+  EXPECT_EQ(sa.NeverReadWordCount(), 52u);
+  for (uint32_t i = 0; i < 12; ++i) {
+    EXPECT_FALSE(sa.MemoryWordNeverRead(table + 4 * i)) << "used word " << i;
+  }
+  for (uint32_t i = 12; i < 64; ++i) {
+    EXPECT_TRUE(sa.MemoryWordNeverRead(table + 4 * i)) << "tail word " << i;
+  }
+  EXPECT_FALSE(sa.MemoryWordNeverRead(result)) << "host reads the result";
+  EXPECT_FALSE(sa.MemoryWordNeverRead(0)) << "text is fetched";
+  const uint32_t past_image = sa.cfg().text_begin() +
+                              4 * static_cast<uint32_t>(sa.ImageWordCount());
+  EXPECT_FALSE(sa.MemoryWordNeverRead(past_image))
+      << "outside the image must never be prunable";
+
+  // Read-only classification: everything but the result word (the only store
+  // target).
+  EXPECT_EQ(sa.ReadOnlyWordCount(), sa.ImageWordCount() - 1);
+  EXPECT_TRUE(sa.MemoryWordReadOnly(table));
+  EXPECT_FALSE(sa.MemoryWordReadOnly(result));
+
+  // The deliberate dead write to r8 must be flagged; the final r8 (consumed
+  // by the result store) must not.
+  int dead_writes = 0;
+  for (const LintFinding& finding : sa.lint()) {
+    if (finding.kind == LintFinding::Kind::kWriteNeverRead) {
+      ++dead_writes;
+      EXPECT_NE(finding.message.find("r8"), std::string::npos)
+          << finding.message;
+    }
+  }
+  EXPECT_EQ(dead_writes, 1) << sa.Report();
+}
+
+TEST(StaticAnalysisTest, FilterSkipsOnlyProvenDeadLocations) {
+  auto built = StaticAnalysis::Build("sparse_table");
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const auto filter = built.value()->MakeFilter();
+  const auto spec = env::GetWorkload("sparse_table");
+  ASSERT_TRUE(spec.ok());
+  const uint32_t table = SymbolOf(spec.value().source, "table");
+
+  FaultCandidate reg_cell;
+  reg_cell.scan = true;
+  reg_cell.cell_name = "regfile.r12";
+  EXPECT_FALSE(filter(reg_cell, 10)) << "never-accessed register is dead";
+  reg_cell.cell_name = "regfile.r4";
+  EXPECT_TRUE(filter(reg_cell, 10)) << "used register stays live";
+  reg_cell.cell_name = "pc";
+  EXPECT_TRUE(filter(reg_cell, 10)) << "non-register cells stay live";
+
+  FaultCandidate word;
+  word.scan = false;
+  word.address = table + 4 * 30;
+  EXPECT_FALSE(filter(word, 10)) << "never-read word is dead";
+  word.address = table;
+  EXPECT_TRUE(filter(word, 10)) << "read word stays live";
+}
+
+TEST(StaticAnalysisTest, CacheMemoizesPerWorkload) {
+  StaticAnalysisCache cache;
+  auto first = cache.Get("sparse_table");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.Get("sparse_table");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  auto other = cache.Get("fibonacci");
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other.value().get(), first.value().get());
+  EXPECT_FALSE(cache.Get("no_such_workload").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Differential: static-dead ⊆ dynamic-dead.
+// ---------------------------------------------------------------------------
+
+void ExpectStaticSubsetOfDynamic(const StaticAnalysis& sa,
+                                 const LivenessAnalyzer& dynamic) {
+  for (int reg = 0; reg < 16; ++reg) {
+    if (sa.RegisterNeverAccessed(reg)) {
+      EXPECT_FALSE(dynamic.RegisterEverAccessed(reg))
+          << sa.workload_name() << ": r" << reg
+          << " statically never-accessed but dynamically accessed";
+    }
+  }
+  const uint32_t base = sa.cfg().text_begin();
+  for (size_t w = 0; w < sa.ImageWordCount(); ++w) {
+    const uint32_t address = base + static_cast<uint32_t>(4 * w);
+    if (sa.MemoryWordNeverRead(address)) {
+      EXPECT_FALSE(dynamic.MemoryWordEverRead(address))
+          << sa.workload_name() << ": word 0x" << std::hex << address;
+      EXPECT_FALSE(dynamic.MemoryWordEverFetched(address))
+          << sa.workload_name() << ": word 0x" << std::hex << address;
+    }
+  }
+}
+
+TEST(StaticDifferentialTest, EveryBuiltinWorkload) {
+  for (const std::string& name : env::WorkloadNames()) {
+    SCOPED_TRACE(name);
+    auto sa = StaticAnalysis::Build(name);
+    ASSERT_TRUE(sa.ok()) << sa.status().ToString();
+    auto dynamic =
+        LivenessAnalyzer::Build(name, cpu::CpuConfig(), 200000, 40);
+    ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+    ExpectStaticSubsetOfDynamic(*sa.value(), *dynamic.value());
+  }
+}
+
+struct Xorshift {
+  uint64_t state;
+  explicit Xorshift(uint64_t seed) : state(seed | 1) {}
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+/// Random forward-branching program: blocks L0..Ln of ALU ops, constant-base
+/// loads and stores, connected by forward jumps/branches only (guaranteed
+/// termination), ending in a result store + halt. Registers r9..r13 are
+/// never emitted, so most rounds exercise a nonempty prune set.
+std::string GenerateProgram(Xorshift& rng) {
+  const char* regs[] = {"r1", "r2", "r3", "r4", "r5", "r6"};
+  const auto reg = [&] { return regs[rng.Next() % 6]; };
+  const int nblocks = 3 + static_cast<int>(rng.Next() % 4);
+  std::ostringstream s;
+  s << "_start:\n    li   r7, data\n";
+  for (int b = 0; b < nblocks; ++b) {
+    s << "L" << b << ":\n";
+    const int nops = 1 + static_cast<int>(rng.Next() % 4);
+    for (int i = 0; i < nops; ++i) {
+      switch (rng.Next() % 7) {
+        case 0:
+          s << "    addi " << reg() << ", " << reg() << ", "
+            << (rng.Next() % 64) << "\n";
+          break;
+        case 1:
+          s << "    add  " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+        case 2:
+          s << "    xor  " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+        case 3:
+          s << "    slli " << reg() << ", " << reg() << ", "
+            << (rng.Next() % 5) << "\n";
+          break;
+        case 4:
+          s << "    ldw  " << reg() << ", [r7+" << 4 * (rng.Next() % 4)
+            << "]\n";
+          break;
+        case 5:
+          s << "    stw  " << reg() << ", [r7+" << (16 + 4 * (rng.Next() % 2))
+            << "]\n";
+          break;
+        default:
+          s << "    sub  " << reg() << ", " << reg() << ", " << reg() << "\n";
+          break;
+      }
+    }
+    // Forward-only control transfer (possibly skipping blocks).
+    const int target =
+        b + 1 + static_cast<int>(rng.Next() % (nblocks - b));
+    switch (rng.Next() % 4) {
+      case 0:
+        s << "    jmp  L" << target << "\n";
+        break;
+      case 1:
+        s << "    beq  " << reg() << ", " << reg() << ", L" << target << "\n";
+        break;
+      case 2:
+        s << "    bltu " << reg() << ", " << reg() << ", L" << target << "\n";
+        break;
+      default:
+        break;  // fall through
+    }
+  }
+  s << "L" << nblocks << ":\n";
+  s << "    li   r8, result\n    stw  r1, [r8]\n    halt\n";
+  s << "_etext:\ndata:\n    .word 5, 17, 3, 9, 0, 0, 0, 0\n";
+  s << "result:\n    .word 0\n";
+  return s.str();
+}
+
+TEST(StaticDifferentialTest, RandomizedForwardPrograms) {
+  Xorshift rng(0x57A71C);
+  for (int round = 0; round < 12; ++round) {
+    const std::string source = GenerateProgram(rng);
+    SCOPED_TRACE("round " + std::to_string(round) + "\n" + source);
+    const env::WorkloadSpec spec = Spec("synthetic", source);
+    auto sa = StaticAnalysis::BuildFromSpec(spec);
+    ASSERT_TRUE(sa.ok()) << sa.status().ToString();
+    auto dynamic = LivenessAnalyzer::BuildFromSpec(spec, cpu::CpuConfig());
+    ASSERT_TRUE(dynamic.ok()) << dynamic.status().ToString();
+    ExpectStaticSubsetOfDynamic(*sa.value(), *dynamic.value());
+    // The generator never touches r9..r13: forward-only graphs must resolve
+    // completely, so the analyzer has to prove at least those five.
+    EXPECT_FALSE(sa.value()->registers_degraded());
+    EXPECT_GE(sa.value()->NeverAccessedRegisterCount(), 5);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// run-static == cold, end to end (scaffolding mirrors equivalence_test).
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  util::Status status;
+  std::vector<CampaignStore::ExperimentRow> rows;
+  FaultInjectionAlgorithms::Stats stats;
+  EquivalenceStats dedup;
+  std::string db_bytes;
+};
+
+struct Session {
+  db::Database db;
+  CampaignStore store;
+
+  explicit Session(const CampaignData& campaign) : store(&db) {
+    if (campaign.target_name == ThorRdTarget::kTargetName) {
+      testcard::SimTestCard card;
+      EXPECT_TRUE(store
+                      .PutTargetSystem(ThorRdTarget::DescribeTarget(
+                          card, ThorRdTarget::kTargetName))
+                      .ok());
+    } else {
+      EXPECT_TRUE(store.PutTargetSystem(SwifiSimTarget::Describe()).ok());
+    }
+    EXPECT_TRUE(store.PutCampaign(campaign).ok());
+  }
+
+  RunResult Snapshot(util::Status status,
+                     const FaultInjectionAlgorithms::Stats& stats,
+                     const EquivalenceStats& dedup,
+                     const std::string& campaign_name) {
+    RunResult result;
+    result.status = std::move(status);
+    result.stats = stats;
+    result.dedup = dedup;
+    auto rows = store.ExperimentsOf(campaign_name);
+    if (rows.ok()) result.rows = std::move(rows).value();
+    const std::string path =
+        testing::TempDir() + "goofi_static_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".db";
+    EXPECT_TRUE(db.Save(path).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    result.db_bytes = buf.str();
+    std::remove(path.c_str());
+    return result;
+  }
+};
+
+RunResult RunCold(const CampaignData& campaign) {
+  Session session(campaign);
+  auto drive = [&](FaultInjectionAlgorithms& target) {
+    util::Status status = target.RunCampaign(campaign.name);
+    return session.Snapshot(std::move(status), target.stats(),
+                            EquivalenceStats{}, campaign.name);
+  };
+  if (campaign.target_name == ThorRdTarget::kTargetName) {
+    testcard::SimTestCard card;
+    ThorRdTarget target(&session.store, &card);
+    return drive(target);
+  }
+  SwifiSimTarget target(&session.store);
+  return drive(target);
+}
+
+/// The run-static stack: warm-start + pruning + equivalence classing with
+/// ONLY the static analysis installed — no access-timeline pre-run.
+RunResult RunStatic(const CampaignData& campaign, int workers,
+                    int spot_check_every = 4) {
+  Session session(campaign);
+  const auto factory = campaign.target_name == ThorRdTarget::kTargetName
+                           ? MakeSimThorFactory(&session.store)
+                           : MakeSwifiSimFactory(&session.store);
+  ParallelCampaignRunner runner(&session.store, factory, workers);
+  runner.SetForceWarmStart(true);
+  runner.SetConvergencePruning(true);
+  runner.SetEquivalenceClassing(true);
+  runner.SetSpotCheckEvery(spot_check_every);
+  StaticAnalysisCache cache;
+  auto analysis = cache.Get(campaign.workload);
+  EXPECT_TRUE(analysis.ok()) << analysis.status().ToString();
+  if (analysis.ok()) runner.SetStaticAnalysis(analysis.value());
+  util::Status status = runner.Run(campaign.name);
+  return session.Snapshot(std::move(status), runner.stats(),
+                          runner.dedup_stats(), campaign.name);
+}
+
+void ExpectIdentical(const RunResult& cold, const RunResult& pruned) {
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  ASSERT_TRUE(pruned.status.ok()) << pruned.status.ToString();
+  ASSERT_EQ(cold.rows.size(), pruned.rows.size());
+  for (size_t i = 0; i < cold.rows.size(); ++i) {
+    EXPECT_EQ(cold.rows[i].experiment_name, pruned.rows[i].experiment_name)
+        << "row " << i << " out of order";
+    EXPECT_EQ(cold.rows[i].experiment_data, pruned.rows[i].experiment_data)
+        << "row " << i;
+    EXPECT_EQ(cold.rows[i].state.Serialize(), pruned.rows[i].state.Serialize())
+        << "row " << i;
+  }
+  EXPECT_EQ(cold.stats, pruned.stats);
+  EXPECT_EQ(cold.db_bytes, pruned.db_bytes)
+      << "database files must be byte-identical";
+  EXPECT_EQ(pruned.dedup.spot_checks_run, pruned.dedup.spot_checks_passed);
+}
+
+CampaignData SparseTableScifi(const std::string& name) {
+  CampaignData campaign;
+  campaign.name = name;
+  campaign.target_name = ThorRdTarget::kTargetName;
+  campaign.technique = Technique::kScifi;
+  campaign.num_experiments = 16;
+  campaign.workload = "sparse_table";
+  campaign.locations = {{"internal_regfile", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 80;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+CampaignData SparseTableSwifi(const std::string& name, Technique technique) {
+  CampaignData campaign;
+  campaign.name = name;
+  campaign.target_name = SwifiSimTarget::kTargetName;
+  campaign.technique = technique;
+  campaign.num_experiments = 24;
+  campaign.workload = "sparse_table";
+  campaign.locations = {{"memory.data", ""}};
+  campaign.inject_min_instr = 1;
+  campaign.inject_max_instr = 80;
+  campaign.timeout_cycles = 100000;
+  return campaign;
+}
+
+TEST(RunStaticTest, ScifiNeverAccessedCellCollapsesPerBit) {
+  // Every flip lands in a never-accessed register: experiments sharing a
+  // chain bit must collapse into one class each, synthesized without any
+  // golden-run timeline.
+  CampaignData campaign = SparseTableScifi("rs_cell");
+  campaign.locations = {{"internal_regfile", "regfile.r12"}};
+  campaign.num_experiments = 24;
+  const RunResult cold = RunCold(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const RunResult pruned = RunStatic(campaign, workers);
+    EXPECT_GT(pruned.dedup.classes_formed, 0);
+    EXPECT_GT(pruned.dedup.static_synthesized, 0)
+        << "flips into r12 must synthesize from static classes";
+    EXPECT_EQ(pruned.dedup.experiments_synthesized,
+              pruned.dedup.static_synthesized)
+        << "without a timeline every synthesis is a static one";
+    ExpectIdentical(cold, pruned);
+  }
+}
+
+TEST(RunStaticTest, ScifiBroadCampaignMatchesCold) {
+  const CampaignData campaign = SparseTableScifi("rs_broad");
+  ExpectIdentical(RunCold(campaign), RunStatic(campaign, 2));
+}
+
+TEST(RunStaticTest, ScifiDetailModeMatchesCold) {
+  CampaignData campaign = SparseTableScifi("rs_detail");
+  campaign.locations = {{"internal_regfile", "regfile.r12"}};
+  campaign.log_mode = LogMode::kDetail;
+  campaign.num_experiments = 10;
+  const RunResult cold = RunCold(campaign);
+  ASSERT_GT(cold.rows.size(), 10u) << "expected detail rows";
+  for (int workers : {1, 2}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ExpectIdentical(cold, RunStatic(campaign, workers));
+  }
+}
+
+TEST(RunStaticTest, SwifiRuntimeTableTailMatchesCold) {
+  const CampaignData campaign =
+      SparseTableSwifi("rs_swifi", Technique::kSwifiRuntime);
+  const RunResult cold = RunCold(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const RunResult pruned = RunStatic(campaign, workers, /*spot_check=*/1);
+    EXPECT_GT(pruned.dedup.static_synthesized, 0)
+        << "most data-section flips land in the never-read tail";
+    ExpectIdentical(cold, pruned);
+  }
+}
+
+TEST(RunStaticTest, SwifiPreRuntimeMatchesCold) {
+  const CampaignData campaign =
+      SparseTableSwifi("rs_swifi_pre", Technique::kSwifiPreRuntime);
+  const RunResult cold = RunCold(campaign);
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const RunResult pruned = RunStatic(campaign, workers);
+    EXPECT_GT(pruned.dedup.static_synthesized, 0);
+    ExpectIdentical(cold, pruned);
+  }
+}
+
+TEST(RunStaticTest, DegradedWorkloadStillMatchesCold) {
+  // bubblesort's memory side degrades (computed loop bound) but its register
+  // side proves r10..r15: run-static must stay byte-identical while pruning
+  // whatever is left.
+  CampaignData campaign = SparseTableScifi("rs_degraded");
+  campaign.workload = "bubblesort";
+  campaign.locations = {{"internal_regfile", "regfile.r11"}};
+  campaign.num_experiments = 12;
+  campaign.inject_max_instr = 400;
+  const RunResult cold = RunCold(campaign);
+  const RunResult pruned = RunStatic(campaign, 2);
+  EXPECT_GT(pruned.dedup.static_synthesized, 0);
+  ExpectIdentical(cold, pruned);
+}
+
+}  // namespace
+}  // namespace goofi::core
